@@ -1,0 +1,59 @@
+// AT&T San Diego: the §6 case study — bootstrap the region inventory
+// from lightspeed rDNS, map the MPLS-hidden San Diego topology with
+// McTraceroute vantage points and DPR, cluster routers into EdgeCOs via
+// shared last-mile links, and measure the Table 2 latency disparity.
+//
+//	go run ./examples/att_sandiego
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Println("building the AT&T-like telco and driving to every McDonald's in San Diego...")
+	st := core.NewATTStudy(21)
+
+	onATT := len(st.HotspotVPs)
+	fmt.Printf("%d of %d restaurants buy their WiFi uplink from the telco (paper: 23 of 58)\n",
+		onATT, len(st.Hotspots))
+
+	fig := st.Figure13()
+	fmt.Println("\ninferred San Diego topology (Fig. 13):")
+	fmt.Printf("  backbone routers: %d (one Long-Lines-era BackboneCO: %v, full mesh: %v)\n",
+		fig.BackboneRouters, fig.BackboneCOs == 1, fig.FullMesh)
+	fmt.Printf("  aggregation routers: %d\n", fig.AggRouters)
+	fmt.Printf("  edge routers: %d forming %d EdgeCOs (%d dual-router, %d dual-homed)\n",
+		fig.EdgeRouters, fig.EdgeCOs, fig.TwoRouterEdges, fig.DualHomedEdges)
+
+	edge, agg := st.Table6()
+	fmt.Println("\nrouter address blocks (Table 6):")
+	for _, p := range edge {
+		fmt.Printf("  EdgeCO %s\n", p)
+	}
+	for _, p := range agg {
+		fmt.Printf("  AggCO  %s\n", p)
+	}
+
+	fmt.Println("\nlatency from a Los Angeles cloud VM to EdgeCO devices (§6.3):")
+	lat := st.EdgeLatency(100)
+	var ms []float64
+	for _, d := range lat.PerDevice {
+		ms = append(ms, float64(d)/float64(time.Millisecond))
+	}
+	sort.Float64s(ms)
+	var mean float64
+	for _, v := range ms {
+		mean += v
+	}
+	mean /= float64(len(ms))
+	fmt.Printf("  %d devices, mean %.1fms, range %.1f-%.1fms\n", len(ms), mean, ms[0], ms[len(ms)-1])
+	fmt.Println("  slowest devices (the distant desert offices):")
+	for _, v := range ms[len(ms)-4:] {
+		fmt.Printf("    %.1fms (%.1fx the mean)\n", v, v/mean)
+	}
+}

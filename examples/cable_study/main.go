@@ -1,0 +1,52 @@
+// Cable study: the full §5 comparison of the Comcast- and Charter-like
+// operators — Table 1 aggregation archetypes, Fig. 7 region sizes, and
+// the Appendix B.4 redundancy contrast — with ground-truth validation.
+//
+//	go run ./examples/cable_study
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/comap"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func main() {
+	st := core.NewCableStudy(7)
+	fmt.Println("running both operator campaigns (a minute or two)...")
+	st.Result("comcast")
+	st.Result("charter")
+
+	tbl := st.Table1()
+	fmt.Println("\naggregation types per region (Table 1):")
+	fmt.Printf("  %-8s %6s %6s %6s\n", "", "single", "two", "multi")
+	for _, isp := range []string{"comcast", "charter"} {
+		fmt.Printf("  %-8s %6d %6d %6d\n", isp,
+			tbl[isp][comap.AggSingle], tbl[isp][comap.AggTwo], tbl[isp][comap.AggMulti])
+	}
+
+	cos, aggs := st.Figure7()
+	fmt.Println("\nregion sizes (Fig. 7):")
+	for _, isp := range []string{"comcast", "charter"} {
+		c := metrics.NewCDF(cos[isp])
+		a := metrics.NewCDF(aggs[isp])
+		fmt.Printf("  %-8s %d regions; COs median=%.0f max=%.0f; AggCOs median=%.0f max=%.0f\n",
+			isp, c.Len(), c.Median(), c.Max(), a.Median(), a.Max())
+	}
+
+	fmt.Println("\nredundancy to the EdgeCOs (Appendix B.4):")
+	for _, isp := range []string{"comcast", "charter"} {
+		r := st.RedundancyStats(isp)
+		fmt.Printf("  %-8s single-upstream EdgeCOs: %.1f%% (of those, %.1f%% hang off another EdgeCO)\n",
+			isp, 100*r.SingleUpstreamFrac, 100*r.SingleViaEdgeFrac)
+	}
+	exSE := st.RedundancyStats("charter", "southeast")
+	fmt.Printf("  charter excluding the southeast anomaly: %.1f%%\n", 100*exSE.SingleUpstreamFrac)
+
+	fmt.Println("\nvalidation against ground truth:")
+	for _, isp := range []string{"comcast", "charter"} {
+		fmt.Print(st.Score(isp))
+	}
+}

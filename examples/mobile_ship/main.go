@@ -1,0 +1,59 @@
+// Mobile ship: the §7 case study — ship a phone per carrier across the
+// country, watch the IPv6 address bits change with geography and
+// re-registration, and infer each carrier's regional architecture.
+//
+//	go run ./examples/mobile_ship
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ipalloc"
+)
+
+func main() {
+	fmt.Println("shipping phones across 12 itineraries for three carriers...")
+	st := core.NewMobileStudy(51)
+
+	// Show a few raw rounds for one carrier: the inference's input.
+	fmt.Println("\nsample AT&T rounds (address bits move with the truck):")
+	shown := 0
+	for _, r := range st.Rounds("att-mobile") {
+		if !r.OK {
+			continue
+		}
+		if shown++; shown > 6 {
+			break
+		}
+		fmt.Printf("  tower=(%5.1f,%7.1f) user=%s region-bits=%#02x pgw-bits=%#x\n",
+			r.TowerLoc.Lat, r.TowerLoc.Lon, r.UserAddr,
+			ipalloc.V6Bits(r.UserAddr, 32, 8), ipalloc.V6Bits(r.UserAddr, 40, 4))
+	}
+
+	fmt.Println("\ninferred address plans and architectures (Fig. 16 / Fig. 17):")
+	for _, c := range core.CarrierNames {
+		a := st.Analysis(c)
+		fmt.Printf("  %-10s carrier-prefix=/%d region-field=%v pgw-field=%v arch=%s\n",
+			c, a.UserPrefixLen, a.RegionField, a.PGWField, a.Arch)
+		for _, lv := range a.GeoLevels {
+			fmt.Printf("             geo level /%d: %d changes across the journey, %d values\n",
+				lv.PrefixLen, lv.Changes, lv.DistinctValues)
+		}
+		if len(a.Providers) > 0 {
+			fmt.Printf("             upstream providers: %v\n", a.Providers)
+		}
+	}
+
+	fmt.Println("\npacket gateways per region (Tables 7/8, inferred vs truth):")
+	for _, c := range []string{"att-mobile", "verizon"} {
+		fmt.Printf("  %s:\n", c)
+		for _, r := range st.PGWTable(c) {
+			marker := ""
+			if r.Inferred != r.Truth {
+				marker = "  <- differs"
+			}
+			fmt.Printf("    %-8s inferred=%d truth=%d%s\n", r.Region, r.Inferred, r.Truth, marker)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: synthesize a single cable regional network, run the
+// paper's two-phase mapping pipeline against it, and print the inferred
+// CO topology next to the ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/comap"
+	"repro/internal/topogen"
+	"repro/internal/vclock"
+)
+
+func main() {
+	// A scenario holds the simulated internetwork: a national transit
+	// backbone plus the public clouds are always present.
+	scenario := topogen.NewScenario(42)
+
+	// Build a one-region cable operator: a dual-AggCO region in the
+	// Portland area with 20 EdgeCOs, Comcast-style rDNS.
+	profile := topogen.ComcastProfile()
+	profile.Regions = []topogen.CableRegionSpec{{
+		Name:     "bverton",
+		Anchor:   "Beaverton",
+		Backbone: []string{"Seattle", "Sunnyvale"},
+		Type:     topogen.DualAgg,
+		EdgeCOs:  20,
+	}}
+	isp := scenario.BuildCable(profile)
+
+	// Vantage points: a few transit-hosted probes around the country.
+	var vps []netip.Addr
+	for _, city := range []string{"Seattle", "San Francisco", "Denver", "Chicago", "New York"} {
+		vps = append(vps, scenario.AddTransitVP(city).Addr)
+	}
+
+	// Run the paper's pipeline: /24 sweep, rDNS-targeted traceroutes,
+	// MPLS revelation, alias resolution, CO mapping, graph refinement.
+	campaign := &comap.Campaign{
+		Net:       scenario.Net,
+		DNS:       scenario.DNS,
+		Clock:     vclock.New(scenario.Epoch()),
+		ISP:       "comcast",
+		VPs:       vps,
+		Announced: isp.Announced,
+	}
+	result := comap.Run(campaign)
+
+	g := result.Inference.Regions["bverton"]
+	if g == nil {
+		fmt.Println("no region inferred — try more vantage points")
+		return
+	}
+
+	truth := isp.Regions["bverton"]
+	fmt.Printf("inferred region %q: %d COs, %d edges, type %s (truth: %d COs)\n",
+		g.Region, len(g.COs), len(g.Edges), g.Classify(), len(truth.COs))
+
+	fmt.Println("\naggregation COs (out-degree above mean+stddev):")
+	for _, key := range g.AggCOs() {
+		fmt.Printf("  %s serves %d EdgeCOs\n", key, g.OutDegree(key))
+	}
+
+	fmt.Println("\nbackbone entry points:")
+	for _, e := range g.Entries {
+		fmt.Printf("  %s -> %v\n", e.From, e.FirstCOs)
+	}
+
+	fmt.Printf("\nmapping: %d addresses mapped to COs (p2p subnets inferred as /%d)\n",
+		result.Mapping.Stats.Final, result.Inference.P2PBits)
+}

@@ -1,0 +1,51 @@
+// Resilience: the paper's §8 application directions on top of the
+// inferred maps — which offices are single points of failure, which
+// regions survive entry loss, and where edge compute should live.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	st := core.NewCableStudy(7)
+	fmt.Println("mapping the comcast-like operator...")
+	st.Result("comcast")
+
+	fmt.Println("\nfailure impact per region (worst single office):")
+	fragile := 0
+	for _, rep := range st.Resilience("comcast") {
+		worst, ok := rep.WorstCO()
+		if !ok {
+			continue
+		}
+		marker := ""
+		if worst.Frac() > 0.5 {
+			marker = "  <- single point of failure"
+			fragile++
+		}
+		fmt.Printf("  %-14s worst CO strands %3.0f%% of EdgeCOs; survives entry loss: %-5v%s\n",
+			rep.Region, 100*worst.Frac(), rep.EntryLossSurvivable(), marker)
+	}
+	fmt.Printf("\n%d regions have a Nashville-style single point of failure.\n", fragile)
+
+	fmt.Println("\nedge-compute placement (cover 80% of EdgeCOs within 5 ms):")
+	st.Result("charter")
+	cmp := st.EdgePlacement(5, 0.8, 10, 400)
+	p := cmp.AggPlacement
+	fmt.Printf("  %d AggCO host sites cover %d of %d EdgeCOs (%.0f%%)\n",
+		len(p.Hosts), p.Covered, p.Total, 100*p.Frac())
+	fmt.Printf("  versus %d per-EdgeCO deployments: %d sites saved\n", cmp.EdgeCOCount, cmp.SitesSaved)
+	fmt.Println("\n  first hosts chosen (by marginal coverage):")
+	for i, h := range p.Hosts {
+		if i >= 5 {
+			fmt.Printf("    ... and %d more\n", len(p.Hosts)-5)
+			break
+		}
+		fmt.Printf("    %-40s +%d EdgeCOs\n", h, p.PerHost[i])
+	}
+}

@@ -1,0 +1,270 @@
+// Package alias implements the two alias-resolution techniques the
+// paper combines (§5.1): Mercator-style common-source-address probing
+// (UDP probes to high ports; a router that answers from a different
+// address than probed reveals an alias pair) and MIDAR-style IP-ID
+// analysis (routers with a shared IP-ID counter produce interleavable
+// monotonic sequences across their interfaces; the Monotonic Bound Test
+// verifies candidate groups).
+//
+// The resolver sees only probe responses; it never touches the
+// simulator's ground truth.
+package alias
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+)
+
+// Resolver runs alias resolution from one vantage point.
+type Resolver struct {
+	Net   *netsim.Network
+	Clock *vclock.Clock
+	// VP is the probing source (must be a registered host; pick one
+	// inside the target ISP when its routers block external probes).
+	VP netip.Addr
+
+	// VelocityTolerance bounds the relative velocity mismatch for MIDAR
+	// candidate pairs (default 0.25).
+	VelocityTolerance float64
+	// EstimationSamples and EstimationSpacing configure the velocity
+	// estimation stage (defaults 4 samples, 10s apart).
+	EstimationSamples int
+	EstimationSpacing time.Duration
+	// MBTSamples is the per-address sample count in the interleaved
+	// Monotonic Bound Test (default 4).
+	MBTSamples int
+	// Passes re-runs the IP-ID stage so targets that lost estimation
+	// samples to rate limiting get another chance (default 2, like
+	// MIDAR's repeated elimination rounds).
+	Passes int
+}
+
+// Result holds resolved alias groups.
+type Result struct {
+	parent map[netip.Addr]netip.Addr
+	rank   map[netip.Addr]int
+	// MercatorPairs and MIDARPairs count evidence by technique, for
+	// reporting.
+	MercatorPairs int
+	MIDARPairs    int
+}
+
+func newResult() *Result {
+	return &Result{parent: map[netip.Addr]netip.Addr{}, rank: map[netip.Addr]int{}}
+}
+
+func (r *Result) find(a netip.Addr) netip.Addr {
+	p, ok := r.parent[a]
+	if !ok {
+		r.parent[a] = a
+		return a
+	}
+	if p == a {
+		return a
+	}
+	root := r.find(p)
+	r.parent[a] = root
+	return root
+}
+
+func (r *Result) union(a, b netip.Addr) {
+	ra, rb := r.find(a), r.find(b)
+	if ra == rb {
+		return
+	}
+	if r.rank[ra] < r.rank[rb] {
+		ra, rb = rb, ra
+	}
+	r.parent[rb] = ra
+	if r.rank[ra] == r.rank[rb] {
+		r.rank[ra]++
+	}
+}
+
+// SameRouter reports whether the resolver concluded a and b are
+// interfaces of one router.
+func (r *Result) SameRouter(a, b netip.Addr) bool {
+	if a == b {
+		return true
+	}
+	return r.find(a) == r.find(b)
+}
+
+// Groups returns every alias set with two or more members, each sorted,
+// and the list sorted by first member, so output is deterministic.
+func (r *Result) Groups() [][]netip.Addr {
+	m := map[netip.Addr][]netip.Addr{}
+	for a := range r.parent {
+		root := r.find(a)
+		m[root] = append(m[root], a)
+	}
+	var out [][]netip.Addr
+	for _, g := range m {
+		if len(g) < 2 {
+			continue
+		}
+		sort.Slice(g, func(i, j int) bool { return g[i].Less(g[j]) })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Less(out[j][0]) })
+	return out
+}
+
+// GroupOf returns the full alias set containing a (always at least a
+// itself).
+func (r *Result) GroupOf(a netip.Addr) []netip.Addr {
+	root := r.find(a)
+	var out []netip.Addr
+	for x := range r.parent {
+		if r.find(x) == root {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func (r *Resolver) defaults() {
+	if r.VelocityTolerance == 0 {
+		r.VelocityTolerance = 0.25
+	}
+	if r.EstimationSamples == 0 {
+		r.EstimationSamples = 4
+	}
+	if r.EstimationSpacing == 0 {
+		r.EstimationSpacing = 10 * time.Second
+	}
+	if r.MBTSamples == 0 {
+		r.MBTSamples = 4
+	}
+	if r.Passes == 0 {
+		r.Passes = 2
+	}
+}
+
+// NewResult returns an empty Result for accumulating evidence across
+// several partitioned resolution calls.
+func NewResult() *Result { return newResult() }
+
+// Resolve runs Mercator then MIDAR over the targets and merges the
+// evidence into one Result.
+func (r *Resolver) Resolve(targets []netip.Addr) *Result {
+	res := newResult()
+	r.ResolveInto(targets, res)
+	return res
+}
+
+// ResolveInto runs both techniques over targets, accumulating evidence
+// into res. Callers that partition their target space (e.g. per regional
+// network, as the paper does) share one Result across partitions.
+func (r *Resolver) ResolveInto(targets []netip.Addr, res *Result) {
+	r.MercatorInto(targets, res)
+	r.MIDARInto(targets, res)
+}
+
+// MercatorInto runs only the common-source-address technique.
+func (r *Resolver) MercatorInto(targets []netip.Addr, res *Result) {
+	r.defaults()
+	for _, t := range targets {
+		res.find(t) // seed singletons so Groups/GroupOf see every target
+	}
+	r.mercator(targets, res)
+}
+
+// MIDARInto runs only the IP-ID technique. Keep partitions to a few
+// thousand addresses: candidate pairing compares counter projections,
+// and cramming the whole Internet into one projection space raises the
+// collision rate, as it would for the real MIDAR.
+func (r *Resolver) MIDARInto(targets []netip.Addr, res *Result) {
+	r.defaults()
+	for _, t := range targets {
+		res.find(t)
+	}
+	r.midar(targets, res)
+}
+
+// mercator sends one UDP probe to a high port on each target; a
+// port-unreachable from a different source address is an alias pair.
+func (r *Resolver) mercator(targets []netip.Addr, res *Result) {
+	for i, t := range targets {
+		reply := r.Net.Probe(r.Clock.Now(), netsim.ProbeSpec{
+			Src: r.VP, Dst: t, TTL: 64, Proto: netsim.UDP, Seq: uint32(i),
+		})
+		r.Clock.Advance(20 * time.Millisecond)
+		if reply.Type == netsim.PortUnreachable && reply.From.IsValid() && reply.From != t {
+			res.union(t, reply.From)
+			res.MercatorPairs++
+		}
+	}
+}
+
+// ipidSample is one (virtual time, IP-ID) observation.
+type ipidSample struct {
+	at   time.Time
+	ipid uint16
+}
+
+// candidate is an address that passed velocity estimation.
+type candidate struct {
+	addr     netip.Addr
+	velocity float64 // counts per second
+	// projected is the counter value extrapolated to the estimation
+	// epoch; aliases share both slope and intercept.
+	projected float64
+	last      ipidSample
+}
+
+// estimate fits a velocity to a sample series, rejecting series that are
+// not monotonic modulo wraparound or that advance implausibly fast.
+func estimate(samples []ipidSample, epoch time.Time) (candidate, bool) {
+	const maxVelocity = 2000.0 // counts/s beyond which unwrap is ambiguous
+	var total float64
+	for i := 1; i < len(samples); i++ {
+		d := int32(samples[i].ipid) - int32(samples[i-1].ipid)
+		if d < 0 {
+			d += 65536
+		}
+		dt := samples[i].at.Sub(samples[i-1].at).Seconds()
+		if dt <= 0 {
+			return candidate{}, false
+		}
+		v := float64(d) / dt
+		if d == 0 || v > maxVelocity {
+			return candidate{}, false
+		}
+		total += float64(d)
+	}
+	elapsed := samples[len(samples)-1].at.Sub(samples[0].at).Seconds()
+	vel := total / elapsed
+	// Check per-interval velocities are self-consistent (a random IP-ID
+	// series occasionally unwraps to something monotonic but jittery).
+	for i := 1; i < len(samples); i++ {
+		d := int32(samples[i].ipid) - int32(samples[i-1].ipid)
+		if d < 0 {
+			d += 65536
+		}
+		dt := samples[i].at.Sub(samples[i-1].at).Seconds()
+		v := float64(d) / dt
+		if v > vel*3+30 || v < vel/3-30 {
+			return candidate{}, false
+		}
+	}
+	last := samples[len(samples)-1]
+	proj := math.Mod(float64(last.ipid)-vel*last.at.Sub(epoch).Seconds(), 65536)
+	if proj < 0 {
+		proj += 65536
+	}
+	return candidate{velocity: vel, projected: proj, last: last}, true
+}
+
+func velocityCompatible(a, b, tol float64) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return b <= a*(1+tol)+10
+}

@@ -1,0 +1,187 @@
+package alias
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// midar implements the IP-ID stage: velocity estimation over interleaved
+// sampling rounds (so all targets share one time window and their
+// counter projections are comparable), candidate pairing by (velocity,
+// projected counter), and a two-epoch interleaved Monotonic Bound Test
+// with a linear-fit residual criterion.
+//
+// Design notes mirroring MIDAR's engineering constraints:
+//
+//   - Sampling happens in rounds (every target probed once per round)
+//     rather than target-by-target; otherwise the campaign clock drifts
+//     far between targets and extrapolating counters back to a common
+//     epoch amplifies velocity-estimate error beyond usefulness.
+//   - Candidate pairs must project to nearby counter values at the
+//     shared epoch; two routers only collide when both their velocities
+//     and their counter phases align by chance.
+//   - The MBT runs two bursts separated by a long gap. A true alias's
+//     samples fall on one line (residuals are per-reply increments); two
+//     distinct routers differ either in phase (alternating residual) or
+//     in velocity (residual growing with the gap), so a small maximum
+//     residual rejects them.
+func (r *Resolver) midar(targets []netip.Addr, res *Result) {
+	for pass := 0; pass < r.Passes; pass++ {
+		r.midarPass(targets, res, pass)
+	}
+}
+
+func (r *Resolver) midarPass(targets []netip.Addr, res *Result, pass int) {
+	epoch := r.Clock.Now()
+	samples := map[netip.Addr][]ipidSample{}
+	for round := 0; round < r.EstimationSamples; round++ {
+		for _, t := range targets {
+			reply := r.Net.Probe(r.Clock.Now(), netsim.ProbeSpec{
+				Src: r.VP, Dst: t, TTL: 64, Proto: netsim.ICMPEcho,
+				Seq: uint32(1000 + pass*32 + round),
+			})
+			if reply.Type == netsim.EchoReply {
+				samples[t] = append(samples[t], ipidSample{at: r.Clock.Now(), ipid: reply.IPID})
+			}
+			r.Clock.Advance(2 * time.Millisecond)
+		}
+		r.Clock.Advance(r.EstimationSpacing)
+	}
+
+	var cands []candidate
+	for _, t := range targets {
+		s := samples[t]
+		// Tolerate one rate-limited round; three samples still fit a
+		// velocity.
+		if len(s) < r.EstimationSamples-1 || len(s) < 3 {
+			continue
+		}
+		c, ok := estimate(s, epoch)
+		if !ok {
+			continue
+		}
+		c.addr = t
+		cands = append(cands, c)
+	}
+
+	// Candidate pairing: sort by projected counter value and compare
+	// each candidate to neighbors within the projection window,
+	// including wraparound pairs.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].projected < cands[j].projected })
+	test := func(i, j int) {
+		if res.SameRouter(cands[i].addr, cands[j].addr) {
+			return
+		}
+		if !velocityCompatible(cands[i].velocity, cands[j].velocity, r.VelocityTolerance) {
+			return
+		}
+		if r.monotonicBoundTest(cands[i], cands[j]) {
+			res.union(cands[i].addr, cands[j].addr)
+			res.MIDARPairs++
+		}
+	}
+	for i := range cands {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].projected-cands[i].projected > projWindow {
+				break
+			}
+			test(i, j)
+		}
+	}
+	for i := len(cands) - 1; i >= 0 && 65536-cands[i].projected <= projWindow; i-- {
+		for j := 0; j < i && cands[j].projected+65536-cands[i].projected <= projWindow; j++ {
+			test(i, j)
+		}
+	}
+}
+
+// projWindow is the counter slack between projections of true aliases:
+// per-reply increments during the campaign plus residual extrapolation
+// error.
+const projWindow = 250
+
+// monotonicBoundTest interleaves probes to both addresses in two bursts
+// separated by a long gap, unwraps the combined IP-ID series with the
+// estimated velocity, and accepts the pair only when every step advances
+// and a least-squares line fits the series with small residuals.
+func (r *Resolver) monotonicBoundTest(a, b candidate) bool {
+	v := (a.velocity + b.velocity) / 2
+	var series []ipidSample
+	collect := func(n int) {
+		for i := 0; i < n; i++ {
+			for _, addr := range []netip.Addr{a.addr, b.addr} {
+				// Retry rate-limited probes; a lost sample shrinks the
+				// series but does not abort the test.
+				for att := 0; att < 3; att++ {
+					reply := r.Net.Probe(r.Clock.Now(), netsim.ProbeSpec{
+						Src: r.VP, Dst: addr, TTL: 64, Proto: netsim.ICMPEcho,
+						Seq: uint32(2000 + i*4 + att),
+					})
+					if reply.Type == netsim.EchoReply {
+						series = append(series, ipidSample{at: r.Clock.Now(), ipid: reply.IPID})
+						r.Clock.Advance(500 * time.Millisecond)
+						break
+					}
+					r.Clock.Advance(200 * time.Millisecond)
+				}
+			}
+		}
+	}
+	collect(r.MBTSamples)
+	r.Clock.Advance(10 * time.Minute)
+	collect(r.MBTSamples)
+	// Demand most of both bursts: the test needs interleaved samples on
+	// both sides of the long gap.
+	if len(series) < 3*r.MBTSamples {
+		return false
+	}
+
+	// Velocity-guided unwrap into a cumulative series.
+	t0 := series[0].at
+	unwrapped := make([]float64, len(series))
+	times := make([]float64, len(series))
+	cur := float64(series[0].ipid)
+	for i := 1; i < len(series); i++ {
+		dt := series[i].at.Sub(series[i-1].at).Seconds()
+		d := float64(int32(series[i].ipid) - int32(series[i-1].ipid))
+		expect := v * dt
+		k := math.Round((expect - d) / 65536)
+		d += 65536 * k
+		if d <= 0 {
+			return false // not monotonic under the shared-counter model
+		}
+		cur += d
+		unwrapped[i] = cur
+		times[i] = series[i].at.Sub(t0).Seconds()
+	}
+	unwrapped[0] = float64(series[0].ipid)
+
+	// Least-squares line; residuals must stay within the per-reply
+	// increment budget for a single shared counter.
+	n := float64(len(series))
+	var st, sy, stt, sty float64
+	for i := range series {
+		st += times[i]
+		sy += unwrapped[i]
+		stt += times[i] * times[i]
+		sty += times[i] * unwrapped[i]
+	}
+	den := n*stt - st*st
+	if den == 0 {
+		return false
+	}
+	slope := (n*sty - st*sy) / den
+	inter := (sy - slope*st) / n
+	const maxResidual = 25.0
+	for i := range series {
+		res := unwrapped[i] - (inter + slope*times[i])
+		if math.Abs(res) > maxResidual {
+			return false
+		}
+	}
+	return slope > 0
+}

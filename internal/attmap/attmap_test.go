@@ -1,0 +1,297 @@
+package attmap
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/topogen"
+	"repro/internal/vclock"
+)
+
+// fixture builds the AT&T scenario once: full San Diego detail, Ark
+// bootstrap VPs in nearby regions, and region VPs (Atlas/Ark plus
+// McTraceroute hotspots) in San Diego.
+type fixture struct {
+	s        *topogen.Scenario
+	tel      *topogen.Telco
+	res      *Result
+	hotspots []topogen.WiFiHotspot
+	arkAtlas []netip.Addr // the 10 conventional in-region VPs
+	mcVPs    []netip.Addr // the hotspot VPs
+}
+
+var fx *fixture
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	if fx != nil {
+		return fx
+	}
+	s := topogen.NewScenario(21)
+	tel := s.BuildTelco(topogen.ATTProfile())
+
+	var bootstrap []netip.Addr
+	for i, tag := range []string{"la2ca", "bkfdca", "frsnca", "sffca", "scrmca"} {
+		bootstrap = append(bootstrap, s.AddTelcoVP(tel, tag, i).Addr)
+	}
+	// In-region: 2 Ark + 8 Atlas probes, then the WiFi hotspots.
+	var arkAtlas []netip.Addr
+	for i := 0; i < 10; i++ {
+		arkAtlas = append(arkAtlas, s.AddTelcoVP(tel, "sd2ca", i*4).Addr)
+	}
+	hotspots := s.BuildWiFiHotspots(tel, "sd2ca", 58, 0.4)
+	var mcVPs []netip.Addr
+	for _, h := range hotspots {
+		if h.Host != nil {
+			mcVPs = append(mcVPs, h.Host.Addr)
+		}
+	}
+	c := &Campaign{
+		Net:          s.Net,
+		DNS:          s.DNS,
+		Clock:        vclock.New(s.Epoch()),
+		ISP:          "att",
+		BootstrapVPs: bootstrap,
+		RegionVPs:    map[string][]netip.Addr{"sd2ca": append(append([]netip.Addr{}, arkAtlas...), mcVPs...)},
+	}
+	fx = &fixture{s: s, tel: tel, res: c.Run(), hotspots: hotspots, arkAtlas: arkAtlas, mcVPs: mcVPs}
+	return fx
+}
+
+func TestRegionInventoryDiscovered(t *testing.T) {
+	f := getFixture(t)
+	// All 37 lightspeed codes should map to a backbone tag.
+	if got := len(f.res.CodeToTag); got < 35 {
+		t.Errorf("codes with backbone tags = %d, want ~37", got)
+	}
+	if f.res.CodeToTag["sndgca"] != "sd2ca" {
+		t.Errorf("sndgca maps to %q, want sd2ca", f.res.CodeToTag["sndgca"])
+	}
+	if len(f.res.Lspgws["sndgca"]) == 0 {
+		t.Error("no San Diego lspgw targets")
+	}
+}
+
+func TestSanDiegoRouterLevel(t *testing.T) {
+	f := getFixture(t)
+	rm := f.res.Regions["sd2ca"]
+	if rm == nil {
+		t.Fatal("sd2ca not mapped")
+	}
+	bbs := rm.Routers(RoleBackbone)
+	aggs := rm.Routers(RoleAgg)
+	edges := rm.Routers(RoleEdge)
+	// Fig. 13a ground shape: 2 backbone routers, 4 agg routers, ~84
+	// edge routers.
+	if len(bbs) != 2 {
+		t.Errorf("backbone routers = %d, want 2", len(bbs))
+	}
+	if len(aggs) < 3 || len(aggs) > 6 {
+		t.Errorf("agg routers = %d, want ~4", len(aggs))
+	}
+	if len(edges) < 70 || len(edges) > 90 {
+		t.Errorf("edge routers = %d, want ~84", len(edges))
+	}
+}
+
+func TestSanDiegoCOLevel(t *testing.T) {
+	f := getFixture(t)
+	rm := f.res.Regions["sd2ca"]
+	if rm == nil {
+		t.Fatal("sd2ca not mapped")
+	}
+	// Fig. 13b: ~42 EdgeCOs of two routers each, one BackboneCO.
+	if got := len(rm.EdgeCOs); got < 36 || got > 46 {
+		t.Errorf("EdgeCOs = %d, want ~42", got)
+	}
+	twoRouter := 0
+	for _, cl := range rm.EdgeCOs {
+		if len(cl) == 2 {
+			twoRouter++
+		}
+	}
+	if float64(twoRouter) < 0.8*float64(len(rm.EdgeCOs)) {
+		t.Errorf("only %d/%d EdgeCOs clustered into router pairs", twoRouter, len(rm.EdgeCOs))
+	}
+	if !rm.BackboneFullMesh() {
+		t.Error("backbone routers not fully meshed to agg routers")
+	}
+	if got := rm.InferredBackboneCOs(); got != 1 {
+		t.Errorf("inferred BackboneCOs = %d, want 1", got)
+	}
+	// Every EdgeCO connects to exactly two agg routers.
+	bad := 0
+	for _, cl := range rm.EdgeCOs {
+		if n := len(rm.AggsOfEdgeCO(cl)); n != 2 {
+			bad++
+		}
+	}
+	if bad > len(rm.EdgeCOs)/5 {
+		t.Errorf("%d/%d EdgeCOs lack dual agg connectivity", bad, len(rm.EdgeCOs))
+	}
+}
+
+func TestTable6Prefixes(t *testing.T) {
+	f := getFixture(t)
+	rm := f.res.Regions["sd2ca"]
+	// The paper found ~6 EdgeCO /24s and 1 AggCO /24 in San Diego.
+	if got := len(rm.EdgePrefixes); got < 5 || got > 14 {
+		t.Errorf("edge prefixes = %d, want ~6-12", got)
+	}
+	if got := len(rm.AggPrefixes); got != 1 {
+		t.Errorf("agg prefixes = %d, want 1", got)
+	}
+	// Compare with ground truth.
+	truthEdge := map[netip.Prefix]bool{}
+	for _, p := range f.tel.EdgePrefixes["sd2ca"] {
+		truthEdge[p] = true
+	}
+	for _, p := range rm.EdgePrefixes {
+		if !truthEdge[p] {
+			t.Errorf("inferred edge prefix %v not in ground truth", p)
+		}
+	}
+	if rm.AggPrefixes[0] != f.tel.AggPrefixes["sd2ca"][0] {
+		t.Errorf("agg prefix %v != truth %v", rm.AggPrefixes[0], f.tel.AggPrefixes["sd2ca"][0])
+	}
+}
+
+func TestMcTracerouteCoverage(t *testing.T) {
+	f := getFixture(t)
+	// §6.1: the Atlas/Ark probes reveal only about half the paths the
+	// hotspot VPs reveal.
+	c := &Campaign{Net: f.s.Net, DNS: f.s.DNS, Clock: vclock.New(f.s.Epoch()), ISP: "att"}
+	targets := f.tel.EdgePrefixes["sd2ca"]
+	var probeSet []netip.Addr
+	for _, pfx := range targets {
+		a := pfx.Addr()
+		for i := 0; i < 24; i++ {
+			a = a.Next()
+			probeSet = append(probeSet, a)
+		}
+	}
+	arkPaths := c.PathCoverage(f.arkAtlas, probeSet)
+	mcPaths := c.PathCoverage(f.mcVPs, probeSet)
+	if arkPaths == 0 || mcPaths == 0 {
+		t.Fatalf("path counts: ark=%d mc=%d", arkPaths, mcPaths)
+	}
+	if float64(arkPaths) > 0.8*float64(mcPaths) {
+		t.Errorf("Ark/Atlas paths (%d) not substantially fewer than McTraceroute paths (%d)", arkPaths, mcPaths)
+	}
+}
+
+func TestTable2EdgeLatency(t *testing.T) {
+	f := getFixture(t)
+	// Google Cloud VM in Los Angeles.
+	var vm netip.Addr
+	for _, c := range f.s.Clouds {
+		if c.Provider == "gcloud" && c.Region == "us-west2" {
+			vm = c.Host.Addr
+		}
+	}
+	if !vm.IsValid() {
+		t.Fatal("no us-west2 VM")
+	}
+	c := &Campaign{Net: f.s.Net, DNS: f.s.DNS, Clock: vclock.New(f.s.Epoch()), ISP: "att"}
+	sample := f.tel.MLabSample("sd2ca", 0.5)
+	lat := c.MeasureEdgeLatency(vm, sample, "sd2ca", 20)
+	if len(lat.PerDevice) < 20 {
+		t.Fatalf("only %d devices measured", len(lat.PerDevice))
+	}
+	var ms []float64
+	for _, d := range lat.PerDevice {
+		ms = append(ms, float64(d)/float64(time.Millisecond))
+	}
+	mean := 0.0
+	for _, v := range ms {
+		mean += v
+	}
+	mean /= float64(len(ms))
+	// Table 2 shape: single-digit latencies with a small set of distant
+	// offices at more than twice the mean.
+	if mean < 2 || mean > 8 {
+		t.Errorf("mean EdgeCO latency %.2fms outside plausible band", mean)
+	}
+	outliers := 0
+	for _, v := range ms {
+		if v > 2*mean {
+			outliers++
+		}
+	}
+	if outliers == 0 {
+		t.Error("no latency outliers; the Calexico/El Centro effect is missing")
+	}
+	if outliers > len(ms)/4 {
+		t.Errorf("%d/%d outliers; distribution should be concentrated", outliers, len(ms))
+	}
+}
+
+// TestNashvilleScenario: the region has a single inferred BackboneCO
+// housing both backbone routers; its loss strands every EdgeCO, exactly
+// the blast radius of the Christmas 2020 Nashville attack (§6.3).
+func TestNashvilleScenario(t *testing.T) {
+	f := getFixture(t)
+	rm := f.res.Regions["sd2ca"]
+	offices := rm.BackboneOffices()
+	if len(offices) != 1 {
+		t.Fatalf("backbone offices = %d, want 1 (full mesh)", len(offices))
+	}
+	if impact := rm.BackboneFailureImpact(offices[0]); impact != 1.0 {
+		t.Errorf("BackboneCO loss impact = %.2f, want 1.0 (region-wide outage)", impact)
+	}
+	// Losing a single aggregation router strands nothing: every edge
+	// router is dual-homed.
+	aggs := rm.Routers(RoleAgg)
+	if impact := rm.BackboneFailureImpact(aggs[:1]); impact != 0 {
+		t.Errorf("single agg-router loss impact = %.2f, want 0", impact)
+	}
+}
+
+// TestSecondRegionGeneralizes maps a second, smaller region (Dallas) in
+// the same campaign; the pipeline is not San Diego-specific.
+func TestSecondRegionGeneralizes(t *testing.T) {
+	f := getFixture(t)
+	s, tel := f.s, f.tel
+	var vps []netip.Addr
+	for i := 0; i < 6; i++ {
+		vps = append(vps, s.AddTelcoVP(tel, "dlstx", i*2).Addr)
+	}
+	c := &Campaign{
+		Net:          s.Net,
+		DNS:          s.DNS,
+		Clock:        vclock.New(s.Epoch()),
+		ISP:          "att",
+		BootstrapVPs: f.res.Lspgws["sndgca"][:0:0], // none; reuse in-region VPs below
+		RegionVPs:    map[string][]netip.Addr{"dlstx": vps},
+	}
+	// Bootstrap needs out-of-region AT&T VPs; borrow the fixture's.
+	c.BootstrapVPs = append(c.BootstrapVPs, fxBootstrap(s, tel)...)
+	res := c.Run()
+	rm := res.Regions["dlstx"]
+	if rm == nil {
+		t.Fatal("dlstx not mapped")
+	}
+	if got := len(rm.Routers(RoleBackbone)); got != 2 {
+		t.Errorf("dlstx backbone routers = %d, want 2", got)
+	}
+	if got := len(rm.Routers(RoleAgg)); got < 3 || got > 6 {
+		t.Errorf("dlstx agg routers = %d, want ~4", got)
+	}
+	// 14 EdgeCOs in the profile.
+	if got := len(rm.EdgeCOs); got < 11 || got > 16 {
+		t.Errorf("dlstx EdgeCOs = %d, want ~14", got)
+	}
+	if !rm.BackboneFullMesh() {
+		t.Error("dlstx backbone not fully meshed")
+	}
+}
+
+// fxBootstrap returns fresh out-of-region VPs for bootstrap probing.
+func fxBootstrap(s *topogen.Scenario, tel *topogen.Telco) []netip.Addr {
+	var out []netip.Addr
+	for i, tag := range []string{"hstntx", "austx", "okcok", "stlsmo"} {
+		out = append(out, s.AddTelcoVP(tel, tag, i+7).Addr)
+	}
+	return out
+}

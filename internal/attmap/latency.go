@@ -1,0 +1,97 @@
+package attmap
+
+import (
+	"net/netip"
+	"strings"
+	"time"
+
+	"repro/internal/hostnames"
+	"repro/internal/ping"
+	"repro/internal/traceroute"
+)
+
+// EdgeLatency is the Table 2 measurement: minimum RTT from a cloud VM to
+// the EdgeCO-resident device in front of each customer.
+type EdgeLatency struct {
+	// PerDevice maps the penultimate-hop device address to its minimum
+	// RTT.
+	PerDevice map[netip.Addr]time.Duration
+	// Customers maps each measured customer to its penultimate device.
+	Customers map[netip.Addr]netip.Addr
+}
+
+// MeasureEdgeLatency reproduces §6.3: traceroute from the VM to each
+// customer address, keep traces that cross the region's backbone and
+// whose penultimate hop responded, then elicit responses from the
+// penultimate device with TTL-limited echos and record the minimum RTT.
+func (c *Campaign) MeasureEdgeLatency(vm netip.Addr, customers []netip.Addr, regionTag string, pings int) EdgeLatency {
+	if pings == 0 {
+		pings = 100
+	}
+	out := EdgeLatency{
+		PerDevice: map[netip.Addr]time.Duration{},
+		Customers: map[netip.Addr]netip.Addr{},
+	}
+	eng := &traceroute.Engine{Net: c.Net, Clock: c.Clock, Attempts: 2, GapLimit: 4}
+	pinger := &ping.Pinger{Net: c.Net, Clock: c.Clock}
+	for _, cust := range customers {
+		tr := eng.Trace(vm, cust)
+		// The customer itself is silent; require a responsive
+		// penultimate device after this region's backbone.
+		if !crossesBackbone(c, tr, regionTag) {
+			continue
+		}
+		last, ok := tr.LastResponsive()
+		if !ok {
+			continue
+		}
+		series, from := pinger.TTLLimited(vm, cust, last.TTL, pings)
+		min, ok := series.Min()
+		if !ok || !from.IsValid() {
+			continue
+		}
+		out.Customers[cust] = from
+		if cur, seen := out.PerDevice[from]; !seen || min < cur {
+			out.PerDevice[from] = min
+		}
+	}
+	return out
+}
+
+func crossesBackbone(c *Campaign, tr traceroute.Trace, regionTag string) bool {
+	for _, h := range tr.ResponsiveHops() {
+		name, ok := c.DNS.Name(h.Addr)
+		if !ok {
+			continue
+		}
+		info, ok := hostnames.Parse(name)
+		if ok && info.ISP == c.ISP && info.Backbone && info.CO == regionTag {
+			return true
+		}
+	}
+	return false
+}
+
+// PathCoverage counts the distinct IP paths (from the second hop, per
+// §6.1) a set of vantage points observes toward the given targets; the
+// McTraceroute evaluation compares hotspot VPs against Atlas/Ark VPs.
+func (c *Campaign) PathCoverage(vps []netip.Addr, targets []netip.Addr) int {
+	eng := &traceroute.Engine{Net: c.Net, Clock: c.Clock, Attempts: 2, GapLimit: 5}
+	seen := map[string]bool{}
+	for _, vp := range vps {
+		for _, dst := range targets {
+			tr := eng.Trace(vp, dst)
+			hops := tr.ResponsiveHops()
+			if len(hops) < 2 {
+				continue
+			}
+			var b strings.Builder
+			for _, h := range hops[1:] {
+				b.WriteString(h.Addr.String())
+				b.WriteByte('>')
+			}
+			seen[b.String()] = true
+		}
+	}
+	return len(seen)
+}

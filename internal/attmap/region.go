@@ -1,0 +1,305 @@
+package attmap
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/hostnames"
+	"repro/internal/traceroute"
+)
+
+// mapRegion builds the router- and CO-level map of one region from
+// internal vantage points plus inter-region DPR traceroutes (§6.1-6.2,
+// Appendix C).
+func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Addr, lspgws []netip.Addr, edgePrefixes []netip.Prefix) *RegionMap {
+	rm := &RegionMap{
+		Tag:              tag,
+		RouterOf:         map[netip.Addr]netip.Addr{},
+		Roles:            map[netip.Addr]RouterRole{},
+		Links:            map[[2]netip.Addr]bool{},
+		LspgwEdgeRouters: map[netip.Addr][]netip.Addr{},
+	}
+	isLspgw := map[netip.Addr]bool{}
+	for _, l := range lspgws {
+		isLspgw[l] = true
+	}
+	inEdge24 := func(a netip.Addr) bool {
+		for _, pfx := range edgePrefixes {
+			if pfx.Contains(a) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Collect traces: intra-region to every gateway, intra- and
+	// inter-region DPR to every address of the discovered router /24s
+	// (inter-region DPR is what exposes the backbone-to-agg links).
+	var traces []traceroute.Trace
+	for i, dst := range lspgws {
+		for k := 0; k < 3 && k < len(vps); k++ {
+			traces = append(traces, eng.Trace(vps[(i+k*5)%len(vps)], dst))
+		}
+	}
+	sweep := func(srcs []netip.Addr, nSrc int) {
+		for _, pfx := range edgePrefixes {
+			for a := pfx.Addr().Next(); pfx.Contains(a); a = a.Next() {
+				for k := 0; k < nSrc && k < len(srcs); k++ {
+					traces = append(traces, eng.Trace(srcs[(int(a.As4()[3])+k*7)%len(srcs)], a))
+				}
+			}
+		}
+	}
+	sweep(vps, 2)
+	sweep(c.BootstrapVPs, 2)
+
+	// Second DPR wave: unnamed addresses observed outside the known
+	// /24s are candidate aggregation-router interfaces; targeting them
+	// directly confirms their interconnections (Table 5).
+	already := len(traces)
+	candidateSet := map[netip.Addr]bool{}
+	for _, tr := range traces[:already] {
+		for _, h := range tr.ResponsiveHops() {
+			a := h.Addr
+			if isLspgw[a] || inEdge24(a) || candidateSet[a] {
+				continue
+			}
+			if _, named := c.DNS.Name(a); named {
+				continue
+			}
+			candidateSet[a] = true
+		}
+	}
+	var candidates []netip.Addr
+	for a := range candidateSet {
+		candidates = append(candidates, a)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Less(candidates[j]) })
+	for i, a := range candidates {
+		for k := 0; k < 2 && k < len(vps); k++ {
+			traces = append(traces, eng.Trace(vps[(i+k*3)%len(vps)], a))
+		}
+		for k := 0; k < 2 && k < len(c.BootstrapVPs); k++ {
+			traces = append(traces, eng.Trace(c.BootstrapVPs[(i+k*5)%len(c.BootstrapVPs)], a))
+		}
+	}
+
+	// In-region address set: seed with the gateway addresses, the
+	// router /24s, and this region's backbone interfaces; expand once
+	// to pull in the unnamed aggregation addresses adjacent to seeds.
+	seed := func(a netip.Addr) bool {
+		if isLspgw[a] || inEdge24(a) {
+			return true
+		}
+		if name, ok := c.DNS.Name(a); ok {
+			info, ok := hostnames.Parse(name)
+			return ok && info.ISP == c.ISP && info.Backbone && info.CO == tag
+		}
+		return false
+	}
+	inRegion := map[netip.Addr]bool{}
+	for _, tr := range traces {
+		hops := tr.ResponsiveHops()
+		for i, h := range hops {
+			if !seed(h.Addr) {
+				continue
+			}
+			inRegion[h.Addr] = true
+			// Unnamed neighbors of seeds belong to the region.
+			for _, j := range []int{i - 1, i + 1} {
+				if j < 0 || j >= len(hops) {
+					continue
+				}
+				n := hops[j]
+				if absDiff(n.TTL, h.TTL) != 1 {
+					continue
+				}
+				if _, named := c.DNS.Name(n.Addr); !named && !isLspgw[n.Addr] {
+					inRegion[n.Addr] = true
+				}
+			}
+		}
+	}
+
+	// Adjacencies and last-mile clustering signals, restricted to the
+	// in-region set.
+	type adj struct{ a, b netip.Addr }
+	var adjs []adj
+	lspgwPrev := map[netip.Addr]map[netip.Addr]bool{}
+	for _, tr := range traces {
+		hops := tr.ResponsiveHops()
+		for i := 1; i < len(hops); i++ {
+			prev, h := hops[i-1], hops[i]
+			if h.TTL != prev.TTL+1 {
+				continue
+			}
+			if !inRegion[prev.Addr] || !inRegion[h.Addr] {
+				continue
+			}
+			adjs = append(adjs, adj{prev.Addr, h.Addr})
+			if isLspgw[h.Addr] && !isLspgw[prev.Addr] {
+				if lspgwPrev[h.Addr] == nil {
+					lspgwPrev[h.Addr] = map[netip.Addr]bool{}
+				}
+				lspgwPrev[h.Addr][prev.Addr] = true
+			}
+		}
+	}
+
+	// Alias resolution from an internal VP over the region's router
+	// addresses.
+	var aliasTargets []netip.Addr
+	for a := range inRegion {
+		if !isLspgw[a] {
+			aliasTargets = append(aliasTargets, a)
+		}
+	}
+	sort.Slice(aliasTargets, func(i, j int) bool { return aliasTargets[i].Less(aliasTargets[j]) })
+	resolver := &alias.Resolver{Net: c.Net, Clock: c.Clock, VP: vps[0]}
+	groups := resolver.Resolve(aliasTargets)
+	for _, a := range aliasTargets {
+		rm.RouterOf[a] = groups.GroupOf(a)[0]
+	}
+	router := func(a netip.Addr) netip.Addr {
+		if r, ok := rm.RouterOf[a]; ok {
+			return r
+		}
+		rm.RouterOf[a] = a
+		return a
+	}
+
+	// Edge routers: one hop from a last-mile link.
+	edgeRouters := map[netip.Addr]bool{}
+	for l, prevs := range lspgwPrev {
+		for p := range prevs {
+			r := router(p)
+			edgeRouters[r] = true
+			rm.LspgwEdgeRouters[l] = append(rm.LspgwEdgeRouters[l], r)
+		}
+	}
+	for l, rs := range rm.LspgwEdgeRouters {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Less(rs[j]) })
+		rm.LspgwEdgeRouters[l] = dedupAddrs(rs)
+	}
+
+	// Role classification per router group: operator backbone rDNS wins;
+	// then last-mile adjacency or membership in a discovered edge /24
+	// marks edge routers (the Table 6 distinction); the remaining
+	// unnamed in-region routers form the aggregation layer.
+	for a := range inRegion {
+		if isLspgw[a] {
+			continue
+		}
+		r := router(a)
+		switch {
+		case c.isBackboneAddr(a):
+			rm.Roles[r] = RoleBackbone
+		case rm.Roles[r] == RoleBackbone:
+			// keep
+		case edgeRouters[r] || inEdge24(a):
+			rm.Roles[r] = RoleEdge
+		case rm.Roles[r] == RoleEdge:
+			// keep
+		default:
+			rm.Roles[r] = RoleAgg
+		}
+	}
+
+	// Router-level links.
+	for _, ad := range adjs {
+		if isLspgw[ad.a] || isLspgw[ad.b] {
+			continue
+		}
+		ra, rb := router(ad.a), router(ad.b)
+		if ra != rb {
+			rm.Links[linkKey(ra, rb)] = true
+		}
+	}
+
+	// EdgeCO clustering: routers one hop from the same last-mile link
+	// share an office.
+	parent := map[netip.Addr]netip.Addr{}
+	var find func(netip.Addr) netip.Addr
+	find = func(x netip.Addr) netip.Addr {
+		if p, ok := parent[x]; ok && p != x {
+			root := find(p)
+			parent[x] = root
+			return root
+		}
+		parent[x] = x
+		return x
+	}
+	for _, rs := range rm.LspgwEdgeRouters {
+		for i := 1; i < len(rs); i++ {
+			ra, rb := find(rs[0]), find(rs[i])
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+	clusters := map[netip.Addr][]netip.Addr{}
+	for r := range edgeRouters {
+		root := find(r)
+		clusters[root] = append(clusters[root], r)
+	}
+	for _, members := range clusters {
+		sort.Slice(members, func(i, j int) bool { return members[i].Less(members[j]) })
+		rm.EdgeCOs = append(rm.EdgeCOs, members)
+	}
+	sort.Slice(rm.EdgeCOs, func(i, j int) bool { return rm.EdgeCOs[i][0].Less(rm.EdgeCOs[j][0]) })
+
+	// Prefix inventory (Table 6).
+	edgeSet, aggSet := map[netip.Prefix]bool{}, map[netip.Prefix]bool{}
+	for a := range inRegion {
+		if isLspgw[a] || !a.Is4() {
+			continue
+		}
+		pfx := netip.PrefixFrom(a, 24).Masked()
+		switch rm.Roles[router(a)] {
+		case RoleEdge:
+			edgeSet[pfx] = true
+		case RoleAgg:
+			aggSet[pfx] = true
+		}
+	}
+	for pfx := range edgeSet {
+		rm.EdgePrefixes = append(rm.EdgePrefixes, pfx)
+	}
+	for pfx := range aggSet {
+		if !edgeSet[pfx] {
+			rm.AggPrefixes = append(rm.AggPrefixes, pfx)
+		}
+	}
+	sort.Slice(rm.EdgePrefixes, func(i, j int) bool { return rm.EdgePrefixes[i].Addr().Less(rm.EdgePrefixes[j].Addr()) })
+	sort.Slice(rm.AggPrefixes, func(i, j int) bool { return rm.AggPrefixes[i].Addr().Less(rm.AggPrefixes[j].Addr()) })
+	return rm
+}
+
+func absDiff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// isBackboneAddr reports whether an address carries operator backbone
+// rDNS.
+func (c *Campaign) isBackboneAddr(a netip.Addr) bool {
+	name, ok := c.DNS.Name(a)
+	if !ok {
+		return false
+	}
+	info, ok := hostnames.Parse(name)
+	return ok && info.ISP == c.ISP && info.Backbone
+}
+
+func dedupAddrs(sorted []netip.Addr) []netip.Addr {
+	out := sorted[:0]
+	for i, a := range sorted {
+		if i == 0 || a != sorted[i-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

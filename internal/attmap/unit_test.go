@@ -1,0 +1,139 @@
+package attmap
+
+// Unit tests for attmap helpers, complementing the end-to-end fixture
+// tests.
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/dnsdb"
+	"repro/internal/traceroute"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestLinkKeyCanonical(t *testing.T) {
+	a, b := addr("10.0.0.1"), addr("10.0.0.2")
+	if linkKey(a, b) != linkKey(b, a) {
+		t.Error("linkKey not symmetric")
+	}
+	if linkKey(a, b)[0] != a {
+		t.Error("linkKey not canonical (smaller first)")
+	}
+}
+
+func TestDedupAddrs(t *testing.T) {
+	in := []netip.Addr{addr("10.0.0.1"), addr("10.0.0.1"), addr("10.0.0.2"), addr("10.0.0.2"), addr("10.0.0.3")}
+	out := dedupAddrs(in)
+	if len(out) != 3 {
+		t.Errorf("dedup = %v", out)
+	}
+	if len(dedupAddrs(nil)) != 0 {
+		t.Error("nil input mishandled")
+	}
+}
+
+func TestBackboneTagTakesLast(t *testing.T) {
+	dns := dnsdb.New()
+	dns.SetLive(addr("12.0.0.1"), "cr1.la2ca.ip.att.net")
+	dns.SetLive(addr("12.0.0.2"), "cr2.sd2ca.ip.att.net")
+	tr := traceroute.Trace{
+		Hops: []traceroute.Hop{
+			{TTL: 1, Addr: addr("12.0.0.1"), Type: 1},
+			{TTL: 2, Addr: addr("144.232.0.1"), Type: 1}, // unnamed transit
+			{TTL: 3, Addr: addr("12.0.0.2"), Type: 1},
+		},
+	}
+	if got := backboneTag(dns, tr); got != "sd2ca" {
+		t.Errorf("backboneTag = %q, want the destination-side sd2ca", got)
+	}
+	if got := backboneTag(dns, traceroute.Trace{}); got != "" {
+		t.Errorf("empty trace tag = %q", got)
+	}
+}
+
+func TestEdgeRouter24Guards(t *testing.T) {
+	dns := dnsdb.New()
+	c := &Campaign{DNS: dns, ISP: "att"}
+	mk := func(hops ...traceroute.Hop) traceroute.Trace {
+		return traceroute.Trace{Hops: hops, Reached: true}
+	}
+	// Happy path: unnamed, TTL-contiguous penultimate hop.
+	tr := mk(
+		traceroute.Hop{TTL: 3, Addr: addr("71.144.1.9"), Type: 1},
+		traceroute.Hop{TTL: 4, Addr: addr("107.192.0.1"), Type: 2},
+	)
+	pfx, ok := c.edgeRouter24(tr)
+	if !ok || pfx.String() != "71.144.1.0/24" {
+		t.Errorf("edgeRouter24 = %v %v", pfx, ok)
+	}
+	// A TTL gap (silent edge router) must not attribute the /24.
+	gap := mk(
+		traceroute.Hop{TTL: 2, Addr: addr("12.83.0.5"), Type: 1},
+		traceroute.Hop{TTL: 4, Addr: addr("107.192.0.1"), Type: 2},
+	)
+	if _, ok := c.edgeRouter24(gap); ok {
+		t.Error("gapped penultimate accepted")
+	}
+	// A named (backbone) penultimate must not be attributed either.
+	dns.SetLive(addr("12.83.0.9"), "cr1.sd2ca.ip.att.net")
+	named := mk(
+		traceroute.Hop{TTL: 3, Addr: addr("12.83.0.9"), Type: 1},
+		traceroute.Hop{TTL: 4, Addr: addr("107.192.0.1"), Type: 2},
+	)
+	if _, ok := c.edgeRouter24(named); ok {
+		t.Error("named penultimate accepted")
+	}
+	// Unreached traces yield nothing.
+	unreached := traceroute.Trace{Hops: tr.Hops}
+	if _, ok := c.edgeRouter24(unreached); ok {
+		t.Error("unreached trace accepted")
+	}
+}
+
+func TestRegionMapAccessors(t *testing.T) {
+	rm := &RegionMap{
+		Roles: map[netip.Addr]RouterRole{
+			addr("10.0.0.1"): RoleBackbone,
+			addr("10.0.0.2"): RoleBackbone,
+			addr("10.0.0.3"): RoleAgg,
+			addr("10.0.0.4"): RoleEdge,
+		},
+		Links: map[[2]netip.Addr]bool{
+			linkKey(addr("10.0.0.1"), addr("10.0.0.3")): true,
+			linkKey(addr("10.0.0.2"), addr("10.0.0.3")): true,
+		},
+	}
+	if got := rm.Routers(RoleBackbone); len(got) != 2 {
+		t.Errorf("backbone routers = %v", got)
+	}
+	if !rm.BackboneFullMesh() {
+		t.Error("full mesh over single agg not detected")
+	}
+	if rm.InferredBackboneCOs() != 1 {
+		t.Errorf("backbone COs = %d", rm.InferredBackboneCOs())
+	}
+	// Break the mesh: two backbone routers become two separate offices.
+	delete(rm.Links, linkKey(addr("10.0.0.2"), addr("10.0.0.3")))
+	if rm.BackboneFullMesh() {
+		t.Error("broken mesh still reported full")
+	}
+	if rm.InferredBackboneCOs() != 2 {
+		t.Errorf("backbone COs = %d, want 2 without the mesh", rm.InferredBackboneCOs())
+	}
+	aggs := rm.AggsOfEdgeCO([]netip.Addr{addr("10.0.0.4")})
+	if len(aggs) != 0 {
+		t.Errorf("unlinked edge cluster has aggs %v", aggs)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for role, want := range map[RouterRole]string{
+		RoleUnknown: "unknown", RoleBackbone: "backbone", RoleAgg: "agg", RoleEdge: "edge",
+	} {
+		if role.String() != want {
+			t.Errorf("Role %d = %q", role, role.String())
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package cellgeo is the OpenCellID stand-in (§7.1.1): shipped phones
+// log the cell ID of the serving tower, and the campaign converts IDs to
+// locations through a public tower database. The synthetic database
+// places towers on a grid, so lookups carry the same tens-of-kilometers
+// quantization error the real database has in rural areas.
+package cellgeo
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// DB resolves cell IDs to tower locations.
+type DB struct {
+	// SpacingDeg is the tower-grid pitch in degrees (~0.3 near towns in
+	// the real database; coarser here to model rural sparsity).
+	SpacingDeg float64
+}
+
+// NewDB returns a database with the given tower grid pitch.
+func NewDB(spacingDeg float64) *DB {
+	if spacingDeg <= 0 {
+		spacingDeg = 0.25
+	}
+	return &DB{SpacingDeg: spacingDeg}
+}
+
+// CellIDAt returns the ID of the tower serving a location — what the
+// phone reads from its modem.
+func (d *DB) CellIDAt(p geo.Point) uint64 {
+	row := int64(math.Round(p.Lat / d.SpacingDeg))
+	col := int64(math.Round(p.Lon / d.SpacingDeg))
+	// Pack row and col into one ID with an offset so negatives fit.
+	return uint64(row+90000)<<32 | uint64(col+180000)&0xffffffff
+}
+
+// Lookup returns the tower location for an ID; ok is false for IDs the
+// database has never seen (malformed).
+func (d *DB) Lookup(id uint64) (geo.Point, bool) {
+	row := int64(id>>32) - 90000
+	col := int64(id&0xffffffff) - 180000
+	lat := float64(row) * d.SpacingDeg
+	lon := float64(col) * d.SpacingDeg
+	if lat < -90 || lat > 90 || lon < -360 || lon > 360 {
+		return geo.Point{}, false
+	}
+	return geo.Point{Lat: lat, Lon: lon}, true
+}

@@ -1,0 +1,65 @@
+package cellgeo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+func TestRoundTripAccuracy(t *testing.T) {
+	db := NewDB(0.25)
+	for _, city := range geo.All() {
+		id := db.CellIDAt(city.Point)
+		got, ok := db.Lookup(id)
+		if !ok {
+			t.Fatalf("Lookup(%d) failed for %s", id, city.Name)
+		}
+		// Tower quantization error stays under ~25 km.
+		if d := geo.DistanceKm(city.Point, got); d > 25 {
+			t.Errorf("%s: tower %f km away", city.Name, d)
+		}
+	}
+}
+
+func TestCellIDStability(t *testing.T) {
+	db := NewDB(0.25)
+	p := geo.MustByName("Denver").Point
+	if db.CellIDAt(p) != db.CellIDAt(p) {
+		t.Error("cell ID not deterministic")
+	}
+	q := geo.Point{Lat: p.Lat + 2, Lon: p.Lon + 2}
+	if db.CellIDAt(p) == db.CellIDAt(q) {
+		t.Error("distant points share a tower")
+	}
+}
+
+func TestLookupProperty(t *testing.T) {
+	db := NewDB(0.25)
+	f := func(latSeed, lonSeed uint16) bool {
+		p := geo.Point{
+			Lat: 24 + float64(latSeed%2500)/100,   // 24..49
+			Lon: -125 + float64(lonSeed%5800)/100, // -125..-67
+		}
+		id := db.CellIDAt(p)
+		tower, ok := db.Lookup(id)
+		return ok && geo.DistanceKm(p, tower) < 30
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidID(t *testing.T) {
+	db := NewDB(0.25)
+	if _, ok := db.Lookup(0); ok {
+		t.Error("ID 0 should be invalid (latitude -90000 * spacing)")
+	}
+}
+
+func TestDefaultSpacing(t *testing.T) {
+	db := NewDB(0)
+	if db.SpacingDeg <= 0 {
+		t.Error("default spacing not applied")
+	}
+}

@@ -1,0 +1,166 @@
+// Package clli constructs and resolves CLLI-style location codes.
+//
+// Real-world CLLI (Common Language Location Identifier) codes identify
+// telephone-plant buildings with a 4-character place abbreviation, a
+// 2-character state code, and a 2-character building suffix (e.g.
+// SNDGCA02 is a San Diego, CA tandem office). Charter embeds the first
+// six or eight characters in router hostnames (agg1.sndhcaax01r.socal.
+// rr.com); AT&T embeds six-character city codes in lightspeed DSLAM
+// hostnames (sndgca, nsvltn).
+//
+// This package produces deterministic codes for the simulator's cities
+// and provides a Registry so inference code can geolocate a code the way
+// the paper geolocates CLLIs — without access to the generator's ground
+// truth objects.
+package clli
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geo"
+)
+
+// knownPlaceCodes pins the abbreviations for cities whose real CLLI
+// place codes appear in the paper, so simulated hostnames match the
+// paper's examples character-for-character.
+var knownPlaceCodes = map[string]string{
+	"San Diego":     "SNDG",
+	"Los Angeles":   "LSAN",
+	"Nashville":     "NSVL",
+	"Santa Cruz":    "SNTC",
+	"Vista":         "VIST",
+	"Azusa":         "AZUS",
+	"San Francisco": "SNFC",
+	"New York":      "NYCM",
+	"Chicago":       "CHCG",
+	"Dallas":        "DLLS",
+	"Houston":       "HSTN",
+	"Atlanta":       "ATLN",
+	"Seattle":       "STTL",
+	"Denver":        "DNVR",
+	"Miami":         "MIAM",
+	"Boston":        "BSTN",
+	"Phoenix":       "PHNX",
+	"Charlotte":     "CHRL",
+}
+
+// PlaceCode derives a 4-letter place abbreviation from a city name. When
+// the city has a pinned real-world code it is used; otherwise the code is
+// the first letter of each word followed by the word's consonants, padded
+// with 'X'. The derivation is deterministic so generator and parser agree.
+func PlaceCode(name string) string {
+	if c, ok := knownPlaceCodes[name]; ok {
+		return c
+	}
+	var b strings.Builder
+	words := strings.FieldsFunc(strings.ToUpper(name), func(r rune) bool {
+		return r < 'A' || r > 'Z'
+	})
+	for _, w := range words {
+		for i, r := range w {
+			if b.Len() == 4 {
+				break
+			}
+			if i == 0 || !isVowel(r) {
+				b.WriteRune(r)
+			}
+		}
+	}
+	for b.Len() < 4 {
+		b.WriteByte('X')
+	}
+	return b.String()[:4]
+}
+
+func isVowel(r rune) bool {
+	switch r {
+	case 'A', 'E', 'I', 'O', 'U':
+		return true
+	}
+	return false
+}
+
+// CityCode returns the 6-character place+state code for a city, e.g.
+// "SNDGCA" for San Diego, CA.
+func CityCode(c geo.City) string {
+	return PlaceCode(c.Name) + strings.ToUpper(c.State)
+}
+
+// Building returns the full 8-character CLLI for the nth building in a
+// city, e.g. Building(city, 2) = "SNDGCA02".
+func Building(c geo.City, n int) string {
+	return fmt.Sprintf("%s%02d", CityCode(c), n%100)
+}
+
+// Registry resolves 6-character city codes back to locations. Inference
+// code populates a Registry from public knowledge (the list of cities in
+// a coverage area) rather than from generator internals, mirroring how
+// the paper geolocates CLLIs with public databases.
+type Registry struct {
+	byCode map[string]geo.City
+}
+
+// NewRegistry builds a registry over the given cities. When two cities
+// collide on the same code, the first registration wins and later ones
+// are re-coded by replacing the 4th character with a distinguishing
+// letter, matching how real CLLI assignments avoid collisions.
+func NewRegistry(cities []geo.City) *Registry {
+	r := &Registry{byCode: make(map[string]geo.City, len(cities))}
+	for _, c := range cities {
+		r.register(c)
+	}
+	return r
+}
+
+func (r *Registry) register(c geo.City) string {
+	code := CityCode(c)
+	if _, taken := r.byCode[code]; !taken {
+		r.byCode[code] = c
+		return code
+	}
+	if existing := r.byCode[code]; existing.Name == c.Name && existing.State == c.State {
+		return code
+	}
+	for alt := 'A'; alt <= 'Z'; alt++ {
+		cand := code[:3] + string(alt) + code[4:]
+		if _, taken := r.byCode[cand]; !taken {
+			r.byCode[cand] = c
+			return cand
+		}
+	}
+	// 26 collisions on a 3-letter prefix within one state never happens
+	// for our city database sizes.
+	panic("clli: code space exhausted for " + c.Name)
+}
+
+// Add registers one more city and returns the code assigned to it.
+func (r *Registry) Add(c geo.City) string { return r.register(c) }
+
+// CodeFor returns the registered code for a city, or "" when the city was
+// never registered.
+func (r *Registry) CodeFor(c geo.City) string {
+	code := CityCode(c)
+	if got, ok := r.byCode[code]; ok && got.Name == c.Name && got.State == c.State {
+		return code
+	}
+	for alt := 'A'; alt <= 'Z'; alt++ {
+		cand := code[:3] + string(alt) + code[4:]
+		if got, ok := r.byCode[cand]; ok && got.Name == c.Name && got.State == c.State {
+			return cand
+		}
+	}
+	return ""
+}
+
+// Resolve maps a 6- or 8-character code (case-insensitive) to its city.
+func (r *Registry) Resolve(code string) (geo.City, bool) {
+	if len(code) < 6 {
+		return geo.City{}, false
+	}
+	c, ok := r.byCode[strings.ToUpper(code[:6])]
+	return c, ok
+}
+
+// Len reports how many codes are registered.
+func (r *Registry) Len() int { return len(r.byCode) }

@@ -1,0 +1,144 @@
+package clli
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+func TestPlaceCodePaperExamples(t *testing.T) {
+	// These codes appear verbatim in the paper's traceroute figures.
+	tests := map[string]string{
+		"San Diego":   "SNDG",
+		"Nashville":   "NSVL",
+		"Santa Cruz":  "SNTC",
+		"Los Angeles": "LSAN",
+	}
+	for name, want := range tests {
+		if got := PlaceCode(name); got != want {
+			t.Errorf("PlaceCode(%s) = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestPlaceCodeDerived(t *testing.T) {
+	tests := map[string]string{
+		"Beaverton": "BVRT",
+		"Troutdale": "TRTD",
+		"Ft X":      "FTXX", // padding
+		"Ada":       "ADXX",
+	}
+	for name, want := range tests {
+		if got := PlaceCode(name); got != want {
+			t.Errorf("PlaceCode(%s) = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestPlaceCodeShape(t *testing.T) {
+	f := func(s string) bool {
+		code := PlaceCode(s)
+		if len(code) != 4 {
+			return false
+		}
+		for _, r := range code {
+			if r < 'A' || r > 'Z' {
+				return false
+			}
+		}
+		return code == PlaceCode(s) // deterministic
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCityCodeAndBuilding(t *testing.T) {
+	sd := geo.MustByName("San Diego")
+	if got := CityCode(sd); got != "SNDGCA" {
+		t.Errorf("CityCode(San Diego) = %s, want SNDGCA", got)
+	}
+	if got := Building(sd, 2); got != "SNDGCA02" {
+		t.Errorf("Building(San Diego, 2) = %s, want SNDGCA02 (the paper's tandem office)", got)
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	cities := geo.All()
+	r := NewRegistry(cities)
+	if r.Len() < len(cities) {
+		t.Fatalf("registry has %d codes for %d cities", r.Len(), len(cities))
+	}
+	for _, c := range cities {
+		code := r.CodeFor(c)
+		if code == "" {
+			t.Fatalf("no code for %s, %s", c.Name, c.State)
+		}
+		got, ok := r.Resolve(code)
+		if !ok {
+			t.Fatalf("Resolve(%s) failed", code)
+		}
+		if got.Name != c.Name || got.State != c.State {
+			t.Errorf("Resolve(%s) = %s,%s want %s,%s", code, got.Name, got.State, c.Name, c.State)
+		}
+	}
+}
+
+func TestRegistryCollisions(t *testing.T) {
+	// Springfield MO, IL, MA collide on place code; all must resolve.
+	a := geo.MustByName("Springfield, MO")
+	b := geo.MustByName("Springfield, IL")
+	c := geo.MustByName("Springfield, MA")
+	_ = a
+	r := NewRegistry([]geo.City{a, b, c})
+	codes := map[string]bool{}
+	for _, city := range []geo.City{a, b, c} {
+		code := r.CodeFor(city)
+		if code == "" {
+			t.Fatalf("no code for Springfield, %s", city.State)
+		}
+		if codes[code] {
+			t.Errorf("duplicate code %s", code)
+		}
+		codes[code] = true
+	}
+	// MO and IL differ by state so only same-state collisions matter;
+	// force one by registering the same city name twice in one state.
+	dup := geo.City{Name: "Sprungfold", State: "MO", Point: a.Point}
+	dup2 := geo.City{Name: "Sprangfald", State: "MO", Point: a.Point}
+	r2 := NewRegistry([]geo.City{dup, dup2})
+	if r2.CodeFor(dup) == r2.CodeFor(dup2) {
+		t.Error("same-state collision not disambiguated")
+	}
+}
+
+func TestResolveCaseAndLength(t *testing.T) {
+	r := NewRegistry([]geo.City{geo.MustByName("San Diego")})
+	if _, ok := r.Resolve("sndgca"); !ok {
+		t.Error("lower-case resolve failed")
+	}
+	if _, ok := r.Resolve("SNDGCA02"); !ok {
+		t.Error("8-char building code resolve failed")
+	}
+	if _, ok := r.Resolve("SND"); ok {
+		t.Error("short code should not resolve")
+	}
+	if _, ok := r.Resolve("XXXXXX"); ok {
+		t.Error("unknown code should not resolve")
+	}
+}
+
+func TestAddReturnsResolvableCode(t *testing.T) {
+	r := NewRegistry(nil)
+	c := geo.City{Name: "Faketown", State: "CA", Point: geo.Point{Lat: 33, Lon: -117}}
+	code := r.Add(c)
+	if len(code) != 6 || !strings.HasSuffix(code, "CA") {
+		t.Errorf("Add returned %q", code)
+	}
+	got, ok := r.Resolve(code)
+	if !ok || got.Name != "Faketown" {
+		t.Errorf("Resolve(%s) = %+v, %v", code, got, ok)
+	}
+}

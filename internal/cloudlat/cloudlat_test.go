@@ -1,0 +1,182 @@
+package cloudlat
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/topogen"
+	"repro/internal/vclock"
+)
+
+// buildStudy creates a Comcast-like scenario and a Study over its cloud
+// VMs, with a reduced ping count to keep the test fast.
+func buildStudy(t *testing.T) (*Study, *topogen.Scenario, *topogen.ISP) {
+	t.Helper()
+	s := topogen.NewScenario(3)
+	comcast := s.BuildCable(topogen.ComcastProfile())
+	var vms []VM
+	for _, c := range s.Clouds {
+		vms = append(vms, VM{Provider: c.Provider, Region: c.Region, Addr: c.Host.Addr})
+	}
+	study := &Study{Net: s.Net, Clock: vclock.New(s.Epoch()), VMs: vms, Pings: 10}
+	return study, s, comcast
+}
+
+// edgeAddrsByState gathers one uplink interface address per EdgeCO,
+// grouped by state, from the ground truth (the unit under test here is
+// the measurement, not the inference).
+func edgeAddrsByState(isp *topogen.ISP, region string) map[string][]netip.Addr {
+	out := map[string][]netip.Addr{}
+	reg := isp.Regions[region]
+	for _, co := range reg.COsByRole(topogen.EdgeCO) {
+		r := co.Routers[0]
+		ifaces := r.Interfaces()
+		if len(ifaces) == 0 {
+			continue
+		}
+		out[co.City.State] = append(out[co.City.State], ifaces[0].Addr)
+	}
+	return out
+}
+
+func TestFigure9ConnecticutPenalty(t *testing.T) {
+	study, _, comcast := buildStudy(t)
+	byState := edgeAddrsByState(comcast, "boston")
+	for st, addrs := range edgeAddrsByState(comcast, "hartford") {
+		byState[st] = append(byState[st], addrs...)
+	}
+	if len(byState["MA"]) == 0 || len(byState["CT"]) == 0 {
+		t.Fatalf("state grouping incomplete: %v", keys(byState))
+	}
+	rows := study.Figure9([]string{"gcloud"}, byState)
+	med := map[string]float64{}
+	for _, r := range rows {
+		med[r.State] = r.MedianMs
+	}
+	// The paper's Fig. 9 anomaly: Connecticut, despite being closest to
+	// the cloud site, has the worst median latency because it reaches
+	// the backbone through the Massachusetts AggCOs.
+	if med["CT"] <= med["MA"] {
+		t.Errorf("CT median %.2fms should exceed MA median %.2fms", med["CT"], med["MA"])
+	}
+	for _, st := range []string{"NH", "VT"} {
+		if med[st] == 0 {
+			t.Errorf("no median for %s", st)
+		}
+		if med[st] <= med["MA"]-1 {
+			t.Errorf("%s median %.2f far below MA %.2f; scatter broken", st, med[st], med["MA"])
+		}
+	}
+	// Absolute sanity: single-digit-to-low-20s milliseconds.
+	for st, m := range med {
+		if m < 3 || m > 40 {
+			t.Errorf("%s median %.2fms outside plausible band", st, m)
+		}
+	}
+}
+
+func TestClosestVMPicksEastForBoston(t *testing.T) {
+	study, _, comcast := buildStudy(t)
+	byState := edgeAddrsByState(comcast, "boston")
+	var all []netip.Addr
+	for _, a := range byState {
+		all = append(all, a...)
+	}
+	vm, ok := study.ClosestVM("aws", all[:10])
+	if !ok {
+		t.Fatal("no aws VM")
+	}
+	if vm.Region != "us-east-1" {
+		t.Errorf("closest aws region for Boston = %s, want us-east-1", vm.Region)
+	}
+}
+
+func TestFigure10Shapes(t *testing.T) {
+	study, _, comcast := buildStudy(t)
+	// Build agg-edge pairs from ground truth for two regions.
+	var pairs []EdgePair
+	for _, regName := range []string{"boston", "denver"} {
+		reg := comcast.Regions[regName]
+		for _, co := range reg.COsByRole(topogen.EdgeCO) {
+			var up *topogen.CO
+			for _, u := range co.Upstream {
+				if c := reg.COs[u]; c != nil && c.Role == topogen.AggCO {
+					up = c
+					break
+				}
+			}
+			if up == nil {
+				continue
+			}
+			pairs = append(pairs, EdgePair{
+				Edge: co.Routers[0].Interfaces()[0].Addr,
+				Agg:  up.Routers[0].Interfaces()[0].Addr,
+			})
+		}
+		if len(pairs) > 40 {
+			break
+		}
+	}
+	if len(pairs) < 20 {
+		t.Fatalf("only %d pairs", len(pairs))
+	}
+	fig := study.Figure10(pairs)
+	if fig.CloudToEdge.Len() == 0 || fig.AggToEdge.Len() == 0 {
+		t.Fatal("empty CDFs")
+	}
+	// Fig. 10 shape: the AggCO-to-EdgeCO latency distribution sits far
+	// below the cloud-to-EdgeCO distribution.
+	if fig.AggToEdge.Median() >= fig.CloudToEdge.Median() {
+		t.Errorf("agg median %.2f >= cloud median %.2f", fig.AggToEdge.Median(), fig.CloudToEdge.Median())
+	}
+	// Most EdgeCOs are within 5ms of their AggCO.
+	if got := fig.AggToEdge.At(5); got < 0.7 {
+		t.Errorf("AggToEdge.At(5ms) = %.2f, want >= 0.7", got)
+	}
+}
+
+func keys(m map[string][]netip.Addr) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestClosestVMNoProvider(t *testing.T) {
+	study, _, _ := buildStudy(t)
+	if _, ok := study.ClosestVM("nosuch", nil); ok {
+		t.Error("ClosestVM invented a VM for an unknown provider")
+	}
+}
+
+func TestPairRTT(t *testing.T) {
+	study, _, comcast := buildStudy(t)
+	reg := comcast.Regions["denver"]
+	var pair EdgePair
+	for _, co := range reg.COsByRole(topogen.EdgeCO) {
+		var up *topogen.CO
+		for _, u := range co.Upstream {
+			if c := reg.COs[u]; c != nil && c.Role == topogen.AggCO {
+				up = c
+				break
+			}
+		}
+		if up == nil {
+			continue
+		}
+		pair = EdgePair{Edge: co.Routers[0].Interfaces()[0].Addr, Agg: up.Routers[0].Interfaces()[0].Addr}
+		break
+	}
+	ms, ok := study.PairRTT(pair)
+	if !ok {
+		t.Fatal("PairRTT failed")
+	}
+	if ms < 0 || ms > 10 {
+		t.Errorf("agg-edge RTT = %.2fms, want small positive", ms)
+	}
+	// Unmeasurable pair: invalid addresses.
+	if _, ok := study.PairRTT(EdgePair{}); ok {
+		t.Error("PairRTT on zero pair succeeded")
+	}
+}

@@ -1,0 +1,69 @@
+package comap
+
+import "sort"
+
+// BuildingStats quantifies building-level structure recovered from
+// CLLI-style CO tags (§1: "Layer 3 topology information, including
+// hostnames ... can reveal building locations and building-level
+// redundancy"). Charter's 8-character tags are a 6-character city code
+// plus a 2-character building code, so two COs sharing a city code are
+// distinct buildings in one city.
+type BuildingStats struct {
+	// Cities counts distinct 6-character city codes among CLLI-tagged
+	// COs.
+	Cities int
+	// MultiBuilding counts cities with two or more CO buildings.
+	MultiBuilding int
+	// RedundantAggCities counts cities where at least two of the
+	// buildings are AggCOs — the dual-building aggregation redundancy
+	// the paper observes in Charter metros.
+	RedundantAggCities int
+	// Buildings maps each multi-building city code to its CO keys.
+	Buildings map[string][]string
+}
+
+// BuildingRedundancy analyzes a region whose tags follow the CLLI
+// convention (8 lowercase letters). Non-CLLI tags are ignored, so the
+// function is safe to call on any operator's graph.
+func BuildingRedundancy(g *RegionGraph) BuildingStats {
+	stats := BuildingStats{Buildings: map[string][]string{}}
+	byCity := map[string][]string{}
+	for key, node := range g.COs {
+		if !isCLLITag(node.Tag) {
+			continue
+		}
+		byCity[node.Tag[:6]] = append(byCity[node.Tag[:6]], key)
+	}
+	stats.Cities = len(byCity)
+	for city, keys := range byCity {
+		if len(keys) < 2 {
+			continue
+		}
+		sort.Strings(keys)
+		stats.MultiBuilding++
+		stats.Buildings[city] = keys
+		aggs := 0
+		for _, k := range keys {
+			if g.COs[k].IsAgg {
+				aggs++
+			}
+		}
+		if aggs >= 2 {
+			stats.RedundantAggCities++
+		}
+	}
+	return stats
+}
+
+// isCLLITag recognizes the 8-lowercase-letter building-code convention.
+func isCLLITag(tag string) bool {
+	if len(tag) != 8 {
+		return false
+	}
+	for _, r := range tag {
+		if r < 'a' || r > 'z' {
+			return false
+		}
+	}
+	return true
+}

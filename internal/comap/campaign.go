@@ -1,0 +1,422 @@
+package comap
+
+import (
+	"net/netip"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/dnsdb"
+	"repro/internal/hostnames"
+	"repro/internal/netsim"
+	"repro/internal/traceroute"
+	"repro/internal/vclock"
+)
+
+// Campaign is the Phase 1 measurement configuration for one cable
+// operator (§5.1).
+type Campaign struct {
+	Net   *netsim.Network
+	DNS   *dnsdb.DB
+	Clock *vclock.Clock
+	// ISP selects the hostname convention under study.
+	ISP string
+	// VPs are the vantage-point host addresses (the paper used 47 in
+	// access, cloud, and transit networks).
+	VPs []netip.Addr
+	// Announced is the operator's routed address space (BGP-derived in
+	// the paper); the /24 sweep enumerates it.
+	Announced []netip.Prefix
+	// SweepVPs and TargetVPs bound how many VPs probe each /24 and each
+	// rDNS-selected target (rotated deterministically for coverage).
+	SweepVPs  int
+	TargetVPs int
+
+	// SkipDirectTargeting disables step 2 (rDNS-selected targets); used
+	// by the ablation benches to quantify the paper's 5.3x claim.
+	SkipDirectTargeting bool
+	// SkipMPLSPass disables the Vanaubel-style follow-up traceroutes
+	// and false-edge detection.
+	SkipMPLSPass bool
+	// SkipAlias disables alias resolution.
+	SkipAlias bool
+}
+
+// Collection is the raw measurement output of a campaign.
+type Collection struct {
+	Paths []Path
+	// StageOf tags each path index with its collection stage: "sweep",
+	// "direct", or "mpls".
+	StageOf []string
+	// Observed is every responsive hop address seen.
+	Observed map[netip.Addr]bool
+	// ScanTargets are the snapshot addresses matching the operator's
+	// router-name regexes.
+	ScanTargets []netip.Addr
+	// FalsePairs are IP adjacencies identified as MPLS tunnel
+	// entry/exit pairs (false links); DirectPairs were confirmed as
+	// physically adjacent by a traceroute addressed to the second
+	// address (where an LSP cannot hide interior hops).
+	FalsePairs  map[[2]netip.Addr]bool
+	DirectPairs map[[2]netip.Addr]bool
+	// Aliases is the alias-resolution result (nil when skipped).
+	Aliases *alias.Result
+	// AliasTargets is the address set fed to alias resolution.
+	AliasTargets []netip.Addr
+}
+
+func (c *Campaign) defaults() {
+	if c.SweepVPs == 0 {
+		c.SweepVPs = 4
+	}
+	if c.TargetVPs == 0 {
+		c.TargetVPs = 8
+	}
+}
+
+// engine builds a traceroute engine bound to the campaign clock.
+func (c *Campaign) engine() *traceroute.Engine {
+	return &traceroute.Engine{Net: c.Net, Clock: c.Clock, Attempts: 2, GapLimit: 5}
+}
+
+// Run executes every collection stage and returns the raw observations.
+func (c *Campaign) Run() *Collection {
+	c.defaults()
+	col := &Collection{
+		Observed:    map[netip.Addr]bool{},
+		FalsePairs:  map[[2]netip.Addr]bool{},
+		DirectPairs: map[[2]netip.Addr]bool{},
+	}
+	eng := c.engine()
+	seen := map[[2]netip.Addr]bool{} // (src,dst) pairs already traced
+
+	trace := func(src, dst netip.Addr, stage string) {
+		key := [2]netip.Addr{src, dst}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		tr := eng.Trace(src, dst)
+		p := Path{Src: src, Dst: dst, Reached: tr.Reached}
+		gap := false
+		for _, h := range tr.Hops {
+			if !h.Responded() {
+				gap = true
+				continue
+			}
+			p.Hops = append(p.Hops, h.Addr)
+			p.Gaps = append(p.Gaps, gap)
+			gap = false
+			col.Observed[h.Addr] = true
+		}
+		if len(p.Hops) == 0 {
+			return
+		}
+		col.Paths = append(col.Paths, p)
+		col.StageOf = append(col.StageOf, stage)
+	}
+
+	// Stage 1: traceroute to an address in every /24 of the announced
+	// space to expose at least one router per EdgeCO.
+	var sweep []netip.Addr
+	for _, pfx := range c.Announced {
+		sweep = append(sweep, enumerate24s(pfx)...)
+	}
+	for i, dst := range sweep {
+		for k := 0; k < c.SweepVPs && k < len(c.VPs); k++ {
+			vp := c.VPs[(i+k*7)%len(c.VPs)]
+			trace(vp, dst, "sweep")
+		}
+	}
+
+	// Stage 2: traceroute to every address whose snapshot rDNS matches
+	// the operator's router-name regexes.
+	re := hostnames.TargetRegex(c.ISP)
+	for _, e := range c.DNS.ScanSnapshot(re) {
+		if _, ok := hostnames.Parse(e.Name); !ok {
+			continue
+		}
+		col.ScanTargets = append(col.ScanTargets, e.Addr)
+	}
+	if !c.SkipDirectTargeting {
+		for i, dst := range col.ScanTargets {
+			for k := 0; k < c.TargetVPs && k < len(c.VPs); k++ {
+				vp := c.VPs[(i+k*11)%len(c.VPs)]
+				trace(vp, dst, "direct")
+			}
+		}
+	}
+
+	// Stage 3: traceroute to every intermediate address observed, to
+	// reveal MPLS tunnel interiors (Vanaubel et al.), then flag tunnel
+	// entry/exit pairs as false links.
+	if !c.SkipMPLSPass {
+		inter := make([]netip.Addr, 0, len(col.Observed))
+		for a := range col.Observed {
+			inter = append(inter, a)
+		}
+		sort.Slice(inter, func(i, j int) bool { return inter[i].Less(inter[j]) })
+		for i, dst := range inter {
+			for k := 0; k < 3 && k < len(c.VPs); k++ {
+				vp := c.VPs[(i+k*13)%len(c.VPs)]
+				trace(vp, dst, "mpls")
+			}
+		}
+		c.findFalsePairs(col)
+	}
+
+	// Alias resolution over the rDNS-selected addresses, every observed
+	// operator address, and their /30 subnet neighbors (Appendix B.1).
+	// Mercator probing runs globally; the IP-ID stage runs per regional
+	// network, as the paper does ("all IP addresses routed by each
+	// regional network"), which also keeps counter-projection collisions
+	// rare.
+	if !c.SkipAlias {
+		col.AliasTargets = c.aliasTargets(col)
+		res := alias.NewResult()
+		resolver := &alias.Resolver{Net: c.Net, Clock: c.Clock, VP: c.VPs[0]}
+		resolver.MercatorInto(col.AliasTargets, res)
+		for _, part := range c.partitionByRegion(col) {
+			resolver.MIDARInto(part, res)
+		}
+		col.Aliases = res
+	}
+	return col
+}
+
+// partitionByRegion splits the alias targets by regional network: named
+// addresses by their rDNS region tag, unnamed addresses by the dominant
+// region of the paths they appear in, and the remainder into bounded
+// chunks.
+func (c *Campaign) partitionByRegion(col *Collection) [][]netip.Addr {
+	regionOfAddr := map[netip.Addr]string{}
+	for _, a := range col.AliasTargets {
+		if name, ok := c.DNS.Name(a); ok {
+			if info, ok := hostnames.Parse(name); ok && info.ISP == c.ISP {
+				if info.Backbone {
+					regionOfAddr[a] = "backbone"
+				} else if info.Region != "" {
+					regionOfAddr[a] = info.Region
+				}
+			}
+		}
+	}
+	// Attribute unnamed addresses by path context.
+	votes := map[netip.Addr]map[string]int{}
+	for _, p := range col.Paths {
+		// Dominant region among named hops.
+		count := map[string]int{}
+		for _, h := range p.Hops {
+			if r, ok := regionOfAddr[h]; ok && r != "backbone" {
+				count[r]++
+			}
+		}
+		dom, tied := majority(count)
+		if dom == "" || tied {
+			continue
+		}
+		for _, h := range p.Hops {
+			if _, ok := regionOfAddr[h]; ok {
+				continue
+			}
+			if votes[h] == nil {
+				votes[h] = map[string]int{}
+			}
+			votes[h][dom]++
+		}
+	}
+	for a, v := range votes {
+		if top, tied := majority(v); !tied && top != "" {
+			regionOfAddr[a] = top
+		}
+	}
+
+	parts := map[string][]netip.Addr{}
+	var misc []netip.Addr
+	for _, a := range col.AliasTargets {
+		if r, ok := regionOfAddr[a]; ok {
+			parts[r] = append(parts[r], a)
+		} else {
+			misc = append(misc, a)
+		}
+	}
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out [][]netip.Addr
+	for _, k := range keys {
+		part := parts[k]
+		if k != "backbone" {
+			// Stale rDNS sometimes hangs a regional name on a backbone
+			// router interface; grouping it with the backbone routers
+			// is what corrects the name, so the backbone addresses ride
+			// along in every regional partition.
+			part = append(append([]netip.Addr{}, part...), parts["backbone"]...)
+		}
+		out = append(out, part)
+	}
+	// Bound the unattributed chunk size.
+	const chunk = 2000
+	for len(misc) > 0 {
+		n := chunk
+		if n > len(misc) {
+			n = len(misc)
+		}
+		out = append(out, misc[:n])
+		misc = misc[n:]
+	}
+	return out
+}
+
+// enumerate24s lists the .1 address of every /24 inside pfx.
+func enumerate24s(pfx netip.Prefix) []netip.Addr {
+	if !pfx.Addr().Is4() {
+		return nil
+	}
+	if pfx.Bits() > 24 {
+		return []netip.Addr{pfx.Addr().Next()}
+	}
+	n := 1 << (24 - pfx.Bits())
+	out := make([]netip.Addr, 0, n)
+	b := pfx.Masked().Addr().As4()
+	for i := 0; i < n; i++ {
+		base := (uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8) + uint32(i)<<8
+		out = append(out, netip.AddrFrom4([4]byte{byte(base >> 24), byte(base >> 16), byte(base >> 8), 1}))
+	}
+	return out
+}
+
+// aliasTargets assembles the alias-resolution input set.
+func (c *Campaign) aliasTargets(col *Collection) []netip.Addr {
+	set := map[netip.Addr]bool{}
+	inISP := func(a netip.Addr) bool {
+		for _, p := range c.Announced {
+			if p.Contains(a) {
+				return true
+			}
+		}
+		return false
+	}
+	add := func(a netip.Addr) {
+		if inISP(a) {
+			set[a] = true
+		}
+	}
+	// Every address whose rDNS matched the operator's regexes belongs in
+	// the alias set even when it falls outside the announced blocks
+	// (interconnect subnets live in the neighbor's space).
+	for _, a := range col.ScanTargets {
+		set[a] = true
+	}
+	for a := range col.Observed {
+		if !inISP(a) {
+			continue
+		}
+		add(a)
+		for _, m := range subnet30Neighbors(a) {
+			add(m)
+		}
+	}
+	out := make([]netip.Addr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// subnet30Neighbors returns the other three addresses of a's /30.
+func subnet30Neighbors(a netip.Addr) []netip.Addr {
+	if !a.Is4() {
+		return nil
+	}
+	b := a.As4()
+	base := b[3] &^ 3
+	var out []netip.Addr
+	for off := byte(0); off < 4; off++ {
+		n := netip.AddrFrom4([4]byte{b[0], b[1], b[2], base | off})
+		if n != a {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// p2pMate returns the interface address expected on the far side of a
+// point-to-point link from a: the other usable address of a's /31 or
+// /30 (bits as inferred for the operator).
+func p2pMate(a netip.Addr, bits int) (netip.Addr, bool) {
+	if !a.Is4() {
+		return netip.Addr{}, false
+	}
+	b := a.As4()
+	switch bits {
+	case 31:
+		return netip.AddrFrom4([4]byte{b[0], b[1], b[2], b[3] ^ 1}), true
+	case 30:
+		switch b[3] & 3 {
+		case 1:
+			return netip.AddrFrom4([4]byte{b[0], b[1], b[2], b[3] + 1}), true
+		case 2:
+			return netip.AddrFrom4([4]byte{b[0], b[1], b[2], b[3] - 1}), true
+		}
+	}
+	return netip.Addr{}, false
+}
+
+// findFalsePairs applies the Vanaubel test: a pair adjacent in some path
+// but separated by intermediate hops in a path destined to the pair's
+// second address is an MPLS entry/exit artifact.
+func (c *Campaign) findFalsePairs(col *Collection) {
+	adj := map[[2]netip.Addr]bool{}
+	for _, p := range col.Paths {
+		for i := 1; i < len(p.Hops); i++ {
+			if p.Gaps[i] {
+				continue
+			}
+			adj[[2]netip.Addr{p.Hops[i-1], p.Hops[i]}] = true
+		}
+	}
+	// Index paths by destination.
+	byDst := map[netip.Addr][]int{}
+	for i, p := range col.Paths {
+		if p.Reached {
+			byDst[p.Dst] = append(byDst[p.Dst], i)
+		}
+	}
+	for pair := range adj {
+		a, b := pair[0], pair[1]
+		for _, pi := range byDst[b] {
+			p := col.Paths[pi]
+			bPos, aPos := -1, -1
+			for i, h := range p.Hops {
+				if h == a {
+					aPos = i
+				}
+				if h == b {
+					bPos = i
+				}
+			}
+			switch {
+			case aPos >= 0 && bPos > aPos+1:
+				// Separated by revealed interior hops: tunnel artifact.
+				col.FalsePairs[pair] = true
+			case aPos >= 0 && bPos == aPos+1 && !p.Gaps[bPos]:
+				// Still adjacent when the LSP cannot hide anything:
+				// genuine physical link.
+				col.DirectPairs[pair] = true
+			}
+		}
+	}
+}
+
+// Probes returns a rough count of injected packets; exported for the
+// bench harness narration.
+func (c *Collection) Probes() int {
+	n := 0
+	for _, p := range c.Paths {
+		n += len(p.Hops)
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package comap
+
+import "sort"
+
+// ReportDiff captures what changed between two inference runs of the
+// same operator — the longitudinal view the paper motivates ("the
+// evolving Internet ecosystem", §1): campaigns repeated over time reveal
+// new COs, decommissioned offices, and re-homed EdgeCOs.
+type ReportDiff struct {
+	// RegionsAdded / RegionsRemoved are regional networks present in
+	// only one run.
+	RegionsAdded   []string
+	RegionsRemoved []string
+	// Per-region changes, keyed by region name.
+	Regions map[string]RegionDiff
+}
+
+// RegionDiff is the change set of one region.
+type RegionDiff struct {
+	COsAdded     []string
+	COsRemoved   []string
+	EdgesAdded   [][2]string
+	EdgesRemoved [][2]string
+	// TypeChanged holds "old->new" when the aggregation classification
+	// moved.
+	TypeChanged string
+}
+
+// Empty reports whether the region changed at all.
+func (d RegionDiff) Empty() bool {
+	return len(d.COsAdded) == 0 && len(d.COsRemoved) == 0 &&
+		len(d.EdgesAdded) == 0 && len(d.EdgesRemoved) == 0 && d.TypeChanged == ""
+}
+
+// Empty reports whether anything changed between the runs.
+func (d ReportDiff) Empty() bool {
+	return len(d.RegionsAdded) == 0 && len(d.RegionsRemoved) == 0 && len(d.Regions) == 0
+}
+
+// DiffReports compares two reports region by region.
+func DiffReports(old, new Report) ReportDiff {
+	diff := ReportDiff{Regions: map[string]RegionDiff{}}
+	oldRegions := map[string]RegionReport{}
+	for _, r := range old.Regions {
+		oldRegions[r.Name] = r
+	}
+	newRegions := map[string]RegionReport{}
+	for _, r := range new.Regions {
+		newRegions[r.Name] = r
+	}
+	for name := range newRegions {
+		if _, ok := oldRegions[name]; !ok {
+			diff.RegionsAdded = append(diff.RegionsAdded, name)
+		}
+	}
+	for name := range oldRegions {
+		if _, ok := newRegions[name]; !ok {
+			diff.RegionsRemoved = append(diff.RegionsRemoved, name)
+		}
+	}
+	sort.Strings(diff.RegionsAdded)
+	sort.Strings(diff.RegionsRemoved)
+
+	for name, o := range oldRegions {
+		n, ok := newRegions[name]
+		if !ok {
+			continue
+		}
+		rd := diffRegion(o, n)
+		if !rd.Empty() {
+			diff.Regions[name] = rd
+		}
+	}
+	return diff
+}
+
+func diffRegion(o, n RegionReport) RegionDiff {
+	var d RegionDiff
+	oldCOs := map[string]bool{}
+	for _, co := range o.COs {
+		oldCOs[co.Key] = true
+	}
+	newCOs := map[string]bool{}
+	for _, co := range n.COs {
+		newCOs[co.Key] = true
+	}
+	for k := range newCOs {
+		if !oldCOs[k] {
+			d.COsAdded = append(d.COsAdded, k)
+		}
+	}
+	for k := range oldCOs {
+		if !newCOs[k] {
+			d.COsRemoved = append(d.COsRemoved, k)
+		}
+	}
+	sort.Strings(d.COsAdded)
+	sort.Strings(d.COsRemoved)
+
+	oldEdges := map[[2]string]bool{}
+	for _, e := range o.Edges {
+		oldEdges[[2]string{e.From, e.To}] = true
+	}
+	newEdges := map[[2]string]bool{}
+	for _, e := range n.Edges {
+		newEdges[[2]string{e.From, e.To}] = true
+	}
+	for e := range newEdges {
+		if !oldEdges[e] {
+			d.EdgesAdded = append(d.EdgesAdded, e)
+		}
+	}
+	for e := range oldEdges {
+		if !newEdges[e] {
+			d.EdgesRemoved = append(d.EdgesRemoved, e)
+		}
+	}
+	sortPairs(d.EdgesAdded)
+	sortPairs(d.EdgesRemoved)
+
+	if o.Type != n.Type {
+		d.TypeChanged = o.Type + "->" + n.Type
+	}
+	return d
+}
+
+func sortPairs(ps [][2]string) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}

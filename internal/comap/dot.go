@@ -1,0 +1,65 @@
+package comap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the region graph in Graphviz DOT form, mirroring the
+// paper's Fig. 6 presentation: AggCOs highlighted, entry points drawn
+// as external nodes, and inferred (ring-completed) edges dashed.
+func (g *RegionGraph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Region)
+	b.WriteString("  rankdir=TB;\n  node [shape=ellipse fontsize=10];\n")
+
+	keys := make([]string, 0, len(g.COs))
+	for k := range g.COs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		node := g.COs[k]
+		attrs := ""
+		if node.IsAgg {
+			attrs = " style=filled fillcolor=orange"
+		}
+		fmt.Fprintf(&b, "  %q [label=%q%s];\n", k, node.Tag, attrs)
+	}
+
+	type edge struct {
+		a, b string
+		n    int
+	}
+	var edges []edge
+	for e, n := range g.Edges {
+		edges = append(edges, edge{e[0], e[1], n})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		style := ""
+		if e.n <= 1 {
+			// Count 1 marks ring-completion edges added by §5.2.4
+			// rather than observed in traceroute.
+			style = " [style=dashed]"
+		}
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", e.a, e.b, style)
+	}
+
+	for _, entry := range g.Entries {
+		fmt.Fprintf(&b, "  %q [shape=box style=filled fillcolor=lightgrey];\n", entry.From)
+		for _, co := range entry.FirstCOs {
+			fmt.Fprintf(&b, "  %q -> %q [color=grey];\n", entry.From, co)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

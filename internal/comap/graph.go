@@ -1,0 +1,433 @@
+package comap
+
+import (
+	"math"
+	"net/netip"
+	"strings"
+)
+
+// Inference is the Phase 2 output: one inferred graph per regional
+// network plus the pruning and mapping accounting.
+type Inference struct {
+	Regions map[string]*RegionGraph
+	Prune   PruneStats
+	Map     MappingStats
+	P2PBits int
+}
+
+// regionOf splits a CO key into its region tag; backbone keys return
+// ("", false).
+func regionOf(key string) (string, bool) {
+	if isBackboneKey(key) {
+		return "", false
+	}
+	i := strings.IndexByte(key, '/')
+	if i < 0 {
+		return "", false
+	}
+	return key[:i], true
+}
+
+// BuildGraphs runs Phase 2 of the pipeline (§5.2): extract CO
+// adjacencies, prune noise, identify AggCOs, repair the ring/star
+// structure, and infer entry points.
+func BuildGraphs(col *Collection, m *Mapping) *Inference {
+	inf := &Inference{
+		Regions: map[string]*RegionGraph{},
+		Map:     m.Stats,
+		P2PBits: m.P2PBits,
+	}
+
+	// Collect IP adjacencies where both addresses carry CO mappings,
+	// tracking which paths observed each CO adjacency.
+	type coPair = [2]string
+	ipAdjs := map[[2]netip.Addr]coPair{}
+	coPaths := map[coPair]map[int]bool{}
+	record := func(pathIdx int, x, y netip.Addr) {
+		cox, okx := m.CO[x]
+		coy, oky := m.CO[y]
+		if !okx || !oky || cox == coy {
+			return
+		}
+		pair := coPair{cox, coy}
+		ipAdjs[[2]netip.Addr{x, y}] = pair
+		if coPaths[pair] == nil {
+			coPaths[pair] = map[int]bool{}
+		}
+		coPaths[pair][pathIdx] = true
+	}
+	for pi, p := range col.Paths {
+		for i := 1; i < len(p.Hops); i++ {
+			if p.Gaps[i] {
+				continue
+			}
+			record(pi, p.Hops[i-1], p.Hops[i])
+		}
+	}
+	inf.Prune.InitialIPAdjs = len(ipAdjs)
+	inf.Prune.InitialCOAdjs = len(coPaths)
+
+	// Remove MPLS tunnel entry/exit artifacts (Appendix B.2). A CO
+	// adjacency falls when some supporting IP pair was shown to be a
+	// tunnel artifact and no supporting IP pair was confirmed as a
+	// physical link by the targeted traceroutes.
+	anyFalse := map[coPair]bool{}
+	anyDirect := map[coPair]bool{}
+	for ipPair, pair := range ipAdjs {
+		if col.FalsePairs[ipPair] {
+			anyFalse[pair] = true
+			inf.Prune.MPLSIPAdjs++
+			delete(ipAdjs, ipPair)
+		} else if col.DirectPairs[ipPair] {
+			anyDirect[pair] = true
+		}
+	}
+	support := map[coPair]int{}
+	for _, pair := range ipAdjs {
+		support[pair]++
+	}
+	for pair := range coPaths {
+		if anyFalse[pair] && !anyDirect[pair] || support[pair] == 0 {
+			inf.Prune.MPLSCOAdjs++
+			delete(coPaths, pair)
+		}
+	}
+
+	// Classify and prune: backbone adjacencies feed entry inference;
+	// cross-region adjacencies are mostly stale-rDNS artifacts (real
+	// inter-region entries are re-added by §5.2.5 with stronger
+	// evidence); single-observation adjacencies are traceroute noise.
+	for pair, paths := range coPaths {
+		rx, okx := regionOf(pair[0])
+		ry, oky := regionOf(pair[1])
+		switch {
+		case !okx || !oky:
+			inf.Prune.BackboneCOAdjs++
+			inf.Prune.BackboneIPAdjs += support[pair]
+			delete(coPaths, pair)
+		case rx != ry:
+			inf.Prune.CrossRegionCOAdjs++
+			inf.Prune.CrossRegionIPAdjs += support[pair]
+			delete(coPaths, pair)
+		case len(paths) < 2:
+			inf.Prune.SingleCOAdjs++
+			inf.Prune.SingleIPAdjs += support[pair]
+			delete(coPaths, pair)
+		}
+	}
+
+	// Build per-region graphs from the surviving adjacencies.
+	for pair, paths := range coPaths {
+		region, _ := regionOf(pair[0])
+		g := inf.Regions[region]
+		if g == nil {
+			g = &RegionGraph{Region: region, COs: map[string]*CONode{}, Edges: map[[2]string]int{}}
+			inf.Regions[region] = g
+		}
+		g.Edges[pair] = len(paths)
+		for _, key := range pair {
+			if g.COs[key] == nil {
+				g.COs[key] = &CONode{Key: key, Tag: key[strings.IndexByte(key, '/')+1:]}
+			}
+		}
+	}
+	// Attach mapped addresses to CO nodes.
+	for a, key := range m.CO {
+		region, ok := regionOf(key)
+		if !ok {
+			continue
+		}
+		if g := inf.Regions[region]; g != nil {
+			if n := g.COs[key]; n != nil {
+				n.Addrs = append(n.Addrs, a)
+			}
+		}
+	}
+
+	for _, g := range inf.Regions {
+		identifyAggCOs(g)
+		removeEdgeEdgeEdges(g)
+		identifyAggCOs(g) // re-run on the cleaned graph
+		pairAggCOsAndComplete(g)
+	}
+	inferEntries(col, m, inf)
+	return inf
+}
+
+// identifyAggCOs classifies COs whose out-degree exceeds the regional
+// mean plus one standard deviation (§5.2.2).
+func identifyAggCOs(g *RegionGraph) {
+	if len(g.COs) == 0 {
+		return
+	}
+	var sum, sumSq float64
+	for key := range g.COs {
+		d := float64(g.OutDegree(key))
+		sum += d
+		sumSq += d * d
+	}
+	n := float64(len(g.COs))
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	thresh := mean + std
+	for key, node := range g.COs {
+		node.IsAgg = float64(g.OutDegree(key)) > thresh && g.OutDegree(key) >= 2
+	}
+}
+
+// removeEdgeEdgeEdges drops EdgeCO-to-EdgeCO edges (stale-rDNS
+// artifacts) unless the source CO aggregates several EdgeCOs that have
+// no AggCO connectivity of their own — a small AggCO (§B.3).
+func removeEdgeEdgeEdges(g *RegionGraph) {
+	agg := map[string]bool{}
+	for key, node := range g.COs {
+		agg[key] = node.IsAgg
+	}
+	// hasAggLink reports whether a CO interconnects with any AggCO.
+	hasAggLink := func(key string) bool {
+		for e := range g.Edges {
+			if e[0] == key && agg[e[1]] || e[1] == key && agg[e[0]] {
+				return true
+			}
+		}
+		return false
+	}
+	for e := range g.Edges {
+		x, y := e[0], e[1]
+		if agg[x] || agg[y] {
+			continue
+		}
+		// Count x's outgoing edges to unaggregated EdgeCOs.
+		dependents := 0
+		for e2 := range g.Edges {
+			if e2[0] != x || agg[e2[1]] {
+				continue
+			}
+			if !hasAggLink(e2[1]) {
+				dependents++
+			}
+		}
+		if dependents >= 2 {
+			continue // x functions as a small AggCO
+		}
+		delete(g.Edges, e)
+		g.EdgesRemovedEdgeEdge++
+	}
+	// Drop COs that lost every edge.
+	for key := range g.COs {
+		if g.OutDegree(key) == 0 && g.InDegree(key) == 0 {
+			delete(g.COs, key)
+		}
+	}
+}
+
+// pairAggCOsAndComplete groups AggCOs that serve nearly the same EdgeCO
+// sets (they terminate the same fiber rings) and adds the missing
+// AggCO-to-EdgeCO edges implied by ring membership (§5.2.4, B.3).
+func pairAggCOsAndComplete(g *RegionGraph) {
+	// EdgeCO sets per AggCO (only edges toward non-Agg COs).
+	down := map[string]map[string]bool{}
+	var aggs []string
+	for key, node := range g.COs {
+		if !node.IsAgg {
+			continue
+		}
+		aggs = append(aggs, key)
+		down[key] = map[string]bool{}
+		for e := range g.Edges {
+			if e[0] == key && g.COs[e[1]] != nil && !g.COs[e[1]].IsAgg {
+				down[key][e[1]] = true
+			}
+		}
+	}
+	sortStrings(aggs)
+
+	overlap := func(x, y string) int {
+		n := 0
+		for k := range down[x] {
+			if down[y][k] {
+				n++
+			}
+		}
+		return n
+	}
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" || parent[x] == x {
+			parent[x] = x
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	union := func(x, y string) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[ry] = rx
+		}
+	}
+	paired := map[string]bool{}
+	for i, x := range aggs {
+		for _, y := range aggs[i+1:] {
+			nx, ny := len(down[x]), len(down[y])
+			if nx == 0 || ny == 0 {
+				continue
+			}
+			ov := overlap(x, y)
+			if float64(ov) >= 0.75*float64(nx) && float64(ov) >= 0.5*float64(ny) ||
+				float64(ov) >= 0.75*float64(ny) && float64(ov) >= 0.5*float64(nx) {
+				union(x, y)
+				paired[x], paired[y] = true, true
+			}
+		}
+	}
+	// Second chance: 3/4 overlap one-way when neither is paired yet.
+	for i, x := range aggs {
+		for _, y := range aggs[i+1:] {
+			if paired[x] || paired[y] || len(down[x]) == 0 || len(down[y]) == 0 {
+				continue
+			}
+			ov := overlap(x, y)
+			if float64(ov) >= 0.75*float64(len(down[x])) || float64(ov) >= 0.75*float64(len(down[y])) {
+				union(x, y)
+				paired[x], paired[y] = true, true
+			}
+		}
+	}
+
+	groups := map[string][]string{}
+	for _, a := range aggs {
+		root := find(a)
+		groups[root] = append(groups[root], a)
+	}
+	for _, members := range groups {
+		sortStrings(members)
+		g.AggGroups = append(g.AggGroups, members)
+		if len(members) < 2 {
+			continue
+		}
+		// Ring completion: every member connects to the union of the
+		// group's EdgeCOs.
+		all := map[string]bool{}
+		for _, a := range members {
+			for e := range down[a] {
+				all[e] = true
+			}
+		}
+		for _, a := range members {
+			for e := range all {
+				pair := [2]string{a, e}
+				if g.Edges[pair] == 0 {
+					g.Edges[pair] = 1 // inferred, not observed
+					g.EdgesAddedRing++
+				}
+			}
+		}
+	}
+	// Deterministic group order.
+	sortGroups(g.AggGroups)
+}
+
+func sortGroups(groups [][]string) {
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && groups[j-1][0] > groups[j][0]; j-- {
+			groups[j-1], groups[j] = groups[j], groups[j-1]
+		}
+	}
+}
+
+// inferEntries re-adds region entry points with the strong-evidence rule
+// of §5.2.5: a triplet (co_i, r1) -> (co_j, r2) -> (co_k, r2) marks co_i
+// as a candidate entry into r2, kept only when it demonstrably leads to
+// two or more COs of the region.
+func inferEntries(col *Collection, m *Mapping, inf *Inference) {
+	type entryKey struct {
+		from   string
+		region string
+	}
+	firstCOs := map[entryKey]map[string]bool{}
+	reached := map[entryKey]map[string]bool{}
+	for _, p := range col.Paths {
+		// Project the path onto mapped COs, collapsing repeats and
+		// respecting gaps.
+		type pc struct {
+			co     string
+			region string
+			gapped bool
+		}
+		var cos []pc
+		for i, h := range p.Hops {
+			co, ok := m.CO[h]
+			if !ok {
+				continue
+			}
+			r, _ := regionOf(co)
+			if len(cos) > 0 && cos[len(cos)-1].co == co {
+				continue
+			}
+			cos = append(cos, pc{co: co, region: r, gapped: p.Gaps[i]})
+		}
+		for i := 0; i+2 < len(cos); i++ {
+			a, b, c := cos[i], cos[i+1], cos[i+2]
+			if b.gapped || c.gapped {
+				continue
+			}
+			if b.region == "" || b.region != c.region || a.region == b.region {
+				continue
+			}
+			k := entryKey{from: a.co, region: b.region}
+			if firstCOs[k] == nil {
+				firstCOs[k] = map[string]bool{}
+				reached[k] = map[string]bool{}
+			}
+			firstCOs[k][b.co] = true
+			// Every subsequent CO in the same region strengthens the
+			// evidence.
+			for _, later := range cos[i+1:] {
+				if later.region == b.region {
+					reached[k][later.co] = true
+				}
+			}
+		}
+	}
+	for k, rs := range reached {
+		// The paper requires an entry to lead to two or more COs of the
+		// region; we additionally require three for inter-region
+		// (non-backbone) entries, which stale rDNS fabricates more
+		// easily than backbone entries.
+		need := 2
+		if !isBackboneKey(k.from) {
+			need = 3
+		}
+		if len(rs) < need {
+			continue
+		}
+		g := inf.Regions[k.region]
+		if g == nil {
+			continue
+		}
+		var first []string
+		for co := range firstCOs[k] {
+			if g.COs[co] != nil {
+				first = append(first, co)
+			}
+		}
+		if len(first) == 0 {
+			continue
+		}
+		sortStrings(first)
+		g.Entries = append(g.Entries, Entry{From: k.from, FirstCOs: first})
+	}
+	for _, g := range inf.Regions {
+		sortEntries(g.Entries)
+	}
+}
+
+func sortEntries(es []Entry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j-1].From > es[j].From; j-- {
+			es[j-1], es[j] = es[j], es[j-1]
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package comap
+
+import (
+	"net/netip"
+
+	"repro/internal/dnsdb"
+	"repro/internal/hostnames"
+)
+
+// Mapping is the Phase 1 result: every relevant address mapped to a CO
+// key, with the refinement accounting of paper Table 3.
+type Mapping struct {
+	// CO maps interface addresses to region-qualified CO keys.
+	CO map[netip.Addr]string
+	// Backbone marks addresses mapped to operator backbone PoPs.
+	Backbone map[netip.Addr]bool
+	// NameOf records the hostname used for each mapped address.
+	NameOf map[netip.Addr]string
+	// P2PBits is the operator's inferred point-to-point subnet size.
+	P2PBits int
+	Stats   MappingStats
+}
+
+// BuildMapping runs Appendix B.1: initial rDNS mapping (dig priority),
+// alias-group majority remapping, and point-to-point-subnet refinement.
+func BuildMapping(col *Collection, dns *dnsdb.DB, isp string) *Mapping {
+	m := &Mapping{
+		CO:       map[netip.Addr]string{},
+		Backbone: map[netip.Addr]bool{},
+		NameOf:   map[netip.Addr]string{},
+	}
+
+	// The universe of addresses worth mapping: everything observed in
+	// traceroutes, every scan target, and every alias target (which
+	// includes /30 neighbors).
+	universe := map[netip.Addr]bool{}
+	for a := range col.Observed {
+		universe[a] = true
+	}
+	for _, a := range col.ScanTargets {
+		universe[a] = true
+	}
+	for _, a := range col.AliasTargets {
+		universe[a] = true
+	}
+
+	// Initial mapping from reverse DNS, preferring live records.
+	for a := range universe {
+		name, ok := dns.Name(a)
+		if !ok {
+			continue
+		}
+		info, ok := hostnames.Parse(name)
+		if !ok || info.ISP != isp {
+			continue
+		}
+		key := info.COKey()
+		if key == "" || info.Role == hostnames.RoleLastMile {
+			continue
+		}
+		m.CO[a] = key
+		m.Backbone[a] = info.Backbone
+		m.NameOf[a] = name
+	}
+	m.Stats.Initial = len(m.CO)
+
+	// Alias-group majority vote (paper: "we remap all addresses in the
+	// group to that CO"; ties remove the group's mappings).
+	if col.Aliases != nil {
+		for _, group := range col.Aliases.Groups() {
+			votes := map[string]int{}
+			for _, a := range group {
+				if co, ok := m.CO[a]; ok {
+					votes[co]++
+				}
+			}
+			if len(votes) == 0 {
+				continue
+			}
+			top, tied := majority(votes)
+			if tied {
+				for _, a := range group {
+					if _, ok := m.CO[a]; ok {
+						delete(m.CO, a)
+						delete(m.Backbone, a)
+						m.Stats.AliasRemoved++
+					}
+				}
+				continue
+			}
+			bb := isBackboneKey(top)
+			for _, a := range group {
+				cur, ok := m.CO[a]
+				switch {
+				case !ok:
+					m.CO[a] = top
+					m.Backbone[a] = bb
+					m.Stats.AliasAdded++
+				case cur != top:
+					m.CO[a] = top
+					m.Backbone[a] = bb
+					m.Stats.AliasChanged++
+				}
+			}
+		}
+	}
+
+	// Infer the operator's point-to-point subnet convention from the
+	// addresses in the traceroutes.
+	m.P2PBits = inferP2PBits(col, m)
+
+	// Point-to-point-subnet refinement (Fig. 19): for each observed
+	// adjacency x -> y, the other address of y's subnet most likely
+	// belongs to the same router as x; vote on x's CO accordingly.
+	// Each distinct mate contributes one vote regardless of how many
+	// paths crossed the link (Fig. 19 counts addresses, not packets),
+	// so one stale mate on a busy link cannot outvote the fresh ones.
+	seenMate := map[[2]netip.Addr]bool{}
+	mateVotes := map[netip.Addr]map[string]int{}
+	for _, p := range col.Paths {
+		for i := 1; i < len(p.Hops); i++ {
+			if p.Gaps[i] {
+				continue
+			}
+			x, y := p.Hops[i-1], p.Hops[i]
+			mate, ok := p2pMate(y, m.P2PBits)
+			if !ok || mate == x {
+				// When the mate is x itself the link is already
+				// self-evident; no extra information.
+				continue
+			}
+			if seenMate[[2]netip.Addr{x, mate}] {
+				continue
+			}
+			seenMate[[2]netip.Addr{x, mate}] = true
+			co, ok := m.CO[mate]
+			if !ok {
+				continue
+			}
+			if mateVotes[x] == nil {
+				mateVotes[x] = map[string]int{}
+			}
+			mateVotes[x][co]++
+		}
+	}
+	for x, votes := range mateVotes {
+		cur, has := m.CO[x]
+		if has {
+			votes[cur]++ // the existing mapping counts as one vote
+		}
+		top, tied := majority(votes)
+		if tied {
+			continue
+		}
+		switch {
+		case !has:
+			m.CO[x] = top
+			m.Backbone[x] = isBackboneKey(top)
+			m.Stats.SubnetAdded++
+		case top != cur:
+			m.CO[x] = top
+			m.Backbone[x] = isBackboneKey(top)
+			m.Stats.SubnetChanged++
+		}
+	}
+
+	m.Stats.Final = len(m.CO)
+	return m
+}
+
+// majority returns the key with the strictly highest count; tied is true
+// when two keys share the maximum.
+func majority(votes map[string]int) (string, bool) {
+	best, bestN, tied := "", -1, false
+	for k, n := range votes {
+		switch {
+		case n > bestN:
+			best, bestN, tied = k, n, false
+		case n == bestN:
+			tied = true
+			if k < best {
+				best = k // deterministic representative
+			}
+		}
+	}
+	return best, tied
+}
+
+func isBackboneKey(key string) bool {
+	return len(key) > 3 && key[:3] == "bb:"
+}
+
+// inferP2PBits recovers the operator's interconnect convention from the
+// last-two-bit distribution of intermediate hop addresses: /30 subnets
+// only ever expose offsets 1 and 2 (offsets 0 and 3 are the network and
+// broadcast addresses), while /31 subnets use all four offsets evenly.
+// Loopback-style canonical reply addresses add uniform noise, so the
+// decision threshold sits well above it.
+func inferP2PBits(col *Collection, m *Mapping) int {
+	var offsets [4]int
+	seen := map[netip.Addr]bool{}
+	for _, p := range col.Paths {
+		end := len(p.Hops)
+		if p.Reached {
+			end-- // the destination itself may be a host, not a router
+		}
+		for i := 0; i < end; i++ {
+			h := p.Hops[i]
+			if !h.Is4() || seen[h] {
+				continue
+			}
+			if _, ok := m.CO[h]; !ok {
+				continue // only the operator's own infrastructure counts
+			}
+			seen[h] = true
+			offsets[h.As4()[3]&3]++
+		}
+	}
+	total := offsets[0] + offsets[1] + offsets[2] + offsets[3]
+	if total == 0 {
+		return 30
+	}
+	fringe := float64(offsets[0]+offsets[3]) / float64(total)
+	if fringe > 0.25 {
+		return 31
+	}
+	return 30
+}

@@ -1,0 +1,57 @@
+package comap
+
+// Result bundles everything one end-to-end run of the cable pipeline
+// produces: the raw collection, the Phase 1 mapping, and the Phase 2
+// inference.
+type Result struct {
+	Collection *Collection
+	Mapping    *Mapping
+	Inference  *Inference
+}
+
+// Run executes the full pipeline: collection, mapping, graphs.
+func Run(c *Campaign) *Result {
+	col := c.Run()
+	m := BuildMapping(col, c.DNS, c.ISP)
+	return &Result{
+		Collection: col,
+		Mapping:    m,
+		Inference:  BuildGraphs(col, m),
+	}
+}
+
+// StageAdjacencies counts the distinct intra-region CO adjacencies each
+// collection stage observed (independently — a pair seen by several
+// stages counts for each), quantifying §5.1's claim that directly
+// targeting CO router interfaces reveals several times more
+// interconnections than the /24 sweep alone.
+func (r *Result) StageAdjacencies() map[string]int {
+	perStage := map[string]map[[2]string]bool{}
+	for i, p := range r.Collection.Paths {
+		stage := r.Collection.StageOf[i]
+		if perStage[stage] == nil {
+			perStage[stage] = map[[2]string]bool{}
+		}
+		for h := 1; h < len(p.Hops); h++ {
+			if p.Gaps[h] {
+				continue
+			}
+			a, oka := r.Mapping.CO[p.Hops[h-1]]
+			b, okb := r.Mapping.CO[p.Hops[h]]
+			if !oka || !okb || a == b {
+				continue
+			}
+			ra, okra := regionOf(a)
+			rb, okrb := regionOf(b)
+			if !okra || !okrb || ra != rb {
+				continue
+			}
+			perStage[stage][[2]string{a, b}] = true
+		}
+	}
+	out := map[string]int{}
+	for stage, pairs := range perStage {
+		out[stage] = len(pairs)
+	}
+	return out
+}

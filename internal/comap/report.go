@@ -1,0 +1,98 @@
+package comap
+
+import (
+	"encoding/json"
+	"io"
+	"net/netip"
+	"sort"
+)
+
+// Report is the JSON-serializable form of an inference result, for
+// downstream tooling (GIS overlays, resilience dashboards, diffing runs).
+type Report struct {
+	ISP     string         `json:"isp"`
+	P2PBits int            `json:"p2p_bits"`
+	Mapping MappingStats   `json:"mapping"`
+	Pruning PruneStats     `json:"pruning"`
+	Regions []RegionReport `json:"regions"`
+}
+
+// RegionReport serializes one region graph.
+type RegionReport struct {
+	Name      string       `json:"name"`
+	Type      string       `json:"type"`
+	COs       []COReport   `json:"cos"`
+	Edges     []EdgeReport `json:"edges"`
+	AggGroups [][]string   `json:"agg_groups,omitempty"`
+	Entries   []Entry      `json:"entries,omitempty"`
+}
+
+// COReport serializes one central office.
+type COReport struct {
+	Key   string       `json:"key"`
+	Tag   string       `json:"tag"`
+	IsAgg bool         `json:"is_agg"`
+	Addrs []netip.Addr `json:"addrs,omitempty"`
+}
+
+// EdgeReport serializes one CO adjacency with its observation count.
+type EdgeReport struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Count int    `json:"count"`
+}
+
+// BuildReport assembles the serializable form of a pipeline result.
+func (r *Result) BuildReport(isp string) Report {
+	rep := Report{
+		ISP:     isp,
+		P2PBits: r.Inference.P2PBits,
+		Mapping: r.Mapping.Stats,
+		Pruning: r.Inference.Prune,
+	}
+	names := make([]string, 0, len(r.Inference.Regions))
+	for n := range r.Inference.Regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := r.Inference.Regions[n]
+		rr := RegionReport{
+			Name:      n,
+			Type:      g.Classify().String(),
+			AggGroups: g.AggGroups,
+			Entries:   g.Entries,
+		}
+		keys := make([]string, 0, len(g.COs))
+		for k := range g.COs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			node := g.COs[k]
+			addrs := append([]netip.Addr(nil), node.Addrs...)
+			sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+			rr.COs = append(rr.COs, COReport{Key: k, Tag: node.Tag, IsAgg: node.IsAgg, Addrs: addrs})
+		}
+		var edges []EdgeReport
+		for e, count := range g.Edges {
+			edges = append(edges, EdgeReport{From: e[0], To: e[1], Count: count})
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].From != edges[j].From {
+				return edges[i].From < edges[j].From
+			}
+			return edges[i].To < edges[j].To
+		})
+		rr.Edges = edges
+		rep.Regions = append(rep.Regions, rr)
+	}
+	return rep
+}
+
+// WriteJSON streams the report as indented JSON.
+func (r *Result) WriteJSON(w io.Writer, isp string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.BuildReport(isp))
+}

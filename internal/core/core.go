@@ -1,0 +1,11 @@
+// Package core is the library facade: it assembles the simulated
+// scenarios, runs the paper's three measurement studies (cable §5,
+// AT&T §6, mobile §7), and exposes the per-table and per-figure results
+// the evaluation reports.
+//
+// Downstream users build a study for a seed, run it, and read results:
+//
+//	st := core.NewCableStudy(1)
+//	res := st.Result("comcast")
+//	fmt.Println(st.Table1())
+package core

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comap"
+)
+
+func TestResilienceExtension(t *testing.T) {
+	st := getCable(t)
+	reports := st.Resilience("comcast")
+	if len(reports) != 28 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	byRegion := map[string]int{}
+	survivable := map[string]bool{}
+	for i, rep := range reports {
+		byRegion[rep.Region] = i
+		survivable[rep.Region] = rep.EntryLossSurvivable()
+	}
+	// Dual-backbone regions survive the loss of either entry; the
+	// single-entry regions (spokane, albuquerque) do not.
+	for _, name := range []string{"boston", "dcmetro", "denver"} {
+		if !survivable[name] {
+			t.Errorf("%s should survive single entry loss", name)
+		}
+	}
+	for _, name := range []string{"spokane", "albuquerque"} {
+		if survivable[name] {
+			t.Errorf("%s has one entry and should not survive its loss", name)
+		}
+	}
+	// Single-AggCO regions have a dominant single point of failure.
+	spokane := reports[byRegion["spokane"]]
+	worst, ok := spokane.WorstCO()
+	if !ok || worst.Frac() < 0.5 {
+		t.Errorf("spokane worst CO failure = %+v, want a region-wide SPOF", worst)
+	}
+	// Dual-star regions keep every EdgeCO on single-CO failure except
+	// chained EdgeCOs.
+	boston := reports[byRegion["boston"]]
+	if w, _ := boston.WorstCO(); w.Frac() > 0.3 {
+		t.Errorf("boston worst CO strands %.0f%%; dual AggCOs should cap the blast radius", 100*w.Frac())
+	}
+}
+
+func TestEdgePlacementExtension(t *testing.T) {
+	st := getCable(t)
+	cmp := st.EdgePlacement(5, 0.8, 8, 400)
+	p := cmp.AggPlacement
+	if p.Total < 200 {
+		t.Fatalf("edge universe = %d", p.Total)
+	}
+	if p.Frac() < 0.8 {
+		t.Errorf("coverage = %.2f, want >= 0.8 within 5ms", p.Frac())
+	}
+	// The whole point: far fewer host sites than EdgeCOs.
+	if len(p.Hosts)*3 > p.Total {
+		t.Errorf("placement needs %d hosts for %d EdgeCOs; expected a large saving", len(p.Hosts), p.Total)
+	}
+	for _, h := range p.Hosts {
+		if !strings.Contains(h, ":") {
+			t.Errorf("host key %q should be operator-qualified", h)
+		}
+	}
+}
+
+func TestPauseAblationExtension(t *testing.T) {
+	st := getMobile(t)
+	r := st.RunPauseAblation()
+	if r.PausedEnergymAh >= r.NormalEnergymAh {
+		t.Errorf("pausing saved nothing: %.0f vs %.0f mAh", r.PausedEnergymAh, r.NormalEnergymAh)
+	}
+	if r.PausedRounds >= r.NormalRounds {
+		t.Errorf("paused campaign measured %d rounds vs %d", r.PausedRounds, r.NormalRounds)
+	}
+	// The tradeoff: pausing must not improve inference, and normal mode
+	// should get most regions exactly right.
+	if r.PausedPGWExact > r.NormalPGWExact {
+		t.Errorf("pausing improved PGW inference: %d > %d", r.PausedPGWExact, r.NormalPGWExact)
+	}
+	if r.NormalPGWExact < r.Regions-2 {
+		t.Errorf("normal mode PGW exact = %d of %d", r.NormalPGWExact, r.Regions)
+	}
+}
+
+// TestSeedRobustness re-runs the headline cable shapes at additional
+// seeds; the reproduction must not be an artifact of one RNG stream.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep skipped in -short mode")
+	}
+	for _, seed := range []int64{29, 83} {
+		st := NewCableStudy(seed)
+		st.Result("comcast")
+		st.Result("charter")
+		tbl := st.Table1()
+		if got := tbl["charter"][comap.AggMulti]; got != 6 {
+			t.Errorf("seed %d: charter multi-level regions = %d, want 6", seed, got)
+		}
+		com := st.RedundancyStats("comcast")
+		char := st.RedundancyStats("charter")
+		if com.SingleUpstreamFrac >= char.SingleUpstreamFrac {
+			t.Errorf("seed %d: redundancy contrast inverted (%.3f vs %.3f)",
+				seed, com.SingleUpstreamFrac, char.SingleUpstreamFrac)
+		}
+		for _, isp := range []string{"comcast", "charter"} {
+			if f1 := st.Score(isp).MeanF1(); f1 < 0.8 {
+				t.Errorf("seed %d: %s F1 = %.3f", seed, isp, f1)
+			}
+		}
+		e := st.Entries("comcast")
+		if e.BackboneEntryPairs < 40 {
+			t.Errorf("seed %d: backbone entries = %d", seed, e.BackboneEntryPairs)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package dnsdb models the two reverse-DNS sources the paper combines: a
+// live zone queried with dig, and a periodically-captured whole-Internet
+// snapshot in the style of Rapid7's Sonar rDNS dataset. The snapshot is
+// what campaigns scan for target selection; the live zone is fresher and
+// is preferred when mapping addresses to COs (Appendix B.1).
+//
+// The topology generators populate both layers, injecting the staleness
+// and gaps that drive the paper's filtering heuristics: snapshot entries
+// may be missing, and either layer may carry an outdated name from a
+// previous assignment of the address.
+package dnsdb
+
+import (
+	"net/netip"
+	"regexp"
+	"sort"
+)
+
+// DB holds the live PTR zone and the scanned snapshot.
+type DB struct {
+	live     map[netip.Addr]string
+	snapshot map[netip.Addr]string
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		live:     map[netip.Addr]string{},
+		snapshot: map[netip.Addr]string{},
+	}
+}
+
+// SetLive records the current PTR record for addr (what dig returns).
+func (d *DB) SetLive(addr netip.Addr, name string) {
+	if name == "" {
+		delete(d.live, addr)
+		return
+	}
+	d.live[addr] = name
+}
+
+// SetSnapshot records the PTR record captured in the scan dataset.
+func (d *DB) SetSnapshot(addr netip.Addr, name string) {
+	if name == "" {
+		delete(d.snapshot, addr)
+		return
+	}
+	d.snapshot[addr] = name
+}
+
+// Dig performs a live PTR lookup.
+func (d *DB) Dig(addr netip.Addr) (string, bool) {
+	n, ok := d.live[addr]
+	return n, ok
+}
+
+// SnapshotLookup returns the snapshot PTR record for addr.
+func (d *DB) SnapshotLookup(addr netip.Addr) (string, bool) {
+	n, ok := d.snapshot[addr]
+	return n, ok
+}
+
+// Name implements the paper's lookup priority: the live record when one
+// exists, the snapshot otherwise.
+func (d *DB) Name(addr netip.Addr) (string, bool) {
+	if n, ok := d.live[addr]; ok {
+		return n, true
+	}
+	n, ok := d.snapshot[addr]
+	return n, ok
+}
+
+// Entry is one (address, hostname) pair from the snapshot.
+type Entry struct {
+	Addr netip.Addr
+	Name string
+}
+
+// ScanSnapshot returns every snapshot entry whose hostname matches re,
+// sorted by address; this is the paper's Rapid7-based target selection.
+func (d *DB) ScanSnapshot(re *regexp.Regexp) []Entry {
+	var out []Entry
+	for a, n := range d.snapshot {
+		if re.MatchString(n) {
+			out = append(out, Entry{Addr: a, Name: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
+	return out
+}
+
+// SnapshotSize reports the number of snapshot records.
+func (d *DB) SnapshotSize() int { return len(d.snapshot) }
+
+// LiveSize reports the number of live records.
+func (d *DB) LiveSize() int { return len(d.live) }

@@ -1,0 +1,107 @@
+// Package edgeplan implements the paper's second future-work direction
+// (§8): using the inferred aggregation hierarchy to place edge-compute
+// infrastructure. Given measured host-to-EdgeCO latencies it solves the
+// placement question the paper poses — serve nearly all users within an
+// AR/VR latency budget from a small set of AggCOs rather than deploying
+// into every EdgeCO.
+package edgeplan
+
+import "sort"
+
+// Latency maps candidate host CO -> EdgeCO -> round-trip milliseconds.
+type Latency map[string]map[string]float64
+
+// Placement is a chosen set of host COs and its coverage.
+type Placement struct {
+	Hosts []string
+	// Covered counts EdgeCOs within budget of some chosen host; Total
+	// is the EdgeCO universe size.
+	Covered, Total int
+	// PerHost records how many newly-covered EdgeCOs each host added
+	// when it was chosen (greedy marginal gain), aligned with Hosts.
+	PerHost []int
+}
+
+// Frac is the covered fraction.
+func (p Placement) Frac() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Covered) / float64(p.Total)
+}
+
+// Greedy picks hosts by maximum marginal coverage until the target
+// fraction of EdgeCOs sits within budgetMs of a chosen host, or no host
+// adds coverage. The edge universe is the union of all EdgeCOs in the
+// latency matrix; ties break lexicographically for determinism.
+func Greedy(lat Latency, budgetMs, targetFrac float64) Placement {
+	universe := map[string]bool{}
+	for _, edges := range lat {
+		for e := range edges {
+			universe[e] = true
+		}
+	}
+	var p Placement
+	p.Total = len(universe)
+	if p.Total == 0 {
+		return p
+	}
+	covered := map[string]bool{}
+	chosen := map[string]bool{}
+	hosts := make([]string, 0, len(lat))
+	for h := range lat {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for float64(len(covered)) < targetFrac*float64(p.Total) {
+		best, bestGain := "", 0
+		for _, h := range hosts {
+			if chosen[h] {
+				continue
+			}
+			gain := 0
+			for e, ms := range lat[h] {
+				if !covered[e] && ms <= budgetMs {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = h, gain
+			}
+		}
+		if bestGain == 0 {
+			break
+		}
+		chosen[best] = true
+		p.Hosts = append(p.Hosts, best)
+		p.PerHost = append(p.PerHost, bestGain)
+		for e, ms := range lat[best] {
+			if ms <= budgetMs {
+				covered[e] = true
+			}
+		}
+	}
+	p.Covered = len(covered)
+	return p
+}
+
+// CompareStrategies contrasts the two deployment strategies the paper
+// discusses (§5.5): hosting in every EdgeCO (always full coverage, cost
+// = EdgeCO count) versus greedy AggCO placement under the same budget.
+type Comparison struct {
+	EdgeCOCount  int
+	AggPlacement Placement
+	// SitesSaved is how many fewer facilities the AggCO strategy needs
+	// for the coverage it achieves.
+	SitesSaved int
+}
+
+// Compare runs the greedy AggCO placement and reports the savings.
+func Compare(lat Latency, budgetMs, targetFrac float64) Comparison {
+	p := Greedy(lat, budgetMs, targetFrac)
+	return Comparison{
+		EdgeCOCount:  p.Total,
+		AggPlacement: p,
+		SitesSaved:   p.Total - len(p.Hosts),
+	}
+}

@@ -1,0 +1,136 @@
+package edgeplan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyBasics(t *testing.T) {
+	lat := Latency{
+		"aggA": {"e1": 2, "e2": 3, "e3": 9},
+		"aggB": {"e3": 2, "e4": 4},
+	}
+	p := Greedy(lat, 5, 1.0)
+	if p.Total != 4 || p.Covered != 4 {
+		t.Fatalf("coverage = %d/%d", p.Covered, p.Total)
+	}
+	if len(p.Hosts) != 2 {
+		t.Fatalf("hosts = %v", p.Hosts)
+	}
+	if p.Frac() != 1.0 {
+		t.Errorf("frac = %v", p.Frac())
+	}
+}
+
+func TestGreedyStopsAtTarget(t *testing.T) {
+	lat := Latency{}
+	for i := 0; i < 10; i++ {
+		h := fmt.Sprintf("agg%d", i)
+		lat[h] = map[string]float64{fmt.Sprintf("e%d", i): 1}
+	}
+	p := Greedy(lat, 5, 0.5)
+	if len(p.Hosts) != 5 || p.Covered != 5 {
+		t.Errorf("hosts=%d covered=%d, want 5 each for a 50%% target", len(p.Hosts), p.Covered)
+	}
+}
+
+func TestGreedyUnreachableBudget(t *testing.T) {
+	lat := Latency{"aggA": {"e1": 20, "e2": 30}}
+	p := Greedy(lat, 5, 1.0)
+	if p.Covered != 0 || len(p.Hosts) != 0 {
+		t.Errorf("impossible budget covered %d via %v", p.Covered, p.Hosts)
+	}
+	if Greedy(Latency{}, 5, 1).Total != 0 {
+		t.Error("empty latency matrix has nonzero total")
+	}
+}
+
+func TestGreedyPrefersBigHosts(t *testing.T) {
+	lat := Latency{
+		"big":    {"e1": 1, "e2": 1, "e3": 1},
+		"small1": {"e1": 1},
+		"small2": {"e2": 1},
+		"small3": {"e3": 1},
+	}
+	p := Greedy(lat, 5, 1.0)
+	if len(p.Hosts) != 1 || p.Hosts[0] != "big" {
+		t.Errorf("greedy chose %v, want [big]", p.Hosts)
+	}
+	if p.PerHost[0] != 3 {
+		t.Errorf("marginal gain = %v", p.PerHost)
+	}
+}
+
+func TestGreedyProperties(t *testing.T) {
+	f := func(seed int64, nHosts, nEdges uint8, budget uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := int(nHosts%8) + 1
+		e := int(nEdges%20) + 1
+		b := float64(budget%10) + 1
+		lat := Latency{}
+		for i := 0; i < h; i++ {
+			m := map[string]float64{}
+			for j := 0; j < e; j++ {
+				if rng.Float64() < 0.6 {
+					m[fmt.Sprintf("e%d", j)] = rng.Float64() * 12
+				}
+			}
+			lat[fmt.Sprintf("h%d", i)] = m
+		}
+		p := Greedy(lat, b, 1.0)
+		// Coverage never exceeds the universe; hosts are unique; each
+		// chosen host contributed positive gain; coverage is feasible
+		// (every covered edge really is within budget of some host).
+		if p.Covered > p.Total || len(p.Hosts) > h {
+			return false
+		}
+		seen := map[string]bool{}
+		for i, host := range p.Hosts {
+			if seen[host] || p.PerHost[i] <= 0 {
+				return false
+			}
+			seen[host] = true
+		}
+		// Re-verify the claimed coverage.
+		covered := map[string]bool{}
+		for _, host := range p.Hosts {
+			for e2, ms := range lat[host] {
+				if ms <= b {
+					covered[e2] = true
+				}
+			}
+		}
+		return len(covered) == p.Covered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	lat := Latency{
+		"a": {"e1": 1, "e2": 1},
+		"b": {"e1": 1, "e2": 1}, // identical coverage: tie
+	}
+	p1 := Greedy(lat, 5, 1.0)
+	p2 := Greedy(lat, 5, 1.0)
+	if p1.Hosts[0] != p2.Hosts[0] || p1.Hosts[0] != "a" {
+		t.Errorf("tie-break not deterministic: %v vs %v", p1.Hosts, p2.Hosts)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	lat := Latency{
+		"aggA": {"e1": 2, "e2": 2, "e3": 2, "e4": 2},
+		"aggB": {"e5": 2, "e6": 2},
+	}
+	c := Compare(lat, 5, 0.95)
+	if c.EdgeCOCount != 6 {
+		t.Errorf("edge count = %d", c.EdgeCOCount)
+	}
+	if c.SitesSaved != 4 {
+		t.Errorf("sites saved = %d, want 4 (6 EdgeCOs vs 2 AggCO hosts)", c.SitesSaved)
+	}
+}

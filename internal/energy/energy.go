@@ -1,0 +1,77 @@
+// Package energy models the ShipTraceroute phone's battery budget
+// (§7.1.2, Fig. 14): energy per measurement round as a function of
+// radio-active time, the cost of leaving airplane mode, sleep drain with
+// and without airplane mode, and projected battery life under hourly
+// rounds.
+package energy
+
+import "time"
+
+// Model holds the power constants. Defaults are calibrated against the
+// paper's USB-C power-monitor measurements of a Galaxy A71.
+type Model struct {
+	// ActiveDrawmAhPerSec is the radio-active drain while probing.
+	ActiveDrawmAhPerSec float64
+	// WakeEnergymAh is the cost of exiting airplane mode and
+	// re-registering with the packet core (the paper saw 1.4-2.6 mAh).
+	WakeEnergymAh float64
+	// SleepAirplanemAhPerHour and SleepIdlemAhPerHour are the drain
+	// while asleep with and without airplane mode (the paper measured
+	// 9 vs 14.5 mAh per 55 minutes).
+	SleepAirplanemAhPerHour float64
+	SleepIdlemAhPerHour     float64
+	// BatterymAh is the usable battery capacity.
+	BatterymAh float64
+}
+
+// Default returns the calibrated Galaxy-A71-like model.
+func Default() Model {
+	return Model{
+		ActiveDrawmAhPerSec:     0.0108,
+		WakeEnergymAh:           1.4,
+		SleepAirplanemAhPerHour: 9.0 * 60 / 55,
+		SleepIdlemAhPerHour:     14.5 * 60 / 55,
+		BatterymAh:              4500,
+	}
+}
+
+// RoundEnergy returns the mAh consumed by one measurement round with
+// the given radio-active time: wake-up plus active drain (the Fig. 14
+// curves).
+func (m Model) RoundEnergy(active time.Duration) float64 {
+	return m.WakeEnergymAh + active.Seconds()*m.ActiveDrawmAhPerSec
+}
+
+// HourlyEnergy returns the mAh consumed per hour of operation: one
+// round plus the remaining sleep, in or out of airplane mode.
+func (m Model) HourlyEnergy(roundActive time.Duration, airplane bool) float64 {
+	sleep := m.SleepIdlemAhPerHour
+	if airplane {
+		sleep = m.SleepAirplanemAhPerHour
+	}
+	sleepFrac := 1 - roundActive.Hours()
+	if sleepFrac < 0 {
+		sleepFrac = 0
+	}
+	return m.RoundEnergy(roundActive) + sleep*sleepFrac
+}
+
+// BatteryLifeDays projects how long the battery sustains hourly rounds.
+func (m Model) BatteryLifeDays(roundActive time.Duration, airplane bool) float64 {
+	perHour := m.HourlyEnergy(roundActive, airplane)
+	if perHour <= 0 {
+		return 0
+	}
+	return m.BatterymAh / perHour / 24
+}
+
+// Savings returns the fractional energy reduction of one round versus
+// another (the paper's 38% claim comparing stock and modified scamper).
+func (m Model) Savings(oldActive, newActive time.Duration) float64 {
+	oldE := m.RoundEnergy(oldActive)
+	newE := m.RoundEnergy(newActive)
+	if oldE == 0 {
+		return 0
+	}
+	return 1 - newE/oldE
+}

@@ -1,0 +1,57 @@
+package energy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRoundEnergyShape(t *testing.T) {
+	m := Default()
+	// Calibration targets from Fig. 14: stock scamper ~8.6 mAh per
+	// round, ShipTraceroute's ~5.3 mAh; active times in the simulator
+	// land around 11 and 6 minutes respectively.
+	old := m.RoundEnergy(11 * time.Minute)
+	new_ := m.RoundEnergy(6 * time.Minute)
+	if old < 7 || old > 10.5 {
+		t.Errorf("stock round = %.1f mAh, want ~8.6", old)
+	}
+	if new_ < 4 || new_ > 6.5 {
+		t.Errorf("modified round = %.1f mAh, want ~5.3", new_)
+	}
+	s := m.Savings(11*time.Minute, 6*time.Minute)
+	if s < 0.3 || s > 0.5 {
+		t.Errorf("savings = %.2f, want ~0.38", s)
+	}
+}
+
+func TestBatteryLife(t *testing.T) {
+	m := Default()
+	// ~12 days with the efficient implementation and airplane-mode
+	// sleep (§7.1.2).
+	days := m.BatteryLifeDays(6*time.Minute, true)
+	if days < 10 || days > 14 {
+		t.Errorf("battery life = %.1f days, want ~12", days)
+	}
+	// The stock implementation loses roughly four days.
+	oldDays := m.BatteryLifeDays(11*time.Minute, true)
+	if gain := days - oldDays; gain < 1.5 || gain > 6 {
+		t.Errorf("gain = %.1f days, want ~4", gain)
+	}
+	// Airplane-mode sleep extends life.
+	if m.BatteryLifeDays(6*time.Minute, false) >= days {
+		t.Error("airplane mode should extend battery life")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	m := Default()
+	if m.RoundEnergy(10*time.Minute) <= m.RoundEnergy(5*time.Minute) {
+		t.Error("more active time must cost more energy")
+	}
+	if m.HourlyEnergy(70*time.Minute, true) < m.RoundEnergy(70*time.Minute) {
+		t.Error("hourly energy must not be below the round energy")
+	}
+	if m.Savings(5*time.Minute, 5*time.Minute) != 0 {
+		t.Error("identical rounds should save nothing")
+	}
+}

@@ -1,0 +1,152 @@
+// Package geo provides geographic primitives for the regional access
+// network simulator: a database of U.S. cities with coordinates, great
+// circle distance, fiber-propagation latency estimates, and hexagonal
+// binning used to render latency maps (paper Fig. 18).
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is a location on the Earth's surface in decimal degrees.
+type Point struct {
+	Lat float64
+	Lon float64
+}
+
+// EarthRadiusKm is the mean Earth radius used for great-circle math.
+const EarthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle distance between a and b using the
+// haversine formula.
+func DistanceKm(a, b Point) float64 {
+	const deg = math.Pi / 180
+	lat1, lon1 := a.Lat*deg, a.Lon*deg
+	lat2, lon2 := b.Lat*deg, b.Lon*deg
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// FiberSpeedKmPerMs is the propagation speed of light in fiber,
+// approximately 2/3 of c, expressed in km per millisecond.
+const FiberSpeedKmPerMs = 200.0
+
+// FiberPathInflation accounts for the fact that fiber conduits follow
+// roads and rail rather than great circles. Durairajan et al. report
+// typical inflation factors between 1.2 and 2; we use a middle value.
+const FiberPathInflation = 1.4
+
+// PropagationDelay returns the one-way fiber propagation delay between two
+// points, including conduit path inflation.
+func PropagationDelay(a, b Point) time.Duration {
+	km := DistanceKm(a, b) * FiberPathInflation
+	ms := km / FiberSpeedKmPerMs
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// City is one entry in the embedded U.S. city database.
+type City struct {
+	Name  string
+	State string // two-letter postal code
+	Point Point
+	// Metro marks cities that anchor a metropolitan area; topology
+	// generators place AggCOs and BackboneCOs in metro cities.
+	Metro bool
+}
+
+// ByName returns the city with the given name, or false when the database
+// has no such city. Lookup is case-sensitive and names are unique.
+func ByName(name string) (City, bool) {
+	i, ok := cityIndex[name]
+	if !ok {
+		return City{}, false
+	}
+	return usCities[i], true
+}
+
+// MustByName is ByName for compile-time-known city names; it panics when
+// the city is missing, which indicates a programming error in a generator
+// table rather than a runtime condition.
+func MustByName(name string) City {
+	c, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("geo: unknown city %q", name))
+	}
+	return c
+}
+
+// InState returns all database cities in the given state, sorted by name.
+func InState(state string) []City {
+	var out []City
+	for _, c := range usCities {
+		if c.State == state {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// All returns a copy of the full city database.
+func All() []City {
+	out := make([]City, len(usCities))
+	copy(out, usCities)
+	return out
+}
+
+// States returns the sorted set of states present in the database.
+func States() []string {
+	seen := map[string]bool{}
+	for _, c := range usCities {
+		seen[c.State] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Nearest returns the database city closest to p.
+func Nearest(p Point) City {
+	best := usCities[0]
+	bestD := math.Inf(1)
+	for _, c := range usCities {
+		if d := DistanceKm(p, c.Point); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// NearestState approximates the U.S. state containing p as the state of
+// the nearest database city. This is the same fidelity the paper gets
+// from cell-tower geolocation of a phone in a truck.
+func NearestState(p Point) string {
+	return Nearest(p).State
+}
+
+// Interpolate returns the point a fraction f of the way from a to b along
+// the great-circle path, using simple spherical linear interpolation.
+func Interpolate(a, b Point, f float64) Point {
+	if f <= 0 {
+		return a
+	}
+	if f >= 1 {
+		return b
+	}
+	// For the continental-US distances we deal with, linear interpolation
+	// of lat/lon is within a few km of the true great-circle point, which
+	// is far below the resolution of our latency model.
+	return Point{
+		Lat: a.Lat + (b.Lat-a.Lat)*f,
+		Lon: a.Lon + (b.Lon-a.Lon)*f,
+	}
+}

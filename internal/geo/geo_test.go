@@ -1,0 +1,229 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	tests := []struct {
+		a, b   string
+		km     float64
+		tolPct float64
+	}{
+		{"San Diego", "Los Angeles", 180, 10},
+		{"New York", "Los Angeles", 3940, 5},
+		{"Boston", "Hartford", 160, 15},
+		{"Seattle", "Miami", 4400, 5},
+		{"Chicago", "Denver", 1480, 5},
+	}
+	for _, tt := range tests {
+		a := MustByName(tt.a)
+		b := MustByName(tt.b)
+		got := DistanceKm(a.Point, b.Point)
+		if math.Abs(got-tt.km)/tt.km*100 > tt.tolPct {
+			t.Errorf("DistanceKm(%s, %s) = %.0f km, want %.0f km ±%.0f%%", tt.a, tt.b, got, tt.km, tt.tolPct)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	cities := All()
+	f := func(i, j uint16) bool {
+		a := cities[int(i)%len(cities)].Point
+		b := cities[int(j)%len(cities)].Point
+		dab := DistanceKm(a, b)
+		dba := DistanceKm(b, a)
+		if math.Abs(dab-dba) > 1e-6 {
+			return false // symmetry
+		}
+		if dab < 0 {
+			return false // non-negativity
+		}
+		if a == b && dab != 0 {
+			return false // identity
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	cities := All()
+	f := func(i, j, k uint16) bool {
+		a := cities[int(i)%len(cities)].Point
+		b := cities[int(j)%len(cities)].Point
+		c := cities[int(k)%len(cities)].Point
+		return DistanceKm(a, c) <= DistanceKm(a, b)+DistanceKm(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	sd := MustByName("San Diego")
+	la := MustByName("Los Angeles")
+	d := PropagationDelay(sd.Point, la.Point)
+	// ~180 km * 1.4 inflation / 200 km/ms ≈ 1.26 ms one way.
+	if d < 800*time.Microsecond || d > 2*time.Millisecond {
+		t.Errorf("PropagationDelay(SD, LA) = %v, want ~1.3ms", d)
+	}
+	if PropagationDelay(sd.Point, sd.Point) != 0 {
+		t.Errorf("zero-distance delay should be 0")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Atlantis"); ok {
+		t.Error("ByName(Atlantis) should not exist")
+	}
+	c, ok := ByName("Nashville")
+	if !ok || c.State != "TN" {
+		t.Errorf("ByName(Nashville) = %+v, %v", c, ok)
+	}
+	// Qualified names disambiguate duplicates.
+	pme, ok := ByName("Portland, ME")
+	if !ok || pme.State != "ME" {
+		t.Errorf("ByName(Portland, ME) = %+v, %v", pme, ok)
+	}
+	por, ok := ByName("Portland")
+	if !ok || por.State != "OR" {
+		t.Errorf("bare Portland should be the first (OR) entry, got %+v", por)
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName on unknown city should panic")
+		}
+	}()
+	MustByName("Gotham")
+}
+
+func TestStateCoverage(t *testing.T) {
+	states := States()
+	if len(states) < 44 {
+		t.Errorf("city database covers %d states, want >= 44 for the shipping campaign", len(states))
+	}
+	for _, s := range states {
+		if len(s) != 2 {
+			t.Errorf("bad state code %q", s)
+		}
+	}
+}
+
+func TestInState(t *testing.T) {
+	ca := InState("CA")
+	if len(ca) < 20 {
+		t.Errorf("CA should have >= 20 cities (San Diego study density), got %d", len(ca))
+	}
+	for i := 1; i < len(ca); i++ {
+		if ca[i-1].Name > ca[i].Name {
+			t.Error("InState results not sorted")
+		}
+	}
+	if got := InState("ZZ"); len(got) != 0 {
+		t.Errorf("InState(ZZ) = %v, want empty", got)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	sd := MustByName("San Diego")
+	got := Nearest(Point{Lat: sd.Point.Lat + 0.01, Lon: sd.Point.Lon - 0.01})
+	if got.Name != "San Diego" {
+		t.Errorf("Nearest(near SD) = %s", got.Name)
+	}
+	if s := NearestState(Point{Lat: 46.8, Lon: -100.5}); s != "ND" {
+		t.Errorf("NearestState(central ND) = %s, want ND", s)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	a := Point{Lat: 30, Lon: -100}
+	b := Point{Lat: 40, Lon: -80}
+	if got := Interpolate(a, b, 0); got != a {
+		t.Errorf("f=0 should return a, got %+v", got)
+	}
+	if got := Interpolate(a, b, 1); got != b {
+		t.Errorf("f=1 should return b, got %+v", got)
+	}
+	mid := Interpolate(a, b, 0.5)
+	if math.Abs(mid.Lat-35) > 1e-9 || math.Abs(mid.Lon+90) > 1e-9 {
+		t.Errorf("midpoint = %+v", mid)
+	}
+	// Monotonic distance: points later on the path are closer to b.
+	prev := DistanceKm(a, b)
+	for f := 0.1; f < 1.0; f += 0.1 {
+		d := DistanceKm(Interpolate(a, b, f), b)
+		if d > prev+1e-9 {
+			t.Errorf("interpolation not monotonic toward b at f=%.1f", f)
+		}
+		prev = d
+	}
+}
+
+func TestHexBinDeterministicAndLocal(t *testing.T) {
+	h := HexBinner{SizeDeg: 1.5}
+	p := MustByName("Denver").Point
+	if h.Bin(p) != h.Bin(p) {
+		t.Error("Bin not deterministic")
+	}
+	// Two points within a few km should share a bin (generally).
+	q := Point{Lat: p.Lat + 0.01, Lon: p.Lon + 0.01}
+	if h.Bin(p) != h.Bin(q) {
+		t.Skip("boundary case: points straddle a hex edge")
+	}
+	// Distant cities must not share a bin.
+	if h.Bin(MustByName("Seattle").Point) == h.Bin(MustByName("Miami").Point) {
+		t.Error("Seattle and Miami share a hex bin")
+	}
+}
+
+func TestHexCenterRoundTrip(t *testing.T) {
+	h := HexBinner{SizeDeg: 1.5}
+	for _, c := range All() {
+		bin := h.Bin(c.Point)
+		center := h.Center(bin)
+		if h.Bin(center) != bin {
+			t.Errorf("center of %s's bin does not map back to the same bin", c.Name)
+		}
+	}
+}
+
+func TestHexAggregateKeepsMinimum(t *testing.T) {
+	agg := NewHexAggregate(1.5)
+	p := MustByName("Chicago").Point
+	agg.Add(p, 40)
+	agg.Add(p, 25)
+	agg.Add(p, 60)
+	res := agg.Results()
+	if len(res) != 1 {
+		t.Fatalf("got %d hexes, want 1", len(res))
+	}
+	if res[0].Value != 25 {
+		t.Errorf("hex value = %v, want 25 (minimum)", res[0].Value)
+	}
+}
+
+func TestHexAggregateSorted(t *testing.T) {
+	agg := NewHexAggregate(1.5)
+	for _, name := range []string{"Seattle", "Miami", "Denver", "Boston", "San Diego"} {
+		agg.Add(MustByName(name).Point, 1)
+	}
+	res := agg.Results()
+	if agg.Len() != len(res) {
+		t.Errorf("Len()=%d, Results()=%d", agg.Len(), len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		a, b := res[i-1].Center, res[i].Center
+		if a.Lon > b.Lon || (a.Lon == b.Lon && a.Lat > b.Lat) {
+			t.Error("results not sorted west-to-east")
+		}
+	}
+}

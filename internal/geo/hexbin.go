@@ -1,0 +1,110 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// HexBinner assigns points to a pointy-top hexagonal grid in lat/lon
+// space. The paper's Fig. 18 renders per-hex minimum RTT across the
+// continental U.S.; we reproduce the binning so benches can print the
+// same series.
+type HexBinner struct {
+	// SizeDeg is the hexagon circumradius in degrees of latitude.
+	SizeDeg float64
+}
+
+// HexCoord identifies a hexagon with axial coordinates.
+type HexCoord struct {
+	Q int
+	R int
+}
+
+// Bin returns the hexagon containing p.
+func (h HexBinner) Bin(p Point) HexCoord {
+	size := h.SizeDeg
+	if size <= 0 {
+		size = 1.5
+	}
+	// Axial coordinates for a pointy-top hex grid; longitude is scaled by
+	// cos(latitude) so that hexes stay roughly equal-area across the U.S.
+	x := p.Lon * math.Cos(39*math.Pi/180)
+	y := p.Lat
+	q := (math.Sqrt(3)/3*x - 1.0/3*y) / size
+	r := (2.0 / 3 * y) / size
+	return roundHex(q, r)
+}
+
+// Center returns the approximate lat/lon center of a hexagon.
+func (h HexBinner) Center(c HexCoord) Point {
+	size := h.SizeDeg
+	if size <= 0 {
+		size = 1.5
+	}
+	x := size * (math.Sqrt(3)*float64(c.Q) + math.Sqrt(3)/2*float64(c.R))
+	y := size * (3.0 / 2 * float64(c.R))
+	return Point{Lat: y, Lon: x / math.Cos(39*math.Pi/180)}
+}
+
+func roundHex(q, r float64) HexCoord {
+	// Cube-coordinate rounding.
+	x, z := q, r
+	y := -x - z
+	rx, ry, rz := math.Round(x), math.Round(y), math.Round(z)
+	dx, dy, dz := math.Abs(rx-x), math.Abs(ry-y), math.Abs(rz-z)
+	switch {
+	case dx > dy && dx > dz:
+		rx = -ry - rz
+	case dy > dz:
+		// y is derived; nothing to fix for axial output.
+	default:
+		rz = -rx - ry
+	}
+	return HexCoord{Q: int(rx), R: int(rz)}
+}
+
+// HexAggregate collects a value per hexagon keeping the minimum, which is
+// the statistic Fig. 18 maps (minimum RTT per location).
+type HexAggregate struct {
+	binner HexBinner
+	min    map[HexCoord]float64
+}
+
+// NewHexAggregate returns an aggregator over hexes of the given size.
+func NewHexAggregate(sizeDeg float64) *HexAggregate {
+	return &HexAggregate{binner: HexBinner{SizeDeg: sizeDeg}, min: map[HexCoord]float64{}}
+}
+
+// Add records a sample value observed at p.
+func (a *HexAggregate) Add(p Point, value float64) {
+	c := a.binner.Bin(p)
+	if v, ok := a.min[c]; !ok || value < v {
+		a.min[c] = value
+	}
+}
+
+// HexValue is one populated hexagon and its aggregated value.
+type HexValue struct {
+	Coord  HexCoord
+	Center Point
+	Value  float64
+}
+
+// Results returns the populated hexes sorted west-to-east then
+// south-to-north, so output is deterministic.
+func (a *HexAggregate) Results() []HexValue {
+	out := make([]HexValue, 0, len(a.min))
+	for c, v := range a.min {
+		out = append(out, HexValue{Coord: c, Center: a.binner.Center(c), Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Center.Lon != out[j].Center.Lon {
+			return out[i].Center.Lon < out[j].Center.Lon
+		}
+		return out[i].Center.Lat < out[j].Center.Lat
+	})
+	return out
+}
+
+// Len reports how many hexes hold at least one sample.
+func (a *HexAggregate) Len() int { return len(a.min) }

@@ -1,0 +1,149 @@
+// Package hostnames extracts topology semantics from router reverse-DNS
+// names, the way the paper's hand-crafted regexes do (§5, Fig. 5,
+// Fig. 12): the CO identifier (a CLLI fragment for Charter, a location
+// name for Comcast, a six-character city code for AT&T lightspeed
+// gateways), the regional-network tag, and the router role implied by
+// the name.
+package hostnames
+
+import (
+	"regexp"
+)
+
+// Role is the router function implied by a hostname.
+type Role uint8
+
+const (
+	// RoleUnknown means the name carried no role hint.
+	RoleUnknown Role = iota
+	// RoleBackbone marks operator backbone routers (ibone/tbone/ip.att).
+	RoleBackbone
+	// RoleAgg marks aggregation routers.
+	RoleAgg
+	// RoleEdge marks edge (cable/remote) routers.
+	RoleEdge
+	// RoleLastMile marks subscriber-side devices (DSLAMs, ONTs, CPE).
+	RoleLastMile
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleBackbone:
+		return "backbone"
+	case RoleAgg:
+		return "agg"
+	case RoleEdge:
+		return "edge"
+	case RoleLastMile:
+		return "lastmile"
+	}
+	return "unknown"
+}
+
+// Info is what a hostname reveals.
+type Info struct {
+	// ISP is the operator the naming convention belongs to.
+	ISP string
+	// CO is the central-office tag: "troutdale.or" (Comcast style),
+	// "sndgcaxk" (Charter 8-char CLLI), "sndgca" (AT&T lightspeed city
+	// code), "sd2ca" (AT&T backbone region tag).
+	CO string
+	// Region is the regional-network tag when present ("bverton",
+	// "socal"); empty for backbone names.
+	Region string
+	Role   Role
+	// Backbone is true for operator backbone PoP names.
+	Backbone bool
+}
+
+var (
+	comcastBackboneRe = regexp.MustCompile(`^(?:be|ae|po)-[\d-]+-cr\d+\.([a-z0-9]+\.[a-z]{2})\.ibone\.comcast\.net$`)
+	comcastRegionalRe = regexp.MustCompile(`^(?:ae|po)-[\d-]+-(ar|cbr|rur)\d+\.([a-z0-9]+\.[a-z]{2})\.([a-z0-9]+)\.comcast\.net$`)
+	comcastSubRe      = regexp.MustCompile(`^c-[\d-]+\.hsd\d\.[a-z]{2}\.comcast\.net$`)
+
+	charterBackboneRe = regexp.MustCompile(`^bu-ether\d+\.([a-z]{8})[0-9a-z]{3}-bcr\d+\.tbone\.rr\.com$`)
+	charterRegionalRe = regexp.MustCompile(`^agg\d+\.([a-z]{8})(\d{2})([rmh])\.([a-z0-9]+)\.rr\.com$`)
+	charterSubRe      = regexp.MustCompile(`^cpe-[\d-]+\.[a-z0-9]+\.res\.rr\.com$`)
+
+	attLightspeedRe = regexp.MustCompile(`^([\d-]+)\.lightspeed\.([a-z]{6})\.sbcglobal\.net$`)
+	attBackboneRe   = regexp.MustCompile(`^[a-z]+\d*\.([a-z0-9]+)\.ip\.att\.net$`)
+
+	vzBackboneRe  = regexp.MustCompile(`\.alter\.net$`)
+	vzSpeedtestRe = regexp.MustCompile(`^([a-z]{4})\.ost\.myvzw\.com$`)
+)
+
+// Parse extracts Info from a hostname; ok is false when no convention
+// matched.
+func Parse(name string) (Info, bool) {
+	if m := comcastBackboneRe.FindStringSubmatch(name); m != nil {
+		return Info{ISP: "comcast", CO: m[1], Role: RoleBackbone, Backbone: true}, true
+	}
+	if m := comcastRegionalRe.FindStringSubmatch(name); m != nil {
+		role := RoleEdge
+		if m[1] == "ar" {
+			role = RoleAgg
+		}
+		return Info{ISP: "comcast", CO: m[2], Region: m[3], Role: role}, true
+	}
+	if comcastSubRe.MatchString(name) {
+		return Info{ISP: "comcast", Role: RoleLastMile}, true
+	}
+	if m := charterBackboneRe.FindStringSubmatch(name); m != nil {
+		return Info{ISP: "charter", CO: m[1], Role: RoleBackbone, Backbone: true}, true
+	}
+	if m := charterRegionalRe.FindStringSubmatch(name); m != nil {
+		role := RoleEdge
+		if m[3] == "r" {
+			role = RoleAgg
+		}
+		return Info{ISP: "charter", CO: m[1], Region: m[4], Role: role}, true
+	}
+	if charterSubRe.MatchString(name) {
+		return Info{ISP: "charter", Role: RoleLastMile}, true
+	}
+	if m := attLightspeedRe.FindStringSubmatch(name); m != nil {
+		return Info{ISP: "att", CO: m[2], Role: RoleLastMile}, true
+	}
+	if m := attBackboneRe.FindStringSubmatch(name); m != nil {
+		return Info{ISP: "att", CO: m[1], Role: RoleBackbone, Backbone: true}, true
+	}
+	if m := vzSpeedtestRe.FindStringSubmatch(name); m != nil {
+		return Info{ISP: "verizon", CO: m[1], Role: RoleLastMile}, true
+	}
+	if vzBackboneRe.MatchString(name) {
+		return Info{ISP: "verizon", Role: RoleBackbone, Backbone: true}, true
+	}
+	return Info{}, false
+}
+
+// COKey returns the key the mapping pipeline uses for a CO: region-
+// qualified when a region tag is present, so identical CO tags in
+// different regional networks stay distinct.
+func (i Info) COKey() string {
+	if i.CO == "" {
+		return ""
+	}
+	if i.Backbone {
+		return "bb:" + i.CO
+	}
+	if i.Region != "" {
+		return i.Region + "/" + i.CO
+	}
+	return i.CO
+}
+
+// TargetRegex returns the snapshot-scan regex the campaigns use for
+// target selection against an operator (§5.1 step 2, §6.1, Appendix C).
+func TargetRegex(isp string) *regexp.Regexp {
+	switch isp {
+	case "comcast":
+		return regexp.MustCompile(`^(?:ae|po|be)-[\d-]+-(?:ar|cbr|rur|cr)\d+\.[a-z0-9.]+\.comcast\.net$`)
+	case "charter":
+		return regexp.MustCompile(`^(?:agg\d+\.[a-z]{8}\d{2}[rmh]\.[a-z0-9]+|bu-ether\d+\.[a-z]{8}[0-9a-z]{3}-bcr\d+\.tbone)\.rr\.com$`)
+	case "att":
+		// The paper's lspgw pattern: ([\d-]+-1).lightspeed.([a-z]{6}).sbcglobal.net
+		return regexp.MustCompile(`^[\d-]+\.lightspeed\.[a-z]{6}\.sbcglobal\.net$`)
+	default:
+		return regexp.MustCompile(`$^`) // matches nothing
+	}
+}

@@ -1,0 +1,132 @@
+package hostnames
+
+import "testing"
+
+// TestPaperExamples feeds the exact hostnames from the paper's Fig. 5
+// and Fig. 12 through the parser.
+func TestPaperExamples(t *testing.T) {
+	tests := []struct {
+		name string
+		want Info
+	}{
+		// Fig. 5a — Charter path into Southern California.
+		{"bu-ether15.lsancarc0yw-bcr00.tbone.rr.com",
+			Info{ISP: "charter", CO: "lsancarc", Role: RoleBackbone, Backbone: true}},
+		{"agg2.lsancarc01r.socal.rr.com",
+			Info{ISP: "charter", CO: "lsancarc", Region: "socal", Role: RoleAgg}},
+		{"agg1.sndhcaax01r.socal.rr.com",
+			Info{ISP: "charter", CO: "sndhcaax", Region: "socal", Role: RoleAgg}},
+		{"agg1.sndgcaxk01h.socal.rr.com",
+			Info{ISP: "charter", CO: "sndgcaxk", Region: "socal", Role: RoleEdge}},
+		{"agg1.sndgcaxk02m.socal.rr.com",
+			Info{ISP: "charter", CO: "sndgcaxk", Region: "socal", Role: RoleEdge}},
+		// Fig. 5b — Comcast path into Beaverton, OR.
+		{"be-1102-cr02.sunnyvale.ca.ibone.comcast.net",
+			Info{ISP: "comcast", CO: "sunnyvale.ca", Role: RoleBackbone, Backbone: true}},
+		{"ae-72-ar01.beaverton.or.bverton.comcast.net",
+			Info{ISP: "comcast", CO: "beaverton.or", Region: "bverton", Role: RoleAgg}},
+		{"ae-1-rur201.troutdale.or.bverton.comcast.net",
+			Info{ISP: "comcast", CO: "troutdale.or", Region: "bverton", Role: RoleEdge}},
+		{"po-1-1-cbr01.troutdale.or.bverton.comcast.net",
+			Info{ISP: "comcast", CO: "troutdale.or", Region: "bverton", Role: RoleEdge}},
+		// Fig. 12 — AT&T.
+		{"cr2.sd2ca.ip.att.net",
+			Info{ISP: "att", CO: "sd2ca", Role: RoleBackbone, Backbone: true}},
+		{"107-200-91-1.lightspeed.sndgca.sbcglobal.net",
+			Info{ISP: "att", CO: "sndgca", Role: RoleLastMile}},
+		// §7.2.2 — Verizon speedtest server in the Vista, CA EdgeCO.
+		{"cavt.ost.myvzw.com",
+			Info{ISP: "verizon", CO: "cavt", Role: RoleLastMile}},
+	}
+	for _, tt := range tests {
+		got, ok := Parse(tt.name)
+		if !ok {
+			t.Errorf("Parse(%q) failed", tt.name)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestNonMatches(t *testing.T) {
+	for _, name := range []string{
+		"",
+		"example.com",
+		"xe-6.cr.dnvrco.transit.example.net",
+		"agg1.short01r.socal.rr.com", // CLLI too short
+		"be-1102-xx02.sunnyvale.ca.ibone.comcast.net", // unknown role token
+		"google-public-dns-a.google.com",
+	} {
+		if info, ok := Parse(name); ok {
+			t.Errorf("Parse(%q) unexpectedly matched: %+v", name, info)
+		}
+	}
+}
+
+func TestSubscriberNames(t *testing.T) {
+	info, ok := Parse("c-73-0-59-1.hsd1.us.comcast.net")
+	if !ok || info.Role != RoleLastMile || info.CO != "" {
+		t.Errorf("comcast subscriber = %+v, %v", info, ok)
+	}
+	info, ok = Parse("cpe-76-167-26-170.socal.res.rr.com")
+	if !ok || info.Role != RoleLastMile {
+		t.Errorf("charter subscriber = %+v, %v", info, ok)
+	}
+}
+
+func TestCOKey(t *testing.T) {
+	tests := []struct {
+		in   Info
+		want string
+	}{
+		{Info{CO: "troutdale.or", Region: "bverton"}, "bverton/troutdale.or"},
+		{Info{CO: "sunnyvale.ca", Backbone: true}, "bb:sunnyvale.ca"},
+		{Info{CO: "sndgca"}, "sndgca"},
+		{Info{}, ""},
+	}
+	for _, tt := range tests {
+		if got := tt.in.COKey(); got != tt.want {
+			t.Errorf("COKey(%+v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTargetRegexes(t *testing.T) {
+	if !TargetRegex("comcast").MatchString("ae-72-ar01.beaverton.or.bverton.comcast.net") {
+		t.Error("comcast target regex misses agg router")
+	}
+	if !TargetRegex("comcast").MatchString("be-1102-cr02.sunnyvale.ca.ibone.comcast.net") {
+		t.Error("comcast target regex misses backbone router")
+	}
+	if TargetRegex("comcast").MatchString("c-73-0-59-1.hsd1.us.comcast.net") {
+		t.Error("comcast target regex matches subscribers")
+	}
+	if !TargetRegex("charter").MatchString("agg1.sndgcaxk02m.socal.rr.com") {
+		t.Error("charter target regex misses edge router")
+	}
+	if TargetRegex("charter").MatchString("cpe-76-167-26-170.socal.res.rr.com") {
+		t.Error("charter target regex matches subscribers")
+	}
+	if !TargetRegex("att").MatchString("107-200-91-1.lightspeed.sndgca.sbcglobal.net") {
+		t.Error("att target regex misses lspgw")
+	}
+	if TargetRegex("att").MatchString("cr2.sd2ca.ip.att.net") {
+		t.Error("att lspgw regex matches backbone names")
+	}
+	if TargetRegex("nosuch").MatchString("anything") {
+		t.Error("unknown ISP regex should match nothing")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for role, want := range map[Role]string{
+		RoleUnknown: "unknown", RoleBackbone: "backbone", RoleAgg: "agg",
+		RoleEdge: "edge", RoleLastMile: "lastmile",
+	} {
+		if role.String() != want {
+			t.Errorf("Role(%d).String() = %s", role, role.String())
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package ipalloc hands out addresses and subnets to the topology
+// generators: sequential host addresses, point-to-point /30 and /31
+// subnets (the conventions Comcast and Charter use to interconnect CO
+// routers, per Appendix B.1), /24 router blocks (AT&T's per-region
+// EdgeCO prefixes, per Appendix C), and IPv6 addresses with explicit bit
+// fields (the mobile carriers' address plans, per Fig. 16).
+package ipalloc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Pool allocates addresses sequentially from a prefix.
+type Pool struct {
+	prefix netip.Prefix
+	next   netip.Addr
+}
+
+// NewPool returns a pool over the given prefix. The first allocation is
+// the first address after the prefix base (the .0 network address of an
+// IPv4 block is skipped by NextHost).
+func NewPool(p netip.Prefix) *Pool {
+	return &Pool{prefix: p.Masked(), next: p.Masked().Addr()}
+}
+
+// Prefix returns the pool's covering prefix.
+func (p *Pool) Prefix() netip.Prefix { return p.prefix }
+
+// NextHost returns the next usable host address, skipping .0 and .255 in
+// IPv4 /24 boundaries to stay plausible.
+func (p *Pool) NextHost() (netip.Addr, error) {
+	for {
+		p.next = p.next.Next()
+		if !p.prefix.Contains(p.next) {
+			return netip.Addr{}, fmt.Errorf("ipalloc: pool %s exhausted", p.prefix)
+		}
+		if p.next.Is4() {
+			b := p.next.As4()
+			if b[3] == 0 || b[3] == 255 {
+				continue
+			}
+		}
+		return p.next, nil
+	}
+}
+
+// NextSubnet carves the next subnet of the given prefix length out of
+// the pool, advancing past it.
+func (p *Pool) NextSubnet(bits int) (netip.Prefix, error) {
+	if bits < p.prefix.Bits() {
+		return netip.Prefix{}, fmt.Errorf("ipalloc: subnet /%d larger than pool %s", bits, p.prefix)
+	}
+	base := p.next
+	if base == p.prefix.Addr() {
+		// Nothing allocated yet: the first subnet starts at the base.
+	} else {
+		// Round up to the next /bits boundary after the last handout.
+		base = nextBoundary(base, bits)
+	}
+	sub := netip.PrefixFrom(base, bits).Masked()
+	if !p.prefix.Contains(sub.Addr()) || !p.prefix.Contains(lastAddr(sub)) {
+		return netip.Prefix{}, fmt.Errorf("ipalloc: pool %s exhausted for /%d", p.prefix, bits)
+	}
+	p.next = lastAddr(sub)
+	return sub, nil
+}
+
+func nextBoundary(a netip.Addr, bits int) netip.Addr {
+	pfx := netip.PrefixFrom(a, bits).Masked()
+	return lastAddr(pfx).Next()
+}
+
+func lastAddr(p netip.Prefix) netip.Addr {
+	if p.Addr().Is4() {
+		v := binary.BigEndian.Uint32(p.Addr().AsSlice())
+		host := uint32(1)<<(32-p.Bits()) - 1
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], v|host)
+		return netip.AddrFrom4(b)
+	}
+	b := p.Addr().As16()
+	for i := p.Bits(); i < 128; i++ {
+		b[i/8] |= 1 << (7 - i%8)
+	}
+	return netip.AddrFrom16(b)
+}
+
+// P2P is a point-to-point subnet with its two usable addresses.
+type P2P struct {
+	Prefix netip.Prefix
+	A, B   netip.Addr
+}
+
+// NextP2P carves a /30 (two usable addresses at offsets 1 and 2) or /31
+// (offsets 0 and 1) point-to-point subnet from the pool.
+func (p *Pool) NextP2P(bits int) (P2P, error) {
+	if bits != 30 && bits != 31 {
+		return P2P{}, fmt.Errorf("ipalloc: point-to-point subnets are /30 or /31, got /%d", bits)
+	}
+	sub, err := p.NextSubnet(bits)
+	if err != nil {
+		return P2P{}, err
+	}
+	if bits == 31 {
+		return P2P{Prefix: sub, A: sub.Addr(), B: sub.Addr().Next()}, nil
+	}
+	a := sub.Addr().Next()
+	return P2P{Prefix: sub, A: a, B: a.Next()}, nil
+}
+
+// V6WithFields builds an IPv6 address by writing bit fields onto a base
+// address. Fields may overlap previous writes; later fields win. This is
+// how the mobile generators express the Fig. 16 address plans, e.g.
+//
+//	V6WithFields(base, Field{32, 8, regionID}, Field{48, 4, pgwID})
+func V6WithFields(base netip.Addr, fields ...Field) netip.Addr {
+	b := base.As16()
+	for _, f := range fields {
+		setBits(&b, f.Start, f.Len, f.Value)
+	}
+	return netip.AddrFrom16(b)
+}
+
+// Field is one bit-aligned value inside an IPv6 address: Len bits
+// starting at bit Start (0 = most significant bit of the address).
+type Field struct {
+	Start int
+	Len   int
+	Value uint64
+}
+
+func setBits(b *[16]byte, start, length int, value uint64) {
+	for i := 0; i < length; i++ {
+		bit := start + i
+		if bit < 0 || bit > 127 {
+			continue
+		}
+		mask := byte(1) << (7 - bit%8)
+		if value>>(length-1-i)&1 == 1 {
+			b[bit/8] |= mask
+		} else {
+			b[bit/8] &^= mask
+		}
+	}
+}
+
+// V6Bits extracts Len bits starting at Start from an IPv6 address. It is
+// the read-side counterpart of V6WithFields and the primitive the mobile
+// field-inference pipeline uses to compare address regions.
+func V6Bits(a netip.Addr, start, length int) uint64 {
+	b := a.As16()
+	var v uint64
+	for i := 0; i < length; i++ {
+		bit := start + i
+		if bit < 0 || bit > 127 {
+			continue
+		}
+		v <<= 1
+		if b[bit/8]>>(7-bit%8)&1 == 1 {
+			v |= 1
+		}
+	}
+	return v
+}

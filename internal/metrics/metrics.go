@@ -1,0 +1,182 @@
+// Package metrics provides the statistics the paper's evaluation
+// reports (CDFs, histograms, medians) and the ground-truth scoring that
+// stands in for the paper's operator validation (§5.4): CO and edge
+// precision/recall, AggCO classification accuracy, and entry recall.
+// It is the only package allowed to consume both inference output and
+// generator ground truth.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF copies and sorts the samples.
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len reports the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns the fraction of samples <= x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	pos := q * float64(len(c.sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(c.sorted) {
+		return c.sorted[lo]
+	}
+	return c.sorted[lo]*(1-frac) + c.sorted[lo+1]*frac
+}
+
+// Median is the 0.5 quantile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range c.sorted {
+		s += v
+	}
+	return s / float64(len(c.sorted))
+}
+
+// Min and Max return the extremes.
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample.
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Series renders the CDF at the given points as "x:frac" pairs, the
+// format the bench harness prints for figure reproduction.
+func (c *CDF) Series(points []float64) string {
+	var b strings.Builder
+	for i, x := range points {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%g:%.2f", x, c.At(x))
+	}
+	return b.String()
+}
+
+// Histogram buckets samples into labeled ranges (paper Table 2 style).
+type Histogram struct {
+	Bounds []float64 // bucket upper bounds; a final +inf bucket is implied
+	Counts []int
+}
+
+// NewHistogram buckets samples by the given upper bounds.
+func NewHistogram(bounds []float64, samples []float64) *Histogram {
+	h := &Histogram{Bounds: bounds, Counts: make([]int, len(bounds)+1)}
+	for _, s := range samples {
+		i := sort.SearchFloat64s(bounds, s)
+		h.Counts[i]++
+	}
+	return h
+}
+
+// String renders "<=b0:n0 <=b1:n1 ... >bk:nk".
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, c := range h.Counts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if i < len(h.Bounds) {
+			fmt.Fprintf(&b, "<=%g:%d", h.Bounds[i], c)
+		} else {
+			fmt.Fprintf(&b, ">%g:%d", h.Bounds[len(h.Bounds)-1], c)
+		}
+	}
+	return b.String()
+}
+
+// PrecisionRecall holds a scoring pair.
+type PrecisionRecall struct {
+	Precision float64
+	Recall    float64
+	// TruePos, FalsePos, FalseNeg are the raw counts.
+	TruePos, FalsePos, FalseNeg int
+}
+
+// Score computes precision/recall from set membership: inferred and
+// truth are sets of comparable keys.
+func Score(inferred, truth map[string]bool) PrecisionRecall {
+	var pr PrecisionRecall
+	for k := range inferred {
+		if truth[k] {
+			pr.TruePos++
+		} else {
+			pr.FalsePos++
+		}
+	}
+	for k := range truth {
+		if !inferred[k] {
+			pr.FalseNeg++
+		}
+	}
+	if pr.TruePos+pr.FalsePos > 0 {
+		pr.Precision = float64(pr.TruePos) / float64(pr.TruePos+pr.FalsePos)
+	}
+	if pr.TruePos+pr.FalseNeg > 0 {
+		pr.Recall = float64(pr.TruePos) / float64(pr.TruePos+pr.FalseNeg)
+	}
+	return pr
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (pr PrecisionRecall) F1() float64 {
+	if pr.Precision+pr.Recall == 0 {
+		return 0
+	}
+	return 2 * pr.Precision * pr.Recall / (pr.Precision + pr.Recall)
+}
+
+func (pr PrecisionRecall) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f (tp=%d fp=%d fn=%d)", pr.Precision, pr.Recall, pr.TruePos, pr.FalsePos, pr.FalseNeg)
+}

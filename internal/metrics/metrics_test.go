@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4, 5})
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.At(3); got != 0.6 {
+		t.Errorf("At(3) = %v, want 0.6", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+	if got := c.Median(); got != 3 {
+		t.Errorf("Median = %v", got)
+	}
+	if got := c.Mean(); got != 3 {
+		t.Errorf("Mean = %v", got)
+	}
+	if c.Min() != 1 || c.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", c.Min(), c.Max())
+	}
+}
+
+func TestCDFQuantileProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var clean []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		c := NewCDF(clean)
+		// Quantile is monotone and bounded by the extremes.
+		prev := c.Quantile(0)
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			v := c.Quantile(q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return c.Quantile(0) == c.Min() && c.Quantile(1) == c.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAtMonotonic(t *testing.T) {
+	f := func(raw []float64, probes []float64) bool {
+		var clean []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		c := NewCDF(clean)
+		last := -1.0
+		var ps []float64
+		for _, p := range probes {
+			if !math.IsNaN(p) && !math.IsInf(p, 0) {
+				ps = append(ps, p)
+			}
+		}
+		// Monotonicity over sorted probe points.
+		for _, p := range NewCDF(ps).sorted {
+			v := c.At(p)
+			if v < last-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyCDF(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 {
+		t.Error("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Median()) || !math.IsNaN(c.Mean()) || !math.IsNaN(c.Min()) || !math.IsNaN(c.Max()) {
+		t.Error("empty CDF statistics should be NaN")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	got := c.Series([]float64{2, 4})
+	if got != "2:0.50 4:1.00" {
+		t.Errorf("Series = %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	// Table 2 style: latency buckets.
+	h := NewHistogram([]float64{4, 5, 6, 7}, []float64{3.5, 4.5, 4.9, 5.5, 6.5, 9.5, 9.9})
+	want := []int{1, 2, 1, 1, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d (%s)", i, c, want[i], h)
+		}
+	}
+	if h.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestScore(t *testing.T) {
+	inferred := map[string]bool{"a": true, "b": true, "c": true}
+	truth := map[string]bool{"b": true, "c": true, "d": true}
+	pr := Score(inferred, truth)
+	if pr.TruePos != 2 || pr.FalsePos != 1 || pr.FalseNeg != 1 {
+		t.Fatalf("counts = %+v", pr)
+	}
+	if math.Abs(pr.Precision-2.0/3) > 1e-9 || math.Abs(pr.Recall-2.0/3) > 1e-9 {
+		t.Errorf("P/R = %v/%v", pr.Precision, pr.Recall)
+	}
+	if math.Abs(pr.F1()-2.0/3) > 1e-9 {
+		t.Errorf("F1 = %v", pr.F1())
+	}
+	empty := Score(nil, nil)
+	if empty.Precision != 0 || empty.Recall != 0 || empty.F1() != 0 {
+		t.Error("empty score should be zero")
+	}
+}

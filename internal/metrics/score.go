@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comap"
+	"repro/internal/topogen"
+)
+
+// RegionScore compares one inferred region graph against ground truth.
+type RegionScore struct {
+	Region string
+	COs    PrecisionRecall
+	Edges  PrecisionRecall
+	AggCOs PrecisionRecall
+	// EntryRecall is the fraction of true entries (backbone COs and
+	// feeder regions) that the inference recovered.
+	EntryRecall float64
+}
+
+// ScoreRegion evaluates inferred CO and edge sets against the generator
+// truth. Edges are compared undirected at the CO-tag level.
+func ScoreRegion(g *comap.RegionGraph, truth *topogen.Region) RegionScore {
+	sc := RegionScore{Region: g.Region}
+
+	inferredCOs := map[string]bool{}
+	for _, n := range g.COs {
+		inferredCOs[n.Tag] = true
+	}
+	trueCOs := map[string]bool{}
+	for _, co := range truth.COs {
+		trueCOs[co.Tag] = true
+	}
+	sc.COs = Score(inferredCOs, trueCOs)
+
+	undirected := func(a, b string) string {
+		if a > b {
+			a, b = b, a
+		}
+		return a + "|" + b
+	}
+	inferredEdges := map[string]bool{}
+	for e := range g.Edges {
+		ta, tb := g.COs[e[0]], g.COs[e[1]]
+		if ta == nil || tb == nil {
+			continue
+		}
+		inferredEdges[undirected(ta.Tag, tb.Tag)] = true
+	}
+	trueEdges := map[string]bool{}
+	for _, co := range truth.COs {
+		for _, up := range co.Upstream {
+			parent := truth.COs[up]
+			if parent == nil {
+				continue // backbone or cross-region upstream
+			}
+			trueEdges[undirected(co.Tag, parent.Tag)] = true
+		}
+	}
+	sc.Edges = Score(inferredEdges, trueEdges)
+
+	inferredAgg := map[string]bool{}
+	for _, key := range g.AggCOs() {
+		inferredAgg[g.COs[key].Tag] = true
+	}
+	trueAgg := map[string]bool{}
+	for _, co := range truth.COs {
+		if co.Role == topogen.AggCO {
+			trueAgg[co.Tag] = true
+		}
+	}
+	sc.AggCOs = Score(inferredAgg, trueAgg)
+
+	// Entries: backbone CLLI-ish IDs cannot be compared tag-for-tag
+	// (inference keys them by rDNS tag, truth by generator ID), so we
+	// score recall by count category: number of distinct backbone
+	// entries and feeder regions recovered.
+	wantEntries := len(truth.BackboneEntries) + len(truth.EntryRegions)
+	if wantEntries > 0 {
+		gotBB := map[string]bool{}
+		gotRegions := map[string]bool{}
+		for _, e := range g.Entries {
+			if strings.HasPrefix(e.From, "bb:") {
+				gotBB[e.From] = true
+			} else if i := strings.IndexByte(e.From, '/'); i > 0 {
+				gotRegions[e.From[:i]] = true
+			}
+		}
+		got := len(gotBB)
+		if got > len(truth.BackboneEntries) {
+			got = len(truth.BackboneEntries)
+		}
+		gotR := 0
+		for _, r := range truth.EntryRegions {
+			if gotRegions[r] {
+				gotR++
+			}
+		}
+		sc.EntryRecall = float64(got+gotR) / float64(wantEntries)
+	} else {
+		sc.EntryRecall = 1
+	}
+	return sc
+}
+
+// ISPScore aggregates region scores for one operator.
+type ISPScore struct {
+	ISP     string
+	Regions []RegionScore
+}
+
+// ScoreISP scores every inferred region against its ground truth.
+func ScoreISP(inf *comap.Inference, truth *topogen.ISP) ISPScore {
+	out := ISPScore{ISP: truth.Name}
+	names := make([]string, 0, len(inf.Regions))
+	for name := range inf.Regions {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		t := truth.Regions[name]
+		if t == nil {
+			continue
+		}
+		out.Regions = append(out.Regions, ScoreRegion(inf.Regions[name], t))
+	}
+	return out
+}
+
+// MeanF1 summarizes an operator's CO-recovery quality.
+func (s ISPScore) MeanF1() float64 {
+	if len(s.Regions) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range s.Regions {
+		sum += r.COs.F1()
+	}
+	return sum / float64(len(s.Regions))
+}
+
+// String renders a per-region summary table.
+func (s ISPScore) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d regions scored\n", s.ISP, len(s.Regions))
+	for _, r := range s.Regions {
+		fmt.Fprintf(&b, "  %-14s COs %s | edges P=%.2f R=%.2f | agg P=%.2f R=%.2f | entries R=%.2f\n",
+			r.Region, r.COs, r.Edges.Precision, r.Edges.Recall,
+			r.AggCOs.Precision, r.AggCOs.Recall, r.EntryRecall)
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

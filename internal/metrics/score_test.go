@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comap"
+	"repro/internal/geo"
+	"repro/internal/topogen"
+)
+
+// mkTruth builds a ground-truth region: one AggCO over n EdgeCOs.
+func mkTruth(n int) *topogen.Region {
+	reg := &topogen.Region{
+		Name:            "r",
+		ISP:             "x",
+		COs:             map[string]*topogen.CO{},
+		BackboneEntries: []string{"bb1", "bb2"},
+	}
+	city := geo.MustByName("Denver")
+	agg := &topogen.CO{ID: "x/r/agg", Tag: "agg", Role: topogen.AggCO, City: city}
+	reg.COs[agg.ID] = agg
+	for i := 0; i < n; i++ {
+		tag := edgeTag(i)
+		co := &topogen.CO{ID: "x/r/" + tag, Tag: tag, Role: topogen.EdgeCO, City: city, Upstream: []string{agg.ID}}
+		reg.COs[co.ID] = co
+	}
+	return reg
+}
+
+func edgeTag(i int) string { return "e" + string(rune('a'+i)) }
+
+// mkInferred builds an inferred graph matching k of the truth's n
+// EdgeCOs plus extra phantom COs.
+func mkInferred(match, phantom int) *comap.RegionGraph {
+	g := &comap.RegionGraph{Region: "r", COs: map[string]*comap.CONode{}, Edges: map[[2]string]int{}}
+	g.COs["r/agg"] = &comap.CONode{Key: "r/agg", Tag: "agg", IsAgg: true}
+	add := func(tag string) {
+		key := "r/" + tag
+		g.COs[key] = &comap.CONode{Key: key, Tag: tag}
+		g.Edges[[2]string{"r/agg", key}] = 2
+	}
+	for i := 0; i < match; i++ {
+		add(edgeTag(i))
+	}
+	for i := 0; i < phantom; i++ {
+		add("phantom" + string(rune('a'+i)))
+	}
+	g.Entries = []comap.Entry{
+		{From: "bb:one", FirstCOs: []string{"r/agg"}},
+		{From: "bb:two", FirstCOs: []string{"r/agg"}},
+	}
+	return g
+}
+
+func TestScoreRegionPerfect(t *testing.T) {
+	truth := mkTruth(5)
+	g := mkInferred(5, 0)
+	sc := ScoreRegion(g, truth)
+	if sc.COs.Precision != 1 || sc.COs.Recall != 1 {
+		t.Errorf("CO score = %v", sc.COs)
+	}
+	if sc.Edges.Precision != 1 || sc.Edges.Recall != 1 {
+		t.Errorf("edge score = %v", sc.Edges)
+	}
+	if sc.AggCOs.Precision != 1 || sc.AggCOs.Recall != 1 {
+		t.Errorf("agg score = %v", sc.AggCOs)
+	}
+	if sc.EntryRecall != 1 {
+		t.Errorf("entry recall = %v", sc.EntryRecall)
+	}
+}
+
+func TestScoreRegionPartial(t *testing.T) {
+	truth := mkTruth(6)
+	g := mkInferred(4, 2) // 4 true edges + 2 phantoms (+ the agg)
+	sc := ScoreRegion(g, truth)
+	// COs: tp=5 (agg + 4 edges), fp=2, fn=2.
+	if sc.COs.TruePos != 5 || sc.COs.FalsePos != 2 || sc.COs.FalseNeg != 2 {
+		t.Errorf("CO counts = %v", sc.COs)
+	}
+	if sc.COs.F1() >= 1 || sc.COs.F1() <= 0 {
+		t.Errorf("F1 = %v", sc.COs.F1())
+	}
+	// Entries: only 1 of 2 backbone entries inferred this time.
+	g.Entries = g.Entries[:1]
+	sc = ScoreRegion(g, truth)
+	if sc.EntryRecall != 0.5 {
+		t.Errorf("entry recall = %v, want 0.5", sc.EntryRecall)
+	}
+}
+
+func TestScoreISPAndRender(t *testing.T) {
+	truth := &topogen.ISP{Name: "x", Regions: map[string]*topogen.Region{"r": mkTruth(4)}}
+	inf := &comap.Inference{Regions: map[string]*comap.RegionGraph{
+		"r":       mkInferred(4, 0),
+		"unknown": mkInferred(1, 0), // no truth: skipped
+	}}
+	sc := ScoreISP(inf, truth)
+	if len(sc.Regions) != 1 {
+		t.Fatalf("scored regions = %d", len(sc.Regions))
+	}
+	if sc.MeanF1() != 1 {
+		t.Errorf("mean F1 = %v", sc.MeanF1())
+	}
+	out := sc.String()
+	if !strings.Contains(out, "x: 1 regions scored") || !strings.Contains(out, "entries R=1.00") {
+		t.Errorf("render = %q", out)
+	}
+	if (ISPScore{}).MeanF1() != 0 {
+		t.Error("empty score mean F1 != 0")
+	}
+}
+
+func TestEntryRecallNoTruthEntries(t *testing.T) {
+	truth := mkTruth(3)
+	truth.BackboneEntries = nil
+	sc := ScoreRegion(mkInferred(3, 0), truth)
+	if sc.EntryRecall != 1 {
+		t.Errorf("regions without entries should score recall 1, got %v", sc.EntryRecall)
+	}
+}

@@ -1,0 +1,517 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// chainNet builds VP -> R1 -> R2 -> R3 -> target host, with 1ms links.
+// Interface addressing: link i uses 10.0.i.1 (near side) / 10.0.i.2 (far).
+type chain struct {
+	net    *Network
+	vp     *Host
+	target *Host
+	rs     []*Router
+}
+
+func buildChain(t *testing.T, nRouters int) *chain {
+	t.Helper()
+	n := New(42)
+	rs := make([]*Router, nRouters)
+	for i := range rs {
+		rs[i] = n.AddRouter(&Router{Name: fmt.Sprintf("r%d", i+1), ISP: "testnet", CO: fmt.Sprintf("co%d", i+1)})
+	}
+	for i := 0; i+1 < nRouters; i++ {
+		_, err := n.ConnectRouters(rs[i], rs[i+1],
+			addr(fmt.Sprintf("10.0.%d.1", i)), addr(fmt.Sprintf("10.0.%d.2", i)),
+			time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	vp := &Host{Addr: addr("192.168.1.10"), Router: rs[0], ISP: "testnet", AccessDelay: 500 * time.Microsecond, RespondsToPing: true}
+	tgt := &Host{Addr: addr("192.168.2.10"), Router: rs[nRouters-1], ISP: "testnet", AccessDelay: 2 * time.Millisecond, RespondsToPing: true}
+	if err := n.AddHost(vp); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddHost(tgt); err != nil {
+		t.Fatal(err)
+	}
+	return &chain{net: n, vp: vp, target: tgt, rs: rs}
+}
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func (c *chain) probe(ttl uint8) Reply {
+	return c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: c.target.Addr, TTL: ttl, Proto: ICMPEcho, FlowID: 7, Seq: uint32(ttl)})
+}
+
+func TestTracerouteSemantics(t *testing.T) {
+	c := buildChain(t, 3)
+	// TTL 1 expires at R2 (the VP's gateway R1 is the source router and
+	// does not consume TTL; hop 1 is the next router).
+	r1 := c.probe(1)
+	if r1.Type != TTLExceeded {
+		t.Fatalf("TTL1 reply type = %v", r1.Type)
+	}
+	// Inbound interface of R2 on the link from R1 is 10.0.0.2.
+	if r1.From != addr("10.0.0.2") {
+		t.Errorf("TTL1 from = %v, want 10.0.0.2 (inbound iface)", r1.From)
+	}
+	r2 := c.probe(2)
+	if r2.Type != TTLExceeded || r2.From != addr("10.0.1.2") {
+		t.Errorf("TTL2 = %v from %v, want ttl-exceeded from 10.0.1.2", r2.Type, r2.From)
+	}
+	r3 := c.probe(3)
+	if r3.Type != EchoReply || r3.From != c.target.Addr {
+		t.Errorf("TTL3 = %v from %v, want echo-reply from target", r3.Type, r3.From)
+	}
+	// Higher TTLs still reach the destination.
+	if r := c.probe(10); r.Type != EchoReply {
+		t.Errorf("TTL10 = %v, want echo-reply", r.Type)
+	}
+}
+
+func TestRTTMonotonicAlongPath(t *testing.T) {
+	c := buildChain(t, 5)
+	var prev time.Duration
+	for ttl := uint8(1); ttl <= 5; ttl++ {
+		r := c.probe(ttl)
+		if r.Type == Timeout {
+			t.Fatalf("ttl %d timed out", ttl)
+		}
+		// Jitter is bounded by JitterMax; each extra hop adds 2ms
+		// propagation, far more than jitter, so RTT must increase.
+		if r.RTT <= prev {
+			t.Errorf("RTT not increasing at ttl %d: %v <= %v", ttl, r.RTT, prev)
+		}
+		prev = r.RTT
+	}
+	// End-to-end RTT: 4 links * 1ms * 2 + access delays (0.5+2)*2 = 13ms
+	// + processing + jitter.
+	got := c.probe(5).RTT
+	if got < 13*time.Millisecond || got > 15*time.Millisecond {
+		t.Errorf("end-to-end RTT = %v, want ~13-15ms", got)
+	}
+}
+
+func TestProbeDeterminism(t *testing.T) {
+	c := buildChain(t, 4)
+	a := c.probe(2)
+	b := c.probe(2)
+	if a.Type != b.Type || a.From != b.From || a.RTT != b.RTT {
+		t.Errorf("identical probes gave different replies: %+v vs %+v", a, b)
+	}
+}
+
+func TestReplyTTL(t *testing.T) {
+	c := buildChain(t, 4)
+	r := c.probe(1)
+	if r.ReplyTTL != 254 {
+		t.Errorf("router reply TTL = %d, want 254 (255 initial, 1 hop back)", r.ReplyTTL)
+	}
+	h := c.probe(4)
+	if h.ReplyTTL != 60 {
+		t.Errorf("host reply TTL = %d, want 60 (64 initial, 4 hops back)", h.ReplyTTL)
+	}
+}
+
+func TestUDPProbeGetsPortUnreachable(t *testing.T) {
+	c := buildChain(t, 3)
+	r := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: c.target.Addr, TTL: 10, Proto: UDP})
+	if r.Type != PortUnreachable {
+		t.Errorf("UDP to host = %v, want port-unreachable", r.Type)
+	}
+}
+
+func TestProbeToRouterInterface(t *testing.T) {
+	c := buildChain(t, 3)
+	// Ping the far interface of R3 directly.
+	r := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: addr("10.0.1.2"), TTL: 30, Proto: ICMPEcho})
+	if r.Type != EchoReply || r.From != addr("10.0.1.2") {
+		t.Errorf("echo to iface = %v from %v", r.Type, r.From)
+	}
+}
+
+func TestMercatorSignal(t *testing.T) {
+	c := buildChain(t, 3)
+	r3 := c.rs[2]
+	r3.ReplyAddr = ReplyCanonical
+	lo, err := c.net.AddIface(r3, addr("10.255.0.3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lo
+	r3.Canonical = addr("10.255.0.3")
+	// UDP probe to the inbound interface address returns the canonical
+	// address: the Mercator alias signal.
+	r := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: addr("10.0.1.2"), TTL: 30, Proto: UDP})
+	if r.Type != PortUnreachable {
+		t.Fatalf("mercator probe type = %v", r.Type)
+	}
+	if r.From != addr("10.255.0.3") {
+		t.Errorf("mercator reply from %v, want canonical 10.255.0.3", r.From)
+	}
+	// An inbound-mode router gives no signal.
+	r2 := c.rs[1]
+	r2.ReplyAddr = ReplyInbound
+	got := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: addr("10.0.0.2"), TTL: 30, Proto: UDP})
+	if got.From != addr("10.0.0.2") {
+		t.Errorf("inbound-mode reply from %v, want probed addr", got.From)
+	}
+}
+
+func TestDstPolicy(t *testing.T) {
+	c := buildChain(t, 3)
+	c.rs[1].DstPolicy = DstInternalOnly
+	ext := &Host{Addr: addr("172.16.0.9"), Router: c.rs[0], ISP: "othernet", AccessDelay: time.Millisecond, RespondsToPing: true}
+	if err := c.net.AddHost(ext); err != nil {
+		t.Fatal(err)
+	}
+	// Echo addressed to the router's interface: blocked for external
+	// sources, answered for internal ones.
+	ifaceAddr := addr("10.0.0.2") // r2's inbound interface
+	if r := c.net.Probe(t0, ProbeSpec{Src: ext.Addr, Dst: ifaceAddr, TTL: 30}); r.Type != Timeout {
+		t.Errorf("internal-only router answered external echo: %v", r.Type)
+	}
+	if r := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: ifaceAddr, TTL: 30}); r.Type != EchoReply {
+		t.Errorf("internal-only router refused internal echo: %v", r.Type)
+	}
+	// TTL-exceeded for transit packets is NOT blocked: external
+	// traceroutes through the router still see the hop (the §6.3
+	// behaviour).
+	if r := c.net.Probe(t0, ProbeSpec{Src: ext.Addr, Dst: c.target.Addr, TTL: 1}); r.Type != TTLExceeded {
+		t.Errorf("transit TTL-exceeded suppressed: %v", r.Type)
+	}
+	// DstClosed refuses even internal sources.
+	c.rs[1].DstPolicy = DstClosed
+	if r := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: ifaceAddr, TTL: 30}); r.Type != Timeout {
+		t.Errorf("closed router answered: %v", r.Type)
+	}
+	if r := c.probe(1); r.Type != TTLExceeded {
+		t.Errorf("closed router suppressed transit TTL-exceeded: %v", r.Type)
+	}
+}
+
+func TestResponseProb(t *testing.T) {
+	c := buildChain(t, 3)
+	c.rs[1].ResponseProb = 0.00001 // effectively silent
+	timeouts := 0
+	for seq := uint32(0); seq < 50; seq++ {
+		r := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: c.target.Addr, TTL: 1, Seq: seq})
+		if r.Type == Timeout {
+			timeouts++
+		}
+	}
+	if timeouts < 49 {
+		t.Errorf("nearly-silent router answered %d/50 probes", 50-timeouts)
+	}
+	// Destination is still reachable through the silent hop.
+	if r := c.probe(3); r.Type != EchoReply {
+		t.Errorf("probe through silent hop = %v", r.Type)
+	}
+}
+
+func TestMPLSTunnelHidesInterior(t *testing.T) {
+	c := buildChain(t, 5) // r1..r5, target behind r5
+	// LSP from R2 to R4: R3 is interior.
+	c.net.AddTunnel(c.rs[1], c.rs[3])
+	// Traceroute to the host (beyond egress): hops are R2, R4, R5, host.
+	hops := map[int]netip.Addr{}
+	for ttl := uint8(1); ttl <= 6; ttl++ {
+		r := c.probe(ttl)
+		if r.Type == TTLExceeded || r.Type == EchoReply {
+			hops[int(ttl)] = r.From
+		}
+	}
+	if hops[1] != addr("10.0.0.2") { // R2 inbound
+		t.Errorf("hop1 = %v", hops[1])
+	}
+	if hops[2] != addr("10.0.2.2") { // R4 inbound (from R3's link!)
+		t.Errorf("hop2 = %v, want R4 inbound 10.0.2.2 (R3 hidden)", hops[2])
+	}
+	if hops[3] != addr("10.0.3.2") { // R5
+		t.Errorf("hop3 = %v", hops[3])
+	}
+	if hops[4] != c.target.Addr {
+		t.Errorf("hop4 = %v, want target", hops[4])
+	}
+	// DPR: traceroute to the egress interface reveals the interior hop.
+	r := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: addr("10.0.2.2"), TTL: 2, Proto: ICMPEcho})
+	if r.Type != TTLExceeded || r.From != addr("10.0.1.2") {
+		t.Errorf("DPR hop2 = %v from %v, want ttl-exceeded from R3 (10.0.1.2)", r.Type, r.From)
+	}
+}
+
+func TestECMPFlowStability(t *testing.T) {
+	// Diamond: r1 -> {r2a, r2b} -> r3 with equal costs.
+	n := New(7)
+	r1 := n.AddRouter(&Router{Name: "r1", ISP: "t"})
+	r2a := n.AddRouter(&Router{Name: "r2a", ISP: "t"})
+	r2b := n.AddRouter(&Router{Name: "r2b", ISP: "t"})
+	r3 := n.AddRouter(&Router{Name: "r3", ISP: "t"})
+	must := func(_ *Link, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(n.ConnectRouters(r1, r2a, addr("10.1.0.1"), addr("10.1.0.2"), time.Millisecond))
+	must(n.ConnectRouters(r1, r2b, addr("10.2.0.1"), addr("10.2.0.2"), time.Millisecond))
+	must(n.ConnectRouters(r2a, r3, addr("10.3.0.1"), addr("10.3.0.2"), time.Millisecond))
+	must(n.ConnectRouters(r2b, r3, addr("10.4.0.1"), addr("10.4.0.2"), time.Millisecond))
+	vp := &Host{Addr: addr("192.168.0.1"), Router: r1, ISP: "t", RespondsToPing: true}
+	tgt := &Host{Addr: addr("192.168.0.2"), Router: r3, ISP: "t", RespondsToPing: true}
+	if err := n.AddHost(vp); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddHost(tgt); err != nil {
+		t.Fatal(err)
+	}
+	// Same flow ID -> same middle hop every time.
+	first := n.Probe(t0, ProbeSpec{Src: vp.Addr, Dst: tgt.Addr, TTL: 1, FlowID: 99}).From
+	for i := 0; i < 20; i++ {
+		got := n.Probe(t0, ProbeSpec{Src: vp.Addr, Dst: tgt.Addr, TTL: 1, FlowID: 99, Seq: uint32(i)}).From
+		if got != first {
+			t.Fatalf("flow 99 switched paths: %v then %v", first, got)
+		}
+	}
+	// Different flow IDs eventually use both paths.
+	seen := map[netip.Addr]bool{}
+	for f := uint16(0); f < 64; f++ {
+		seen[n.Probe(t0, ProbeSpec{Src: vp.Addr, Dst: tgt.Addr, TTL: 1, FlowID: f}).From] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("ECMP used %d distinct next hops over 64 flows, want 2", len(seen))
+	}
+}
+
+func TestSharedIPIDMonotonic(t *testing.T) {
+	c := buildChain(t, 3)
+	r2 := c.rs[1]
+	r2.IPID = IPIDShared
+	r2.IPIDVelocity = 10
+	var prev uint16
+	at := t0
+	for i := 0; i < 30; i++ {
+		r := c.net.Probe(at, ProbeSpec{Src: c.vp.Addr, Dst: c.target.Addr, TTL: 1, Seq: uint32(i)})
+		if r.Type != TTLExceeded {
+			t.Fatal("probe failed")
+		}
+		if i > 0 {
+			delta := int32(r.IPID) - int32(prev)
+			if delta < 0 {
+				delta += 65536
+			}
+			// Velocity 10/s over 1s plus one per reply: small positive.
+			if delta <= 0 || delta > 100 {
+				t.Errorf("IPID delta %d out of bounds at sample %d", delta, i)
+			}
+		}
+		prev = r.IPID
+		at = at.Add(time.Second)
+	}
+}
+
+func TestPrefixOnlyDestinationsTimeout(t *testing.T) {
+	c := buildChain(t, 3)
+	c.net.AddPrefix(netip.MustParsePrefix("192.168.2.0/24"), c.rs[2], "testnet")
+	// Unassigned address inside the covered /24: intermediate hops reply,
+	// destination never does.
+	r := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: addr("192.168.2.200"), TTL: 1})
+	if r.Type != TTLExceeded {
+		t.Errorf("intermediate hop for prefix-only dst = %v", r.Type)
+	}
+	end := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: addr("192.168.2.200"), TTL: 10})
+	if end.Type != Timeout {
+		t.Errorf("prefix-only destination answered: %v", end.Type)
+	}
+	// Address outside all prefixes: unroutable.
+	if r := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: addr("203.0.113.77"), TTL: 10}); r.Type != Timeout {
+		t.Errorf("unroutable destination answered: %v", r.Type)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	n := New(1)
+	r1 := n.AddRouter(&Router{Name: "a", ISP: "t"})
+	r2 := n.AddRouter(&Router{Name: "b", ISP: "t"})
+	i1, err := n.AddIface(r1, addr("10.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddIface(r2, addr("10.0.0.1")); err == nil {
+		t.Error("duplicate interface address accepted")
+	}
+	i1b, err := n.AddIface(r1, addr("10.0.0.3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect(i1, i1b, 0); err == nil {
+		t.Error("self-link accepted")
+	}
+	i2, err := n.AddIface(r2, addr("10.0.0.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect(i1, i2, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	i3, err := n.AddIface(r2, addr("10.0.0.6"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect(i1, i3, time.Millisecond); err == nil {
+		t.Error("double-link on one interface accepted")
+	}
+	if err := n.AddHost(&Host{Addr: addr("1.2.3.4")}); err == nil {
+		t.Error("host without router accepted")
+	}
+}
+
+func TestUnreachableHostTimesOut(t *testing.T) {
+	n := New(3)
+	r1 := n.AddRouter(&Router{Name: "a", ISP: "t"})
+	r2 := n.AddRouter(&Router{Name: "b", ISP: "t"}) // island
+	vp := &Host{Addr: addr("10.0.0.1"), Router: r1, ISP: "t"}
+	tgt := &Host{Addr: addr("10.0.0.2"), Router: r2, ISP: "t", RespondsToPing: true}
+	if err := n.AddHost(vp); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddHost(tgt); err != nil {
+		t.Fatal(err)
+	}
+	if r := n.Probe(t0, ProbeSpec{Src: vp.Addr, Dst: tgt.Addr, TTL: 10}); r.Type != Timeout {
+		t.Errorf("probe across partition = %v", r.Type)
+	}
+	if n.Reachable(r1, r2) {
+		t.Error("Reachable across partition")
+	}
+}
+
+func TestHostNotRespondingToPing(t *testing.T) {
+	c := buildChain(t, 3)
+	c.target.RespondsToPing = false
+	if r := c.probe(5); r.Type != Timeout {
+		t.Errorf("silent host answered: %v", r.Type)
+	}
+}
+
+func TestRoutingPrefersLowDelay(t *testing.T) {
+	// r1 connects to r3 directly (5ms) and via r2 (1ms+1ms): path via r2
+	// must win.
+	n := New(5)
+	r1 := n.AddRouter(&Router{Name: "r1", ISP: "t", Loc: geo.Point{}})
+	r2 := n.AddRouter(&Router{Name: "r2", ISP: "t"})
+	r3 := n.AddRouter(&Router{Name: "r3", ISP: "t"})
+	mustLink := func(_ *Link, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink(n.ConnectRouters(r1, r3, addr("10.9.0.1"), addr("10.9.0.2"), 5*time.Millisecond))
+	mustLink(n.ConnectRouters(r1, r2, addr("10.1.0.1"), addr("10.1.0.2"), time.Millisecond))
+	mustLink(n.ConnectRouters(r2, r3, addr("10.2.0.1"), addr("10.2.0.2"), time.Millisecond))
+	vp := &Host{Addr: addr("192.168.0.1"), Router: r1, ISP: "t"}
+	if err := n.AddHost(vp); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Probe(t0, ProbeSpec{Src: vp.Addr, Dst: addr("10.2.0.2"), TTL: 1})
+	if got.From != addr("10.1.0.2") {
+		t.Errorf("first hop = %v, want via r2 (10.1.0.2)", got.From)
+	}
+}
+
+func TestIPv6Forwarding(t *testing.T) {
+	n := New(9)
+	r1 := n.AddRouter(&Router{Name: "v6a", ISP: "m"})
+	r2 := n.AddRouter(&Router{Name: "v6b", ISP: "m"})
+	if _, err := n.ConnectRouters(r1, r2,
+		addr("2001:db8:1::1"), addr("2001:db8:1::2"), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	vp := &Host{Addr: addr("2001:db8:99::1"), Router: r1, ISP: "m", RespondsToPing: true}
+	tgt := &Host{Addr: addr("2001:db8:99::2"), Router: r2, ISP: "m", RespondsToPing: true}
+	for _, h := range []*Host{vp, tgt} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := n.Probe(t0, ProbeSpec{Src: vp.Addr, Dst: tgt.Addr, TTL: 1})
+	if r.Type != TTLExceeded || r.From != addr("2001:db8:1::2") {
+		t.Errorf("v6 hop = %v from %v", r.Type, r.From)
+	}
+	if r := n.Probe(t0, ProbeSpec{Src: vp.Addr, Dst: tgt.Addr, TTL: 8}); r.Type != EchoReply {
+		t.Errorf("v6 end-to-end = %v", r.Type)
+	}
+	// Mixed-family destination lookup must not cross families silently:
+	// a v4 probe to an unknown v4 address on a v6-only network times
+	// out.
+	if r := n.Probe(t0, ProbeSpec{Src: vp.Addr, Dst: addr("192.0.2.1"), TTL: 8}); r.Type != Timeout {
+		t.Errorf("v4 dst on v6 net = %v", r.Type)
+	}
+}
+
+func TestGeneralPrefixFallback(t *testing.T) {
+	// Non-/24 prefixes go through the linear owner table.
+	c := buildChain(t, 3)
+	c.net.AddPrefix(netip.MustParsePrefix("100.64.0.0/10"), c.rs[2], "testnet")
+	r := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: addr("100.64.5.5"), TTL: 1})
+	if r.Type != TTLExceeded {
+		t.Errorf("general-prefix dst hop = %v", r.Type)
+	}
+	// Longest-prefix match prefers the /24 index over the general entry.
+	c.net.AddPrefix(netip.MustParsePrefix("100.64.5.0/24"), c.rs[0], "testnet")
+	r2 := c.net.Probe(t0, ProbeSpec{Src: c.vp.Addr, Dst: addr("100.64.5.5"), TTL: 10})
+	// Routed to rs[0] (the VP's own gateway) and dies there unanswered.
+	if r2.Type != Timeout {
+		t.Errorf("/24-owned dst = %v", r2.Type)
+	}
+}
+
+func TestLinkMetricOverride(t *testing.T) {
+	// r1 connects to r3 directly (3ms) and via r2 (1ms+1ms). Routing
+	// normally prefers the two-hop path; an operator metric on the
+	// direct link pulls traffic onto it without changing its RTT.
+	n := New(13)
+	r1 := n.AddRouter(&Router{Name: "m1", ISP: "t"})
+	r2 := n.AddRouter(&Router{Name: "m2", ISP: "t"})
+	r3 := n.AddRouter(&Router{Name: "m3", ISP: "t"})
+	direct, err := n.ConnectRouters(r1, r3, addr("10.5.0.1"), addr("10.5.0.2"), 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ConnectRouters(r1, r2, addr("10.6.0.1"), addr("10.6.0.2"), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ConnectRouters(r2, r3, addr("10.7.0.1"), addr("10.7.0.2"), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	vp := &Host{Addr: addr("192.168.7.1"), Router: r1, ISP: "t"}
+	tgt := &Host{Addr: addr("192.168.7.2"), Router: r3, ISP: "t", RespondsToPing: true}
+	for _, h := range []*Host{vp, tgt} {
+		if err := n.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := func(ttl uint8) Reply {
+		return n.Probe(t0, ProbeSpec{Src: vp.Addr, Dst: tgt.Addr, TTL: ttl, FlowID: 4})
+	}
+	if r := probe(1); r.From != addr("10.6.0.2") {
+		t.Fatalf("without metric, first hop = %v, want via r2", r.From)
+	}
+	direct.Metric = time.Microsecond
+	n.InvalidateRoutes()
+	if r := probe(1); r.From != addr("10.5.0.2") {
+		t.Errorf("with preferential metric, first hop = %v, want the direct link", r.From)
+	}
+	// RTT still reflects the real 3ms propagation, not the metric.
+	if r := probe(8); r.Type != EchoReply || r.RTT < 6*time.Millisecond {
+		t.Errorf("end-to-end %v RTT %v should reflect the physical delay", r.Type, r.RTT)
+	}
+}

@@ -1,0 +1,342 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Proto selects the probe type.
+type Proto uint8
+
+const (
+	// ICMPEcho is an ICMP echo request (ping / icmp-paris traceroute).
+	ICMPEcho Proto = iota
+	// UDP is a UDP datagram to a high port (classic traceroute probe and
+	// Mercator's alias probe).
+	UDP
+)
+
+// ReplyType classifies what came back for a probe.
+type ReplyType uint8
+
+const (
+	// Timeout means nothing came back.
+	Timeout ReplyType = iota
+	// TTLExceeded is an ICMP time-exceeded from an intermediate router.
+	TTLExceeded
+	// EchoReply is the destination answering a ping.
+	EchoReply
+	// PortUnreachable is an ICMP destination-unreachable (port) from the
+	// destination of a UDP probe.
+	PortUnreachable
+)
+
+func (t ReplyType) String() string {
+	switch t {
+	case Timeout:
+		return "timeout"
+	case TTLExceeded:
+		return "ttl-exceeded"
+	case EchoReply:
+		return "echo-reply"
+	case PortUnreachable:
+		return "port-unreachable"
+	}
+	return "unknown"
+}
+
+// ProbeSpec describes one probe packet.
+type ProbeSpec struct {
+	// Src must be a registered Host address (the vantage point).
+	Src   netip.Addr
+	Dst   netip.Addr
+	TTL   uint8
+	Proto Proto
+	// FlowID keeps ECMP decisions stable: probes sharing a FlowID take
+	// identical paths (Paris traceroute invariant).
+	FlowID uint16
+	// Seq distinguishes retransmissions for jitter and rate-limit draws.
+	Seq uint32
+}
+
+// Reply is what the prober observes. The zero Reply is a Timeout.
+type Reply struct {
+	Type ReplyType
+	// From is the source address of the response packet.
+	From netip.Addr
+	RTT  time.Duration
+	// ReplyTTL is the TTL remaining on the response when it arrived,
+	// the signal Appendix C's figures display (reply-ttl column).
+	ReplyTTL uint8
+	// IPID is the IP identifier of the response, the signal MIDAR uses.
+	IPID uint16
+}
+
+// resolveDst locates the router that serves dst and whether dst is a
+// live host, a router interface, or a bare covered prefix.
+type dstKind uint8
+
+const (
+	dstNone dstKind = iota
+	dstHost
+	dstIface
+	dstPrefixOnly
+)
+
+func (n *Network) resolveDst(dst netip.Addr) (dstKind, *Router, *Host, *Iface) {
+	if h, ok := n.hosts[dst]; ok {
+		return dstHost, h.Router, h, nil
+	}
+	if ifc, ok := n.ifaces[dst]; ok {
+		return dstIface, ifc.Router, nil, ifc
+	}
+	if dst.Is4() && n.prefix24 != nil {
+		if po, ok := n.prefix24[netip.PrefixFrom(dst, 24).Masked().Addr()]; ok {
+			return dstPrefixOnly, po.router, nil, nil
+		}
+	}
+	var best *prefixOwner
+	for i := range n.prefixOwners {
+		po := &n.prefixOwners[i]
+		if po.prefix.Contains(dst) {
+			if best == nil || po.prefix.Bits() > best.prefix.Bits() {
+				best = po
+			}
+		}
+	}
+	if best != nil {
+		return dstPrefixOnly, best.router, nil, nil
+	}
+	return dstNone, nil, nil, nil
+}
+
+// visibleHop is a hop that consumes TTL (MPLS-hidden hops removed).
+type visibleHop struct {
+	router *Router
+	in     *Iface
+	delay  time.Duration
+	// hops is the count of physical routers traversed from the source
+	// up to and including this one (for processing-delay accounting).
+	hops int
+}
+
+// visiblePath applies MPLS no-ttl-propagate semantics to a router path:
+// hops strictly inside a tunnel are removed unless the probe is addressed
+// to an interface of the egress or of an interior router (Direct Path
+// Revelation, per Vanaubel et al.). Probes toward hosts or bare prefixes
+// beyond the egress ride the LSP and never see the interior. The source
+// router itself is not included in the result.
+func (n *Network) visiblePath(path []pathHop, dstRouter *Router, dstIsRouterAddr bool) []visibleHop {
+	hidden := make([]bool, len(path))
+	pos := make(map[RouterID]int, len(path))
+	for i, h := range path {
+		pos[h.router.ID] = i
+	}
+	dstPos := len(path) // beyond every hop unless the dst is a router
+	if dstIsRouterAddr {
+		if p, ok := pos[dstRouter.ID]; ok {
+			dstPos = p
+		}
+	}
+	for i, h := range path {
+		for _, t := range n.tunnels[h.router.ID] {
+			e, ok := pos[t.Egress.ID]
+			if !ok || e <= i {
+				continue
+			}
+			// DPR: destinations on or before the egress keep the
+			// interior visible.
+			if dstPos <= e {
+				continue
+			}
+			for j := i + 1; j < e; j++ {
+				hidden[j] = true
+			}
+		}
+	}
+	out := make([]visibleHop, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		if hidden[i] {
+			continue
+		}
+		out = append(out, visibleHop{
+			router: path[i].router,
+			in:     path[i].in,
+			delay:  path[i].delay,
+			hops:   i,
+		})
+	}
+	return out
+}
+
+// Probe injects one probe at virtual time `at` and returns the response.
+func (n *Network) Probe(at time.Time, s ProbeSpec) Reply {
+	srcHost, ok := n.hosts[s.Src]
+	if !ok || s.TTL == 0 {
+		return Reply{Type: Timeout}
+	}
+	kind, dstRouter, dHost, dIface := n.resolveDst(s.Dst)
+	if kind == dstNone || dstRouter == nil {
+		return Reply{Type: Timeout}
+	}
+	path := n.routerPath(srcHost.Router.ID, dstRouter.ID, s.FlowID)
+	if path == nil {
+		return Reply{Type: Timeout}
+	}
+	vis := n.visiblePath(path, dstRouter, kind == dstIface)
+
+	// Number of TTL-consuming hops to reach the destination endpoint:
+	// each visible router is one, plus one more when the destination is
+	// a host behind the final router.
+	hopsToDst := len(vis)
+	if kind == dstHost {
+		hopsToDst++
+	}
+
+	if int(s.TTL) <= len(vis) && int(s.TTL) < hopsToDst {
+		// Expires at an intermediate router.
+		h := vis[s.TTL-1]
+		return n.routerReply(at, s, srcHost, h, TTLExceeded)
+	}
+	if int(s.TTL) < hopsToDst {
+		return Reply{Type: Timeout}
+	}
+
+	// Probe reaches the destination.
+	switch kind {
+	case dstHost:
+		return n.hostReply(at, s, srcHost, dHost, vis)
+	case dstIface:
+		if len(vis) == 0 {
+			// Destination router is the VP's own gateway.
+			vis = []visibleHop{{router: dstRouter, in: dIface, delay: 0, hops: 0}}
+		}
+		h := vis[len(vis)-1]
+		h.in = dIface // echo/udp responses come from the probed address
+		kindReply := EchoReply
+		if s.Proto == UDP {
+			kindReply = PortUnreachable
+		}
+		return n.routerReply(at, s, srcHost, h, kindReply)
+	default: // dstPrefixOnly: address not live; the packet dies silently.
+		return Reply{Type: Timeout}
+	}
+}
+
+// routerReply builds a response originated by a router, applying the
+// router's ICMP policies. A router in ReplyCanonical mode answers from
+// its fixed address even when the probe was addressed to a different
+// interface — the signal Mercator-style alias resolution exploits.
+func (n *Network) routerReply(at time.Time, s ProbeSpec, src *Host, h visibleHop, typ ReplyType) Reply {
+	r := h.router
+	if typ != TTLExceeded {
+		switch r.DstPolicy {
+		case DstClosed:
+			return Reply{Type: Timeout}
+		case DstInternalOnly:
+			if src.ISP != r.ISP {
+				return Reply{Type: Timeout}
+			}
+		}
+	}
+	if r.ResponseProb < 1 {
+		draw := float64(mix(n.seed, 0xA11CE, u64(s.Src), u64(s.Dst), uint64(s.TTL), uint64(s.Seq))%1_000_000) / 1_000_000
+		if draw >= r.ResponseProb {
+			return Reply{Type: Timeout}
+		}
+	}
+	from := r.Canonical
+	replyIface := (*Iface)(nil)
+	if r.ReplyAddr == ReplyInbound && h.in != nil {
+		from = h.in.Addr
+		replyIface = h.in
+	}
+	rtt := n.rtt(s, src, h.delay, h.hops, 0)
+	return Reply{
+		Type:     typ,
+		From:     from,
+		RTT:      rtt,
+		ReplyTTL: replyTTL(255, h.hops),
+		IPID:     r.nextIPID(at, replyIface),
+	}
+}
+
+func (n *Network) hostReply(at time.Time, s ProbeSpec, src, dst *Host, vis []visibleHop) Reply {
+	if !dst.RespondsToPing {
+		return Reply{Type: Timeout}
+	}
+	var pathDelay time.Duration
+	hops := 0
+	if len(vis) > 0 {
+		last := vis[len(vis)-1]
+		pathDelay = last.delay
+		hops = last.hops
+	}
+	typ := EchoReply
+	if s.Proto == UDP {
+		typ = PortUnreachable
+	}
+	rtt := n.rtt(s, src, pathDelay, hops, dst.AccessDelay)
+	return Reply{
+		Type:     typ,
+		From:     dst.Addr,
+		RTT:      rtt,
+		ReplyTTL: replyTTL(64, hops+1),
+		IPID:     uint16(mix(n.seed, 0x1D, u64(dst.Addr), uint64(s.Seq))),
+	}
+}
+
+// rtt assembles a round-trip time: symmetric propagation, per-router
+// processing both ways, both access links, and bounded per-probe jitter.
+func (n *Network) rtt(s ProbeSpec, src *Host, oneWay time.Duration, hops int, dstAccess time.Duration) time.Duration {
+	rtt := 2*oneWay + 2*src.AccessDelay + 2*dstAccess
+	rtt += time.Duration(2*hops) * n.ProcessingDelay
+	if n.JitterMax > 0 {
+		j := time.Duration(mix(n.seed, 0x717, u64(s.Src), u64(s.Dst), uint64(s.TTL), uint64(s.Seq)) % uint64(n.JitterMax))
+		rtt += j
+	}
+	return rtt
+}
+
+func replyTTL(initial int, hopsBack int) uint8 {
+	v := initial - hopsBack
+	if v < 0 {
+		v = 0
+	}
+	return uint8(v)
+}
+
+// u64 folds an address into a hash input.
+func u64(a netip.Addr) uint64 {
+	b := a.As16()
+	var h uint64
+	for i := 0; i < 16; i += 8 {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			w = w<<8 | uint64(b[i+j])
+		}
+		h = mix(h, w)
+	}
+	return h
+}
+
+// nextIPID advances and returns the router's IP-ID for a reply sent at
+// the given virtual time from the given interface (nil for canonical).
+func (r *Router) nextIPID(at time.Time, ifc *Iface) uint16 {
+	switch r.IPID {
+	case IPIDRandom:
+		return uint16(mix(uint64(r.ID), 0x5EED, uint64(at.UnixNano())))
+	case IPIDPerInterface:
+		if ifc == nil {
+			r.ipidBase++
+			return uint16(r.ipidBase)
+		}
+		ifc.perIfIPID++
+		base := mix(uint64(r.ID), u64(ifc.Addr)) // independent counter origins
+		return uint16(base + ifc.perIfIPID + uint64(float64(at.Unix())*r.IPIDVelocity))
+	default: // IPIDShared
+		r.ipidBase++
+		elapsed := float64(at.UnixNano()) / 1e9
+		return uint16(uint64(r.ID)*7919 + r.ipidBase + uint64(elapsed*r.IPIDVelocity))
+	}
+}

@@ -1,0 +1,215 @@
+package netsim
+
+// Property-based tests over randomly generated topologies: routing and
+// probing invariants that must hold for any network the generators can
+// produce.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomNet builds a connected random network of n routers with a host
+// on each of two random routers.
+func randomNet(seed int64, n int) (*Network, *Host, *Host) {
+	rng := rand.New(rand.NewSource(seed))
+	net := New(uint64(seed))
+	rs := make([]*Router, n)
+	for i := range rs {
+		rs[i] = net.AddRouter(&Router{Name: fmt.Sprintf("r%d", i), ISP: "t", IPID: IPIDShared})
+		rs[i].IPIDVelocity = 10 + rng.Float64()*100
+	}
+	addrSeq := 0
+	nextPair := func() (netip.Addr, netip.Addr) {
+		addrSeq++
+		return netip.AddrFrom4([4]byte{10, byte(addrSeq >> 6), byte(addrSeq << 2), 1}),
+			netip.AddrFrom4([4]byte{10, byte(addrSeq >> 6), byte(addrSeq << 2), 2})
+	}
+	// Spanning tree first (connectivity), then random extra edges.
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		a, b := nextPair()
+		if _, err := net.ConnectRouters(rs[i], rs[j], a, b, time.Duration(1+rng.Intn(5))*time.Millisecond); err != nil {
+			panic(err)
+		}
+	}
+	for k := 0; k < n/2; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		a, b := nextPair()
+		// Ignore failures from already-linked interface reuse; every
+		// ConnectRouters call allocates fresh interfaces so none occur.
+		if _, err := net.ConnectRouters(rs[i], rs[j], a, b, time.Duration(1+rng.Intn(5))*time.Millisecond); err != nil {
+			panic(err)
+		}
+	}
+	src := &Host{Addr: netip.AddrFrom4([4]byte{192, 168, 0, 1}), Router: rs[rng.Intn(n)], ISP: "t", RespondsToPing: true}
+	dst := &Host{Addr: netip.AddrFrom4([4]byte{192, 168, 0, 2}), Router: rs[rng.Intn(n)], ISP: "t", RespondsToPing: true, AccessDelay: time.Millisecond}
+	if err := net.AddHost(src); err != nil {
+		panic(err)
+	}
+	if err := net.AddHost(dst); err != nil {
+		panic(err)
+	}
+	return net, src, dst
+}
+
+var pt0 = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// TestPathConnectivityProperty: every traceroute over a random network
+// yields hops that are physically adjacent in the simulated topology.
+func TestPathConnectivityProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, flow uint16) bool {
+		n := int(nRaw%30) + 3
+		net, src, dst := randomNet(seed, n)
+		var prevRouter *Router
+		for ttl := uint8(1); ttl <= 40; ttl++ {
+			r := net.Probe(pt0, ProbeSpec{Src: src.Addr, Dst: dst.Addr, TTL: ttl, FlowID: flow})
+			if r.Type == Timeout {
+				return false // fully responsive net: no timeouts allowed
+			}
+			if r.Type == EchoReply {
+				return true // reached the destination
+			}
+			ifc, ok := net.IfaceByAddr(r.From)
+			if !ok {
+				return false
+			}
+			if prevRouter != nil {
+				// The replying router must be adjacent to the previous
+				// hop's router.
+				adjacent := false
+				for _, pifc := range prevRouter.Interfaces() {
+					if pifc.Link != nil && pifc.Link.Other(pifc).Router == ifc.Router {
+						adjacent = true
+						break
+					}
+				}
+				if !adjacent {
+					return false
+				}
+			}
+			prevRouter = ifc.Router
+		}
+		// Never reached the destination within 40 hops on a <=33-router
+		// network: something is broken.
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRTTMonotoneInTTLProperty: along one flow, deeper hops never have
+// smaller jitter-free RTT floors (sampled via min over several seqs).
+func TestRTTMonotoneInTTLProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 4
+		net, src, dst := randomNet(seed, n)
+		minRTT := func(ttl uint8) (time.Duration, ReplyType) {
+			var best time.Duration
+			var typ ReplyType
+			for seq := uint32(0); seq < 8; seq++ {
+				r := net.Probe(pt0, ProbeSpec{Src: src.Addr, Dst: dst.Addr, TTL: ttl, FlowID: 5, Seq: seq})
+				typ = r.Type
+				if r.Type == Timeout {
+					return 0, r.Type
+				}
+				if best == 0 || r.RTT < best {
+					best = r.RTT
+				}
+			}
+			return best, typ
+		}
+		prev := time.Duration(0)
+		for ttl := uint8(1); ttl <= 40; ttl++ {
+			rtt, typ := minRTT(ttl)
+			if typ == Timeout {
+				return false
+			}
+			// Jitter bound is 400us; propagation per hop is >= 1ms, so
+			// the floor must not shrink by more than the jitter bound.
+			if rtt+net.JitterMax < prev {
+				return false
+			}
+			if typ == EchoReply {
+				return true
+			}
+			prev = rtt
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParisInvariantProperty: identical (src,dst,flow,ttl,seq) probes
+// always produce identical replies.
+func TestParisInvariantProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, flow uint16, ttlRaw uint8) bool {
+		n := int(nRaw%20) + 4
+		net, src, dst := randomNet(seed, n)
+		ttl := ttlRaw%20 + 1
+		r1 := net.Probe(pt0, ProbeSpec{Src: src.Addr, Dst: dst.Addr, TTL: ttl, FlowID: flow, Seq: 3})
+		r2 := net.Probe(pt0, ProbeSpec{Src: src.Addr, Dst: dst.Addr, TTL: ttl, FlowID: flow, Seq: 3})
+		return r1.Type == r2.Type && r1.From == r2.From && r1.RTT == r2.RTT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReachabilitySymmetry: Reachable is symmetric on our undirected
+// link model.
+func TestReachabilitySymmetry(t *testing.T) {
+	f := func(seed int64, nRaw uint8, i, j uint8) bool {
+		n := int(nRaw%20) + 4
+		net, _, _ := randomNet(seed, n)
+		rs := net.Routers()
+		a := rs[int(i)%len(rs)]
+		b := rs[int(j)%len(rs)]
+		return net.Reachable(a, b) == net.Reachable(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSharedIPIDMonotoneProperty: consecutive replies from a shared-
+// counter router carry strictly increasing (mod 2^16) IP-IDs at a
+// bounded rate.
+func TestSharedIPIDMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		net, src, dst := randomNet(seed, 6)
+		at := pt0
+		var prev uint16
+		for i := 0; i < 20; i++ {
+			r := net.Probe(at, ProbeSpec{Src: src.Addr, Dst: dst.Addr, TTL: 1, Seq: uint32(i), FlowID: 1})
+			if r.Type != TTLExceeded {
+				return true // src and dst share a router: nothing to test
+			}
+			if i > 0 {
+				d := int32(r.IPID) - int32(prev)
+				if d < 0 {
+					d += 65536
+				}
+				if d <= 0 || d > 2000 {
+					return false
+				}
+			}
+			prev = r.IPID
+			at = at.Add(time.Second)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

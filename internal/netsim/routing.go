@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// sptResult is a shortest-path tree rooted at one router, retaining every
+// equal-cost predecessor so ECMP path selection can hash on flow IDs the
+// way Paris traceroute expects.
+type sptResult struct {
+	dist  []time.Duration
+	preds [][]predEdge
+}
+
+type predEdge struct {
+	from  int32
+	iface *Iface // interface on the successor (current) router
+	link  *Link
+}
+
+type pqItem struct {
+	router int32
+	dist   time.Duration
+}
+
+type pq []pqItem
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].dist != p[j].dist {
+		return p[i].dist < p[j].dist
+	}
+	return p[i].router < p[j].router
+}
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	it := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return it
+}
+
+const unreachable = time.Duration(1<<62 - 1)
+
+// shortestPaths computes (and caches) the SPT rooted at src. Link weight
+// is propagation delay plus a constant hop cost, so the simulator prefers
+// the same low-latency, few-hop paths an IGP with delay-derived metrics
+// would pick.
+func (n *Network) shortestPaths(src RouterID) *sptResult {
+	if r, ok := n.spt[src]; ok {
+		return r
+	}
+	nr := len(n.routers)
+	res := &sptResult{
+		dist:  make([]time.Duration, nr),
+		preds: make([][]predEdge, nr),
+	}
+	for i := range res.dist {
+		res.dist[i] = unreachable
+	}
+	res.dist[src] = 0
+	q := pq{{router: int32(src), dist: 0}}
+	done := make([]bool, nr)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.router
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, ifc := range n.routers[u].ifaces {
+			if ifc.Link == nil {
+				continue
+			}
+			peer := ifc.Link.Other(ifc)
+			v := peer.Router.idx
+			metric := ifc.Link.Delay
+			if ifc.Link.Metric != 0 {
+				metric = ifc.Link.Metric
+			}
+			w := it.dist + quantizeDelay(metric) + hopCost
+			switch {
+			case w < res.dist[v]:
+				res.dist[v] = w
+				res.preds[v] = res.preds[v][:0]
+				res.preds[v] = append(res.preds[v], predEdge{from: u, iface: peer, link: ifc.Link})
+				heap.Push(&q, pqItem{router: v, dist: w})
+			case w == res.dist[v]:
+				res.preds[v] = append(res.preds[v], predEdge{from: u, iface: peer, link: ifc.Link})
+			}
+		}
+	}
+	n.spt[src] = res
+	return res
+}
+
+// hopCost biases routing toward fewer hops when propagation delays tie
+// (parallel links inside a metro).
+const hopCost = 10 * time.Microsecond
+
+// quantizeDelay coarsens a link delay into IGP-metric buckets for
+// routing decisions. Real IGP metrics are quantized (reference-bandwidth
+// or rounded-delay derived), which is what makes equal-cost multipath
+// common in practice; without it, microsecond-level geographic
+// differences would make every routing decision unique and traceroute
+// would never observe redundant paths. RTTs still use the exact delays.
+func quantizeDelay(d time.Duration) time.Duration {
+	const bucket = time.Millisecond
+	return (d + bucket/2) / bucket * bucket
+}
+
+// pathHop is one router visited by a forwarded packet.
+type pathHop struct {
+	router *Router
+	in     *Iface // interface the packet arrived on; nil at the source
+	// delay is the cumulative one-way physical propagation delay from
+	// the source router to this router along the chosen path. It is
+	// rebuilt from the links' true delays, NOT from the routing metric:
+	// IGP metrics are quantized (and sometimes operator-overridden), but
+	// packets still experience the real fiber.
+	delay time.Duration
+}
+
+// routerPath returns the routers a packet traverses from src to dst,
+// choosing among equal-cost alternatives with a hash of flowID so equal
+// flow IDs always take identical paths (Paris traceroute invariant).
+// Returns nil when dst is unreachable from src.
+func (n *Network) routerPath(src, dst RouterID, flowID uint16) []pathHop {
+	spt := n.shortestPaths(src)
+	if spt.dist[dst] == unreachable {
+		return nil
+	}
+	// Walk predecessors from dst back to src.
+	var rev []pathHop
+	cur := int32(dst)
+	for cur != int32(src) {
+		preds := spt.preds[cur]
+		pick := preds[int(mix(n.seed, uint64(flowID), uint64(cur))%uint64(len(preds)))]
+		rev = append(rev, pathHop{router: n.routers[cur], in: pick.iface})
+		cur = pick.from
+	}
+	rev = append(rev, pathHop{router: n.routers[src], in: nil, delay: 0})
+	// Reverse into forward order and accumulate the physical delays of
+	// the links actually traversed.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	for i := 1; i < len(rev); i++ {
+		rev[i].delay = rev[i-1].delay + rev[i].in.Link.Delay
+	}
+	return rev
+}
+
+// Reachable reports whether dst's serving router can be reached from
+// src's serving router.
+func (n *Network) Reachable(src, dst *Router) bool {
+	return n.shortestPaths(src.ID).dist[dst.idx] != unreachable
+}
+
+// mix is a splitmix64-style hash combiner used everywhere the simulator
+// needs deterministic pseudo-randomness keyed by probe parameters.
+func mix(vs ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}

@@ -1,0 +1,115 @@
+// Package ping collects RTT series over the simulated network: plain
+// echo series (the paper's 100-ping cloud studies, §5.5) and the
+// TTL-limited echo trick used to elicit responses from AT&T EdgeCO
+// devices that cannot be pinged directly (§6.3).
+package ping
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+)
+
+// Pinger sends echo series on a virtual clock.
+type Pinger struct {
+	Net   *netsim.Network
+	Clock *vclock.Clock
+	// Timeout is the wait for an unanswered probe (default 1s).
+	Timeout time.Duration
+	// Interval spaces successive probes (default 10ms, scamper-like).
+	Interval time.Duration
+}
+
+// Series summarizes one measurement run.
+type Series struct {
+	Sent, Received int
+	RTTs           []time.Duration // the received RTTs in send order
+}
+
+// Min returns the minimum RTT, or false when nothing was received.
+func (s Series) Min() (time.Duration, bool) {
+	if len(s.RTTs) == 0 {
+		return 0, false
+	}
+	min := s.RTTs[0]
+	for _, r := range s.RTTs[1:] {
+		if r < min {
+			min = r
+		}
+	}
+	return min, true
+}
+
+// Median returns the median RTT, or false when nothing was received.
+func (s Series) Median() (time.Duration, bool) {
+	if len(s.RTTs) == 0 {
+		return 0, false
+	}
+	sorted := append([]time.Duration(nil), s.RTTs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2], true
+}
+
+func (p *Pinger) defaults() {
+	if p.Timeout == 0 {
+		p.Timeout = time.Second
+	}
+	if p.Interval == 0 {
+		p.Interval = 10 * time.Millisecond
+	}
+}
+
+// Ping sends count echo requests from src to dst.
+func (p *Pinger) Ping(src, dst netip.Addr, count int) Series {
+	p.defaults()
+	var s Series
+	for i := 0; i < count; i++ {
+		r := p.Net.Probe(p.Clock.Now(), netsim.ProbeSpec{
+			Src: src, Dst: dst, TTL: 64, Proto: netsim.ICMPEcho, Seq: uint32(i),
+			FlowID: uint16(i), // pings are not Paris; let ECMP spread them
+		})
+		s.Sent++
+		if r.Type == netsim.EchoReply {
+			s.Received++
+			s.RTTs = append(s.RTTs, r.RTT)
+			p.Clock.Advance(r.RTT)
+		} else {
+			p.Clock.Advance(p.Timeout)
+		}
+		p.Clock.Advance(p.Interval)
+	}
+	return s
+}
+
+// TTLLimited sends count echo requests with the given TTL toward dst and
+// collects the time-exceeded responses. Setting TTL to the penultimate
+// traceroute hop measures the RTT to the device in front of dst — the
+// paper's trick for latency to AT&T EdgeCO equipment that drops direct
+// pings (§6.3). Probes share one flow ID so every probe takes the same
+// path to the same penultimate device.
+func (p *Pinger) TTLLimited(src, dst netip.Addr, ttl int, count int) (Series, netip.Addr) {
+	p.defaults()
+	var s Series
+	var from netip.Addr
+	fid := uint16(0x7e77)
+	for i := 0; i < count; i++ {
+		r := p.Net.Probe(p.Clock.Now(), netsim.ProbeSpec{
+			Src: src, Dst: dst, TTL: uint8(ttl), Proto: netsim.ICMPEcho,
+			FlowID: fid, Seq: uint32(i),
+		})
+		s.Sent++
+		if r.Type == netsim.TTLExceeded {
+			s.Received++
+			s.RTTs = append(s.RTTs, r.RTT)
+			from = r.From
+			p.Clock.Advance(r.RTT)
+		} else {
+			p.Clock.Advance(p.Timeout)
+		}
+		p.Clock.Advance(p.Interval)
+	}
+	return s, from
+}

@@ -1,0 +1,211 @@
+// Package resilience implements the paper's first future-work direction
+// (§8): using the inferred regional topologies to reason about failure
+// impact. For an inferred region graph it computes, for every CO and
+// entry point, how many EdgeCOs lose all connectivity to the region's
+// entries when that element fails — the "blast radius" that turned the
+// Christmas 2020 Nashville BackboneCO attack into a region-wide outage.
+//
+// The analysis runs on comap.RegionGraph output only: like the rest of
+// the inference stack it never sees generator ground truth.
+package resilience
+
+import (
+	"sort"
+
+	"repro/internal/comap"
+)
+
+// Impact is the consequence of one element's failure.
+type Impact struct {
+	// Element is the failed CO key, or an entry key ("bb:..." or a
+	// feeder-region CO).
+	Element string
+	// Kind is "co" or "entry".
+	Kind string
+	// DisconnectedEdgeCOs counts EdgeCOs with no remaining path to any
+	// entry point.
+	DisconnectedEdgeCOs int
+	// TotalEdgeCOs is the region's EdgeCO count, for fractions.
+	TotalEdgeCOs int
+}
+
+// Frac returns the fraction of EdgeCOs disconnected.
+func (i Impact) Frac() float64 {
+	if i.TotalEdgeCOs == 0 {
+		return 0
+	}
+	return float64(i.DisconnectedEdgeCOs) / float64(i.TotalEdgeCOs)
+}
+
+// Report is the per-region resilience summary.
+type Report struct {
+	Region string
+	// Impacts holds one entry per CO and per entry point, sorted by
+	// descending blast radius then element name.
+	Impacts []Impact
+	// SinglePointsOfFailure are the elements whose loss disconnects
+	// more than half the EdgeCOs.
+	SinglePointsOfFailure []string
+	// BaselineUnreachable counts EdgeCOs with no path to any entry even
+	// before a failure (inference gaps).
+	BaselineUnreachable int
+}
+
+// Analyze computes failure impact for every CO and entry point of an
+// inferred region.
+func Analyze(g *comap.RegionGraph) Report {
+	rep := Report{Region: g.Region}
+	edges := undirected(g)
+	entryFeeds := map[string][]string{} // entry element -> in-region COs it feeds
+	for _, e := range g.Entries {
+		entryFeeds[e.From] = append(entryFeeds[e.From], e.FirstCOs...)
+	}
+	var edgeCOs []string
+	for key, node := range g.COs {
+		if !node.IsAgg {
+			edgeCOs = append(edgeCOs, key)
+		}
+	}
+	sort.Strings(edgeCOs)
+	total := len(edgeCOs)
+
+	reachable := func(failedCO, failedEntry string) map[string]bool {
+		// BFS from every entry's first COs, skipping failed elements.
+		seen := map[string]bool{}
+		var queue []string
+		for entry, feeds := range entryFeeds {
+			if entry == failedEntry {
+				continue
+			}
+			for _, co := range feeds {
+				if co != failedCO && !seen[co] && g.COs[co] != nil {
+					seen[co] = true
+					queue = append(queue, co)
+				}
+			}
+		}
+		sort.Strings(queue) // determinism
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range edges[cur] {
+				if nb == failedCO || seen[nb] {
+					continue
+				}
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+		return seen
+	}
+
+	countDisconnected := func(reach map[string]bool, failedCO string) int {
+		n := 0
+		for _, e := range edgeCOs {
+			if e == failedCO {
+				continue // the failed element itself is not "stranded"
+			}
+			if !reach[e] {
+				n++
+			}
+		}
+		return n
+	}
+
+	base := reachable("", "")
+	rep.BaselineUnreachable = countDisconnected(base, "")
+
+	var elements []Impact
+	var coKeys []string
+	for key := range g.COs {
+		coKeys = append(coKeys, key)
+	}
+	sort.Strings(coKeys)
+	for _, key := range coKeys {
+		reach := reachable(key, "")
+		elements = append(elements, Impact{
+			Element:             key,
+			Kind:                "co",
+			DisconnectedEdgeCOs: countDisconnected(reach, key) - rep.BaselineUnreachable,
+			TotalEdgeCOs:        total,
+		})
+	}
+	var entryKeys []string
+	for entry := range entryFeeds {
+		entryKeys = append(entryKeys, entry)
+	}
+	sort.Strings(entryKeys)
+	for _, entry := range entryKeys {
+		reach := reachable("", entry)
+		elements = append(elements, Impact{
+			Element:             entry,
+			Kind:                "entry",
+			DisconnectedEdgeCOs: countDisconnected(reach, "") - rep.BaselineUnreachable,
+			TotalEdgeCOs:        total,
+		})
+	}
+	for i := range elements {
+		if elements[i].DisconnectedEdgeCOs < 0 {
+			elements[i].DisconnectedEdgeCOs = 0
+		}
+	}
+	sort.Slice(elements, func(i, j int) bool {
+		if elements[i].DisconnectedEdgeCOs != elements[j].DisconnectedEdgeCOs {
+			return elements[i].DisconnectedEdgeCOs > elements[j].DisconnectedEdgeCOs
+		}
+		return elements[i].Element < elements[j].Element
+	})
+	rep.Impacts = elements
+	for _, im := range elements {
+		if im.Frac() > 0.5 {
+			rep.SinglePointsOfFailure = append(rep.SinglePointsOfFailure, im.Element)
+		}
+	}
+	return rep
+}
+
+// undirected builds an adjacency list treating CO edges as bidirectional
+// fiber (the paper's operators confirmed all paths are active).
+func undirected(g *comap.RegionGraph) map[string][]string {
+	adj := map[string]map[string]bool{}
+	add := func(a, b string) {
+		if adj[a] == nil {
+			adj[a] = map[string]bool{}
+		}
+		adj[a][b] = true
+	}
+	for e := range g.Edges {
+		add(e[0], e[1])
+		add(e[1], e[0])
+	}
+	out := map[string][]string{}
+	for k, set := range adj {
+		for n := range set {
+			out[k] = append(out[k], n)
+		}
+		sort.Strings(out[k])
+	}
+	return out
+}
+
+// WorstCO returns the CO whose failure strands the most EdgeCOs.
+func (r Report) WorstCO() (Impact, bool) {
+	for _, im := range r.Impacts {
+		if im.Kind == "co" {
+			return im, true
+		}
+	}
+	return Impact{}, false
+}
+
+// EntryLossSurvivable reports whether the region keeps every EdgeCO
+// connected after losing any single entry point (the dual-backbone
+// design goal the operators described in §5.4).
+func (r Report) EntryLossSurvivable() bool {
+	for _, im := range r.Impacts {
+		if im.Kind == "entry" && im.DisconnectedEdgeCOs > 0 {
+			return false
+		}
+	}
+	return true
+}

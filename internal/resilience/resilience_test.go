@@ -1,0 +1,151 @@
+package resilience
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/comap"
+)
+
+// mk builds a RegionGraph with the given edges and entries.
+func mk(edges [][2]string, aggs []string, entries []comap.Entry) *comap.RegionGraph {
+	g := &comap.RegionGraph{Region: "r", COs: map[string]*comap.CONode{}, Edges: map[[2]string]int{}}
+	for _, e := range edges {
+		g.Edges[e] = 2
+		for _, key := range e {
+			if g.COs[key] == nil {
+				g.COs[key] = &comap.CONode{Key: key, Tag: key}
+			}
+		}
+	}
+	for _, a := range aggs {
+		if g.COs[a] == nil {
+			g.COs[a] = &comap.CONode{Key: a, Tag: a}
+		}
+		g.COs[a].IsAgg = true
+	}
+	g.Entries = entries
+	return g
+}
+
+func dualStar(n int) ([][2]string, []string) {
+	var edges [][2]string
+	for i := 0; i < n; i++ {
+		e := fmt.Sprintf("e%02d", i)
+		edges = append(edges, [2]string{"aggA", e}, [2]string{"aggB", e})
+	}
+	return edges, []string{"aggA", "aggB"}
+}
+
+func TestDualStarSurvivesAnySingleFailure(t *testing.T) {
+	edges, aggs := dualStar(10)
+	g := mk(edges, aggs, []comap.Entry{
+		{From: "bb:x", FirstCOs: []string{"aggA"}},
+		{From: "bb:y", FirstCOs: []string{"aggB"}},
+	})
+	rep := Analyze(g)
+	if rep.BaselineUnreachable != 0 {
+		t.Fatalf("baseline unreachable = %d", rep.BaselineUnreachable)
+	}
+	if !rep.EntryLossSurvivable() {
+		t.Error("dual-entry dual-star should survive entry loss")
+	}
+	worst, ok := rep.WorstCO()
+	if !ok {
+		t.Fatal("no CO impact")
+	}
+	// Losing either AggCO strands nothing (the other still reaches all).
+	if worst.DisconnectedEdgeCOs != 0 {
+		t.Errorf("worst CO failure strands %d EdgeCOs, want 0 (%s)", worst.DisconnectedEdgeCOs, worst.Element)
+	}
+	if len(rep.SinglePointsOfFailure) != 0 {
+		t.Errorf("SPOFs = %v, want none", rep.SinglePointsOfFailure)
+	}
+}
+
+func TestSingleAggIsSPOF(t *testing.T) {
+	// Single-AggCO region with one entry: the Nashville shape.
+	var edges [][2]string
+	for i := 0; i < 8; i++ {
+		edges = append(edges, [2]string{"agg", fmt.Sprintf("e%02d", i)})
+	}
+	g := mk(edges, []string{"agg"}, []comap.Entry{
+		{From: "bb:x", FirstCOs: []string{"agg"}},
+	})
+	rep := Analyze(g)
+	worst, _ := rep.WorstCO()
+	if worst.Element != "agg" || worst.DisconnectedEdgeCOs != 8 {
+		t.Errorf("worst = %+v, want agg stranding all 8", worst)
+	}
+	if rep.EntryLossSurvivable() {
+		t.Error("single-entry region should not survive entry loss")
+	}
+	if len(rep.SinglePointsOfFailure) == 0 {
+		t.Error("no SPOFs found")
+	}
+	if got := worst.Frac(); got != 1.0 {
+		t.Errorf("Frac = %v", got)
+	}
+}
+
+func TestChainAmplifiesImpact(t *testing.T) {
+	// e2 hangs off e1 which hangs off the agg: losing e1 strands e2.
+	edges := [][2]string{
+		{"agg", "e1"}, {"e1", "e2"}, {"agg", "e3"},
+	}
+	g := mk(edges, []string{"agg"}, []comap.Entry{{From: "bb:x", FirstCOs: []string{"agg"}}})
+	rep := Analyze(g)
+	var e1Impact Impact
+	for _, im := range rep.Impacts {
+		if im.Element == "e1" {
+			e1Impact = im
+		}
+	}
+	if e1Impact.DisconnectedEdgeCOs != 1 {
+		t.Errorf("losing e1 strands %d, want 1 (e2)", e1Impact.DisconnectedEdgeCOs)
+	}
+}
+
+func TestBaselineUnreachableNotCharged(t *testing.T) {
+	// An island CO disconnected from every entry: baseline, not blamed
+	// on any failure.
+	edges := [][2]string{
+		{"agg", "e1"}, {"island1", "island2"},
+	}
+	g := mk(edges, []string{"agg"}, []comap.Entry{{From: "bb:x", FirstCOs: []string{"agg"}}})
+	rep := Analyze(g)
+	if rep.BaselineUnreachable != 2 {
+		t.Fatalf("baseline unreachable = %d, want 2", rep.BaselineUnreachable)
+	}
+	for _, im := range rep.Impacts {
+		if im.Element == "e1" && im.DisconnectedEdgeCOs != 0 {
+			t.Errorf("e1 failure charged with island loss: %d", im.DisconnectedEdgeCOs)
+		}
+	}
+}
+
+func TestImpactsSortedAndComplete(t *testing.T) {
+	edges, aggs := dualStar(6)
+	g := mk(edges, aggs, []comap.Entry{{From: "bb:x", FirstCOs: []string{"aggA", "aggB"}}})
+	rep := Analyze(g)
+	// One impact per CO plus one per entry.
+	if want := len(g.COs) + 1; len(rep.Impacts) != want {
+		t.Fatalf("impacts = %d, want %d", len(rep.Impacts), want)
+	}
+	for i := 1; i < len(rep.Impacts); i++ {
+		if rep.Impacts[i-1].DisconnectedEdgeCOs < rep.Impacts[i].DisconnectedEdgeCOs {
+			t.Fatal("impacts not sorted by severity")
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := &comap.RegionGraph{Region: "empty", COs: map[string]*comap.CONode{}, Edges: map[[2]string]int{}}
+	rep := Analyze(g)
+	if len(rep.Impacts) != 0 || rep.BaselineUnreachable != 0 {
+		t.Errorf("empty graph report: %+v", rep)
+	}
+	if _, ok := rep.WorstCO(); ok {
+		t.Error("WorstCO on empty graph")
+	}
+}

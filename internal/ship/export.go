@@ -1,0 +1,49 @@
+package ship
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV streams the rounds as CSV with one row per measurement:
+// timestamp, position (true and tower-derived), signal state, user
+// address, minimum RTT, and radio-active time. This is the raw dataset
+// the §7.2 inference consumes, in a form external tooling can re-analyze.
+func WriteCSV(w io.Writer, rounds []Round) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"at", "true_lat", "true_lon", "tower_lat", "tower_lon",
+		"cell_id", "ok", "paused", "user_addr", "min_rtt_ms", "active_ms", "hops",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rounds {
+		addr := ""
+		if r.UserAddr.IsValid() {
+			addr = r.UserAddr.String()
+		}
+		row := []string{
+			r.At.UTC().Format(time.RFC3339),
+			fmt.Sprintf("%.4f", r.TrueLoc.Lat),
+			fmt.Sprintf("%.4f", r.TrueLoc.Lon),
+			fmt.Sprintf("%.4f", r.TowerLoc.Lat),
+			fmt.Sprintf("%.4f", r.TowerLoc.Lon),
+			strconv.FormatUint(r.CellID, 10),
+			strconv.FormatBool(r.OK),
+			strconv.FormatBool(r.Paused),
+			addr,
+			fmt.Sprintf("%.2f", float64(r.MinRTT)/float64(time.Millisecond)),
+			fmt.Sprintf("%.1f", float64(r.Active)/float64(time.Millisecond)),
+			strconv.Itoa(len(r.Hops)),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,296 @@
+package ship
+
+import (
+	"encoding/csv"
+	"net/netip"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cellgeo"
+	"repro/internal/energy"
+	"repro/internal/geo"
+	"repro/internal/netsim"
+	"repro/internal/topogen"
+	"repro/internal/traceroute"
+	"repro/internal/vclock"
+)
+
+func energyDefault() energy.Model { return energy.Default() }
+
+type fixture struct {
+	s       *topogen.Scenario
+	att     *topogen.MobileCarrier
+	rounds  []Round // att, all 12 shipments
+	targets []netip.Addr
+	server  netip.Addr
+}
+
+var fx *fixture
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	if fx != nil {
+		return fx
+	}
+	s := topogen.NewScenario(41)
+	att := s.BuildMobileCarrier(topogen.ATTMobileProfile())
+	// Neighbor-AS targets and the reference server live behind transit.
+	targets := []netip.Addr{
+		addTransitHost(t, s, "Chicago", "2001:db8:a5::1"),
+		addTransitHost(t, s, "Ashburn", "2001:db8:a5::2"),
+	}
+	server := addTransitHost(t, s, "San Diego", "2001:db8:ca1d::1")
+	c := &Campaign{
+		Net:     s.Net,
+		Clock:   vclock.New(s.Epoch()),
+		Modem:   att.NewModem(),
+		CellDB:  cellgeo.NewDB(0.25),
+		Targets: targets,
+		Server:  server,
+		Mode:    traceroute.Parallel,
+	}
+	var rounds []Round
+	for _, it := range Shipments() {
+		rounds = append(rounds, c.Run(it)...)
+	}
+	fx = &fixture{s: s, att: att, rounds: rounds, targets: targets, server: server}
+	return fx
+}
+
+func addTransitHost(t *testing.T, s *topogen.Scenario, city, addr string) netip.Addr {
+	t.Helper()
+	a := netip.MustParseAddr(addr)
+	h := &netsim.Host{
+		Addr:           a,
+		Router:         s.TransitPoP(geo.MustByName(city).Point),
+		ISP:            "neighbor-as",
+		Loc:            geo.MustByName(city).Point,
+		AccessDelay:    150 * time.Microsecond,
+		RespondsToPing: true,
+	}
+	if err := s.Net.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestShipmentCoverage(t *testing.T) {
+	f := getFixture(t)
+	states := StatesCovered(f.rounds)
+	if len(states) < 40 {
+		t.Errorf("states covered = %d (%v), want >= 40 (Fig. 15)", len(states), states)
+	}
+	if len(f.rounds) < 300 {
+		t.Errorf("rounds = %d; expected several hundred hourly rounds", len(f.rounds))
+	}
+}
+
+func TestSuccessRateBand(t *testing.T) {
+	f := getFixture(t)
+	rate := SuccessRate(f.rounds)
+	// The paper saw 75-84% across carriers.
+	if rate < 0.65 || rate > 0.95 {
+		t.Errorf("success rate = %.2f, want ~0.75-0.85", rate)
+	}
+}
+
+func TestRoundsCarryMeasurements(t *testing.T) {
+	f := getFixture(t)
+	withHops, withRTT := 0, 0
+	for _, r := range f.rounds {
+		if !r.OK {
+			continue
+		}
+		if len(r.Hops) > 0 {
+			withHops++
+		}
+		if r.MinRTT > 0 {
+			withRTT++
+		}
+		if !r.UserAddr.IsValid() {
+			t.Fatal("OK round without a user address")
+		}
+		if d := geo.DistanceKm(r.TrueLoc, r.TowerLoc); d > 30 {
+			t.Errorf("tower location %f km from truth", d)
+		}
+	}
+	okCount := int(SuccessRate(f.rounds) * float64(len(f.rounds)))
+	if withHops < okCount*9/10 {
+		t.Errorf("only %d/%d OK rounds captured hops", withHops, okCount)
+	}
+	if withRTT < okCount*8/10 {
+		t.Errorf("only %d/%d OK rounds measured RTT", withRTT, okCount)
+	}
+}
+
+func TestLatencyMapShape(t *testing.T) {
+	f := getFixture(t)
+	hexes := LatencyMap(f.rounds, 1.5)
+	if len(hexes) < 60 {
+		t.Fatalf("populated hexes = %d, want broad coverage", len(hexes))
+	}
+	// Fig. 18a: the northern interior (no nearby AT&T mobile datacenter)
+	// suffers much higher latency to San Diego than southern California.
+	var mtRTT, caRTT float64
+	mt := geo.MustByName("Billings").Point
+	ca := geo.MustByName("Los Angeles").Point
+	for _, h := range hexes {
+		if geo.DistanceKm(h.Center, mt) < 300 && (mtRTT == 0 || h.Value < mtRTT) {
+			mtRTT = h.Value
+		}
+		if geo.DistanceKm(h.Center, ca) < 200 && (caRTT == 0 || h.Value < caRTT) {
+			caRTT = h.Value
+		}
+	}
+	if mtRTT == 0 || caRTT == 0 {
+		t.Skipf("sparse hexes near reference points (mt=%v ca=%v)", mtRTT, caRTT)
+	}
+	if mtRTT < caRTT+15 {
+		t.Errorf("Montana min RTT %.1fms should far exceed LA's %.1fms", mtRTT, caRTT)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	f := getFixture(t)
+	var total time.Duration
+	n := 0
+	for _, r := range f.rounds {
+		if r.OK {
+			total += r.Active
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no active rounds")
+	}
+	avg := total / time.Duration(n)
+	if avg <= 0 || avg > 10*time.Minute {
+		t.Errorf("average round active time = %v", avg)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two campaigns over identically-seeded scenarios agree.
+	run := func() []Round {
+		s := topogen.NewScenario(77)
+		att := s.BuildMobileCarrier(topogen.ATTMobileProfile())
+		target := addTransitHost(t, s, "Chicago", "2001:db8:a5::1")
+		c := &Campaign{
+			Net: s.Net, Clock: vclock.New(s.Epoch()), Modem: att.NewModem(),
+			CellDB: cellgeo.NewDB(0.25), Targets: []netip.Addr{target},
+		}
+		return c.Run(Shipments()[3])
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) {
+		t.Fatalf("round counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].OK != r2[i].OK || r1[i].UserAddr != r2[i].UserAddr {
+			t.Fatalf("round %d differs", i)
+		}
+	}
+}
+
+func TestPauseAtRest(t *testing.T) {
+	s := topogen.NewScenario(88)
+	att := s.BuildMobileCarrier(topogen.ATTMobileProfile())
+	target := addTransitHost(t, s, "Chicago", "2001:db8:a5::9")
+	run := func(pause bool) []Round {
+		c := &Campaign{
+			Net: s.Net, Clock: vclock.New(s.Epoch()), Modem: att.NewModem(),
+			CellDB: cellgeo.NewDB(0.25), Targets: []netip.Addr{target},
+			PauseAtRest: pause,
+		}
+		return c.Run(Shipments()[0]) // seattle itinerary, 10 dwell rounds
+	}
+	normal := run(false)
+	paused := run(true)
+	if len(normal) != len(paused) {
+		t.Fatalf("round counts differ: %d vs %d", len(normal), len(paused))
+	}
+	nPaused := 0
+	for _, r := range paused {
+		if r.Paused {
+			nPaused++
+			if r.OK || r.UserAddr.IsValid() || r.Active != 0 {
+				t.Error("paused round carries measurements")
+			}
+		}
+	}
+	if nPaused != 9 {
+		t.Errorf("paused rounds = %d, want 9 (dwell 10 minus the first)", nPaused)
+	}
+	// Energy: paused journey costs strictly less.
+	m := energyDefault()
+	if JourneyEnergy(paused, m) >= JourneyEnergy(normal, m) {
+		t.Error("pausing did not reduce journey energy")
+	}
+	// SuccessRate ignores paused rounds.
+	if SuccessRate(paused) == 0 {
+		t.Error("success rate treats paused rounds as failures")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	f := getFixture(t)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, f.rounds[:25]); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 26 {
+		t.Fatalf("csv lines = %d, want header + 25 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "at,true_lat") {
+		t.Errorf("header = %q", lines[0])
+	}
+	rec, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("csv does not re-parse: %v", err)
+	}
+	if len(rec) != 26 || len(rec[1]) != 12 {
+		t.Errorf("parsed shape %dx%d", len(rec), len(rec[1]))
+	}
+}
+
+// TestControlledDrive reproduces the §7.2.2 validation: driving from
+// San Diego toward Los Angeles on the Verizon-like carrier, the moment
+// the nearest speedtest server flips from the Vista site to the Azusa
+// site, the EdgeCO bits of the user address flip in the same step.
+func TestControlledDrive(t *testing.T) {
+	s := topogen.NewScenario(61)
+	vz := s.BuildMobileCarrier(topogen.VerizonProfile())
+	clock := vclock.New(s.Epoch())
+	samples := Drive(s.Net, s.DNS, clock, vz.NewModem(),
+		geo.MustByName("San Diego").Point, geo.MustByName("Azusa").Point,
+		24, regexp.MustCompile(`\.ost\.myvzw\.com$`))
+	if len(samples) != 25 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	names := map[string]bool{}
+	for _, smp := range samples {
+		if smp.NearestSpeedtest == "" {
+			t.Fatal("sample without a nearest speedtest server")
+		}
+		names[smp.NearestSpeedtest] = true
+	}
+	if len(names) < 2 {
+		t.Fatalf("drive never switched speedtest servers: %v", names)
+	}
+	if !names["cavi.ost.myvzw.com"] || !names["caaz.ost.myvzw.com"] {
+		t.Errorf("expected the Vista and Azusa servers, got %v", names)
+	}
+	// Verizon's EdgeCO field is user bits 24-39; a small number of
+	// misalignments is tolerated (the switch can land between steps,
+	// and PGW-level churn does not count).
+	aligned, violations := TransitionsAligned(samples, 24, 16)
+	if aligned == 0 {
+		t.Error("no aligned transitions observed")
+	}
+	if violations > aligned {
+		t.Errorf("violations=%d aligned=%d; bit flips should track the serving site", violations, aligned)
+	}
+}

@@ -1,0 +1,586 @@
+package topogen
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"repro/internal/clli"
+	"repro/internal/geo"
+	"repro/internal/ipalloc"
+	"repro/internal/netsim"
+)
+
+// AggType is a region's aggregation archetype (paper Fig. 8).
+type AggType uint8
+
+const (
+	// SingleAgg regions funnel every EdgeCO through one AggCO.
+	SingleAgg AggType = iota
+	// DualAgg regions use a redundant AggCO pair.
+	DualAgg
+	// MultiLevel regions add a second aggregation tier below the top
+	// pair.
+	MultiLevel
+)
+
+// CableRegionSpec describes one cable regional network to generate.
+type CableRegionSpec struct {
+	// Name is the rDNS region tag (e.g. "socal", "bverton").
+	Name string
+	// Anchor is the city housing the top-tier AggCO(s).
+	Anchor string
+	// SecondAnchor optionally places the second top AggCO in a
+	// different city; otherwise it is a second building in Anchor.
+	SecondAnchor string
+	// Backbone lists the operator backbone PoP cities with entry links
+	// into this region.
+	Backbone []string
+	// ViaRegion routes this region's top AggCOs through another
+	// region's top AggCOs (the Connecticut pattern). May coexist with
+	// Backbone entries (the Central California pattern).
+	ViaRegion string
+	Type      AggType
+	// EdgeCOs is the number of edge central offices in the region.
+	EdgeCOs int
+	// SubAnchors are the cities anchoring tier-2 aggregation groups in
+	// MultiLevel regions; one group is generated per entry.
+	SubAnchors []string
+	// EdgeAnchors optionally scatter EdgeCOs around several cities in
+	// Single/Dual regions (used for multi-state regions like Boston's
+	// MA/NH/VT footprint); defaults to the Anchor.
+	EdgeAnchors []string
+	// MPLS turns on LSPs from the top AggCO routers to every EdgeCO
+	// router, hiding the middle tier from transit traceroutes (observed
+	// by the paper in one Charter region).
+	MPLS bool
+	// HideRedundancy penalizes the delay of every redundant uplink so
+	// no forwarding path ever crosses it; physical redundancy then
+	// becomes invisible to traceroute (the paper's Charter southeast
+	// anomaly).
+	HideRedundancy bool
+}
+
+// CableProfile parameterizes a cable operator.
+type CableProfile struct {
+	ISP string
+	// Style selects hostname conventions: "comcast" location-style or
+	// "rr" CLLI-style.
+	Style string
+	// P2PBits is the point-to-point subnet size between CO routers
+	// (/30 for Comcast, /31 for Charter, per Appendix B.1).
+	P2PBits int
+	// P2PPool and SubsPool are the operator's infrastructure and
+	// subscriber address blocks.
+	P2PPool  netip.Prefix
+	SubsPool netip.Prefix
+	// SingleHomeFrac is the fraction of EdgeCOs connected to a single
+	// upstream CO (§B.4: 11.4% Comcast, 37.7% Charter).
+	SingleHomeFrac float64
+	// EdgeChainFrac is, among single-homed EdgeCOs, the fraction that
+	// hang off another EdgeCO rather than an AggCO (§B.4: 33.7% and
+	// 42.2%).
+	EdgeChainFrac float64
+	// SubSingleFrac is the fraction of tier-2 aggregation groups with a
+	// single AggCO rather than a pair (Charter "uses a mix").
+	SubSingleFrac float64
+	// TwoRouterEdgeFrac is the fraction of EdgeCOs with two routers.
+	TwoRouterEdgeFrac float64
+	// Noise probabilities for interface rDNS (see nameIfaces).
+	UnnamedProb   float64
+	StaleBothProb float64
+	StaleSnapProb float64
+	// CrossRegionStaleFrac is how often a stale name points at a CO in
+	// a different region (driving the Appendix B.2 pruning).
+	CrossRegionStaleFrac float64
+	// SubsPerEdge is how many responsive subscriber hosts to place in
+	// each EdgeCO's /24.
+	SubsPerEdge int
+	// EdgeScatterMaxKm bounds how far EdgeCO towns scatter from their
+	// ring anchor in multi-level regions (vast Charter rings reach
+	// farther, stretching the Fig. 10b AggCO-to-EdgeCO latency tail).
+	EdgeScatterMaxKm float64
+	// MercatorFrac is the fraction of routers replying from a canonical
+	// address; the rest reply from the inbound interface.
+	MercatorFrac float64
+	// RandomIPIDFrac and PerIfaceIPIDFrac control how many routers
+	// defeat counter-based alias resolution.
+	RandomIPIDFrac   float64
+	PerIfaceIPIDFrac float64
+
+	Regions []CableRegionSpec
+}
+
+// cableBuilder carries state across one BuildCable call.
+type cableBuilder struct {
+	s      *Scenario
+	p      CableProfile
+	isp    *ISP
+	p2p    *ipalloc.Pool
+	subs   *ipalloc.Pool
+	towns  *townNamer
+	jobs   []nameJob
+	allCOs []*CO
+	// routerSeq numbers routers within a CO for hostname suffixes.
+	routerSeq map[string]int
+}
+
+// nameJob defers rDNS assignment until every CO exists, so stale names
+// can reference real other COs.
+type nameJob struct {
+	iface  *netsim.Iface
+	co     *CO
+	router *netsim.Router
+	// role is "cr" (backbone), "ar" (agg), "er" (edge).
+	role string
+	// routerNum and ifaceNum feed the hostname format.
+	routerNum, ifaceNum int
+}
+
+// BuildCable generates a cable operator into the scenario and returns
+// its ground truth.
+func (s *Scenario) BuildCable(p CableProfile) *ISP {
+	b := &cableBuilder{
+		s:         s,
+		p:         p,
+		isp:       s.ispByName(p.ISP),
+		p2p:       ipalloc.NewPool(p.P2PPool),
+		subs:      ipalloc.NewPool(p.SubsPool),
+		towns:     newTownNamer(),
+		routerSeq: map[string]int{},
+	}
+	b.isp.Announced = append(b.isp.Announced, p.P2PPool, p.SubsPool)
+	for i := range p.Regions {
+		b.buildRegion(&p.Regions[i])
+	}
+	// Second pass: inter-region entries (ViaRegion).
+	for i := range p.Regions {
+		spec := &p.Regions[i]
+		if spec.ViaRegion == "" {
+			continue
+		}
+		b.wireViaRegion(spec)
+	}
+	b.nameIfaces()
+	return b.isp
+}
+
+// addCORouter creates a router inside a CO with profile-driven policies.
+func (b *cableBuilder) addCORouter(co *CO, role string) *netsim.Router {
+	b.routerSeq[co.ID]++
+	num := b.routerSeq[co.ID]
+	r := b.s.Net.AddRouter(&netsim.Router{
+		Name:         fmt.Sprintf("%s/%s%d", co.ID, role, num),
+		ISP:          b.p.ISP,
+		CO:           co.ID,
+		Loc:          co.Loc,
+		ResponseProb: 0.97,
+	})
+	rng := b.s.rng
+	switch f := rng.Float64(); {
+	case f < b.p.RandomIPIDFrac:
+		r.IPID = netsim.IPIDRandom
+	case f < b.p.RandomIPIDFrac+b.p.PerIfaceIPIDFrac:
+		r.IPID = netsim.IPIDPerInterface
+	default:
+		r.IPID = netsim.IPIDShared
+	}
+	r.IPIDVelocity = 20 + rng.Float64()*300
+	if rng.Float64() < b.p.MercatorFrac {
+		r.ReplyAddr = netsim.ReplyCanonical
+		// Allocate a loopback-style canonical address.
+		lb, err := b.p2p.NextHost()
+		if err != nil {
+			panic(err)
+		}
+		ifc, err := b.s.Net.AddIface(r, lb)
+		if err != nil {
+			panic(err)
+		}
+		r.Canonical = lb
+		b.jobs = append(b.jobs, nameJob{iface: ifc, co: co, router: r, role: role, routerNum: num, ifaceNum: 0})
+	}
+	return r
+}
+
+// linkRouters connects two CO routers with a point-to-point subnet and
+// queues both interface names. It returns the link for metric tuning.
+func (b *cableBuilder) linkRouters(ra, rb *netsim.Router, coA, coB *CO, roleA, roleB string, delay time.Duration) *netsim.Link {
+	p2p, err := b.p2p.NextP2P(b.p.P2PBits)
+	if err != nil {
+		panic(err)
+	}
+	ia, err := b.s.Net.AddIface(ra, p2p.A)
+	if err != nil {
+		panic(err)
+	}
+	ib, err := b.s.Net.AddIface(rb, p2p.B)
+	if err != nil {
+		panic(err)
+	}
+	link, err := b.s.Net.Connect(ia, ib, delay)
+	if err != nil {
+		panic(err)
+	}
+	b.jobs = append(b.jobs,
+		nameJob{iface: ia, co: coA, router: ra, role: roleA, routerNum: routerNum(ra), ifaceNum: len(ra.Interfaces())},
+		nameJob{iface: ib, co: coB, router: rb, role: roleB, routerNum: routerNum(rb), ifaceNum: len(rb.Interfaces())},
+	)
+	return link
+}
+
+// routerNum recovers the per-CO router number from the generator name.
+func routerNum(r *netsim.Router) int {
+	name := r.Name
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	var n int
+	fmt.Sscanf(name[i:], "%d", &n)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// backbonePoP returns (creating on demand) the operator's backbone CO in
+// a city, with two core routers attached to transit.
+func (b *cableBuilder) backbonePoP(cityName string) *CO {
+	city := geo.MustByName(cityName)
+	id := coID(b.p.ISP, "backbone", clli.CityCode(city))
+	if co, ok := b.isp.BackbonePoPs[id]; ok {
+		return co
+	}
+	co := &CO{
+		ID:     id,
+		Tag:    b.backboneTag(city),
+		Role:   BackboneCO,
+		City:   city,
+		Loc:    city.Point,
+		Region: "backbone",
+	}
+	b.isp.BackbonePoPs[id] = co
+	b.allCOs = append(b.allCOs, co)
+	var prev *netsim.Router
+	for i := 0; i < 2; i++ {
+		r := b.addCORouter(co, "cr")
+		// Backbone PoPs multihome to the two nearest long-haul carriers,
+		// so regions with two backbone entries see both exercised.
+		for _, upIface := range b.s.AttachToTransitN(r, 2) {
+			b.jobs = append(b.jobs, nameJob{iface: upIface, co: co, router: r, role: "cr", routerNum: routerNum(r), ifaceNum: len(r.Interfaces())})
+		}
+		co.Routers = append(co.Routers, r)
+		if prev != nil {
+			b.linkRouters(prev, r, co, co, "cr", "cr", 20*time.Microsecond)
+		}
+		prev = r
+	}
+	return co
+}
+
+func (b *cableBuilder) backboneTag(city geo.City) string {
+	if b.p.Style == "rr" {
+		return strings.ToLower(clli.CityCode(city)) + "rc"
+	}
+	return strings.ToLower(strings.ReplaceAll(city.Name, " ", "")) + "." + strings.ToLower(city.State)
+}
+
+// newCO creates a CO in a region.
+func (b *cableBuilder) newCO(reg *Region, tag string, role CORole, tier int, city geo.City) *CO {
+	co := &CO{
+		ID:     coID(b.p.ISP, reg.Name, tag),
+		Tag:    tag,
+		Role:   role,
+		Tier:   tier,
+		City:   city,
+		Loc:    city.Point,
+		Region: reg.Name,
+	}
+	reg.COs[co.ID] = co
+	b.allCOs = append(b.allCOs, co)
+	return co
+}
+
+// coTag derives the rDNS-visible CO tag for a city/building pair.
+func (b *cableBuilder) coTag(city geo.City, building int) string {
+	if b.p.Style == "rr" {
+		// 8-character CLLI: 6-char city code + 2 building letters.
+		bl := string(rune('a'+(building*7)%26)) + string(rune('a'+(building*13+23)%26))
+		return strings.ToLower(b.s.CLLI.CodeFor(city)) + bl
+	}
+	loc := strings.ToLower(strings.ReplaceAll(city.Name, " ", ""))
+	if building > 0 {
+		loc = fmt.Sprintf("%s%d", loc, building+1)
+	}
+	return loc + "." + strings.ToLower(city.State)
+}
+
+func (b *cableBuilder) buildRegion(spec *CableRegionSpec) {
+	reg := &Region{
+		Name: spec.Name,
+		ISP:  b.p.ISP,
+		COs:  map[string]*CO{},
+	}
+	switch spec.Type {
+	case SingleAgg:
+		reg.AggLayers = 1
+	case DualAgg:
+		reg.AggLayers = 2
+	case MultiLevel:
+		reg.AggLayers = 3
+	}
+	b.isp.Regions[spec.Name] = reg
+
+	anchor := geo.MustByName(spec.Anchor)
+
+	// Top aggregation layer.
+	var top []*CO
+	switch spec.Type {
+	case SingleAgg:
+		top = []*CO{b.newCO(reg, b.coTag(anchor, 0), AggCO, 1, anchor)}
+	default:
+		second := anchor
+		secondBuilding := 1
+		if spec.SecondAnchor != "" {
+			second = geo.MustByName(spec.SecondAnchor)
+			secondBuilding = 0
+		}
+		top = []*CO{
+			b.newCO(reg, b.coTag(anchor, 0), AggCO, 1, anchor),
+			b.newCO(reg, b.coTag(second, secondBuilding), AggCO, 1, second),
+		}
+	}
+	for _, co := range top {
+		r1 := b.addCORouter(co, "ar")
+		r2 := b.addCORouter(co, "ar")
+		co.Routers = append(co.Routers, r1, r2)
+		b.linkRouters(r1, r2, co, co, "ar", "ar", 20*time.Microsecond)
+	}
+
+	// Backbone entries: each top AggCO connects both of its routers to
+	// the backbone CO (redundant routers with redundant uplinks), so
+	// paths through either AggCO router cost the same and traceroute
+	// can observe the redundancy.
+	for _, bbCity := range spec.Backbone {
+		bb := b.backbonePoP(bbCity)
+		reg.BackboneEntries = append(reg.BackboneEntries, bb.ID)
+		for _, co := range top {
+			for k, ar := range co.Routers {
+				bbr := bb.Routers[k%len(bb.Routers)]
+				b.linkRouters(bbr, ar, bb, co, "cr", "ar", geo.PropagationDelay(bb.Loc, co.Loc))
+			}
+			co.Upstream = append(co.Upstream, bb.ID)
+		}
+	}
+
+	// Tier-2 aggregation groups; each group aggregates a share of the
+	// region's EdgeCOs.
+	type aggGroup struct {
+		cos    []*CO
+		anchor geo.City
+	}
+	var groups []aggGroup
+	if spec.Type == MultiLevel {
+		for _, subCity := range spec.SubAnchors {
+			city := geo.MustByName(subCity)
+			nAgg := 2
+			if b.s.rng.Float64() < b.p.SubSingleFrac {
+				nAgg = 1
+			}
+			g := aggGroup{anchor: city}
+			for k := 0; k < nAgg; k++ {
+				co := b.newCO(reg, b.coTag(city, k+2), AggCO, 2, city)
+				r := b.addCORouter(co, "ar")
+				co.Routers = append(co.Routers, r)
+				// Cross-connect to both top AggCOs.
+				for _, t := range top {
+					b.linkRouters(t.Routers[k%len(t.Routers)], r, t, co, "ar", "ar", geo.PropagationDelay(t.Loc, co.Loc))
+					co.Upstream = append(co.Upstream, t.ID)
+				}
+				g.cos = append(g.cos, co)
+			}
+			groups = append(groups, g)
+		}
+	} else {
+		// The top layer itself terminates the edge rings, scattered
+		// around the edge anchors.
+		anchors := spec.EdgeAnchors
+		if len(anchors) == 0 {
+			anchors = []string{spec.Anchor}
+		}
+		for _, a := range anchors {
+			groups = append(groups, aggGroup{cos: top, anchor: geo.MustByName(a)})
+		}
+	}
+
+	// EdgeCOs. Chain children attach to the group's last ring-connected
+	// EdgeCO, so chain heads accumulate several dependents (the small
+	// local aggregation points Appendix B.4 observes behind 33.7-42.2%
+	// of single-homed EdgeCOs).
+	chainHead := map[int]*CO{}
+	chainChildren := map[*CO]int{}
+	for e := 0; e < spec.EdgeCOs; e++ {
+		g := groups[e%len(groups)]
+		townName := b.towns.next(b.s.rng)
+		minKm, maxKm := 10.0, 90.0
+		if spec.Type == MultiLevel {
+			minKm, maxKm = 15.0, b.p.EdgeScatterMaxKm
+			if maxKm == 0 {
+				maxKm = 220.0
+			}
+		}
+		town := b.s.scatterTown(title(townName), g.anchor, minKm, maxKm)
+		co := b.newCO(reg, b.coTag(town, 0), EdgeCO, 0, town)
+		nR := 1
+		if b.s.rng.Float64() < b.p.TwoRouterEdgeFrac {
+			nR = 2
+		}
+		for k := 0; k < nR; k++ {
+			co.Routers = append(co.Routers, b.addCORouter(co, "er"))
+		}
+		if nR == 2 {
+			b.linkRouters(co.Routers[0], co.Routers[1], co, co, "er", "er", 20*time.Microsecond)
+		}
+
+		groupIdx := e % len(groups)
+		singleHomed := b.s.rng.Float64() < b.p.SingleHomeFrac
+		switch {
+		case singleHomed && chainHead[groupIdx] != nil && b.s.rng.Float64() < b.p.EdgeChainFrac:
+			// Hang off the group's chain head rather than an AggCO.
+			// Heads keep collecting children until they serve two, so
+			// they look like the small local aggregation points the
+			// paper's B.3 exception preserves.
+			up := chainHead[groupIdx]
+			b.linkRouters(up.Routers[0], co.Routers[0], up, co, "er", "er", geo.PropagationDelay(up.Loc, co.Loc))
+			co.Upstream = append(co.Upstream, up.ID)
+			chainChildren[up]++
+			if chainChildren[up] >= 2 {
+				delete(chainHead, groupIdx)
+			}
+		case singleHomed || len(g.cos) == 1:
+			up := g.cos[e%len(g.cos)]
+			b.linkRouters(up.Routers[0], co.Routers[0], up, co, "ar", "er", geo.PropagationDelay(up.Loc, co.Loc))
+			co.Upstream = append(co.Upstream, up.ID)
+		default:
+			// Dual-homed to the first two AggCOs of the group.
+			for k := 0; k < 2 && k < len(g.cos); k++ {
+				up := g.cos[k]
+				delay := geo.PropagationDelay(up.Loc, co.Loc)
+				if k == 1 && spec.HideRedundancy {
+					// The redundant pair rides a longer protection
+					// path; forwarding never prefers it, so traceroute
+					// cannot see it.
+					delay = delay*3 + 2*time.Millisecond
+				}
+				er := co.Routers[k%len(co.Routers)]
+				b.linkRouters(up.Routers[k%len(up.Routers)], er, up, co, "ar", "er", delay)
+				co.Upstream = append(co.Upstream, up.ID)
+			}
+		}
+		// The most recent ring-connected EdgeCO without children yet
+		// becomes the group's chain head.
+		if chainHead[groupIdx] == nil && len(co.Upstream) > 0 {
+			if parent := reg.COs[co.Upstream[0]]; parent == nil || parent.Role != EdgeCO {
+				chainHead[groupIdx] = co
+			}
+		}
+
+		// Subscriber /24 behind the first edge router.
+		sub24, err := b.subs.NextSubnet(24)
+		if err != nil {
+			panic(err)
+		}
+		b.s.Net.AddPrefix(sub24, co.Routers[0], b.p.ISP)
+		reg.SubscriberPrefixes = append(reg.SubscriberPrefixes, sub24)
+		pool := ipalloc.NewPool(sub24)
+		for i := 0; i < b.p.SubsPerEdge; i++ {
+			a, err := pool.NextHost()
+			if err != nil {
+				panic(err)
+			}
+			h := &netsim.Host{
+				Addr:           a,
+				Router:         co.Routers[0],
+				ISP:            b.p.ISP,
+				Loc:            co.Loc,
+				AccessDelay:    time.Duration(3+b.s.rng.Float64()*6) * time.Millisecond,
+				RespondsToPing: b.s.rng.Float64() < 0.7,
+			}
+			if err := b.s.Net.AddHost(h); err != nil {
+				panic(err)
+			}
+			b.s.DNS.SetLive(a, b.subscriberName(a, reg))
+			b.s.DNS.SetSnapshot(a, b.subscriberName(a, reg))
+		}
+	}
+
+	// MPLS: LSPs from top AggCO routers to every EdgeCO router.
+	if spec.MPLS {
+		for _, t := range top {
+			for _, tr := range t.Routers {
+				for _, co := range reg.COs {
+					if co.Role != EdgeCO {
+						continue
+					}
+					for _, er := range co.Routers {
+						b.s.Net.AddTunnel(tr, er)
+					}
+				}
+			}
+		}
+	}
+}
+
+// wireViaRegion links a region's top AggCOs to the top AggCOs of
+// another region.
+func (b *cableBuilder) wireViaRegion(spec *CableRegionSpec) {
+	reg := b.isp.Regions[spec.Name]
+	via := b.isp.Regions[spec.ViaRegion]
+	if via == nil {
+		panic("topogen: unknown ViaRegion " + spec.ViaRegion)
+	}
+	reg.EntryRegions = append(reg.EntryRegions, spec.ViaRegion)
+	var viaTop []*CO
+	for _, co := range via.COs {
+		if co.Role == AggCO && co.Tier == 1 {
+			viaTop = append(viaTop, co)
+		}
+	}
+	sortCOs(viaTop)
+	var myTop []*CO
+	for _, co := range reg.COs {
+		if co.Role == AggCO && co.Tier == 1 {
+			myTop = append(myTop, co)
+		}
+	}
+	sortCOs(myTop)
+	for i, mine := range myTop {
+		if len(viaTop) == 0 {
+			break
+		}
+		up := viaTop[i%len(viaTop)]
+		// Inter-region interconnects ride indirect protection fiber,
+		// lengthening the physical path (the paper's 3.5-4ms Connecticut
+		// penalty); the preferential metric below still attracts the
+		// neighbor-region traffic.
+		delay := geo.PropagationDelay(up.Loc, mine.Loc) * 3 / 2
+		link := b.linkRouters(up.Routers[0], mine.Routers[0], up, mine, "ar", "ar", delay)
+		// Regional interconnects carry a preferential IGP metric so
+		// neighbor-region traffic stays off the long-haul backbone
+		// without turning the link into a national shortcut.
+		link.Metric = link.Delay / 2
+		mine.Upstream = append(mine.Upstream, up.ID)
+	}
+}
+
+// subscriberName formats last-mile rDNS (no CO information, matching
+// real cable subscriber names).
+func (b *cableBuilder) subscriberName(a netip.Addr, reg *Region) string {
+	dashed := strings.ReplaceAll(a.String(), ".", "-")
+	if b.p.Style == "rr" {
+		return fmt.Sprintf("cpe-%s.%s.res.rr.com", dashed, reg.Name)
+	}
+	return fmt.Sprintf("c-%s.hsd1.%s.comcast.net", dashed, "us")
+}

@@ -1,0 +1,117 @@
+package topogen
+
+import (
+	"fmt"
+)
+
+// nameIfaces runs after all of an operator's COs exist. For each queued
+// interface it formats the canonical hostname and then injects the noise
+// processes the paper's heuristics must overcome:
+//
+//   - unnamed: no PTR record in either the live zone or the snapshot
+//     (drives the Appendix B.3 missing-edge repair);
+//   - stale-both: an outdated name, for a different CO, in both sources
+//     ("uncorrected stale rDNS", which creates the false EdgeCO-EdgeCO
+//     and cross-region edges of Appendix B.2/B.3);
+//   - stale-snapshot: the scan dataset lags the live zone (drives the
+//     paper's dig-over-Rapid7 priority).
+func (b *cableBuilder) nameIfaces() {
+	for _, j := range b.jobs {
+		canonical := b.formatName(j, j.co)
+		r := b.s.rng.Float64()
+		switch {
+		case r < b.p.UnnamedProb:
+			// no records
+		case r < b.p.UnnamedProb+b.p.StaleBothProb:
+			stale := b.formatName(j, b.staleCO(j.co))
+			b.s.DNS.SetLive(j.iface.Addr, stale)
+			b.s.DNS.SetSnapshot(j.iface.Addr, stale)
+		case r < b.p.UnnamedProb+b.p.StaleBothProb+b.p.StaleSnapProb:
+			b.s.DNS.SetLive(j.iface.Addr, canonical)
+			b.s.DNS.SetSnapshot(j.iface.Addr, b.formatName(j, b.staleCO(j.co)))
+		default:
+			b.s.DNS.SetLive(j.iface.Addr, canonical)
+			b.s.DNS.SetSnapshot(j.iface.Addr, canonical)
+		}
+	}
+}
+
+// staleCO picks the CO an outdated name refers to: usually another CO in
+// the same region (equipment moved between offices), sometimes a CO in a
+// different region entirely.
+func (b *cableBuilder) staleCO(current *CO) *CO {
+	rng := b.s.rng
+	crossRegion := rng.Float64() < b.p.CrossRegionStaleFrac
+	// Bounded rejection sampling over the operator's CO list.
+	for i := 0; i < 64; i++ {
+		cand := b.allCOs[rng.Intn(len(b.allCOs))]
+		if cand == current || cand.Role == BackboneCO {
+			continue
+		}
+		if crossRegion != (cand.Region != current.Region) {
+			continue
+		}
+		return cand
+	}
+	return current
+}
+
+// formatName renders the hostname an interface would have if it lived in
+// CO `as` (which is the interface's own CO for canonical names, and a
+// different CO for stale names).
+func (b *cableBuilder) formatName(j nameJob, as *CO) string {
+	if b.p.Style == "rr" {
+		return b.formatCharter(j, as)
+	}
+	return b.formatComcast(j, as)
+}
+
+// formatComcast renders Comcast-convention hostnames, e.g.
+//
+//	be-1102-cr02.sunnyvale.ca.ibone.comcast.net   (backbone)
+//	ae-72-ar01.beaverton.or.bverton.comcast.net   (aggregation)
+//	po-1-1-cbr01.troutdale.or.bverton.comcast.net (edge)
+func (b *cableBuilder) formatComcast(j nameJob, as *CO) string {
+	role := j.role
+	if as.Role == BackboneCO {
+		return fmt.Sprintf("be-%d-cr%02d.%s.ibone.comcast.net", 100*j.routerNum+j.ifaceNum, j.routerNum, as.Tag)
+	}
+	switch role {
+	case "cr":
+		// A regional CO claiming a backbone role cannot happen for
+		// canonical names; for stale names fall through to ar.
+		role = "ar"
+		fallthrough
+	case "ar":
+		return fmt.Sprintf("ae-%d-ar%02d.%s.%s.comcast.net", j.ifaceNum, j.routerNum, as.Tag, as.Region)
+	default: // edge
+		if j.routerNum%2 == 1 {
+			return fmt.Sprintf("po-%d-1-cbr%02d.%s.%s.comcast.net", j.ifaceNum, j.routerNum, as.Tag, as.Region)
+		}
+		return fmt.Sprintf("ae-%d-rur%d01.%s.%s.comcast.net", j.ifaceNum, j.routerNum, as.Tag, as.Region)
+	}
+}
+
+// formatCharter renders Road Runner-convention hostnames, e.g.
+//
+//	bu-ether15.lsancarc0yw-bcr00.tbone.rr.com  (backbone)
+//	agg2.lsancarc01r.socal.rr.com              (aggregation)
+//	agg1.sndgcaxk02m.socal.rr.com              (edge)
+func (b *cableBuilder) formatCharter(j nameJob, as *CO) string {
+	if as.Role == BackboneCO {
+		return fmt.Sprintf("bu-ether%d.%s0yw-bcr%02d.tbone.rr.com", j.ifaceNum, as.Tag, j.routerNum-1)
+	}
+	entity := "r"
+	if j.role == "er" {
+		if j.routerNum%2 == 1 {
+			entity = "m"
+		} else {
+			entity = "h"
+		}
+	}
+	if as.Role == EdgeCO && j.role != "er" {
+		// Stale name claiming an EdgeCO: render with an edge entity.
+		entity = "m"
+	}
+	return fmt.Sprintf("agg%d.%s%02d%s.%s.rr.com", j.ifaceNum%4+1, as.Tag, j.routerNum, entity, as.Region)
+}

@@ -1,0 +1,139 @@
+package topogen
+
+import "net/netip"
+
+// ComcastProfile returns a Comcast-like operator: 28 smaller regions in
+// the three Fig. 8 archetypes (5 single-AggCO, 11 dual-AggCO, 12
+// multi-level, per Table 1), location-style rDNS with relatively high
+// staleness, /30 point-to-point subnets, and mostly redundant EdgeCO
+// homing (11.4% single-homed, §B.4).
+func ComcastProfile() CableProfile {
+	return CableProfile{
+		ISP:                  "comcast",
+		Style:                "comcast",
+		P2PBits:              30,
+		P2PPool:              netip.MustParsePrefix("68.80.0.0/13"),
+		SubsPool:             netip.MustParsePrefix("73.0.0.0/10"),
+		SingleHomeFrac:       0.125,
+		EdgeChainFrac:        0.337,
+		SubSingleFrac:        0.08,
+		TwoRouterEdgeFrac:    0.3,
+		UnnamedProb:          0.09,
+		StaleBothProb:        0.035,
+		StaleSnapProb:        0.05,
+		CrossRegionStaleFrac: 0.25,
+		SubsPerEdge:          3,
+		EdgeScatterMaxKm:     250,
+		MercatorFrac:         0.25,
+		RandomIPIDFrac:       0.15,
+		PerIfaceIPIDFrac:     0.10,
+		Regions:              comcastRegions,
+	}
+}
+
+// comcastRegions spans the national footprint: 5 single-AggCO, 11
+// dual-AggCO, and 12 multi-level regions (Table 1). The "boston" region
+// covers MA/NH/VT from Boston-area AggCOs, and "hartford" (Connecticut)
+// reaches the backbone only through the boston region — the Fig. 9
+// configuration. "centralca" connects both to the backbone and to the
+// sanfrancisco region (§5.2.5). "spokane" and "albuquerque" have a
+// single backbone entry, which with hartford makes the three regions
+// the paper observed with fewer than two entries.
+var comcastRegions = []CableRegionSpec{
+	// Single-AggCO regions (5).
+	{Name: "spokane", Anchor: "Spokane", Backbone: []string{"Seattle"}, Type: SingleAgg, EdgeCOs: 12},
+	{Name: "saltlake", Anchor: "Salt Lake City", Backbone: []string{"Denver", "Sunnyvale"}, Type: SingleAgg, EdgeCOs: 14},
+	{Name: "albuquerque", Anchor: "Albuquerque", Backbone: []string{"Denver"}, Type: SingleAgg, EdgeCOs: 10},
+	{Name: "oklahoma", Anchor: "Oklahoma City", Backbone: []string{"Dallas", "Denver"}, Type: SingleAgg, EdgeCOs: 11},
+	{Name: "jacksonville", Anchor: "Jacksonville", Backbone: []string{"Atlanta", "Ashburn"}, Type: SingleAgg, EdgeCOs: 12},
+
+	// Dual-AggCO regions (11).
+	{Name: "bverton", Anchor: "Beaverton", Backbone: []string{"Seattle", "Sunnyvale"}, Type: DualAgg, EdgeCOs: 28,
+		EdgeAnchors: []string{"Portland", "Salem", "Eugene"}},
+	{Name: "sacramento", Anchor: "Sacramento", Backbone: []string{"Sunnyvale", "Denver"}, Type: DualAgg, EdgeCOs: 24},
+	{Name: "centralca", Anchor: "Fresno", Backbone: []string{"Sunnyvale", "Denver"}, ViaRegion: "sanfrancisco", Type: DualAgg, EdgeCOs: 20,
+		EdgeAnchors: []string{"Fresno", "Visalia", "Bakersfield"}},
+	{Name: "kansascity", Anchor: "Kansas City", Backbone: []string{"Chicago", "Dallas"}, Type: DualAgg, EdgeCOs: 18},
+	{Name: "indianapolis", Anchor: "Indianapolis", Backbone: []string{"Chicago", "Atlanta"}, Type: DualAgg, EdgeCOs: 22},
+	{Name: "pittsburgh", Anchor: "Pittsburgh", Backbone: []string{"New York", "Chicago"}, Type: DualAgg, EdgeCOs: 25},
+	{Name: "richmond", Anchor: "Richmond", Backbone: []string{"Ashburn", "Atlanta"}, Type: DualAgg, EdgeCOs: 18},
+	{Name: "nashville", Anchor: "Nashville", Backbone: []string{"Atlanta", "Chicago"}, Type: DualAgg, EdgeCOs: 20},
+	{Name: "boston", Anchor: "Boston", SecondAnchor: "Westborough", Backbone: []string{"New York", "Newark"}, Type: DualAgg, EdgeCOs: 58,
+		EdgeAnchors: []string{"Boston", "Worcester", "Springfield, MA", "Lowell", "Manchester", "Nashua", "Concord", "Burlington", "Montpelier"}},
+	{Name: "hartford", Anchor: "Hartford", ViaRegion: "boston", Type: DualAgg, EdgeCOs: 24,
+		EdgeAnchors: []string{"Hartford", "New Haven", "Stamford", "Waterbury"}},
+	{Name: "cleveland", Anchor: "Cleveland", Backbone: []string{"Chicago", "New York"}, Type: DualAgg, EdgeCOs: 26,
+		EdgeAnchors: []string{"Cleveland", "Akron", "Toledo"}},
+
+	// Multi-level regions (12).
+	{Name: "seattle", Anchor: "Seattle", Backbone: []string{"Seattle", "Sunnyvale"}, Type: MultiLevel, EdgeCOs: 42,
+		SubAnchors: []string{"Tacoma", "Bellingham"}},
+	{Name: "sanfrancisco", Anchor: "San Francisco", SecondAnchor: "Oakland", Backbone: []string{"Sunnyvale", "Seattle"}, Type: MultiLevel, EdgeCOs: 40,
+		SubAnchors: []string{"San Jose", "Santa Rosa"}},
+	{Name: "denver", Anchor: "Denver", Backbone: []string{"Denver", "Chicago"}, Type: MultiLevel, EdgeCOs: 34,
+		SubAnchors: []string{"Colorado Springs", "Fort Collins"}},
+	{Name: "houston", Anchor: "Houston", Backbone: []string{"Dallas", "Atlanta"}, Type: MultiLevel, EdgeCOs: 44,
+		SubAnchors: []string{"Houston", "Corpus Christi"}},
+	{Name: "chicago", Anchor: "Chicago", Backbone: []string{"Chicago", "New York"}, Type: MultiLevel, EdgeCOs: 78,
+		SubAnchors: []string{"Rockford", "South Bend", "Springfield, IL"}},
+	{Name: "twincities", Anchor: "Minneapolis", Backbone: []string{"Chicago", "Denver"}, Type: MultiLevel, EdgeCOs: 32,
+		SubAnchors: []string{"Duluth", "Rochester, MN"}},
+	{Name: "stlouis", Anchor: "Saint Louis", Backbone: []string{"Chicago", "Dallas"}, Type: MultiLevel, EdgeCOs: 28,
+		SubAnchors: []string{"Springfield, MO", "Topeka"}},
+	{Name: "detroit", Anchor: "Detroit", Backbone: []string{"Chicago", "New York"}, Type: MultiLevel, EdgeCOs: 40,
+		SubAnchors: []string{"Grand Rapids", "Lansing"}},
+	{Name: "philadelphia", Anchor: "Philadelphia", Backbone: []string{"New York", "Ashburn"}, Type: MultiLevel, EdgeCOs: 48,
+		SubAnchors: []string{"Harrisburg", "Allentown"}},
+	{Name: "dcmetro", Anchor: "Washington", Backbone: []string{"Ashburn", "New York"}, Type: MultiLevel, EdgeCOs: 46,
+		SubAnchors: []string{"Baltimore", "Frederick"}},
+	{Name: "atlanta", Anchor: "Atlanta", Backbone: []string{"Atlanta", "Ashburn"}, Type: MultiLevel, EdgeCOs: 50,
+		SubAnchors: []string{"Savannah", "Augusta"}},
+	{Name: "miami", Anchor: "Miami", Backbone: []string{"Atlanta", "Dallas"}, Type: MultiLevel, EdgeCOs: 44,
+		SubAnchors: []string{"Orlando", "Tampa"}},
+}
+
+// CharterProfile returns a Charter-like operator: 6 vast multi-level
+// regions, CLLI-style rDNS under rr.com with lower staleness, /31
+// point-to-point subnets, less redundant EdgeCO homing (37.7%
+// single-homed), MPLS in the "maine" region, and physically present but
+// traceroute-invisible redundancy in the "southeast" region (§B.4).
+func CharterProfile() CableProfile {
+	return CableProfile{
+		ISP:                  "charter",
+		Style:                "rr",
+		P2PBits:              31,
+		P2PPool:              netip.MustParsePrefix("72.128.0.0/13"),
+		SubsPool:             netip.MustParsePrefix("76.0.0.0/10"),
+		SingleHomeFrac:       0.25,
+		EdgeChainFrac:        0.422,
+		SubSingleFrac:        0.30,
+		TwoRouterEdgeFrac:    0.25,
+		UnnamedProb:          0.06,
+		StaleBothProb:        0.012,
+		StaleSnapProb:        0.02,
+		CrossRegionStaleFrac: 0.15,
+		SubsPerEdge:          3,
+		EdgeScatterMaxKm:     430,
+		MercatorFrac:         0.25,
+		RandomIPIDFrac:       0.15,
+		PerIfaceIPIDFrac:     0.10,
+		Regions:              charterRegions,
+	}
+}
+
+// charterRegions are the six former-Time-Warner-style regions. All are
+// multi-level (Table 1) and far larger than Comcast's (Fig. 7).
+var charterRegions = []CableRegionSpec{
+	{Name: "socal", Anchor: "Los Angeles", Backbone: []string{"Los Angeles", "Dallas"}, Type: MultiLevel, EdgeCOs: 118,
+		SubAnchors: []string{"San Diego", "Anaheim", "Riverside", "Bakersfield", "Long Beach"}},
+	{Name: "texas", Anchor: "Dallas", Backbone: []string{"Dallas", "Atlanta"}, Type: MultiLevel, EdgeCOs: 136,
+		SubAnchors: []string{"Austin", "San Antonio", "El Paso", "Amarillo", "Lubbock", "Shreveport"}},
+	{Name: "midwest", Anchor: "Columbus", Backbone: []string{"Chicago", "Saint Louis"}, Type: MultiLevel, EdgeCOs: 230,
+		SubAnchors: []string{"Cleveland", "Cincinnati", "Louisville", "Lexington", "Milwaukee", "Madison", "Green Bay", "Fort Wayne", "Kansas City", "Lincoln"}},
+	{Name: "northeast", Anchor: "New York", Backbone: []string{"New York", "Chicago"}, Type: MultiLevel, EdgeCOs: 156,
+		SubAnchors: []string{"Buffalo", "Rochester, NY", "Syracuse", "Albany", "Allentown"}},
+	{Name: "southeast", Anchor: "Charlotte", Backbone: []string{"Atlanta", "Dallas"}, Type: MultiLevel, EdgeCOs: 128, HideRedundancy: true,
+		SubAnchors: []string{"Raleigh", "Greensboro", "Columbia", "Charleston, SC", "Greenville"}},
+	{Name: "maine", Anchor: "Portland, ME", Backbone: []string{"New York", "Chicago"}, Type: MultiLevel, EdgeCOs: 76, MPLS: true,
+		SubAnchors: []string{"Bangor", "Augusta, ME", "Manchester"}},
+}

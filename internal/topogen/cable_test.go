@@ -1,0 +1,422 @@
+package topogen
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hostnames"
+	"repro/internal/netsim"
+)
+
+// buildCableScenario is shared by several tests; building both operators
+// takes a moment, so cache one per seed.
+var cachedScenario *Scenario
+var cachedComcast, cachedCharter *ISP
+
+func cableScenario(t *testing.T) (*Scenario, *ISP, *ISP) {
+	t.Helper()
+	if cachedScenario == nil {
+		s := NewScenario(1)
+		cachedComcast = s.BuildCable(ComcastProfile())
+		cachedCharter = s.BuildCable(CharterProfile())
+		cachedScenario = s
+	}
+	return cachedScenario, cachedComcast, cachedCharter
+}
+
+func TestCableRegionInventory(t *testing.T) {
+	_, comcast, charter := cableScenario(t)
+	if got := len(comcast.Regions); got != 28 {
+		t.Errorf("comcast regions = %d, want 28", got)
+	}
+	if got := len(charter.Regions); got != 6 {
+		t.Errorf("charter regions = %d, want 6", got)
+	}
+	// Table 1 ground truth: 5/11/12 vs 0/0/6.
+	count := func(isp *ISP, layers int) int {
+		n := 0
+		for _, r := range isp.Regions {
+			if r.AggLayers == layers {
+				n++
+			}
+		}
+		return n
+	}
+	for _, tt := range []struct {
+		isp    *ISP
+		layers int
+		want   int
+	}{
+		{comcast, 1, 5}, {comcast, 2, 11}, {comcast, 3, 12},
+		{charter, 1, 0}, {charter, 2, 0}, {charter, 3, 6},
+	} {
+		if got := count(tt.isp, tt.layers); got != tt.want {
+			t.Errorf("%s regions with %d agg layers = %d, want %d", tt.isp.Name, tt.layers, got, tt.want)
+		}
+	}
+}
+
+func TestCharterRegionsLarger(t *testing.T) {
+	_, comcast, charter := cableScenario(t)
+	avg := func(isp *ISP) float64 {
+		total := 0
+		for _, r := range isp.Regions {
+			total += len(r.COs)
+		}
+		return float64(total) / float64(len(isp.Regions))
+	}
+	if ac, ah := avg(comcast), avg(charter); ah < 2.5*ac {
+		t.Errorf("charter regions should dwarf comcast's: comcast avg %.1f COs, charter %.1f", ac, ah)
+	}
+}
+
+func TestEveryEdgeCOHasUpstreamAndSubscribers(t *testing.T) {
+	s, comcast, charter := cableScenario(t)
+	for _, isp := range []*ISP{comcast, charter} {
+		for _, reg := range isp.Regions {
+			if len(reg.SubscriberPrefixes) == 0 {
+				t.Errorf("%s/%s has no subscriber prefixes", isp.Name, reg.Name)
+			}
+			for _, co := range reg.COs {
+				if co.Role != EdgeCO {
+					continue
+				}
+				if len(co.Upstream) == 0 {
+					t.Errorf("EdgeCO %s has no upstream", co.ID)
+				}
+				if len(co.Routers) == 0 {
+					t.Errorf("EdgeCO %s has no routers", co.ID)
+				}
+				for _, up := range co.Upstream {
+					if _, ok := reg.COs[up]; !ok {
+						t.Errorf("EdgeCO %s upstream %s not in region", co.ID, up)
+					}
+				}
+			}
+		}
+	}
+	_ = s
+}
+
+func TestBackboneEntries(t *testing.T) {
+	_, comcast, charter := cableScenario(t)
+	// hartford reaches the backbone only via boston.
+	h := comcast.Regions["hartford"]
+	if len(h.BackboneEntries) != 0 || len(h.EntryRegions) != 1 || h.EntryRegions[0] != "boston" {
+		t.Errorf("hartford entries = %v via %v", h.BackboneEntries, h.EntryRegions)
+	}
+	// centralca has both.
+	cc := comcast.Regions["centralca"]
+	if len(cc.BackboneEntries) != 2 || len(cc.EntryRegions) != 1 {
+		t.Errorf("centralca entries = %v via %v", cc.BackboneEntries, cc.EntryRegions)
+	}
+	// All charter regions have two backbone COs.
+	for name, r := range charter.Regions {
+		if len(r.BackboneEntries) != 2 {
+			t.Errorf("charter/%s backbone entries = %d, want 2", name, len(r.BackboneEntries))
+		}
+	}
+	// Total distinct (region, backboneCO) entry pairs for Comcast should
+	// be in the neighborhood of the paper's 57 + 3 missed.
+	total := 0
+	for _, r := range comcast.Regions {
+		total += len(r.BackboneEntries)
+	}
+	if total < 45 || total > 65 {
+		t.Errorf("comcast backbone entry pairs = %d, want ~53", total)
+	}
+}
+
+func TestCableHostnamesMatchPaperConventions(t *testing.T) {
+	s, comcast, charter := cableScenario(t)
+	comcastRe := regexp.MustCompile(`^(ae|po|be)-[\d-]+-(cr|ar|cbr|rur)\d+\.[a-z0-9.]+\.comcast\.net$`)
+	charterRe := regexp.MustCompile(`^(agg\d+\.[a-z]{8}\d{2}[rmh]\.[a-z]+\.rr\.com|bu-ether\d+\.[a-z]{8}0yw-bcr\d{2}\.tbone\.rr\.com)$`)
+	check := func(isp *ISP, re *regexp.Regexp) {
+		seen, bad := 0, 0
+		for _, reg := range isp.Regions {
+			for _, co := range reg.COs {
+				for _, r := range co.Routers {
+					for _, ifc := range r.Interfaces() {
+						name, ok := s.DNS.Dig(ifc.Addr)
+						if !ok {
+							continue
+						}
+						seen++
+						if !re.MatchString(name) {
+							bad++
+							if bad < 5 {
+								t.Errorf("%s hostname %q does not match convention", isp.Name, name)
+							}
+						}
+					}
+				}
+			}
+		}
+		if seen == 0 {
+			t.Errorf("%s: no named interfaces", isp.Name)
+		}
+	}
+	check(comcast, comcastRe)
+	check(charter, charterRe)
+}
+
+func TestStaleAndMissingNamesExist(t *testing.T) {
+	s, comcast, _ := cableScenario(t)
+	missing, staleSnap, named := 0, 0, 0
+	for _, reg := range comcast.Regions {
+		for _, co := range reg.COs {
+			for _, r := range co.Routers {
+				for _, ifc := range r.Interfaces() {
+					live, okL := s.DNS.Dig(ifc.Addr)
+					snap, okS := s.DNS.SnapshotLookup(ifc.Addr)
+					switch {
+					case !okL && !okS:
+						missing++
+					case okL && okS && live != snap:
+						staleSnap++
+					default:
+						named++
+					}
+				}
+			}
+		}
+	}
+	if missing == 0 {
+		t.Error("no unnamed interfaces; the missing-rDNS noise process is dead")
+	}
+	if staleSnap == 0 {
+		t.Error("no snapshot-stale interfaces; the staleness noise process is dead")
+	}
+	frac := float64(missing) / float64(missing+staleSnap+named)
+	if frac < 0.03 || frac > 0.2 {
+		t.Errorf("missing-name fraction = %.3f, want ~0.09", frac)
+	}
+}
+
+func TestTraceFromTransitVPCrossesHierarchy(t *testing.T) {
+	s, comcast, _ := cableScenario(t)
+	vps := []*netsim.Host{
+		s.AddTransitVP("Kansas City"),
+		s.AddTransitVP("Seattle"),
+		s.AddTransitVP("San Francisco"),
+	}
+	reg := comcast.Regions["bverton"]
+	// Probe several subscriber prefixes from several VPs; across paths
+	// all three hierarchy tiers must appear by name (individual
+	// interfaces may be unnamed by the noise process).
+	var sawBackbone, sawAgg, sawEdge bool
+	for i, pfx := range reg.SubscriberPrefixes {
+		if i >= 8 {
+			break
+		}
+		dst := pfx.Addr().Next()
+		for _, vp := range vps {
+			for ttl := uint8(1); ttl <= 24; ttl++ {
+				r := s.Net.Probe(s.Epoch(), netsim.ProbeSpec{Src: vp.Addr, Dst: dst, TTL: ttl, FlowID: uint16(i)})
+				if r.Type != netsim.TTLExceeded {
+					continue
+				}
+				name, _ := s.DNS.Dig(r.From)
+				switch {
+				case strings.Contains(name, "ibone"):
+					sawBackbone = true
+				case strings.Contains(name, "-ar"):
+					sawAgg = true
+				case strings.Contains(name, "cbr") || strings.Contains(name, "rur"):
+					sawEdge = true
+				}
+			}
+		}
+	}
+	if !sawBackbone || !sawAgg || !sawEdge {
+		t.Errorf("paths into bverton missing tiers: backbone=%v agg=%v edge=%v", sawBackbone, sawAgg, sawEdge)
+	}
+}
+
+func TestCharterMPLSHidesMiddleTier(t *testing.T) {
+	s, _, charter := cableScenario(t)
+	reg := charter.Regions["maine"]
+	vp := s.AddTransitVP("Boston")
+	// Trace to several subscriber prefixes; tier-2 agg hops must never
+	// appear (LSPs from the top AggCOs hide them).
+	tier2 := map[string]bool{}
+	for _, co := range reg.COs {
+		if co.Role == AggCO && co.Tier == 2 {
+			tier2[co.ID] = true
+		}
+	}
+	if len(tier2) == 0 {
+		t.Fatal("maine has no tier-2 AggCOs")
+	}
+	hits := 0
+	for i, pfx := range reg.SubscriberPrefixes {
+		if i >= 20 {
+			break
+		}
+		dst := pfx.Addr().Next()
+		for ttl := uint8(1); ttl <= 24; ttl++ {
+			r := s.Net.Probe(s.Epoch(), netsim.ProbeSpec{Src: vp.Addr, Dst: dst, TTL: ttl, FlowID: uint16(i)})
+			if r.Type != netsim.TTLExceeded {
+				continue
+			}
+			if ifc, ok := s.Net.IfaceByAddr(r.From); ok && tier2[ifc.Router.CO] {
+				hits++
+			}
+		}
+	}
+	if hits != 0 {
+		t.Errorf("tier-2 AggCO routers appeared %d times despite MPLS", hits)
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	s1 := NewScenario(99)
+	s2 := NewScenario(99)
+	i1 := s1.BuildCable(CharterProfile())
+	i2 := s2.BuildCable(CharterProfile())
+	r1 := i1.Regions["socal"]
+	r2 := i2.Regions["socal"]
+	if len(r1.COs) != len(r2.COs) {
+		t.Fatalf("same seed, different CO counts: %d vs %d", len(r1.COs), len(r2.COs))
+	}
+	for id := range r1.COs {
+		if _, ok := r2.COs[id]; !ok {
+			t.Errorf("CO %s missing from second build", id)
+		}
+	}
+}
+
+func TestCloudVMsReachCableEdges(t *testing.T) {
+	s, comcast, _ := cableScenario(t)
+	vms := s.CloudVMs("gcloud")
+	if len(vms) < 5 {
+		t.Fatalf("gcloud VMs = %d", len(vms))
+	}
+	reg := comcast.Regions["boston"]
+	edge := reg.COsByRole(EdgeCO)[0]
+	target := edge.Routers[0].Interfaces()[0].Addr
+	var ashburn *CloudVM
+	for i := range vms {
+		if vms[i].Region == "us-east4" {
+			ashburn = &vms[i]
+		}
+	}
+	if ashburn == nil {
+		t.Fatal("no us-east4 VM")
+	}
+	r := s.Net.Probe(s.Epoch(), netsim.ProbeSpec{Src: ashburn.Host.Addr, Dst: target, TTL: 32})
+	if r.Type != netsim.EchoReply {
+		t.Fatalf("cloud ping to boston EdgeCO iface = %v", r.Type)
+	}
+	// Ashburn to Boston-area: ~630km great circle => at least 6ms RTT
+	// with inflation, and well under 30ms.
+	if r.RTT < 6*time.Millisecond || r.RTT > 30*time.Millisecond {
+		t.Errorf("Ashburn->Boston edge RTT = %v, want 6-30ms", r.RTT)
+	}
+}
+
+// TestHostnameRoundTrip feeds every generated live interface name back
+// through the inference-side parser: parsed names must carry the
+// generating region's tag (canonical names) or another CO's (stale),
+// and the stale fraction must stay within the profile's noise budget.
+func TestHostnameRoundTrip(t *testing.T) {
+	s, comcast, charter := cableScenario(t)
+	for _, isp := range []*ISP{comcast, charter} {
+		parsed, stale, total := 0, 0, 0
+		for _, reg := range isp.Regions {
+			for _, co := range reg.COs {
+				for _, r := range co.Routers {
+					for _, ifc := range r.Interfaces() {
+						name, ok := s.DNS.Dig(ifc.Addr)
+						if !ok {
+							continue
+						}
+						total++
+						info, ok := hostnames.Parse(name)
+						if !ok {
+							t.Fatalf("%s: generated name %q does not parse", isp.Name, name)
+						}
+						if info.ISP != isp.Name {
+							t.Fatalf("%s: name %q parsed to operator %q", isp.Name, name, info.ISP)
+						}
+						parsed++
+						if info.Backbone || info.Region != reg.Name || info.CO != co.Tag {
+							stale++
+						}
+					}
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatalf("%s: no named interfaces", isp.Name)
+		}
+		frac := float64(stale) / float64(total)
+		if frac > 0.12 {
+			t.Errorf("%s: stale live-name fraction %.3f exceeds the noise budget", isp.Name, frac)
+		}
+		if stale == 0 {
+			t.Errorf("%s: no stale names at all; the noise process is dead", isp.Name)
+		}
+	}
+}
+
+// TestGeneratorDeterminismTelcoMobile extends the determinism guarantee
+// to the telco and mobile generators.
+func TestGeneratorDeterminismTelcoMobile(t *testing.T) {
+	build := func() (int, int, string) {
+		s := NewScenario(123)
+		tel := s.BuildTelco(ATTProfile())
+		vz := s.BuildMobileCarrier(VerizonProfile())
+		nR := len(s.Net.Routers())
+		dslams := len(tel.DSLAMs["sd2ca"])
+		firstPGW := vz.Regions[0].PGWs[0].Router.Canonical.String()
+		return nR, dslams, firstPGW
+	}
+	r1, d1, p1 := build()
+	r2, d2, p2 := build()
+	if r1 != r2 || d1 != d2 || p1 != p2 {
+		t.Errorf("same seed diverged: (%d,%d,%s) vs (%d,%d,%s)", r1, d1, p1, r2, d2, p2)
+	}
+}
+
+func TestTransitBackboneConnected(t *testing.T) {
+	s := NewScenario(5)
+	// Every metro transit PoP must reach every other (the long-haul
+	// substrate is one connected component).
+	var pops []*netsim.Router
+	for _, r := range s.Net.Routers() {
+		if r.ISP == "transit" {
+			pops = append(pops, r)
+		}
+	}
+	if len(pops) < 20 {
+		t.Fatalf("transit PoPs = %d", len(pops))
+	}
+	for _, p := range pops[1:] {
+		if !s.Net.Reachable(pops[0], p) {
+			t.Errorf("transit PoP %s unreachable from %s", p.Name, pops[0].Name)
+		}
+	}
+}
+
+func TestCloudInventory(t *testing.T) {
+	s := NewScenario(5)
+	providers := map[string]int{}
+	for _, c := range s.Clouds {
+		providers[c.Provider]++
+		if !c.Host.Addr.IsValid() {
+			t.Errorf("%s/%s VM has no address", c.Provider, c.Region)
+		}
+	}
+	if providers["aws"] < 4 || providers["azure"] < 5 || providers["gcloud"] < 6 {
+		t.Errorf("cloud regions per provider = %v", providers)
+	}
+	if got := len(s.CloudVMs("aws")); got != providers["aws"] {
+		t.Errorf("CloudVMs(aws) = %d", got)
+	}
+	if got := len(s.CloudVMs("")); got != len(s.Clouds) {
+		t.Errorf("CloudVMs(all) = %d", got)
+	}
+}

@@ -1,0 +1,137 @@
+package topogen
+
+import (
+	"net/netip"
+
+	"repro/internal/ipalloc"
+)
+
+// ATTMobileProfile is the AT&T-like carrier: 11 regions, each a single
+// mobile datacenter (EdgeCO) with 2-6 packet gateways (Table 7),
+// aggregating to the carrier's own backbone (Fig. 17 left). The address
+// plan follows Fig. 16a: user prefix with the region in bits 32-39,
+// infrastructure prefix with the region in bits 32-47 and the PGW in
+// bits 48-51.
+func ATTMobileProfile() MobileProfile {
+	return MobileProfile{
+		Name:        "att-mobile",
+		Arch:        ArchSingleEdge,
+		UserBase:    netip.MustParseAddr("2600:380::"),
+		RouterBase:  netip.MustParseAddr("2600:300::"),
+		UserRegion:  ipalloc.Field{Start: 32, Len: 8},
+		UserPGW:     ipalloc.Field{Start: 40, Len: 4},
+		RouterField: ipalloc.Field{Start: 32, Len: 16},
+		RouterPGW:   ipalloc.Field{Start: 48, Len: 4},
+		MidHops:     []MidHopSpec{{Silent: true}}, // Fig. 16a hop 2 is "*"
+		Regions: []MobileRegionSpec{
+			{Name: "BTH", City: "Seattle", PGWs: 2, UserBits: 0x30, RouterBits: 0x2030},
+			{Name: "CNC", City: "San Francisco", PGWs: 5, UserBits: 0x40, RouterBits: 0x2040},
+			{Name: "VNN", City: "Los Angeles", PGWs: 5, UserBits: 0x6c, RouterBits: 0x2090},
+			{Name: "ALN", City: "Dallas", PGWs: 5, UserBits: 0x10, RouterBits: 0x2010},
+			{Name: "HST", City: "Houston", PGWs: 5, UserBits: 0xa0, RouterBits: 0x20a0},
+			{Name: "CHC", City: "Chicago", PGWs: 5, UserBits: 0xb0, RouterBits: 0x20b0},
+			{Name: "AKR", City: "Akron", PGWs: 3, UserBits: 0x00, RouterBits: 0x2000},
+			{Name: "ALP", City: "Alpharetta", PGWs: 6, UserBits: 0x20, RouterBits: 0x2020},
+			{Name: "NYC", City: "New York", PGWs: 4, UserBits: 0x50, RouterBits: 0x2050},
+			{Name: "ART", City: "Washington", PGWs: 3, UserBits: 0x70, RouterBits: 0x2070},
+			{Name: "GSV", City: "Orlando", PGWs: 3, UserBits: 0x80, RouterBits: 0x2080},
+		},
+	}
+}
+
+// VerizonProfile is the Verizon-like carrier: many wireless-region
+// EdgeCOs grouped under shared backbone regions (Fig. 17 middle; Table
+// 8), alter.net-style backbone rDNS, and speedtest servers with EdgeCO
+// codes in their names. The address plan follows Fig. 16b: user bits
+// 24-31 identify the backbone region, 32-39 the EdgeCO, 40-43 the PGW;
+// infrastructure addresses carry the EdgeCO in bits 64-75.
+func VerizonProfile() MobileProfile {
+	// Region field value = backbone byte << 8 | EdgeCO byte, matching
+	// the paper's "1012:b1"-style notation.
+	rb := func(backbone, edge uint64) uint64 { return backbone<<8 | 0xb0 + edge }
+	return MobileProfile{
+		Name:          "verizon",
+		Arch:          ArchMultiEdge,
+		UserBase:      netip.MustParseAddr("2600:1000::"),
+		RouterBase:    netip.MustParseAddr("2001:4888::"),
+		UserRegion:    ipalloc.Field{Start: 24, Len: 16},
+		UserPGW:       ipalloc.Field{Start: 40, Len: 4},
+		RouterField:   ipalloc.Field{Start: 64, Len: 12},
+		RouterPGW:     ipalloc.Field{Start: 76, Len: 4},
+		SpeedtestRDNS: true,
+		SwitchProb:    0.05,
+		BackboneRDNS:  "alter.net",
+		// Fig. 16b shows hops 2-5 unresponsive inside the packet core.
+		MidHops: []MidHopSpec{{Silent: true}, {Silent: true}},
+		Regions: []MobileRegionSpec{
+			{Name: "RDMEWA", City: "Redmond", Backbone: "SEA", PGWs: 1, UserBits: rb(0x0f, 0), RouterBits: 0x62e},
+			{Name: "HLBOOR", City: "Portland", Backbone: "SEA", PGWs: 1, UserBits: rb(0x0f, 1), RouterBits: 0x62f},
+			{Name: "SNVACA", City: "Sunnyvale", Backbone: "SJC", PGWs: 2, UserBits: rb(0x10, 0), RouterBits: 0x630},
+			{Name: "RCKLCA", City: "Sacramento", Backbone: "SJC", PGWs: 2, UserBits: rb(0x10, 1), RouterBits: 0x631},
+			{Name: "LSVKNV", City: "Las Vegas", Backbone: "SJC", PGWs: 2, UserBits: rb(0x11, 0), RouterBits: 0x632},
+			{Name: "AZUSCA", City: "Azusa", Backbone: "LAX", PGWs: 2, UserBits: rb(0x12, 0), RouterBits: 0x633},
+			{Name: "VISTCA", City: "Vista", Backbone: "LAX", PGWs: 3, UserBits: rb(0x12, 1), RouterBits: 0x634},
+			{Name: "HCHLIL", City: "Hinsdale", Backbone: "CHI", PGWs: 2, UserBits: rb(0x08, 0), RouterBits: 0x635},
+			{Name: "NWBLWI", City: "New Berlin", Backbone: "CHI", PGWs: 2, UserBits: rb(0x08, 1), RouterBits: 0x636},
+			{Name: "SFLDMI", City: "Southfield", Backbone: "CHI", PGWs: 1, UserBits: rb(0x09, 1), RouterBits: 0x637},
+			{Name: "STLSMO", City: "Saint Louis", Backbone: "CHI", PGWs: 1, UserBits: rb(0x0a, 0), RouterBits: 0x638},
+			{Name: "BLTNMN", City: "Bloomington", Backbone: "CHI", PGWs: 3, UserBits: rb(0x14, 1), RouterBits: 0x639},
+			{Name: "OMALNE", City: "Omaha", Backbone: "CHI", PGWs: 2, UserBits: rb(0x14, 2), RouterBits: 0x63a},
+			{Name: "ESYRNY", City: "East Syracuse", Backbone: "PHIL", PGWs: 1, UserBits: rb(0x02, 1), RouterBits: 0x63b},
+			{Name: "AURSCO", City: "Aurora", Backbone: "DEN", PGWs: 2, UserBits: rb(0x0e, 0), RouterBits: 0x63c},
+			{Name: "WJRDUT", City: "West Jordan", Backbone: "DEN", PGWs: 2, UserBits: rb(0x0e, 1), RouterBits: 0x63d},
+			{Name: "ELSSTX", City: "El Paso", Backbone: "DLLSTX", PGWs: 1, UserBits: rb(0x0c, 2), RouterBits: 0x63e},
+			{Name: "HSTWTX", City: "Houston", Backbone: "DLLSTX", PGWs: 2, UserBits: rb(0x0d, 0), RouterBits: 0x63f},
+			{Name: "BTRHLA", City: "Baton Rouge", Backbone: "DLLSTX", PGWs: 2, UserBits: rb(0x0d, 1), RouterBits: 0x640},
+			{Name: "MIAMFL", City: "Miami", Backbone: "MIA", PGWs: 2, UserBits: rb(0x0b, 0), RouterBits: 0x641},
+			{Name: "ORLHFL", City: "Orlando", Backbone: "MIA", PGWs: 2, UserBits: rb(0x0b, 1), RouterBits: 0x642},
+			{Name: "CHRXNC", City: "Charlotte", Backbone: "ATL", PGWs: 4, UserBits: rb(0x04, 0), RouterBits: 0x643},
+			{Name: "WHCKTN", City: "Whitehouse", Backbone: "ATL", PGWs: 2, UserBits: rb(0x04, 1), RouterBits: 0x644},
+			{Name: "ALPSGA", City: "Alpharetta", Backbone: "ATL", PGWs: 2, UserBits: rb(0x05, 0), RouterBits: 0x645},
+			{Name: "CHNTVA", City: "Chantilly", Backbone: "IAD", PGWs: 2, UserBits: rb(0x03, 0), RouterBits: 0x646},
+			{Name: "JHTWPA", City: "Johnstown", Backbone: "IAD", PGWs: 1, UserBits: rb(0x03, 1), RouterBits: 0x647},
+			{Name: "WLTPNJ", City: "Wall Township", Backbone: "NYC", PGWs: 2, UserBits: rb(0x17, 0), RouterBits: 0x648},
+			{Name: "WSBOMA", City: "Westborough", Backbone: "BOS", PGWs: 2, UserBits: rb(0x00, 0), RouterBits: 0x649},
+			{Name: "BBTPNJ", City: "Bridgewater", Backbone: "BOS", PGWs: 1, UserBits: rb(0x00, 1), RouterBits: 0x64a},
+		},
+	}
+}
+
+// TMobileProfile is the T-Mobile-like carrier: distributed PGW sites
+// with carrier-global /40 identifiers, each site homed to a wholesale
+// backbone provider (Fig. 17 right), and phones that attach to any of
+// their nearest sites. The Gulf coast has no site: phones there land on
+// distant EdgeCOs (the paper's Florida/Louisiana anomaly). The address
+// plan follows Fig. 16c.
+func TMobileProfile() MobileProfile {
+	return MobileProfile{
+		Name:           "tmobile",
+		Arch:           ArchMultiBackbone,
+		UserBase:       netip.MustParseAddr("2607:fb90::"),
+		RouterBase:     netip.MustParseAddr("fd00:976a::"),
+		UserRegion:     ipalloc.Field{Start: 32, Len: 0}, // no region field
+		UserPGW:        ipalloc.Field{Start: 32, Len: 8},
+		RouterField:    ipalloc.Field{Start: 32, Len: 16},
+		RouterPGW:      ipalloc.Field{Start: 48, Len: 8},
+		GlobalPGWIDs:   true,
+		AttachNearestK: 2,
+		// Fig. 16c: T-Mobile's core hops respond from ULA space.
+		MidHops: []MidHopSpec{
+			{Base: netip.MustParseAddr("fc00:420::")},
+			{Base: netip.MustParseAddr("fc00:420::")},
+		},
+		Regions: []MobileRegionSpec{
+			{Name: "SEAT", City: "Seattle", PGWs: 2, RouterBits: 0x14f0, Provider: "zayo"},
+			{Name: "SNFC", City: "San Francisco", PGWs: 2, RouterBits: 0x14f1, Provider: "lumen"},
+			{Name: "LSAN", City: "Los Angeles", PGWs: 3, RouterBits: 0x14f2, Provider: "zayo"},
+			{Name: "DNVR", City: "Denver", PGWs: 2, RouterBits: 0x14f3, Provider: "vzb"},
+			{Name: "DLLS", City: "Dallas", PGWs: 3, RouterBits: 0x14f4, Provider: "lumen"},
+			{Name: "CHCG", City: "Chicago", PGWs: 3, RouterBits: 0x14f5, Provider: "zayo"},
+			{Name: "MNPL", City: "Minneapolis", PGWs: 2, RouterBits: 0x14f6, Provider: "vzb"},
+			{Name: "NYCM", City: "New York", PGWs: 3, RouterBits: 0x14f7, Provider: "lumen"},
+			{Name: "CHSC", City: "Charleston, SC", PGWs: 2, RouterBits: 0x14f8, Provider: "zayo"},
+			{Name: "MIAM", City: "Miami", PGWs: 2, RouterBits: 0x14f9, Provider: "vzb"},
+			{Name: "PHNX", City: "Phoenix", PGWs: 2, RouterBits: 0x14fa, Provider: "lumen"},
+		},
+	}
+}

@@ -1,0 +1,400 @@
+package topogen
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ipalloc"
+	"repro/internal/netsim"
+)
+
+// TelcoRegionSpec describes one AT&T-like regional network.
+type TelcoRegionSpec struct {
+	// Tag is the backbone rDNS region token (cr1.<tag>.ip.att.net).
+	Tag string
+	// Code is the six-character lightspeed city code
+	// (*.lightspeed.<code>.sbcglobal.net).
+	Code string
+	// City anchors the region.
+	City string
+	// EdgeCOs is the edge office count (42 in the San Diego case study,
+	// reflecting telephone-era copper loop-length constraints).
+	EdgeCOs int
+	// FarTowns places specific EdgeCOs in distant named cities (the
+	// paper's Calexico / El Centro latency outliers).
+	FarTowns []string
+	// DSLAMsPerEdge and SubsPerDSLAM control last-mile density.
+	DSLAMsPerEdge int
+	SubsPerDSLAM  int
+}
+
+// TelcoProfile parameterizes the telco operator.
+type TelcoProfile struct {
+	ISP string
+	// EdgePrefixes is roughly how many EdgeCO router /24s each region
+	// uses (the paper found 7 in San Diego: 6 edge + 1 agg).
+	EdgeCOsPer24 int
+	Regions      []TelcoRegionSpec
+}
+
+// Telco is the generated ground truth for the telco operator.
+type Telco struct {
+	ISP *ISP
+	// EdgePrefixes lists, per region tag, the /24s holding EdgeCO
+	// router addresses (Table 6's ground truth).
+	EdgePrefixes map[string][]netip.Prefix
+	// AggPrefixes lists, per region tag, the AggCO router /24.
+	AggPrefixes map[string][]netip.Prefix
+	// Customers lists, per region tag, subscriber host addresses (the
+	// pool an M-Lab-style public dataset samples from).
+	Customers map[string][]netip.Addr
+	// DSLAMs lists, per region tag, the lightspeed gateway addresses.
+	DSLAMs map[string][]netip.Addr
+	// DSLAMRouters lists the last-mile gateway devices per CO ID, for
+	// attaching subscriber vantage points.
+	DSLAMRouters map[string][]*netsim.Router
+}
+
+// MLabSample returns a deterministic sample of the region's customer
+// addresses, standing in for the public M-Lab NDT dataset the paper
+// mines for responsive AT&T customer targets (§6.3). Real NDT data only
+// covers customers who ran speed tests; frac models that coverage.
+func (t *Telco) MLabSample(regionTag string, frac float64) []netip.Addr {
+	all := t.Customers[regionTag]
+	if frac >= 1 {
+		return append([]netip.Addr(nil), all...)
+	}
+	step := int(1 / frac)
+	if step < 1 {
+		step = 1
+	}
+	var out []netip.Addr
+	for i := 0; i < len(all); i += step {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// AddTelcoVP attaches a measurement host (an Ark/Atlas-style probe on a
+// DSL line) behind a DSLAM of the region's (idx mod N)-th EdgeCO.
+func (s *Scenario) AddTelcoVP(t *Telco, regionTag string, idx int) *netsim.Host {
+	reg := t.ISP.Regions[regionTag]
+	if reg == nil {
+		panic("topogen: unknown telco region " + regionTag)
+	}
+	edges := reg.COsByRole(EdgeCO)
+	co := edges[idx%len(edges)]
+	dslams := t.DSLAMRouters[co.ID]
+	dr := dslams[idx%len(dslams)]
+	h := &netsim.Host{
+		Addr:           s.nextVPAddr(),
+		Router:         dr,
+		ISP:            t.ISP.Name,
+		Loc:            co.Loc,
+		AccessDelay:    time.Duration(6+s.rng.Float64()*10) * time.Millisecond,
+		RespondsToPing: true,
+	}
+	if err := s.Net.AddHost(h); err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// BuildTelco generates an AT&T-like operator: per-region single
+// BackboneCO (two named core routers), four unnamed AggCOs fully meshed
+// to the backbone, dozens of unnamed dual-router EdgeCOs, lightspeed
+// DSLAM gateways with rDNS, MPLS LSPs that hide the aggregation layer,
+// and internal-only probe policies.
+func (s *Scenario) BuildTelco(p TelcoProfile) *Telco {
+	isp := s.ispByName(p.ISP)
+	t := &Telco{
+		ISP:          isp,
+		EdgePrefixes: map[string][]netip.Prefix{},
+		AggPrefixes:  map[string][]netip.Prefix{},
+		Customers:    map[string][]netip.Addr{},
+		DSLAMs:       map[string][]netip.Addr{},
+		DSLAMRouters: map[string][]*netsim.Router{},
+	}
+	// Address plan: backbone 12/8-style, regional router /24s from
+	// 71.0.0.0/9-style space, last-mile lightspeed addresses from
+	// 107.0.0.0/9-style space.
+	bbPool := ipalloc.NewPool(netip.MustParsePrefix("12.83.0.0/16"))
+	routerPool := ipalloc.NewPool(netip.MustParsePrefix("71.144.0.0/12"))
+	lastMilePool := ipalloc.NewPool(netip.MustParsePrefix("107.192.0.0/10"))
+	isp.Announced = append(isp.Announced,
+		netip.MustParsePrefix("12.83.0.0/16"),
+		netip.MustParsePrefix("71.144.0.0/12"),
+		netip.MustParsePrefix("107.192.0.0/10"))
+
+	if p.EdgeCOsPer24 == 0 {
+		p.EdgeCOsPer24 = 7
+	}
+	towns := newTownNamer()
+	for i := range p.Regions {
+		s.buildTelcoRegion(isp, t, &p.Regions[i], p, towns, bbPool, routerPool, lastMilePool)
+	}
+	return t
+}
+
+func (s *Scenario) buildTelcoRegion(isp *ISP, t *Telco, spec *TelcoRegionSpec, p TelcoProfile, towns *townNamer, bbPool, routerPool, lastMilePool *ipalloc.Pool) {
+	city := geo.MustByName(spec.City)
+	reg := &Region{Name: spec.Tag, ISP: isp.Name, COs: map[string]*CO{}, AggLayers: 2}
+	isp.Regions[spec.Tag] = reg
+
+	if spec.DSLAMsPerEdge == 0 {
+		spec.DSLAMsPerEdge = 3
+	}
+	if spec.SubsPerDSLAM == 0 {
+		spec.SubsPerDSLAM = 2
+	}
+
+	newIface := func(r *netsim.Router, pool *ipalloc.Pool) *netsim.Iface {
+		a, err := pool.NextHost()
+		if err != nil {
+			panic(err)
+		}
+		ifc, err := s.Net.AddIface(r, a)
+		if err != nil {
+			panic(err)
+		}
+		return ifc
+	}
+	link := func(ra, rb *netsim.Router, poolA, poolB *ipalloc.Pool, delay time.Duration) {
+		ia := newIface(ra, poolA)
+		ib := newIface(rb, poolB)
+		if _, err := s.Net.Connect(ia, ib, delay); err != nil {
+			panic(err)
+		}
+	}
+
+	// The lone BackboneCO: the old Long Lines building downtown.
+	bbCO := &CO{
+		ID:     coID(isp.Name, spec.Tag, "bb-"+spec.Code),
+		Tag:    spec.Tag,
+		Role:   BackboneCO,
+		City:   city,
+		Loc:    city.Point,
+		Region: spec.Tag,
+	}
+	reg.COs[bbCO.ID] = bbCO
+	reg.BackboneEntries = append(reg.BackboneEntries, bbCO.ID)
+	var bbRouters []*netsim.Router
+	for i := 0; i < 2; i++ {
+		r := s.Net.AddRouter(&netsim.Router{
+			Name:         fmt.Sprintf("%s/cr%d", bbCO.ID, i+1),
+			ISP:          isp.Name,
+			CO:           bbCO.ID,
+			Loc:          city.Point,
+			ResponseProb: 0.98,
+			IPID:         netsim.IPIDShared,
+		})
+		r.IPIDVelocity = 100 + s.rng.Float64()*300
+		for _, up := range s.AttachToTransitN(r, 2) {
+			name := fmt.Sprintf("cr%d.%s.ip.att.net", i+1, spec.Tag)
+			s.DNS.SetLive(up.Addr, name)
+			s.DNS.SetSnapshot(up.Addr, name)
+		}
+		// A named backbone-side loopback, plus intra-ISP interfaces.
+		lo := newIface(r, bbPool)
+		name := fmt.Sprintf("cr%d.%s.ip.att.net", i+1, spec.Tag)
+		s.DNS.SetLive(lo.Addr, name)
+		s.DNS.SetSnapshot(lo.Addr, name)
+		r.Canonical = lo.Addr
+		bbCO.Routers = append(bbCO.Routers, r)
+		bbRouters = append(bbRouters, r)
+	}
+	link(bbRouters[0], bbRouters[1], bbPool, bbPool, 20*time.Microsecond)
+
+	// Four AggCOs, one unnamed router each, fully meshed to both
+	// backbone routers (Fig. 13). Their addresses share one /24.
+	agg24, err := routerPool.NextSubnet(24)
+	if err != nil {
+		panic(err)
+	}
+	t.AggPrefixes[spec.Tag] = append(t.AggPrefixes[spec.Tag], agg24)
+	aggPool := ipalloc.NewPool(agg24)
+	s.Net.AddPrefix(agg24, bbRouters[0], isp.Name)
+	var aggRouters []*netsim.Router
+	var aggCOs []*CO
+	for i := 0; i < 4; i++ {
+		town := s.scatterTown(title(towns.next(s.rng)), city, 4, 25)
+		co := &CO{
+			ID:       coID(isp.Name, spec.Tag, fmt.Sprintf("agg%d", i+1)),
+			Tag:      fmt.Sprintf("agg%d", i+1),
+			Role:     AggCO,
+			Tier:     1,
+			City:     town,
+			Loc:      town.Point,
+			Region:   spec.Tag,
+			Upstream: []string{bbCO.ID},
+		}
+		reg.COs[co.ID] = co
+		aggCOs = append(aggCOs, co)
+		r := s.Net.AddRouter(&netsim.Router{
+			Name:         co.ID + "/ar1",
+			ISP:          isp.Name,
+			CO:           co.ID,
+			Loc:          town.Point,
+			ResponseProb: 0.97,
+			DstPolicy:    netsim.DstInternalOnly,
+			IPID:         netsim.IPIDShared,
+		})
+		r.IPIDVelocity = 50 + s.rng.Float64()*250
+		co.Routers = append(co.Routers, r)
+		aggRouters = append(aggRouters, r)
+		for _, bbr := range bbRouters {
+			link(bbr, r, bbPool, aggPool, geo.PropagationDelay(city.Point, town.Point))
+		}
+	}
+
+	// EdgeCO router /24s (about one per EdgeCOsPer24 offices).
+	n24 := (spec.EdgeCOs*2 + 253) / 254
+	if min := (spec.EdgeCOs + p.EdgeCOsPer24 - 1) / p.EdgeCOsPer24; min > n24 {
+		n24 = min
+	}
+	var edgePools []*ipalloc.Pool
+	for i := 0; i < n24; i++ {
+		pfx, err := routerPool.NextSubnet(24)
+		if err != nil {
+			panic(err)
+		}
+		t.EdgePrefixes[spec.Tag] = append(t.EdgePrefixes[spec.Tag], pfx)
+		s.Net.AddPrefix(pfx, bbRouters[0], isp.Name)
+		edgePools = append(edgePools, ipalloc.NewPool(pfx))
+	}
+
+	// EdgeCOs: two unnamed routers each, both connected to the two agg
+	// routers of their sub-region half.
+	var edgeRouters []*netsim.Router
+	for e := 0; e < spec.EdgeCOs; e++ {
+		var town geo.City
+		far := e < len(spec.FarTowns)
+		if far {
+			town = geo.MustByName(spec.FarTowns[e])
+			s.CLLI.Add(town)
+		} else {
+			town = s.scatterTown(title(towns.next(s.rng)), city, 5, 45)
+		}
+		co := &CO{
+			ID:     coID(isp.Name, spec.Tag, fmt.Sprintf("wc%02d", e+1)),
+			Tag:    fmt.Sprintf("wc%02d", e+1),
+			Role:   EdgeCO,
+			City:   town,
+			Loc:    town.Point,
+			Region: spec.Tag,
+		}
+		reg.COs[co.ID] = co
+		pair := aggRouters[:2]
+		pairCOs := aggCOs[:2]
+		if e%2 == 1 {
+			pair = aggRouters[2:]
+			pairCOs = aggCOs[2:]
+		}
+		co.Upstream = append(co.Upstream, pairCOs[0].ID, pairCOs[1].ID)
+		pool := edgePools[e%len(edgePools)]
+		var ers []*netsim.Router
+		for k := 0; k < 2; k++ {
+			r := s.Net.AddRouter(&netsim.Router{
+				Name:         fmt.Sprintf("%s/er%d", co.ID, k+1),
+				ISP:          isp.Name,
+				CO:           co.ID,
+				Loc:          town.Point,
+				ResponseProb: 0.97,
+				DstPolicy:    netsim.DstInternalOnly,
+				IPID:         netsim.IPIDShared,
+			})
+			r.IPIDVelocity = 30 + s.rng.Float64()*200
+			co.Routers = append(co.Routers, r)
+			ers = append(ers, r)
+			edgeRouters = append(edgeRouters, r)
+			for _, ar := range pair {
+				delay := geo.PropagationDelay(ar.Loc, town.Point)
+				if far {
+					// Remote offices reach the metro over circuitous
+					// long-haul fiber (mountain and desert routing),
+					// the source of the paper's Table 2 outliers.
+					delay = delay * 5 / 2
+				}
+				link(ar, r, aggPool, pool, delay)
+			}
+		}
+		link(ers[0], ers[1], pool, pool, 20*time.Microsecond)
+
+		// DSLAMs: lightspeed gateways with rDNS, dual-homed to both
+		// edge routers, replying from their canonical lspgw address.
+		for d := 0; d < spec.DSLAMsPerEdge; d++ {
+			lspgw, err := lastMilePool.NextHost()
+			if err != nil {
+				panic(err)
+			}
+			dr := s.Net.AddRouter(&netsim.Router{
+				Name:         fmt.Sprintf("%s/dslam%d", co.ID, d+1),
+				ISP:          isp.Name,
+				CO:           co.ID,
+				Loc:          town.Point,
+				ResponseProb: 0.95,
+				DstPolicy:    netsim.DstInternalOnly,
+				ReplyAddr:    netsim.ReplyCanonical,
+				IPID:         netsim.IPIDRandom,
+			})
+			ifc, err := s.Net.AddIface(dr, lspgw)
+			if err != nil {
+				panic(err)
+			}
+			_ = ifc
+			dr.Canonical = lspgw
+			name := fmt.Sprintf("%s.lightspeed.%s.sbcglobal.net",
+				strings.ReplaceAll(lspgw.String(), ".", "-"), spec.Code)
+			s.DNS.SetLive(lspgw, name)
+			s.DNS.SetSnapshot(lspgw, name)
+			t.DSLAMs[spec.Tag] = append(t.DSLAMs[spec.Tag], lspgw)
+			t.DSLAMRouters[co.ID] = append(t.DSLAMRouters[co.ID], dr)
+			// Both uplinks of a dual-homed DSLAM share one conduit and
+			// cost the same, so forwarding load-balances across the two
+			// EdgeCO routers.
+			dslamDelay := time.Duration(100+s.rng.Intn(400)) * time.Microsecond
+			for _, er := range ers {
+				link(er, dr, pool, lastMilePool, dslamDelay)
+			}
+			// Customers behind the DSLAM: silent to ping, with DSL
+			// interleaving latency.
+			for c := 0; c < spec.SubsPerDSLAM; c++ {
+				addr, err := lastMilePool.NextHost()
+				if err != nil {
+					panic(err)
+				}
+				h := &netsim.Host{
+					Addr:           addr,
+					Router:         dr,
+					ISP:            isp.Name,
+					Loc:            town.Point,
+					AccessDelay:    time.Duration(6+s.rng.Float64()*14) * time.Millisecond,
+					RespondsToPing: false,
+				}
+				if err := s.Net.AddHost(h); err != nil {
+					panic(err)
+				}
+				t.Customers[spec.Tag] = append(t.Customers[spec.Tag], addr)
+			}
+		}
+	}
+
+	// MPLS: LSPs from the backbone routers to every EdgeCO router and
+	// between EdgeCO routers, hiding the aggregation layer from plain
+	// traceroutes (§6.1, Appendix C).
+	for _, bbr := range bbRouters {
+		for _, er := range edgeRouters {
+			s.Net.AddTunnel(bbr, er)
+		}
+	}
+	for _, a := range edgeRouters {
+		for _, b := range edgeRouters {
+			if a != b {
+				s.Net.AddTunnel(a, b)
+			}
+		}
+	}
+}

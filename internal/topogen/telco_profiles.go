@@ -1,0 +1,62 @@
+package topogen
+
+// ATTProfile returns an AT&T-like telco operator with 37 regional
+// networks across the legacy SBC/Ameritech/BellSouth footprint. The
+// sd2ca (San Diego) region is generated at full case-study detail: 42
+// EdgeCOs including the distant Calexico and El Centro offices whose
+// customers suffer double the regional average latency to the cloud
+// (§6.3, Table 2).
+func ATTProfile() TelcoProfile {
+	return TelcoProfile{
+		ISP:          "att",
+		EdgeCOsPer24: 7,
+		Regions:      attRegions,
+	}
+}
+
+var attRegions = []TelcoRegionSpec{
+	// California (Pacific Bell).
+	{Tag: "sd2ca", Code: "sndgca", City: "San Diego", EdgeCOs: 42,
+		FarTowns: []string{"Calexico", "El Centro"}},
+	{Tag: "la2ca", Code: "lsanca", City: "Los Angeles", EdgeCOs: 14},
+	{Tag: "bkfdca", Code: "bkfdca", City: "Bakersfield", EdgeCOs: 8},
+	{Tag: "frsnca", Code: "frsnca", City: "Fresno", EdgeCOs: 9},
+	{Tag: "scrmca", Code: "scrmca", City: "Sacramento", EdgeCOs: 11},
+	{Tag: "sffca", Code: "snfcca", City: "San Francisco", EdgeCOs: 12},
+	{Tag: "sj2ca", Code: "snjsca", City: "San Jose", EdgeCOs: 11},
+	{Tag: "stknca", Code: "stktca", City: "Stockton", EdgeCOs: 7},
+	// Nevada Bell.
+	{Tag: "renonv", Code: "renonv", City: "Reno", EdgeCOs: 6},
+	// Texas (Southwestern Bell).
+	{Tag: "dlstx", Code: "dllstx", City: "Dallas", EdgeCOs: 14},
+	{Tag: "hstntx", Code: "hstntx", City: "Houston", EdgeCOs: 14},
+	{Tag: "sntotx", Code: "snantx", City: "San Antonio", EdgeCOs: 11},
+	{Tag: "austx", Code: "austtx", City: "Austin", EdgeCOs: 10},
+	{Tag: "elpstx", Code: "elpstx", City: "El Paso", EdgeCOs: 7},
+	{Tag: "crpstx", Code: "crpctx", City: "Corpus Christi", EdgeCOs: 6},
+	// Oklahoma / Kansas / Missouri / Arkansas.
+	{Tag: "okcok", Code: "okcyok", City: "Oklahoma City", EdgeCOs: 8},
+	{Tag: "tulsok", Code: "tulsok", City: "Tulsa", EdgeCOs: 7},
+	{Tag: "wchtks", Code: "wchtks", City: "Wichita", EdgeCOs: 6},
+	{Tag: "stlsmo", Code: "stlsmo", City: "Saint Louis", EdgeCOs: 11},
+	{Tag: "kc2mo", Code: "knscmo", City: "Kansas City", EdgeCOs: 9},
+	{Tag: "sgfdmo", Code: "spfdmo", City: "Springfield, MO", EdgeCOs: 6},
+	{Tag: "ltrkar", Code: "ltrkar", City: "Little Rock", EdgeCOs: 6},
+	// Ameritech (IL, IN, OH, MI, WI).
+	{Tag: "chcgil", Code: "chcgil", City: "Chicago", EdgeCOs: 15},
+	{Tag: "spfdil", Code: "spfdil", City: "Springfield, IL", EdgeCOs: 5},
+	{Tag: "ipls2in", Code: "iplsin", City: "Indianapolis", EdgeCOs: 10},
+	{Tag: "clmboh", Code: "clmboh", City: "Columbus", EdgeCOs: 10},
+	{Tag: "clevoh", Code: "clevoh", City: "Cleveland", EdgeCOs: 10},
+	{Tag: "dtrtmi", Code: "dtrtmi", City: "Detroit", EdgeCOs: 12},
+	{Tag: "grpdmi", Code: "grrpmi", City: "Grand Rapids", EdgeCOs: 6},
+	{Tag: "mlwkwi", Code: "milwwi", City: "Milwaukee", EdgeCOs: 9},
+	{Tag: "mdsnwi", Code: "madswi", City: "Madison", EdgeCOs: 5},
+	// BellSouth.
+	{Tag: "miamfl", Code: "miamfl", City: "Miami", EdgeCOs: 12},
+	{Tag: "orldfl", Code: "orldfl", City: "Orlando", EdgeCOs: 9},
+	{Tag: "jcvlfl", Code: "jcvlfl", City: "Jacksonville", EdgeCOs: 7},
+	{Tag: "atlnga", Code: "atlnga", City: "Atlanta", EdgeCOs: 13},
+	{Tag: "nsvltn", Code: "nsvltn", City: "Nashville", EdgeCOs: 9},
+	{Tag: "mmphtn", Code: "mmphtn", City: "Memphis", EdgeCOs: 8},
+}

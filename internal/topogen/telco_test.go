@@ -1,0 +1,233 @@
+package topogen
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/hostnames"
+	"repro/internal/netsim"
+)
+
+var telcoScenario *Scenario
+var telcoTruth *Telco
+
+func getTelco(t *testing.T) (*Scenario, *Telco) {
+	t.Helper()
+	if telcoScenario == nil {
+		s := NewScenario(11)
+		telcoTruth = s.BuildTelco(ATTProfile())
+		telcoScenario = s
+	}
+	return telcoScenario, telcoTruth
+}
+
+func TestTelcoInventory(t *testing.T) {
+	_, tel := getTelco(t)
+	if got := len(tel.ISP.Regions); got != 37 {
+		t.Fatalf("regions = %d, want 37", got)
+	}
+	sd := tel.ISP.Regions["sd2ca"]
+	if sd == nil {
+		t.Fatal("sd2ca missing")
+	}
+	edges := sd.COsByRole(EdgeCO)
+	if len(edges) != 42 {
+		t.Errorf("San Diego EdgeCOs = %d, want 42", len(edges))
+	}
+	if aggs := sd.COsByRole(AggCO); len(aggs) != 4 {
+		t.Errorf("San Diego AggCOs = %d, want 4", len(aggs))
+	}
+	if bbs := sd.COsByRole(BackboneCO); len(bbs) != 1 {
+		t.Errorf("San Diego BackboneCOs = %d, want 1", len(bbs))
+	}
+	// Every EdgeCO has two routers and two upstream AggCOs.
+	for _, co := range edges {
+		if len(co.Routers) != 2 {
+			t.Errorf("%s routers = %d, want 2", co.ID, len(co.Routers))
+		}
+		if len(co.Upstream) != 2 {
+			t.Errorf("%s upstreams = %d, want 2", co.ID, len(co.Upstream))
+		}
+	}
+	// Calexico and El Centro appear as EdgeCO towns.
+	var far int
+	for _, co := range edges {
+		if co.City.Name == "Calexico" || co.City.Name == "El Centro" {
+			far++
+		}
+	}
+	if far != 2 {
+		t.Errorf("far towns = %d, want 2", far)
+	}
+	// Roughly 7 router /24s (6-7 edge + 1 agg) in San Diego (Table 6).
+	n := len(tel.EdgePrefixes["sd2ca"]) + len(tel.AggPrefixes["sd2ca"])
+	if n < 6 || n > 9 {
+		t.Errorf("San Diego router /24s = %d, want ~7", n)
+	}
+}
+
+func TestLightspeedNames(t *testing.T) {
+	s, tel := getTelco(t)
+	if len(tel.DSLAMs["sd2ca"]) == 0 {
+		t.Fatal("no DSLAMs")
+	}
+	for _, a := range tel.DSLAMs["sd2ca"][:5] {
+		name, ok := s.DNS.Dig(a)
+		if !ok {
+			t.Fatalf("no rDNS for DSLAM %v", a)
+		}
+		info, ok := hostnames.Parse(name)
+		if !ok || info.ISP != "att" || info.CO != "sndgca" || info.Role != hostnames.RoleLastMile {
+			t.Errorf("lightspeed name %q parsed %+v", name, info)
+		}
+	}
+}
+
+func TestIntraRegionTraceMatchesFig20a(t *testing.T) {
+	s, tel := getTelco(t)
+	vp := s.AddTelcoVP(tel, "sd2ca", 0)
+	// Choose a DSLAM in a different EdgeCO.
+	dst := tel.DSLAMs["sd2ca"][len(tel.DSLAMs["sd2ca"])-1]
+	// Expected shape (Fig. 20a): own DSLAM, then EdgeCO router hop(s),
+	// then the destination lspgw; the MPLS tunnels hide the agg layer.
+	var hops []string
+	var addrsSeen []string
+	for ttl := uint8(1); ttl <= 12; ttl++ {
+		r := s.Net.Probe(s.Epoch(), netsim.ProbeSpec{Src: vp.Addr, Dst: dst, TTL: ttl, FlowID: 5})
+		if r.Type == netsim.Timeout {
+			hops = append(hops, "*")
+			continue
+		}
+		name, _ := s.DNS.Dig(r.From)
+		hops = append(hops, name)
+		addrsSeen = append(addrsSeen, r.From.String())
+		if r.Type == netsim.EchoReply {
+			break
+		}
+	}
+	if len(hops) < 2 {
+		t.Fatalf("path too short: %v", hops)
+	}
+	last := hops[len(hops)-1]
+	if !strings.Contains(last, "lightspeed") {
+		t.Errorf("last hop should be the destination lspgw, got %q", last)
+	}
+	// Middle hops are unnamed EdgeCO routers; the agg layer is hidden.
+	for _, h := range hops[1 : len(hops)-1] {
+		if h != "" && h != "*" {
+			t.Errorf("middle hop has a name (%q); AT&T CO routers must be unnamed", h)
+		}
+	}
+	// No agg-prefix address appears (MPLS hides the middle tier).
+	aggPfx := tel.AggPrefixes["sd2ca"][0]
+	for _, a := range addrsSeen {
+		if aggPfx.Contains(mustAddr(a)) {
+			t.Errorf("agg router %s visible despite MPLS", a)
+		}
+	}
+}
+
+func TestDPRRevealsAggRouters(t *testing.T) {
+	s, tel := getTelco(t)
+	vp := s.AddTelcoVP(tel, "sd2ca", 3)
+	// Find an EdgeCO router interface address inside an edge /24 by
+	// probing addresses of the first edge prefix (the campaign does the
+	// same sweep).
+	aggPfx := tel.AggPrefixes["sd2ca"][0]
+	sawAgg := false
+	for _, pfx := range tel.EdgePrefixes["sd2ca"][:2] {
+		for a := pfx.Addr().Next(); pfx.Contains(a); a = a.Next() {
+			// Traceroute to the router address itself: DPR.
+			for ttl := uint8(1); ttl <= 10; ttl++ {
+				r := s.Net.Probe(s.Epoch(), netsim.ProbeSpec{Src: vp.Addr, Dst: a, TTL: ttl, FlowID: 9})
+				if r.Type == netsim.Timeout {
+					continue
+				}
+				if aggPfx.Contains(r.From) {
+					sawAgg = true
+				}
+				if r.Type != netsim.TTLExceeded {
+					break
+				}
+			}
+			if sawAgg {
+				return
+			}
+		}
+	}
+	t.Error("DPR traceroutes toward edge-router addresses never revealed an agg router")
+}
+
+func TestExternalProbingBlocked(t *testing.T) {
+	s, tel := getTelco(t)
+	ext := s.AddTransitVP("Denver")
+	dst := tel.DSLAMs["sd2ca"][0]
+	// Echo addressed to the lspgw from outside: silent.
+	if r := s.Net.Probe(s.Epoch(), netsim.ProbeSpec{Src: ext.Addr, Dst: dst, TTL: 40}); r.Type != netsim.Timeout {
+		t.Errorf("external echo to lspgw answered: %v", r.Type)
+	}
+	// But a traceroute toward a customer shows backbone and penultimate
+	// hops (TTL-exceeded is not blocked).
+	var responded int
+	var sawBackboneName bool
+	for c := 0; c < 3; c++ {
+		cust := tel.Customers["sd2ca"][c]
+		for ttl := uint8(1); ttl <= 16; ttl++ {
+			for seq := uint32(0); seq < 2; seq++ {
+				r := s.Net.Probe(s.Epoch(), netsim.ProbeSpec{Src: ext.Addr, Dst: cust, TTL: ttl, FlowID: 2, Seq: seq})
+				if r.Type == netsim.TTLExceeded {
+					responded++
+					if name, ok := s.DNS.Dig(r.From); ok && strings.Contains(name, "ip.att.net") {
+						sawBackboneName = true
+					}
+				}
+			}
+		}
+	}
+	if responded == 0 {
+		t.Error("no hops visible on external trace to customer")
+	}
+	if !sawBackboneName {
+		t.Error("backbone router name never appeared")
+	}
+}
+
+func TestWiFiHotspots(t *testing.T) {
+	s, tel := getTelco(t)
+	spots := s.BuildWiFiHotspots(tel, "sd2ca", 58, 0.4)
+	if len(spots) != 58 {
+		t.Fatalf("hotspots = %d", len(spots))
+	}
+	onATT := 0
+	cos := map[string]bool{}
+	for _, h := range spots {
+		if h.Host != nil {
+			onATT++
+			cos[h.EdgeCO] = true
+			if h.ISP != "att" {
+				t.Error("host attached but ISP not att")
+			}
+		}
+	}
+	if onATT < 15 || onATT > 30 {
+		t.Errorf("AT&T hotspots = %d, want ~23", onATT)
+	}
+	if len(cos) < 10 {
+		t.Errorf("AT&T hotspots cover %d EdgeCOs, want broad coverage", len(cos))
+	}
+}
+
+func mustAddr(s string) netip.Addr {
+	return netip.MustParseAddr(s)
+}
+
+func TestVPPanicsOnUnknownRegion(t *testing.T) {
+	s, tel := getTelco(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddTelcoVP with unknown region should panic (generator programming error)")
+		}
+	}()
+	s.AddTelcoVP(tel, "nosuch", 0)
+}

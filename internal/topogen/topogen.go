@@ -1,0 +1,437 @@
+// Package topogen synthesizes ground-truth Internet scenarios with the
+// architectural features the paper measures: cable regional access
+// networks (Comcast- and Charter-like), a telco access network
+// (AT&T-like), mobile carriers (AT&T/Verizon/T-Mobile-like), a shared
+// long-haul transit backbone, and public cloud providers.
+//
+// A Scenario couples a netsim.Network with reverse DNS content and with
+// ground-truth inventories (regions, COs, CO adjacencies) that only the
+// scoring code may consult. All randomness is drawn from a seeded
+// math/rand source, so a seed fully determines a scenario.
+package topogen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/clli"
+	"repro/internal/dnsdb"
+	"repro/internal/geo"
+	"repro/internal/ipalloc"
+	"repro/internal/netsim"
+)
+
+// CORole classifies a central office in the ground truth.
+type CORole uint8
+
+const (
+	// EdgeCO aggregates last-mile links.
+	EdgeCO CORole = iota
+	// AggCO aggregates EdgeCOs (any tier).
+	AggCO
+	// BackboneCO houses the routers that connect a regional network to
+	// the operator's backbone.
+	BackboneCO
+)
+
+func (r CORole) String() string {
+	switch r {
+	case EdgeCO:
+		return "edge"
+	case AggCO:
+		return "agg"
+	case BackboneCO:
+		return "backbone"
+	}
+	return "unknown"
+}
+
+// CO is a ground-truth central office.
+type CO struct {
+	// ID is globally unique, e.g. "comcast/boston/BSTNMA01".
+	ID string
+	// Tag is the identifier rDNS would expose for this CO (a CLLI code
+	// fragment for Charter, a location name for Comcast); it is what a
+	// perfect inference should recover.
+	Tag    string
+	Role   CORole
+	Tier   int // 1 = top aggregation layer, 2 = below it, 0 for edge/backbone
+	City   geo.City
+	Loc    geo.Point
+	Region string
+
+	Routers []*netsim.Router
+	// Upstream lists the ground-truth CO IDs this CO sends aggregated
+	// traffic toward (its parents in the hierarchy).
+	Upstream []string
+}
+
+// Region is one regional access network in the ground truth.
+type Region struct {
+	Name string
+	ISP  string
+	COs  map[string]*CO
+	// BackboneEntries are the BackboneCO IDs with links into the region.
+	BackboneEntries []string
+	// EntryRegions lists other regions that feed this one (the paper's
+	// Connecticut-through-Massachusetts case).
+	EntryRegions []string
+	// AggLayers is the ground-truth aggregation depth: 1 for a single
+	// AggCO layer, 2 for a redundant pair, 3 for multi-level (Fig. 8).
+	AggLayers int
+	// SubscriberPrefixes are the last-mile /24s served by the region's
+	// EdgeCOs.
+	SubscriberPrefixes []netip.Prefix
+}
+
+// COsByRole returns the region's COs with the given role, in stable
+// (ID-sorted) order.
+func (r *Region) COsByRole(role CORole) []*CO {
+	var out []*CO
+	for _, co := range r.COs {
+		if co.Role == role {
+			out = append(out, co)
+		}
+	}
+	sortCOs(out)
+	return out
+}
+
+func sortCOs(cos []*CO) {
+	for i := 1; i < len(cos); i++ {
+		for j := i; j > 0 && cos[j-1].ID > cos[j].ID; j-- {
+			cos[j-1], cos[j] = cos[j], cos[j-1]
+		}
+	}
+}
+
+// ISP is a ground-truth operator.
+type ISP struct {
+	Name    string
+	Regions map[string]*Region
+	// BackbonePoPs are the operator's backbone COs (outside regions).
+	BackbonePoPs map[string]*CO
+	// Announced lists the operator's publicly routed prefixes; campaigns
+	// may consult this the way the paper consults BGP data.
+	Announced []netip.Prefix
+}
+
+// CloudVM is a vantage point in a public cloud region.
+type CloudVM struct {
+	Provider string // "aws", "azure", "gcloud"
+	Region   string // e.g. "us-east-1"
+	City     geo.City
+	Host     *netsim.Host
+}
+
+// Scenario is a complete simulated internetwork plus its ground truth.
+type Scenario struct {
+	Net  *netsim.Network
+	DNS  *dnsdb.DB
+	ISPs map[string]*ISP
+	// Clouds holds one VM per provider cloud region.
+	Clouds []CloudVM
+	// CLLI registers every city used anywhere in the scenario, standing
+	// in for the public geolocation databases the paper consults.
+	CLLI *clli.Registry
+
+	rng        *rand.Rand
+	transit    map[string]*netsim.Router // transit PoP router by city name
+	transitIPs *ipalloc.Pool
+	vpPool     *ipalloc.Pool
+	epoch      time.Time
+}
+
+// NewScenario creates an empty scenario with a shared long-haul transit
+// backbone across all metro cities and the public cloud providers
+// attached to it.
+func NewScenario(seed int64) *Scenario {
+	s := &Scenario{
+		Net:        netsim.New(uint64(seed)),
+		DNS:        dnsdb.New(),
+		ISPs:       map[string]*ISP{},
+		CLLI:       clli.NewRegistry(geo.All()),
+		rng:        rand.New(rand.NewSource(seed)),
+		transit:    map[string]*netsim.Router{},
+		transitIPs: ipalloc.NewPool(netip.MustParsePrefix("144.232.0.0/14")),
+		epoch:      time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC),
+	}
+	s.buildTransit()
+	s.buildClouds()
+	return s
+}
+
+// Epoch is the virtual-time origin for campaigns over this scenario.
+func (s *Scenario) Epoch() time.Time { return s.epoch }
+
+// Rand exposes the scenario's seeded random source to sub-generators.
+func (s *Scenario) Rand() *rand.Rand { return s.rng }
+
+// buildTransit creates one transit PoP per metro city and meshes each
+// with its three nearest peers, guaranteeing a connected national
+// backbone with realistic geographic latency.
+func (s *Scenario) buildTransit() {
+	var metros []geo.City
+	for _, c := range geo.All() {
+		if c.Metro {
+			metros = append(metros, c)
+		}
+	}
+	for _, c := range metros {
+		r := s.Net.AddRouter(&netsim.Router{
+			Name: "transit/" + c.Name,
+			ISP:  "transit",
+			CO:   "transit/" + clli.CityCode(c),
+			Loc:  c.Point,
+			IPID: netsim.IPIDShared,
+		})
+		r.IPIDVelocity = 50 + s.rng.Float64()*200
+		s.transit[c.Name] = r
+	}
+	// Connect each metro to its 3 nearest; union of such edges on US
+	// metros is connected.
+	for i, a := range metros {
+		type cand struct {
+			j int
+			d float64
+		}
+		var cands []cand
+		for j, b := range metros {
+			if i == j {
+				continue
+			}
+			cands = append(cands, cand{j, geo.DistanceKm(a.Point, b.Point)})
+		}
+		for x := 1; x < len(cands); x++ {
+			for y := x; y > 0 && cands[y-1].d > cands[y].d; y-- {
+				cands[y-1], cands[y] = cands[y], cands[y-1]
+			}
+		}
+		for k := 0; k < 3 && k < len(cands); k++ {
+			b := metros[cands[k].j]
+			s.linkTransit(a, b)
+		}
+	}
+	// A few express long-haul links so coast-to-coast paths are direct,
+	// as real backbones are.
+	express := [][2]string{
+		{"Los Angeles", "Dallas"}, {"Dallas", "Atlanta"}, {"Atlanta", "Washington"},
+		{"Washington", "New York"}, {"New York", "Chicago"}, {"Chicago", "Denver"},
+		{"Denver", "Los Angeles"}, {"Seattle", "Chicago"}, {"San Francisco", "Chicago"},
+		{"Los Angeles", "Miami"}, {"Kansas City", "Denver"}, {"Seattle", "San Francisco"},
+	}
+	for _, e := range express {
+		s.linkTransit(geo.MustByName(e[0]), geo.MustByName(e[1]))
+	}
+}
+
+// linkTransit links two transit PoPs if not already linked.
+func (s *Scenario) linkTransit(a, b geo.City) {
+	ra, rb := s.transit[a.Name], s.transit[b.Name]
+	if ra == nil || rb == nil || ra == rb {
+		return
+	}
+	for _, ifc := range ra.Interfaces() {
+		if ifc.Link != nil && ifc.Link.Other(ifc).Router == rb {
+			return
+		}
+	}
+	p2p, err := s.transitIPs.NextP2P(30)
+	if err != nil {
+		panic(err)
+	}
+	delay := geo.PropagationDelay(a.Point, b.Point)
+	if _, err := s.Net.ConnectRouters(ra, rb, p2p.A, p2p.B, delay); err != nil {
+		panic(err)
+	}
+	s.nameTransitIface(ra, p2p.A, a)
+	s.nameTransitIface(rb, p2p.B, b)
+}
+
+// nameTransitIface writes generic long-haul carrier rDNS for a transit
+// interface; these names carry no access-network CO information.
+func (s *Scenario) nameTransitIface(r *netsim.Router, addr netip.Addr, city geo.City) {
+	name := fmt.Sprintf("xe-%d.cr.%s.transit.example.net",
+		len(r.Interfaces()), strings.ToLower(clli.CityCode(city)))
+	s.DNS.SetLive(addr, name)
+	s.DNS.SetSnapshot(addr, name)
+}
+
+// TransitPoP returns the transit router nearest to p.
+func (s *Scenario) TransitPoP(p geo.Point) *netsim.Router {
+	return s.transitPoPs(p, 1)[0]
+}
+
+// transitPoPs returns the k transit routers nearest to p, nearest first.
+func (s *Scenario) transitPoPs(p geo.Point, k int) []*netsim.Router {
+	type cand struct {
+		r *netsim.Router
+		d float64
+	}
+	cands := make([]cand, 0, len(s.transit))
+	for _, r := range s.transit {
+		cands = append(cands, cand{r, geo.DistanceKm(p, r.Loc)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].r.Name < cands[j].r.Name
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]*netsim.Router, k)
+	for i := range out {
+		out[i] = cands[i].r
+	}
+	return out
+}
+
+// AttachToTransit links r to the transit PoP nearest to its location and
+// returns the PoP and the interface created on r.
+func (s *Scenario) AttachToTransit(r *netsim.Router) (*netsim.Router, *netsim.Iface) {
+	ifaces := s.AttachToTransitN(r, 1)
+	pop := ifaces[0].Link.Other(ifaces[0]).Router
+	return pop, ifaces[0]
+}
+
+// AttachToTransitN links r to its n nearest transit PoPs (multihoming;
+// ISP backbone PoPs peer with several carriers at an exchange) and
+// returns the interfaces created on r, nearest PoP first.
+func (s *Scenario) AttachToTransitN(r *netsim.Router, n int) []*netsim.Iface {
+	var out []*netsim.Iface
+	for _, pop := range s.transitPoPs(r.Loc, n) {
+		p2p, err := s.transitIPs.NextP2P(30)
+		if err != nil {
+			panic(err)
+		}
+		popIface, err := s.Net.AddIface(pop, p2p.A)
+		if err != nil {
+			panic(err)
+		}
+		rIface, err := s.Net.AddIface(r, p2p.B)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := s.Net.Connect(popIface, rIface, geo.PropagationDelay(pop.Loc, r.Loc)); err != nil {
+			panic(err)
+		}
+		s.nameTransitIface(pop, p2p.A, geo.Nearest(pop.Loc))
+		out = append(out, rIface)
+	}
+	return out
+}
+
+// cloudSites enumerates the U.S. cloud regions the paper probes from
+// (every U.S. region of AWS, Azure, and Google Cloud, §5.5).
+var cloudSites = []struct {
+	provider, region, city string
+}{
+	{"aws", "us-east-1", "Ashburn"},
+	{"aws", "us-east-2", "Columbus"},
+	{"aws", "us-west-1", "San Francisco"},
+	{"aws", "us-west-2", "Portland"},
+	{"azure", "eastus", "Ashburn"},
+	{"azure", "eastus2", "Richmond"},
+	{"azure", "centralus", "Des Moines"},
+	{"azure", "southcentralus", "San Antonio"},
+	{"azure", "westus", "San Jose"},
+	{"azure", "westus2", "Seattle"},
+	{"gcloud", "us-east4", "Ashburn"},
+	{"gcloud", "us-east1", "Charleston, SC"},
+	{"gcloud", "us-central1", "Omaha"},
+	{"gcloud", "us-west1", "Portland"},
+	{"gcloud", "us-west2", "Los Angeles"},
+	{"gcloud", "us-west3", "Salt Lake City"},
+	{"gcloud", "us-west4", "Las Vegas"},
+	{"gcloud", "us-south1", "Dallas"},
+}
+
+func (s *Scenario) buildClouds() {
+	pool := ipalloc.NewPool(netip.MustParsePrefix("34.64.0.0/12"))
+	for _, site := range cloudSites {
+		city := geo.MustByName(site.city)
+		border := s.Net.AddRouter(&netsim.Router{
+			Name: site.provider + "/" + site.region,
+			ISP:  site.provider,
+			CO:   site.provider + "/" + site.region,
+			Loc:  city.Point,
+			IPID: netsim.IPIDShared,
+		})
+		s.AttachToTransit(border)
+		addr, err := pool.NextHost()
+		if err != nil {
+			panic(err)
+		}
+		vm := &netsim.Host{
+			Addr:           addr,
+			Router:         border,
+			ISP:            site.provider,
+			Loc:            city.Point,
+			AccessDelay:    100 * time.Microsecond, // datacenter fabric
+			RespondsToPing: true,
+		}
+		if err := s.Net.AddHost(vm); err != nil {
+			panic(err)
+		}
+		s.Clouds = append(s.Clouds, CloudVM{
+			Provider: site.provider,
+			Region:   site.region,
+			City:     city,
+			Host:     vm,
+		})
+	}
+}
+
+// CloudVMs returns the VMs of one provider, or all VMs when provider is
+// empty.
+func (s *Scenario) CloudVMs(provider string) []CloudVM {
+	var out []CloudVM
+	for _, c := range s.Clouds {
+		if provider == "" || c.Provider == provider {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ispByName fetches or creates the ground-truth ISP record.
+func (s *Scenario) ispByName(name string) *ISP {
+	isp, ok := s.ISPs[name]
+	if !ok {
+		isp = &ISP{Name: name, Regions: map[string]*Region{}, BackbonePoPs: map[string]*CO{}}
+		s.ISPs[name] = isp
+	}
+	return isp
+}
+
+// scatterTown places a synthetic town near an anchor city: direction and
+// distance are drawn from the scenario RNG, and the town is registered
+// with the CLLI registry so inference can geolocate it.
+func (s *Scenario) scatterTown(name string, anchor geo.City, minKm, maxKm float64) geo.City {
+	d := minKm + s.rng.Float64()*(maxKm-minKm)
+	theta := s.rng.Float64() * 2 * 3.141592653589793
+	dLat := d / 111.0
+	dLon := d / 88.0 // ~111*cos(38°)
+	town := geo.City{
+		Name:  name,
+		State: anchor.State,
+		Point: geo.Point{
+			Lat: anchor.Point.Lat + dLat*math.Sin(theta),
+			Lon: anchor.Point.Lon + dLon*math.Cos(theta),
+		},
+	}
+	s.CLLI.Add(town)
+	return town
+}
+
+// coID builds a unique CO identifier.
+func coID(isp, region, tag string) string {
+	return fmt.Sprintf("%s/%s/%s", isp, region, tag)
+}

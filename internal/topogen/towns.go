@@ -1,0 +1,63 @@
+package topogen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// townNamer produces unique, plausible U.S. town names for synthetic
+// EdgeCO locations. Comcast-style hostnames expose these names directly
+// (po-1-1-cbr01.troutdale.or...), Charter-style hostnames expose their
+// CLLI codes, so the names must be deterministic, unique, and lowercase-
+// hostname-safe.
+type townNamer struct {
+	used map[string]bool
+}
+
+var townPrefixes = []string{
+	"oak", "maple", "cedar", "pine", "elm", "birch", "willow", "ash",
+	"river", "lake", "spring", "fair", "glen", "mill", "stone", "clear",
+	"east", "west", "north", "south", "new", "mid", "high", "long",
+	"green", "silver", "gold", "red", "bell", "brook", "mead", "marl",
+	"hart", "clay", "dun", "farn", "graf", "kings", "lyn", "nor",
+}
+
+var townSuffixes = []string{
+	"ville", "ton", "field", "wood", "burg", "ford", "dale", "port",
+	"view", "mont", "haven", "crest", "side", "grove", "land", "boro",
+	"ham", "wick", "ley", "worth", "bury", "stead", "moor", "gate",
+}
+
+func newTownNamer() *townNamer {
+	return &townNamer{used: map[string]bool{}}
+}
+
+// next returns a fresh town name drawn from rng, never repeating within
+// one scenario.
+func (t *townNamer) next(rng *rand.Rand) string {
+	for i := 0; ; i++ {
+		p := townPrefixes[rng.Intn(len(townPrefixes))]
+		s := townSuffixes[rng.Intn(len(townSuffixes))]
+		name := p + s
+		if strings.HasSuffix(p, string(s[0])) {
+			// avoid doubled letters like "oakkirk"; retry cheaply
+			continue
+		}
+		if i > 200 {
+			// Add a numeric disambiguator once combinations run low.
+			name = name + string(rune('a'+rng.Intn(26)))
+		}
+		if !t.used[name] {
+			t.used[name] = true
+			return name
+		}
+	}
+}
+
+// title uppercases the first letter for use as a geo.City name.
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

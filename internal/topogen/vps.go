@@ -1,0 +1,133 @@
+package topogen
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ipalloc"
+	"repro/internal/netsim"
+)
+
+// AddTransitVP attaches a measurement host directly to the transit PoP
+// in a city (an Ark-style VP hosted in a transit network).
+func (s *Scenario) AddTransitVP(cityName string) *netsim.Host {
+	city := geo.MustByName(cityName)
+	pop := s.TransitPoP(city.Point)
+	addr := s.nextVPAddr()
+	h := &netsim.Host{
+		Addr:           addr,
+		Router:         pop,
+		ISP:            "transit",
+		Loc:            city.Point,
+		AccessDelay:    200 * time.Microsecond,
+		RespondsToPing: true,
+	}
+	if err := s.Net.AddHost(h); err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// AddAccessVP attaches a measurement host behind a subscriber line in
+// one of the region's EdgeCOs (an Atlas/Ark-style VP in a home). The
+// EdgeCO is chosen by index modulo the region's EdgeCO count so callers
+// can spread VPs deterministically.
+func (s *Scenario) AddAccessVP(isp *ISP, regionName string, edgeIdx int) *netsim.Host {
+	reg := isp.Regions[regionName]
+	if reg == nil {
+		panic("topogen: unknown region " + regionName)
+	}
+	edges := reg.COsByRole(EdgeCO)
+	if len(edges) == 0 {
+		panic("topogen: region has no EdgeCOs: " + regionName)
+	}
+	co := edges[edgeIdx%len(edges)]
+	return s.attachSubscriberVP(co, isp.Name)
+}
+
+// attachSubscriberVP places a VP host on a fresh address behind the
+// given EdgeCO's first router.
+func (s *Scenario) attachSubscriberVP(co *CO, isp string) *netsim.Host {
+	addr := s.nextVPAddr()
+	h := &netsim.Host{
+		Addr:           addr,
+		Router:         co.Routers[0],
+		ISP:            isp,
+		Loc:            co.Loc,
+		AccessDelay:    time.Duration(3+s.rng.Float64()*6) * time.Millisecond,
+		RespondsToPing: true,
+	}
+	if err := s.Net.AddHost(h); err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// StandardVPCities are the transit cities used for the default
+// 47-VP deployment mirroring the paper's access/cloud/transit mix.
+var StandardVPCities = []string{
+	"Seattle", "San Francisco", "Los Angeles", "Denver", "Dallas",
+	"Houston", "Kansas City", "Chicago", "Minneapolis", "Atlanta",
+	"Miami", "Washington", "New York", "Boston", "Phoenix",
+	"Salt Lake City", "Saint Louis", "Detroit", "Charlotte", "Nashville",
+}
+
+// StandardVPs deploys the paper-style vantage point set: one VP in each
+// standard transit city, every cloud VM, and a handful of access VPs
+// spread across the given operators' regions. It returns the VP host
+// addresses.
+func (s *Scenario) StandardVPs(isps ...*ISP) []netip.Addr {
+	var out []netip.Addr
+	for _, city := range StandardVPCities {
+		out = append(out, s.AddTransitVP(city).Addr)
+	}
+	for _, vm := range s.Clouds {
+		out = append(out, vm.Host.Addr)
+	}
+	for _, isp := range isps {
+		names := make([]string, 0, len(isp.Regions))
+		feeders := map[string]bool{}
+		for name, reg := range isp.Regions {
+			names = append(names, name)
+			// Regions that feed another region must host a VP: the
+			// inter-region link only carries traffic sourced inside
+			// the feeder.
+			for _, entry := range reg.EntryRegions {
+				feeders[entry] = true
+			}
+		}
+		sortStringsVP(names)
+		for i, name := range names {
+			if i%3 != 0 && !feeders[name] {
+				continue // a VP in every third region plus feeders
+			}
+			out = append(out, s.AddAccessVP(isp, name, i).Addr)
+		}
+	}
+	return out
+}
+
+func sortStringsVP(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// vpPool hands out addresses for vantage points from a block disjoint
+// from every operator pool.
+var vpPoolPrefix = netip.MustParsePrefix("198.18.0.0/15")
+
+func (s *Scenario) nextVPAddr() netip.Addr {
+	if s.vpPool == nil {
+		s.vpPool = ipalloc.NewPool(vpPoolPrefix)
+	}
+	a, err := s.vpPool.NextHost()
+	if err != nil {
+		panic(fmt.Errorf("topogen: VP pool exhausted: %w", err))
+	}
+	return a
+}

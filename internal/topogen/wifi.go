@@ -1,0 +1,73 @@
+package topogen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/netsim"
+)
+
+// WiFiHotspot is a public restaurant WiFi network (the McTraceroute
+// substrate, §6.1). Restaurants are placed across a region's EdgeCO
+// footprint; only those whose franchise buys service from the target
+// operator yield usable vantage points.
+type WiFiHotspot struct {
+	Name string
+	Loc  geo.Point
+	// ISP is the operator serving the restaurant's access line.
+	ISP string
+	// Host is the probing vantage point behind the hotspot; nil when
+	// the restaurant is not on the target operator (the paper found 23
+	// of 58 San Diego McDonald's on AT&T).
+	Host *netsim.Host
+	// EdgeCO is the ground-truth CO serving the line (scoring only).
+	EdgeCO string
+}
+
+// BuildWiFiHotspots scatters n restaurants across a telco region's
+// EdgeCOs. A fraction attFrac of them use the telco's DSL service and
+// become vantage points attached behind a DSLAM of their nearest EdgeCO.
+func (s *Scenario) BuildWiFiHotspots(t *Telco, regionTag string, n int, attFrac float64) []WiFiHotspot {
+	reg := t.ISP.Regions[regionTag]
+	if reg == nil {
+		panic("topogen: unknown telco region " + regionTag)
+	}
+	edges := reg.COsByRole(EdgeCO)
+	var out []WiFiHotspot
+	for i := 0; i < n; i++ {
+		// Restaurants cluster where people are: near EdgeCO towns.
+		co := edges[i%len(edges)]
+		loc := geo.Point{
+			Lat: co.Loc.Lat + (s.rng.Float64()-0.5)*0.05,
+			Lon: co.Loc.Lon + (s.rng.Float64()-0.5)*0.05,
+		}
+		h := WiFiHotspot{
+			Name:   fmt.Sprintf("restaurant-%s-%02d", regionTag, i+1),
+			Loc:    loc,
+			EdgeCO: co.ID,
+		}
+		if s.rng.Float64() < attFrac {
+			h.ISP = t.ISP.Name
+			dslams := t.DSLAMRouters[co.ID]
+			dr := dslams[i%len(dslams)]
+			host := &netsim.Host{
+				Addr:   s.nextVPAddr(),
+				Router: dr,
+				ISP:    t.ISP.Name,
+				Loc:    loc,
+				// DSL line plus WiFi hop.
+				AccessDelay:    time.Duration(8+s.rng.Float64()*12) * time.Millisecond,
+				RespondsToPing: true,
+			}
+			if err := s.Net.AddHost(host); err != nil {
+				panic(err)
+			}
+			h.Host = host
+		} else {
+			h.ISP = "cable-competitor"
+		}
+		out = append(out, h)
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+// Package traceroute implements a scamper-style Paris traceroute engine
+// over the simulated network. It supports the stock sequential probing
+// mode and the parallel consecutive-hop mode the paper added to scamper
+// for ShipTraceroute (§7.1.2), which shrinks radio-active time and hence
+// energy per round.
+package traceroute
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+)
+
+// Mode selects the probing schedule.
+type Mode uint8
+
+const (
+	// Sequential probes one TTL at a time, waiting for each response or
+	// timeout before the next probe (stock scamper).
+	Sequential Mode = iota
+	// Parallel probes a window of consecutive TTLs at once, overlapping
+	// the waits for unresponsive hops (the ShipTraceroute modification).
+	Parallel
+)
+
+// Engine runs traceroutes on a network with a virtual clock.
+type Engine struct {
+	Net   *netsim.Network
+	Clock *vclock.Clock
+
+	// MaxTTL bounds probing (default 32).
+	MaxTTL int
+	// Attempts per hop before declaring it unresponsive (default 2).
+	Attempts int
+	// GapLimit stops the trace after this many consecutive unresponsive
+	// hops (default 5).
+	GapLimit int
+	// Timeout is the per-probe response wait (default 1s).
+	Timeout time.Duration
+	// Mode selects sequential or parallel probing.
+	Mode Mode
+	// Window is the parallel-mode burst width (default 8).
+	Window int
+	// Proto is the probe protocol (default ICMP echo).
+	Proto netsim.Proto
+}
+
+// Hop is one row of traceroute output.
+type Hop struct {
+	TTL int
+	// Addr is the responding address; an invalid Addr renders as "*".
+	Addr netip.Addr
+	RTT  time.Duration
+	Type netsim.ReplyType
+	// ReplyTTL is the remaining TTL on the response (Appendix C uses
+	// it to reason about return paths).
+	ReplyTTL uint8
+}
+
+// Responded reports whether the hop produced any answer.
+func (h Hop) Responded() bool { return h.Type != netsim.Timeout }
+
+// Trace is one completed traceroute.
+type Trace struct {
+	Src, Dst netip.Addr
+	FlowID   uint16
+	Hops     []Hop
+	// Reached is true when the destination itself answered.
+	Reached bool
+	// Probes counts packets sent, and ActiveTime accumulates the time
+	// the prober spent waiting with the radio up — the two inputs to
+	// the Fig. 14 energy model.
+	Probes     int
+	ActiveTime time.Duration
+}
+
+// ResponsiveHops returns the hops that answered, in TTL order.
+func (t *Trace) ResponsiveHops() []Hop {
+	var out []Hop
+	for _, h := range t.Hops {
+		if h.Responded() {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// LastResponsive returns the highest-TTL responsive hop, if any.
+func (t *Trace) LastResponsive() (Hop, bool) {
+	for i := len(t.Hops) - 1; i >= 0; i-- {
+		if t.Hops[i].Responded() {
+			return t.Hops[i], true
+		}
+	}
+	return Hop{}, false
+}
+
+func (e *Engine) defaults() {
+	if e.MaxTTL == 0 {
+		e.MaxTTL = 32
+	}
+	if e.Attempts == 0 {
+		e.Attempts = 2
+	}
+	if e.GapLimit == 0 {
+		e.GapLimit = 5
+	}
+	if e.Timeout == 0 {
+		e.Timeout = time.Second
+	}
+	if e.Window == 0 {
+		e.Window = 8
+	}
+}
+
+// flowID derives the Paris flow identifier from the destination, so
+// every probe of one trace rides the same ECMP path while different
+// destinations may diverge.
+func flowID(src, dst netip.Addr) uint16 {
+	b := dst.As16()
+	s := src.As16()
+	var h uint32 = 2166136261
+	for _, x := range b {
+		h = (h ^ uint32(x)) * 16777619
+	}
+	for _, x := range s {
+		h = (h ^ uint32(x)) * 16777619
+	}
+	return uint16(h)
+}
+
+// Trace runs one traceroute from src (a registered vantage-point host)
+// toward dst.
+func (e *Engine) Trace(src, dst netip.Addr) Trace {
+	e.defaults()
+	if e.Mode == Parallel {
+		return e.traceParallel(src, dst)
+	}
+	return e.traceSequential(src, dst)
+}
+
+func (e *Engine) traceSequential(src, dst netip.Addr) Trace {
+	tr := Trace{Src: src, Dst: dst, FlowID: flowID(src, dst)}
+	gap := 0
+	var seq uint32
+	for ttl := 1; ttl <= e.MaxTTL; ttl++ {
+		hop := Hop{TTL: ttl}
+		for att := 0; att < e.Attempts; att++ {
+			seq++
+			r := e.Net.Probe(e.Clock.Now(), netsim.ProbeSpec{
+				Src: src, Dst: dst, TTL: uint8(ttl), Proto: e.Proto,
+				FlowID: tr.FlowID, Seq: seq,
+			})
+			tr.Probes++
+			if r.Type == netsim.Timeout {
+				e.Clock.Advance(e.Timeout)
+				tr.ActiveTime += e.Timeout
+				continue
+			}
+			e.Clock.Advance(r.RTT)
+			tr.ActiveTime += r.RTT
+			hop.Addr = r.From
+			hop.RTT = r.RTT
+			hop.Type = r.Type
+			hop.ReplyTTL = r.ReplyTTL
+			break
+		}
+		tr.Hops = append(tr.Hops, hop)
+		if hop.Responded() {
+			gap = 0
+			if hop.Type == netsim.EchoReply || hop.Type == netsim.PortUnreachable {
+				tr.Reached = true
+				break
+			}
+		} else {
+			gap++
+			if gap >= e.GapLimit {
+				break
+			}
+		}
+	}
+	return tr
+}
+
+// traceParallel sends Window consecutive TTLs per burst; the burst wait
+// is the maximum individual wait rather than the sum, which is where the
+// energy saving comes from.
+func (e *Engine) traceParallel(src, dst netip.Addr) Trace {
+	tr := Trace{Src: src, Dst: dst, FlowID: flowID(src, dst)}
+	var seq uint32
+	gap := 0
+	for base := 1; base <= e.MaxTTL; base += e.Window {
+		var burstWait time.Duration
+		burstHops := make([]Hop, 0, e.Window)
+		done := false
+		for off := 0; off < e.Window; off++ {
+			ttl := base + off
+			if ttl > e.MaxTTL {
+				break
+			}
+			hop := Hop{TTL: ttl}
+			for att := 0; att < e.Attempts; att++ {
+				seq++
+				r := e.Net.Probe(e.Clock.Now(), netsim.ProbeSpec{
+					Src: src, Dst: dst, TTL: uint8(ttl), Proto: e.Proto,
+					FlowID: tr.FlowID, Seq: seq,
+				})
+				tr.Probes++
+				if r.Type == netsim.Timeout {
+					if e.Timeout > burstWait {
+						burstWait = e.Timeout
+					}
+					continue
+				}
+				if r.RTT > burstWait {
+					burstWait = r.RTT
+				}
+				hop.Addr = r.From
+				hop.RTT = r.RTT
+				hop.Type = r.Type
+				hop.ReplyTTL = r.ReplyTTL
+				break
+			}
+			burstHops = append(burstHops, hop)
+			if hop.Type == netsim.EchoReply || hop.Type == netsim.PortUnreachable {
+				done = true
+				break
+			}
+		}
+		e.Clock.Advance(burstWait)
+		tr.ActiveTime += burstWait
+		for _, h := range burstHops {
+			tr.Hops = append(tr.Hops, h)
+			if h.Responded() {
+				gap = 0
+				if h.Type == netsim.EchoReply || h.Type == netsim.PortUnreachable {
+					tr.Reached = true
+				}
+			} else {
+				gap++
+			}
+		}
+		if done || tr.Reached || gap >= e.GapLimit {
+			break
+		}
+	}
+	// Trim the trace after the destination response, mirroring scamper
+	// output.
+	for i, h := range tr.Hops {
+		if h.Type == netsim.EchoReply || h.Type == netsim.PortUnreachable {
+			tr.Hops = tr.Hops[:i+1]
+			break
+		}
+	}
+	return tr
+}

@@ -1,0 +1,261 @@
+package traceroute
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// testNet builds a linear VP -> r1 ... rN -> target topology.
+func testNet(t *testing.T, n int) (*netsim.Network, *netsim.Host, *netsim.Host, []*netsim.Router) {
+	t.Helper()
+	net := netsim.New(11)
+	rs := make([]*netsim.Router, n)
+	for i := range rs {
+		rs[i] = net.AddRouter(&netsim.Router{Name: fmt.Sprintf("r%d", i+1), ISP: "t", CO: fmt.Sprintf("co%d", i+1)})
+	}
+	for i := 0; i+1 < n; i++ {
+		if _, err := net.ConnectRouters(rs[i], rs[i+1],
+			addr(fmt.Sprintf("10.0.%d.1", i)), addr(fmt.Sprintf("10.0.%d.2", i)), time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vp := &netsim.Host{Addr: addr("192.168.1.1"), Router: rs[0], ISP: "t", RespondsToPing: true}
+	tgt := &netsim.Host{Addr: addr("192.168.9.1"), Router: rs[n-1], ISP: "t", RespondsToPing: true, AccessDelay: time.Millisecond}
+	if err := net.AddHost(vp); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddHost(tgt); err != nil {
+		t.Fatal(err)
+	}
+	return net, vp, tgt, rs
+}
+
+func start() *vclock.Clock {
+	return vclock.New(time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC))
+}
+
+func TestSequentialTraceReachesDestination(t *testing.T) {
+	net, vp, tgt, _ := testNet(t, 4)
+	e := &Engine{Net: net, Clock: start()}
+	tr := e.Trace(vp.Addr, tgt.Addr)
+	if !tr.Reached {
+		t.Fatal("trace did not reach destination")
+	}
+	if len(tr.Hops) != 4 {
+		t.Fatalf("hops = %d, want 4 (r2, r3, r4, host)", len(tr.Hops))
+	}
+	want := []string{"10.0.0.2", "10.0.1.2", "10.0.2.2", "192.168.9.1"}
+	for i, h := range tr.Hops {
+		if !h.Responded() {
+			t.Fatalf("hop %d unresponsive", i+1)
+		}
+		if h.Addr != addr(want[i]) {
+			t.Errorf("hop %d = %v, want %v", i+1, h.Addr, want[i])
+		}
+		if h.TTL != i+1 {
+			t.Errorf("hop %d TTL = %d", i+1, h.TTL)
+		}
+	}
+	last := tr.Hops[len(tr.Hops)-1]
+	if last.Type != netsim.EchoReply {
+		t.Errorf("final hop type = %v", last.Type)
+	}
+}
+
+func TestParisFlowConsistency(t *testing.T) {
+	net, vp, tgt, _ := testNet(t, 4)
+	e := &Engine{Net: net, Clock: start()}
+	tr1 := e.Trace(vp.Addr, tgt.Addr)
+	tr2 := e.Trace(vp.Addr, tgt.Addr)
+	if tr1.FlowID != tr2.FlowID {
+		t.Error("same src/dst produced different flow IDs")
+	}
+	for i := range tr1.Hops {
+		if tr1.Hops[i].Addr != tr2.Hops[i].Addr {
+			t.Errorf("hop %d differs across runs", i+1)
+		}
+	}
+}
+
+func TestGapLimitStopsTrace(t *testing.T) {
+	net, vp, _, rs := testNet(t, 12)
+	// Routers beyond r4 are silent, and the destination is unreachable
+	// (a prefix behind the last router with no live host).
+	for _, r := range rs[4:] {
+		r.ResponseProb = 0
+	}
+	net.AddPrefix(netip.MustParsePrefix("203.0.113.0/24"), rs[11], "t")
+	e := &Engine{Net: net, Clock: start(), GapLimit: 5}
+	tr := e.Trace(vp.Addr, addr("203.0.113.9"))
+	if tr.Reached {
+		t.Fatal("trace claims to have reached a silent destination")
+	}
+	unresponsive := 0
+	for _, h := range tr.Hops {
+		if !h.Responded() {
+			unresponsive++
+		} else {
+			unresponsive = 0
+		}
+	}
+	if unresponsive != 5 {
+		t.Errorf("trace ended with %d trailing gaps, want GapLimit=5", unresponsive)
+	}
+}
+
+func TestAttemptsRetryTransientLoss(t *testing.T) {
+	net, vp, tgt, rs := testNet(t, 4)
+	rs[1].ResponseProb = 0.5
+	e := &Engine{Net: net, Clock: start(), Attempts: 8}
+	tr := e.Trace(vp.Addr, tgt.Addr)
+	if h := tr.Hops[0]; !h.Responded() {
+		t.Error("hop 1 (50% responsive, 8 attempts) never answered")
+	}
+	if tr.Probes <= len(tr.Hops) {
+		t.Errorf("probes = %d, expected retries beyond %d hops", tr.Probes, len(tr.Hops))
+	}
+}
+
+func TestParallelMatchesSequentialHops(t *testing.T) {
+	net, vp, tgt, rs := testNet(t, 6)
+	rs[2].ResponseProb = 0 // one silent mid-path hop
+	seq := &Engine{Net: net, Clock: start(), Mode: Sequential}
+	par := &Engine{Net: net, Clock: start(), Mode: Parallel}
+	st := seq.Trace(vp.Addr, tgt.Addr)
+	pt := par.Trace(vp.Addr, tgt.Addr)
+	if !st.Reached || !pt.Reached {
+		t.Fatalf("reached: seq=%v par=%v", st.Reached, pt.Reached)
+	}
+	if len(st.Hops) != len(pt.Hops) {
+		t.Fatalf("hop counts differ: seq=%d par=%d", len(st.Hops), len(pt.Hops))
+	}
+	for i := range st.Hops {
+		if st.Hops[i].Addr != pt.Hops[i].Addr {
+			t.Errorf("hop %d differs: seq=%v par=%v", i+1, st.Hops[i].Addr, pt.Hops[i].Addr)
+		}
+	}
+}
+
+func TestParallelSavesActiveTime(t *testing.T) {
+	net, vp, _, rs := testNet(t, 10)
+	// Several unresponsive hops: sequential pays a full timeout per
+	// attempt per hop; parallel overlaps them.
+	for _, r := range rs[3:7] {
+		r.ResponseProb = 0
+	}
+	tgt2 := &netsim.Host{Addr: addr("192.168.9.2"), Router: rs[9], ISP: "t", RespondsToPing: true}
+	if err := net.AddHost(tgt2); err != nil {
+		t.Fatal(err)
+	}
+	seq := &Engine{Net: net, Clock: start(), Mode: Sequential}
+	par := &Engine{Net: net, Clock: start(), Mode: Parallel}
+	st := seq.Trace(vp.Addr, tgt2.Addr)
+	pt := par.Trace(vp.Addr, tgt2.Addr)
+	if pt.ActiveTime >= st.ActiveTime {
+		t.Errorf("parallel active time %v not less than sequential %v", pt.ActiveTime, st.ActiveTime)
+	}
+	// The paper reports ~38% energy reduction; require a substantial
+	// saving here too.
+	if float64(pt.ActiveTime) > 0.7*float64(st.ActiveTime) {
+		t.Errorf("parallel saving too small: %v vs %v", pt.ActiveTime, st.ActiveTime)
+	}
+}
+
+func TestResponsiveHopsAndLastResponsive(t *testing.T) {
+	net, vp, tgt, rs := testNet(t, 5)
+	rs[2].ResponseProb = 0
+	e := &Engine{Net: net, Clock: start(), Attempts: 1}
+	tr := e.Trace(vp.Addr, tgt.Addr)
+	resp := tr.ResponsiveHops()
+	for _, h := range resp {
+		if !h.Responded() {
+			t.Error("ResponsiveHops returned a timeout")
+		}
+	}
+	last, ok := tr.LastResponsive()
+	if !ok || last.Addr != tgt.Addr {
+		t.Errorf("LastResponsive = %v, %v", last.Addr, ok)
+	}
+	if len(resp) != len(tr.Hops)-1 {
+		t.Errorf("responsive = %d of %d hops; exactly one should be silent", len(resp), len(tr.Hops))
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	net, vp, tgt, _ := testNet(t, 4)
+	c := start()
+	e := &Engine{Net: net, Clock: c}
+	before := c.Now()
+	tr := e.Trace(vp.Addr, tgt.Addr)
+	if !c.Now().After(before) {
+		t.Error("virtual clock did not advance")
+	}
+	if got := c.Since(before); got != tr.ActiveTime {
+		t.Errorf("clock advanced %v, trace active time %v", got, tr.ActiveTime)
+	}
+}
+
+func TestUDPMode(t *testing.T) {
+	net, vp, tgt, _ := testNet(t, 4)
+	e := &Engine{Net: net, Clock: start(), Proto: netsim.UDP}
+	tr := e.Trace(vp.Addr, tgt.Addr)
+	if !tr.Reached {
+		t.Fatal("UDP trace did not reach")
+	}
+	last := tr.Hops[len(tr.Hops)-1]
+	if last.Type != netsim.PortUnreachable {
+		t.Errorf("final hop type = %v, want port-unreachable", last.Type)
+	}
+}
+
+func TestMaxTTLTruncates(t *testing.T) {
+	net, vp, tgt, _ := testNet(t, 12)
+	e := &Engine{Net: net, Clock: start(), MaxTTL: 5}
+	tr := e.Trace(vp.Addr, tgt.Addr)
+	if tr.Reached {
+		t.Error("trace claims to reach a destination 12 hops away with MaxTTL 5")
+	}
+	if len(tr.Hops) > 5 {
+		t.Errorf("hops = %d, want <= MaxTTL", len(tr.Hops))
+	}
+}
+
+func TestParallelWindowBoundaries(t *testing.T) {
+	// Destination exactly on a window boundary.
+	for _, n := range []int{8, 9, 16} {
+		net, vp, tgt, _ := testNet(t, n)
+		e := &Engine{Net: net, Clock: start(), Mode: Parallel, Window: 8}
+		tr := e.Trace(vp.Addr, tgt.Addr)
+		if !tr.Reached {
+			t.Errorf("n=%d: parallel trace did not reach", n)
+		}
+		if got := tr.Hops[len(tr.Hops)-1]; got.Type != netsim.EchoReply {
+			t.Errorf("n=%d: final hop %v", n, got.Type)
+		}
+		// No hops after the destination response.
+		for i, h := range tr.Hops[:len(tr.Hops)-1] {
+			if h.Type == netsim.EchoReply {
+				t.Errorf("n=%d: echo reply at non-final hop %d", n, i)
+			}
+		}
+	}
+}
+
+func TestProbeAccounting(t *testing.T) {
+	net, vp, tgt, _ := testNet(t, 4)
+	e := &Engine{Net: net, Clock: start(), Attempts: 1}
+	tr := e.Trace(vp.Addr, tgt.Addr)
+	if tr.Probes != len(tr.Hops) {
+		t.Errorf("fully responsive path: probes=%d hops=%d", tr.Probes, len(tr.Hops))
+	}
+	if tr.ActiveTime <= 0 {
+		t.Error("no active time accounted")
+	}
+}

@@ -1,0 +1,39 @@
+// Package vclock provides the virtual clock that measurement campaigns
+// run on. Probes take (virtual) time proportional to their RTTs and
+// timeouts, IP-ID counters advance with it, and multi-day campaigns such
+// as ShipTraceroute complete instantly in wall-clock terms while keeping
+// realistic timing relationships.
+package vclock
+
+import "time"
+
+// Clock is a monotonically advancing virtual clock.
+type Clock struct {
+	now time.Time
+}
+
+// New returns a clock starting at the given instant.
+func New(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Advance moves the clock forward by d (negative values are ignored so a
+// buggy caller cannot move time backwards).
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+}
+
+// AdvanceTo jumps to a later instant; earlier instants are ignored.
+func (c *Clock) AdvanceTo(t time.Time) {
+	if t.After(c.now) {
+		c.now = t
+	}
+}
+
+// Since reports the elapsed virtual time from t.
+func (c *Clock) Since(t time.Time) time.Duration { return c.now.Sub(t) }

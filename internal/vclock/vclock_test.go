@@ -1,0 +1,31 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClock(t *testing.T) {
+	start := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	c := New(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(time.Second)
+	if got := c.Since(start); got != time.Second {
+		t.Errorf("Since = %v", got)
+	}
+	c.Advance(-time.Hour)
+	if c.Now().Before(start) {
+		t.Error("negative Advance moved time backwards")
+	}
+	c.AdvanceTo(start) // earlier: ignored
+	if got := c.Since(start); got != time.Second {
+		t.Errorf("AdvanceTo moved backwards: Since = %v", got)
+	}
+	later := start.Add(time.Hour)
+	c.AdvanceTo(later)
+	if !c.Now().Equal(later) {
+		t.Errorf("AdvanceTo = %v", c.Now())
+	}
+}
