@@ -1,0 +1,26 @@
+# Verification entry points. `make verify` is the tier-1 gate: vet,
+# build, full test suite, then the race detector over the packages with
+# concurrency (the probe scheduler, the thread-safe simulator, and the
+# campaign that drives them in parallel).
+
+GO ?= go
+
+.PHONY: verify build test vet race bench-sched
+
+verify: vet build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/netsim/... ./internal/probesched/... ./internal/comap/...
+
+# Scheduler speedup: the quickstart campaign at 1 vs N workers.
+bench-sched:
+	$(GO) test ./internal/probesched/ -run XXX -bench BenchmarkParallelCampaign -benchtime 3x

@@ -20,10 +20,11 @@ import (
 func main() {
 	seed := flag.Int64("seed", 21, "scenario seed")
 	pings := flag.Int("pings", 100, "TTL-limited echos per customer (Table 2)")
+	parallel := flag.Int("parallel", 0, "probe-scheduler workers (0 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
 
 	fmt.Printf("building the AT&T-like scenario (seed %d) and running the campaign...\n", *seed)
-	st := core.NewATTStudy(*seed)
+	st := core.NewATTStudy(*seed, core.WithParallelism(*parallel))
 	res := st.Result()
 
 	fmt.Printf("\n== region inventory (Appendix C) ==\n")

@@ -20,22 +20,23 @@ import (
 func main() {
 	seed := flag.Int64("seed", 7, "scenario seed")
 	study := flag.String("study", "all", "cable, att, mobile, or all")
+	parallel := flag.Int("parallel", 0, "probe-scheduler workers (0 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
 
 	if *study == "all" || *study == "cable" {
-		cable(*seed)
+		cable(*seed, *parallel)
 	}
 	if *study == "all" || *study == "att" {
-		att(*seed * 3)
+		att(*seed*3, *parallel)
 	}
 	if *study == "all" || *study == "mobile" {
-		mobile(*seed*7 + 2)
+		mobile(*seed*7+2, *parallel)
 	}
 }
 
-func cable(seed int64) {
+func cable(seed int64, parallel int) {
 	fmt.Printf("=== cable study (§5), seed %d ===\n", seed)
-	st := core.NewCableStudy(seed)
+	st := core.NewCableStudy(seed, core.WithParallelism(parallel))
 	st.Result("comcast")
 	st.Result("charter")
 
@@ -96,9 +97,9 @@ func cable(seed int64) {
 	}
 }
 
-func att(seed int64) {
+func att(seed int64, parallel int) {
 	fmt.Printf("\n=== AT&T study (§6), seed %d ===\n", seed)
-	st := core.NewATTStudy(seed)
+	st := core.NewATTStudy(seed, core.WithParallelism(parallel))
 	fig := st.Figure13()
 	fmt.Printf("Figure 13: bb=%d agg=%d edge=%d routers; %d EdgeCOs; %d BackboneCO (mesh=%v); paper 2/4/84, 42, 1\n",
 		fig.BackboneRouters, fig.AggRouters, fig.EdgeRouters, fig.EdgeCOs, fig.BackboneCOs, fig.FullMesh)
@@ -111,9 +112,9 @@ func att(seed int64) {
 	fmt.Printf("Table 2: mean=%.1fms outliers>2x=%d (paper 4.3ms, 2 outliers)\n", mean, outliers)
 }
 
-func mobile(seed int64) {
+func mobile(seed int64, parallel int) {
 	fmt.Printf("\n=== mobile study (§7), seed %d ===\n", seed)
-	st := core.NewMobileStudy(seed)
+	st := core.NewMobileStudy(seed, core.WithParallelism(parallel))
 	states, rates := st.Figure15()
 	fmt.Printf("Figure 15: %d states (paper 40); success", len(states))
 	for _, c := range core.CarrierNames {

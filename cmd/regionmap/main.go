@@ -27,6 +27,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the full inference as JSON")
 	resil := flag.Bool("resilience", false, "print the §8 failure-impact analysis per region")
 	verbose := flag.Bool("v", false, "print every region summary")
+	parallel := flag.Int("parallel", 0, "probe-scheduler workers (0 = GOMAXPROCS); output is identical at any value")
+	budget := flag.Int("budget", 0, "cap total campaign traceroutes (0 = unlimited)")
 	flag.Parse()
 
 	if *isp != "comcast" && *isp != "charter" {
@@ -35,7 +37,7 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "building scenario (seed %d) and running the %s campaign...\n", *seed, *isp)
-	st := core.NewCableStudy(*seed)
+	st := core.NewCableStudy(*seed, core.WithParallelism(*parallel), core.WithProbeBudget(*budget))
 	res := st.Result(*isp)
 
 	if *asJSON {

@@ -23,10 +23,11 @@ func main() {
 	carrier := flag.String("carrier", "all", "carrier to report, or all")
 	showMap := flag.Bool("map", false, "print the Fig. 18 latency hexes")
 	csvPath := flag.String("csv", "", "write the raw rounds of -carrier to a CSV file")
+	parallel := flag.Int("parallel", 0, "probe-scheduler workers (0 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
 
 	fmt.Printf("building carriers (seed %d) and shipping phones across 12 itineraries...\n", *seed)
-	st := core.NewMobileStudy(*seed)
+	st := core.NewMobileStudy(*seed, core.WithParallelism(*parallel))
 
 	carriers := core.CarrierNames
 	if *carrier != "all" {

@@ -16,7 +16,7 @@ import (
 
 func main() {
 	fmt.Println("building the AT&T-like telco and driving to every McDonald's in San Diego...")
-	st := core.NewATTStudy(21)
+	st := core.NewATTStudy(21, core.WithParallelism(4))
 
 	onATT := len(st.HotspotVPs)
 	fmt.Printf("%d of %d restaurants buy their WiFi uplink from the telco (paper: 23 of 58)\n",

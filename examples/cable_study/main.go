@@ -14,7 +14,9 @@ import (
 )
 
 func main() {
-	st := core.NewCableStudy(7)
+	// WithParallelism fans probes across CPU cores; the tables are
+	// byte-identical at any worker count.
+	st := core.NewCableStudy(7, core.WithParallelism(4))
 	fmt.Println("running both operator campaigns (a minute or two)...")
 	st.Result("comcast")
 	st.Result("charter")

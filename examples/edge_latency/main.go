@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	st := core.NewCableStudy(7)
+	st := core.NewCableStudy(7, core.WithParallelism(4))
 	fmt.Println("mapping the cable operators (the latency study runs on the inferred graphs)...")
 	st.Result("comcast")
 	st.Result("charter")

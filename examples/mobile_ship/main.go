@@ -14,7 +14,7 @@ import (
 
 func main() {
 	fmt.Println("shipping phones across 12 itineraries for three carriers...")
-	st := core.NewMobileStudy(51)
+	st := core.NewMobileStudy(51, core.WithParallelism(2))
 
 	// Show a few raw rounds for one carrier: the inference's input.
 	fmt.Println("\nsample AT&T rounds (address bits move with the truck):")

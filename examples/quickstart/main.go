@@ -39,13 +39,16 @@ func main() {
 
 	// Run the paper's pipeline: /24 sweep, rDNS-targeted traceroutes,
 	// MPLS revelation, alias resolution, CO mapping, graph refinement.
+	// Parallelism fans probes across CPU cores; the result is
+	// byte-identical at any worker count (see internal/probesched).
 	campaign := &comap.Campaign{
-		Net:       scenario.Net,
-		DNS:       scenario.DNS,
-		Clock:     vclock.New(scenario.Epoch()),
-		ISP:       "comcast",
-		VPs:       vps,
-		Announced: isp.Announced,
+		Net:         scenario.Net,
+		DNS:         scenario.DNS,
+		Clock:       vclock.New(scenario.Epoch()),
+		ISP:         "comcast",
+		VPs:         vps,
+		Announced:   isp.Announced,
+		Parallelism: 4,
 	}
 	result := comap.Run(campaign)
 

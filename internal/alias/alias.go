@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/probesched"
 	"repro/internal/vclock"
 )
 
@@ -27,6 +28,12 @@ type Resolver struct {
 	// VP is the probing source (must be a registered host; pick one
 	// inside the target ISP when its routers block external probes).
 	VP netip.Addr
+	// Parallelism is the worker count for the Mercator stage (0 selects
+	// GOMAXPROCS). Mercator probes are independent, so results are
+	// identical at any value. The MIDAR stage always runs sequentially:
+	// its signal is the time-interleaving of IP-ID samples across
+	// targets, which is inherently order-dependent.
+	Parallelism int
 
 	// VelocityTolerance bounds the relative velocity mismatch for MIDAR
 	// candidate pairs (default 0.25).
@@ -190,12 +197,22 @@ func (r *Resolver) MIDARInto(targets []netip.Addr, res *Result) {
 
 // mercator sends one UDP probe to a high port on each target; a
 // port-unreachable from a different source address is an alias pair.
+// The probes fan out over the scheduler; evidence folds in target order.
 func (r *Resolver) mercator(targets []netip.Addr, res *Result) {
-	for i, t := range targets {
-		reply := r.Net.Probe(r.Clock.Now(), netsim.ProbeSpec{
-			Src: r.VP, Dst: t, TTL: 64, Proto: netsim.UDP, Seq: uint32(i),
+	pool := probesched.New(r.Parallelism, r.Clock)
+	idx := make([]int, len(targets))
+	for i := range idx {
+		idx[i] = i
+	}
+	replies := probesched.Map(pool, idx, func(clk *vclock.Clock, i int) netsim.Reply {
+		reply := r.Net.Probe(clk.Now(), netsim.ProbeSpec{
+			Src: r.VP, Dst: targets[i], TTL: 64, Proto: netsim.UDP, Seq: uint32(i),
 		})
-		r.Clock.Advance(20 * time.Millisecond)
+		clk.Advance(20 * time.Millisecond)
+		return reply
+	})
+	for i, reply := range replies {
+		t := targets[i]
 		if reply.Type == netsim.PortUnreachable && reply.From.IsValid() && reply.From != t {
 			res.union(t, reply.From)
 			res.MercatorPairs++

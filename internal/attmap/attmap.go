@@ -14,6 +14,7 @@ import (
 	"repro/internal/dnsdb"
 	"repro/internal/hostnames"
 	"repro/internal/netsim"
+	"repro/internal/probesched"
 	"repro/internal/traceroute"
 	"repro/internal/vclock"
 )
@@ -36,6 +37,11 @@ type Campaign struct {
 	// code (the full 95,821-address sweep is unnecessary to find the
 	// prefixes).
 	MaxBootstrapPerRegion int
+
+	// Parallelism is the probe-scheduler worker count (0 selects
+	// GOMAXPROCS). Results are byte-identical at any value — see
+	// internal/probesched — so this is purely a throughput knob.
+	Parallelism int
 }
 
 // RouterRole is the inferred function of a router group.
@@ -193,7 +199,13 @@ func (c *Campaign) Run() *Result {
 
 	// Bootstrap: traceroute from the Ark-style VPs toward a few lspgws
 	// per code; record the backbone tag seen en route and the /24 of
-	// the hop immediately before the gateway (an EdgeCO router).
+	// the hop immediately before the gateway (an EdgeCO router). The
+	// traces fan out over the probe scheduler; the fold walks them in
+	// submission (code, target, VP) order so the first-wins CodeToTag
+	// assignment matches a sequential run.
+	pool := probesched.New(c.Parallelism, c.Clock)
+	var jobs []probesched.Request
+	var jobCode []string
 	edge24s := map[string]map[netip.Prefix]bool{} // tag -> /24 set
 	codes := make([]string, 0, len(res.Lspgws))
 	for code := range res.Lspgws {
@@ -209,28 +221,42 @@ func (c *Campaign) Run() *Result {
 		for i := 0; i < n; i++ {
 			dst := targets[i*len(targets)/n]
 			for _, vp := range c.BootstrapVPs {
-				tr := eng.Trace(vp, dst)
-				tag := backboneTag(c.DNS, tr)
-				if tag == "" {
-					continue
-				}
-				if res.CodeToTag[code] == "" {
-					res.CodeToTag[code] = tag
-				}
-				if pfx, ok := c.edgeRouter24(tr); ok {
-					if edge24s[tag] == nil {
-						edge24s[tag] = map[netip.Prefix]bool{}
-					}
-					edge24s[tag][pfx] = true
-				}
+				jobs = append(jobs, probesched.Request{Src: vp, Dst: dst})
+				jobCode = append(jobCode, code)
 			}
+		}
+	}
+	for j, out := range pool.Fan(eng, jobs) {
+		tr := out.(traceroute.Trace)
+		code := jobCode[j]
+		tag := backboneTag(c.DNS, tr)
+		if tag == "" {
+			continue
+		}
+		if res.CodeToTag[code] == "" {
+			res.CodeToTag[code] = tag
+		}
+		if pfx, ok := c.edgeRouter24(tr); ok {
+			if edge24s[tag] == nil {
+				edge24s[tag] = map[netip.Prefix]bool{}
+			}
+			edge24s[tag][pfx] = true
 		}
 	}
 
 	// Region mapping: for each region with internal VPs, sweep the
 	// discovered router /24s (DPR reveals the MPLS-hidden agg layer),
 	// trace to every lspgw, alias-resolve, and build the topology.
-	for tag, vps := range c.RegionVPs {
+	// Region tags are walked in sorted order so multi-region campaigns
+	// consume virtual time (and hence produce IP-ID-dependent MIDAR
+	// evidence) in a fixed sequence.
+	tags := make([]string, 0, len(c.RegionVPs))
+	for tag := range c.RegionVPs {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		vps := c.RegionVPs[tag]
 		if len(vps) == 0 {
 			continue
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/hostnames"
 	"repro/internal/ping"
+	"repro/internal/probesched"
 	"repro/internal/traceroute"
 )
 
@@ -24,6 +25,9 @@ type EdgeLatency struct {
 // customer address, keep traces that cross the region's backbone and
 // whose penultimate hop responded, then elicit responses from the
 // penultimate device with TTL-limited echos and record the minimum RTT.
+// The traceroute and ping phases each fan out over the probe scheduler;
+// the barrier between them exists because each ping's TTL comes from
+// its customer's trace.
 func (c *Campaign) MeasureEdgeLatency(vm netip.Addr, customers []netip.Addr, regionTag string, pings int) EdgeLatency {
 	if pings == 0 {
 		pings = 100
@@ -34,8 +38,15 @@ func (c *Campaign) MeasureEdgeLatency(vm netip.Addr, customers []netip.Addr, reg
 	}
 	eng := &traceroute.Engine{Net: c.Net, Clock: c.Clock, Attempts: 2, GapLimit: 4}
 	pinger := &ping.Pinger{Net: c.Net, Clock: c.Clock}
-	for _, cust := range customers {
-		tr := eng.Trace(vm, cust)
+	pool := probesched.New(c.Parallelism, c.Clock)
+
+	traceJobs := make([]probesched.Request, len(customers))
+	for i, cust := range customers {
+		traceJobs[i] = probesched.Request{Src: vm, Dst: cust}
+	}
+	var pingJobs []probesched.Request
+	for i, res := range pool.Fan(eng, traceJobs) {
+		tr := res.(traceroute.Trace)
 		// The customer itself is silent; require a responsive
 		// penultimate device after this region's backbone.
 		if !crossesBackbone(c, tr, regionTag) {
@@ -45,14 +56,19 @@ func (c *Campaign) MeasureEdgeLatency(vm netip.Addr, customers []netip.Addr, reg
 		if !ok {
 			continue
 		}
-		series, from := pinger.TTLLimited(vm, cust, last.TTL, pings)
-		min, ok := series.Min()
-		if !ok || !from.IsValid() {
+		pingJobs = append(pingJobs, probesched.Request{
+			Src: vm, Dst: customers[i], TTL: last.TTL, Count: pings,
+		})
+	}
+	for i, res := range pool.Fan(pinger, pingJobs) {
+		po := res.(ping.Outcome)
+		min, ok := po.Min()
+		if !ok || !po.From.IsValid() {
 			continue
 		}
-		out.Customers[cust] = from
-		if cur, seen := out.PerDevice[from]; !seen || min < cur {
-			out.PerDevice[from] = min
+		out.Customers[pingJobs[i].Dst] = po.From
+		if cur, seen := out.PerDevice[po.From]; !seen || min < cur {
+			out.PerDevice[po.From] = min
 		}
 	}
 	return out
@@ -77,21 +93,26 @@ func crossesBackbone(c *Campaign, tr traceroute.Trace, regionTag string) bool {
 // McTraceroute evaluation compares hotspot VPs against Atlas/Ark VPs.
 func (c *Campaign) PathCoverage(vps []netip.Addr, targets []netip.Addr) int {
 	eng := &traceroute.Engine{Net: c.Net, Clock: c.Clock, Attempts: 2, GapLimit: 5}
-	seen := map[string]bool{}
+	pool := probesched.New(c.Parallelism, c.Clock)
+	var jobs []probesched.Request
 	for _, vp := range vps {
 		for _, dst := range targets {
-			tr := eng.Trace(vp, dst)
-			hops := tr.ResponsiveHops()
-			if len(hops) < 2 {
-				continue
-			}
-			var b strings.Builder
-			for _, h := range hops[1:] {
-				b.WriteString(h.Addr.String())
-				b.WriteByte('>')
-			}
-			seen[b.String()] = true
+			jobs = append(jobs, probesched.Request{Src: vp, Dst: dst})
 		}
+	}
+	seen := map[string]bool{}
+	for _, res := range pool.Fan(eng, jobs) {
+		tr := res.(traceroute.Trace)
+		hops := tr.ResponsiveHops()
+		if len(hops) < 2 {
+			continue
+		}
+		var b strings.Builder
+		for _, h := range hops[1:] {
+			b.WriteString(h.Addr.String())
+			b.WriteByte('>')
+		}
+		seen[b.String()] = true
 	}
 	return len(seen)
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/alias"
 	"repro/internal/hostnames"
+	"repro/internal/probesched"
 	"repro/internal/traceroute"
 )
 
@@ -36,23 +37,39 @@ func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Add
 	// Collect traces: intra-region to every gateway, intra- and
 	// inter-region DPR to every address of the discovered router /24s
 	// (inter-region DPR is what exposes the backbone-to-agg links).
+	// Each wave fans out over the probe scheduler and folds back in
+	// submission order; the second wave must wait on the first because
+	// its targets are hops the first wave observed.
+	pool := probesched.New(c.Parallelism, c.Clock)
+	var jobs []probesched.Request
+	add := func(src, dst netip.Addr) {
+		jobs = append(jobs, probesched.Request{Src: src, Dst: dst})
+	}
 	var traces []traceroute.Trace
+	flush := func() {
+		for _, out := range pool.Fan(eng, jobs) {
+			traces = append(traces, out.(traceroute.Trace))
+		}
+		jobs = jobs[:0]
+	}
+
 	for i, dst := range lspgws {
 		for k := 0; k < 3 && k < len(vps); k++ {
-			traces = append(traces, eng.Trace(vps[(i+k*5)%len(vps)], dst))
+			add(vps[(i+k*5)%len(vps)], dst)
 		}
 	}
 	sweep := func(srcs []netip.Addr, nSrc int) {
 		for _, pfx := range edgePrefixes {
 			for a := pfx.Addr().Next(); pfx.Contains(a); a = a.Next() {
 				for k := 0; k < nSrc && k < len(srcs); k++ {
-					traces = append(traces, eng.Trace(srcs[(int(a.As4()[3])+k*7)%len(srcs)], a))
+					add(srcs[(int(a.As4()[3])+k*7)%len(srcs)], a)
 				}
 			}
 		}
 	}
 	sweep(vps, 2)
 	sweep(c.BootstrapVPs, 2)
+	flush()
 
 	// Second DPR wave: unnamed addresses observed outside the known
 	// /24s are candidate aggregation-router interfaces; targeting them
@@ -78,12 +95,13 @@ func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Add
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Less(candidates[j]) })
 	for i, a := range candidates {
 		for k := 0; k < 2 && k < len(vps); k++ {
-			traces = append(traces, eng.Trace(vps[(i+k*3)%len(vps)], a))
+			add(vps[(i+k*3)%len(vps)], a)
 		}
 		for k := 0; k < 2 && k < len(c.BootstrapVPs); k++ {
-			traces = append(traces, eng.Trace(c.BootstrapVPs[(i+k*5)%len(c.BootstrapVPs)], a))
+			add(c.BootstrapVPs[(i+k*5)%len(c.BootstrapVPs)], a)
 		}
 	}
+	flush()
 
 	// In-region address set: seed with the gateway addresses, the
 	// router /24s, and this region's backbone interfaces; expand once
@@ -156,7 +174,7 @@ func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Add
 		}
 	}
 	sort.Slice(aliasTargets, func(i, j int) bool { return aliasTargets[i].Less(aliasTargets[j]) })
-	resolver := &alias.Resolver{Net: c.Net, Clock: c.Clock, VP: vps[0]}
+	resolver := &alias.Resolver{Net: c.Net, Clock: c.Clock, VP: vps[0], Parallelism: c.Parallelism}
 	groups := resolver.Resolve(aliasTargets)
 	for _, a := range aliasTargets {
 		rm.RouterOf[a] = groups.GroupOf(a)[0]

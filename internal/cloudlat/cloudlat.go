@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/ping"
+	"repro/internal/probesched"
 	"repro/internal/vclock"
 )
 
@@ -30,6 +31,10 @@ type Study struct {
 	VMs   []VM
 	// Pings per target (the paper used 100).
 	Pings int
+	// Parallelism is the probe-scheduler worker count (0 selects
+	// GOMAXPROCS). Ping series are independent, so every figure is
+	// byte-identical at any value — see internal/probesched.
+	Parallelism int
 }
 
 func (s *Study) pings() int {
@@ -62,11 +67,22 @@ func (s *Study) ClosestVM(provider string, targets []netip.Addr) (VM, bool) {
 	if len(cands) == 0 {
 		return VM{}, false
 	}
+	// All (target, candidate-region) ping series are independent; fan
+	// them out and fold wins in the original target-major order.
+	p := &ping.Pinger{Net: s.Net, Clock: s.Clock}
+	pool := probesched.New(s.Parallelism, s.Clock)
+	jobs := make([]probesched.Request, 0, len(targets)*len(cands))
 	for _, t := range targets {
+		for i := range cands {
+			jobs = append(jobs, probesched.Request{Src: cands[i].vm.Addr, Dst: t, Count: s.pings()})
+		}
+	}
+	outs := pool.Fan(p, jobs)
+	for ti := range targets {
 		best := -1
 		var bestRTT time.Duration
 		for i := range cands {
-			rtt, ok := s.MinRTT(cands[i].vm.Addr, t)
+			rtt, ok := outs[ti*len(cands)+i].(ping.Outcome).Min()
 			if !ok {
 				continue
 			}
@@ -109,18 +125,31 @@ func (s *Study) Figure9(providers []string, targetsByState map[string][]netip.Ad
 	}
 	sort.Strings(states)
 	var rows []Fig9Row
+	p := &ping.Pinger{Net: s.Net, Clock: s.Clock}
+	pool := probesched.New(s.Parallelism, s.Clock)
 	for _, prov := range providers {
 		vm, ok := s.ClosestVM(prov, all)
 		if !ok {
 			continue
 		}
+		// One ping series per (state, EdgeCO target), fanned out; medians
+		// fold per state in sorted-state order.
+		var jobs []probesched.Request
+		var jobState []string
 		for _, st := range states {
-			var ms []float64
 			for _, t := range targetsByState[st] {
-				if rtt, ok := s.MinRTT(vm.Addr, t); ok {
-					ms = append(ms, float64(rtt)/float64(time.Millisecond))
-				}
+				jobs = append(jobs, probesched.Request{Src: vm.Addr, Dst: t, Count: s.pings()})
+				jobState = append(jobState, st)
 			}
+		}
+		msByState := map[string][]float64{}
+		for j, out := range pool.Fan(p, jobs) {
+			if rtt, ok := out.(ping.Outcome).Min(); ok {
+				msByState[jobState[j]] = append(msByState[jobState[j]], float64(rtt)/float64(time.Millisecond))
+			}
+		}
+		for _, st := range states {
+			ms := msByState[st]
 			if len(ms) == 0 {
 				continue
 			}
@@ -152,17 +181,29 @@ type Fig10 struct {
 
 // Figure10 measures, for every pair, the minimum RTT from the nearest
 // cloud VM to the EdgeCO (10a) and the AggCO-to-EdgeCO RTT estimated as
-// the difference of minimum RTTs along the shared path (10b).
+// the difference of minimum RTTs along the shared path (10b). Pairs fan
+// out over the probe scheduler; each pair's VM scan stays sequential
+// inside its job because the agg leg targets whichever VM won the scan.
 func (s *Study) Figure10(pairs []EdgePair) Fig10 {
+	type pairRes struct {
+		cloud, agg time.Duration
+		ok         bool
+	}
+	pool := probesched.New(s.Parallelism, s.Clock)
+	results := probesched.Map(pool, pairs, func(clk *vclock.Clock, pair EdgePair) pairRes {
+		cs := *s
+		cs.Clock = clk
+		cloud, agg, ok := cs.pairRTTs(pair)
+		return pairRes{cloud, agg, ok}
+	})
 	var cloudMs, aggMs []float64
-	for _, pair := range pairs {
-		cloud, agg, ok := s.pairRTTs(pair)
-		if !ok {
+	for _, r := range results {
+		if !r.ok {
 			continue
 		}
-		cloudMs = append(cloudMs, float64(cloud)/float64(time.Millisecond))
-		if agg >= 0 {
-			aggMs = append(aggMs, float64(agg)/float64(time.Millisecond))
+		cloudMs = append(cloudMs, float64(r.cloud)/float64(time.Millisecond))
+		if r.agg >= 0 {
+			aggMs = append(aggMs, float64(r.agg)/float64(time.Millisecond))
 		}
 	}
 	return Fig10{

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dnsdb"
 	"repro/internal/hostnames"
 	"repro/internal/netsim"
+	"repro/internal/probesched"
 	"repro/internal/traceroute"
 	"repro/internal/vclock"
 )
@@ -30,6 +31,16 @@ type Campaign struct {
 	// rDNS-selected target (rotated deterministically for coverage).
 	SweepVPs  int
 	TargetVPs int
+
+	// Parallelism is the probe-scheduler worker count (0 selects
+	// GOMAXPROCS). Collections are byte-identical at any value — see
+	// internal/probesched for why — so this is purely a throughput knob.
+	Parallelism int
+	// MaxTraces caps the total traceroutes submitted across all stages
+	// (0 = unlimited): the probe-budget knob of the core options API.
+	// Jobs beyond the budget are dropped from the tail of each stage's
+	// canonical job list, so a given budget is deterministic too.
+	MaxTraces int
 
 	// SkipDirectTargeting disables step 2 (rDNS-selected targets); used
 	// by the ablation benches to quantify the paper's 5.3x claim.
@@ -79,6 +90,11 @@ func (c *Campaign) engine() *traceroute.Engine {
 }
 
 // Run executes every collection stage and returns the raw observations.
+// Within a stage every traceroute is independent, so jobs are built in
+// canonical (target, VP-rotation) order, fanned across the probe
+// scheduler, and folded back in that same order; stages themselves stay
+// sequential barriers because each derives its target list from the
+// previous stage's observations.
 func (c *Campaign) Run() *Collection {
 	c.defaults()
 	col := &Collection{
@@ -87,32 +103,47 @@ func (c *Campaign) Run() *Collection {
 		DirectPairs: map[[2]netip.Addr]bool{},
 	}
 	eng := c.engine()
+	pool := probesched.New(c.Parallelism, c.Clock)
 	seen := map[[2]netip.Addr]bool{} // (src,dst) pairs already traced
+	submitted := 0
 
-	trace := func(src, dst netip.Addr, stage string) {
+	var jobs []probesched.Request
+	add := func(src, dst netip.Addr) {
+		if c.MaxTraces > 0 && submitted+len(jobs) >= c.MaxTraces {
+			return
+		}
 		key := [2]netip.Addr{src, dst}
 		if seen[key] {
 			return
 		}
 		seen[key] = true
-		tr := eng.Trace(src, dst)
-		p := Path{Src: src, Dst: dst, Reached: tr.Reached}
-		gap := false
-		for _, h := range tr.Hops {
-			if !h.Responded() {
-				gap = true
+		jobs = append(jobs, probesched.Request{Src: src, Dst: dst})
+	}
+	// flush runs the accumulated jobs through the scheduler and folds
+	// the traces into the collection in submission order.
+	flush := func(stage string) {
+		submitted += len(jobs)
+		for _, res := range pool.Fan(eng, jobs) {
+			tr := res.(traceroute.Trace)
+			p := Path{Src: tr.Src, Dst: tr.Dst, Reached: tr.Reached}
+			gap := false
+			for _, h := range tr.Hops {
+				if !h.Responded() {
+					gap = true
+					continue
+				}
+				p.Hops = append(p.Hops, h.Addr)
+				p.Gaps = append(p.Gaps, gap)
+				gap = false
+				col.Observed[h.Addr] = true
+			}
+			if len(p.Hops) == 0 {
 				continue
 			}
-			p.Hops = append(p.Hops, h.Addr)
-			p.Gaps = append(p.Gaps, gap)
-			gap = false
-			col.Observed[h.Addr] = true
+			col.Paths = append(col.Paths, p)
+			col.StageOf = append(col.StageOf, stage)
 		}
-		if len(p.Hops) == 0 {
-			return
-		}
-		col.Paths = append(col.Paths, p)
-		col.StageOf = append(col.StageOf, stage)
+		jobs = jobs[:0]
 	}
 
 	// Stage 1: traceroute to an address in every /24 of the announced
@@ -123,10 +154,10 @@ func (c *Campaign) Run() *Collection {
 	}
 	for i, dst := range sweep {
 		for k := 0; k < c.SweepVPs && k < len(c.VPs); k++ {
-			vp := c.VPs[(i+k*7)%len(c.VPs)]
-			trace(vp, dst, "sweep")
+			add(c.VPs[(i+k*7)%len(c.VPs)], dst)
 		}
 	}
+	flush("sweep")
 
 	// Stage 2: traceroute to every address whose snapshot rDNS matches
 	// the operator's router-name regexes.
@@ -140,10 +171,10 @@ func (c *Campaign) Run() *Collection {
 	if !c.SkipDirectTargeting {
 		for i, dst := range col.ScanTargets {
 			for k := 0; k < c.TargetVPs && k < len(c.VPs); k++ {
-				vp := c.VPs[(i+k*11)%len(c.VPs)]
-				trace(vp, dst, "direct")
+				add(c.VPs[(i+k*11)%len(c.VPs)], dst)
 			}
 		}
+		flush("direct")
 	}
 
 	// Stage 3: traceroute to every intermediate address observed, to
@@ -157,10 +188,10 @@ func (c *Campaign) Run() *Collection {
 		sort.Slice(inter, func(i, j int) bool { return inter[i].Less(inter[j]) })
 		for i, dst := range inter {
 			for k := 0; k < 3 && k < len(c.VPs); k++ {
-				vp := c.VPs[(i+k*13)%len(c.VPs)]
-				trace(vp, dst, "mpls")
+				add(c.VPs[(i+k*13)%len(c.VPs)], dst)
 			}
 		}
+		flush("mpls")
 		c.findFalsePairs(col)
 	}
 
@@ -173,7 +204,10 @@ func (c *Campaign) Run() *Collection {
 	if !c.SkipAlias {
 		col.AliasTargets = c.aliasTargets(col)
 		res := alias.NewResult()
-		resolver := &alias.Resolver{Net: c.Net, Clock: c.Clock, VP: c.VPs[0]}
+		resolver := &alias.Resolver{
+			Net: c.Net, Clock: c.Clock, VP: c.VPs[0],
+			Parallelism: c.Parallelism,
+		}
 		resolver.MercatorInto(col.AliasTargets, res)
 		for _, part := range c.partitionByRegion(col) {
 			resolver.MIDARInto(part, res)

@@ -7,7 +7,6 @@ import (
 	"repro/internal/attmap"
 	"repro/internal/metrics"
 	"repro/internal/topogen"
-	"repro/internal/vclock"
 )
 
 // ATTStudy is the §6 case study: the AT&T-like telco mapped from
@@ -23,17 +22,20 @@ type ATTStudy struct {
 	HotspotVPs   []netip.Addr
 	BootstrapVPs []netip.Addr
 
+	cfg    Config
 	result *attmap.Result
 }
 
 // DetailRegion is the region mapped at full fidelity.
 const DetailRegion = "sd2ca"
 
-// NewATTStudy builds the AT&T scenario and its vantage points.
-func NewATTStudy(seed int64) *ATTStudy {
+// NewATTStudy builds the AT&T scenario and its vantage points. Options
+// configure parallelism and the clock origin; with no options the study
+// behaves exactly as it always has.
+func NewATTStudy(seed int64, opts ...Option) *ATTStudy {
 	s := topogen.NewScenario(seed)
 	tel := s.BuildTelco(topogen.ATTProfile())
-	st := &ATTStudy{Scenario: s, Telco: tel}
+	st := &ATTStudy{Scenario: s, Telco: tel, cfg: buildConfig(opts)}
 	for i, tag := range []string{"la2ca", "bkfdca", "frsnca", "sffca", "scrmca"} {
 		st.BootstrapVPs = append(st.BootstrapVPs, s.AddTelcoVP(tel, tag, i).Addr)
 	}
@@ -53,12 +55,13 @@ func (st *ATTStudy) campaign() *attmap.Campaign {
 	return &attmap.Campaign{
 		Net:          st.Scenario.Net,
 		DNS:          st.Scenario.DNS,
-		Clock:        vclock.New(st.Scenario.Epoch()),
+		Clock:        st.cfg.clock(st.Scenario.Epoch()),
 		ISP:          "att",
 		BootstrapVPs: st.BootstrapVPs,
 		RegionVPs: map[string][]netip.Addr{
 			DetailRegion: append(append([]netip.Addr{}, st.ArkAtlasVPs...), st.HotspotVPs...),
 		},
+		Parallelism: st.cfg.Parallelism,
 	}
 }
 

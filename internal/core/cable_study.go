@@ -8,7 +8,6 @@ import (
 	"repro/internal/comap"
 	"repro/internal/metrics"
 	"repro/internal/topogen"
-	"repro/internal/vclock"
 )
 
 // CableStudy is the §5 case study: Comcast- and Charter-like operators
@@ -19,12 +18,15 @@ type CableStudy struct {
 	Charter  *topogen.ISP
 	VPs      []netip.Addr
 
+	cfg     Config
 	results map[string]*comap.Result
 }
 
 // NewCableStudy builds the scenario (both operators, clouds, VPs) for a
-// seed. The measurement campaigns run lazily per operator.
-func NewCableStudy(seed int64) *CableStudy {
+// seed. The measurement campaigns run lazily per operator. Options
+// configure parallelism, probe budget, and the clock origin; with no
+// options the study behaves exactly as it always has.
+func NewCableStudy(seed int64, opts ...Option) *CableStudy {
 	s := topogen.NewScenario(seed)
 	comcast := s.BuildCable(topogen.ComcastProfile())
 	charter := s.BuildCable(topogen.CharterProfile())
@@ -34,6 +36,7 @@ func NewCableStudy(seed int64) *CableStudy {
 		Comcast:  comcast,
 		Charter:  charter,
 		VPs:      vps,
+		cfg:      buildConfig(opts),
 		results:  map[string]*comap.Result{},
 	}
 }
@@ -52,12 +55,14 @@ func (st *CableStudy) Result(isp string) *comap.Result {
 		return r
 	}
 	c := &comap.Campaign{
-		Net:       st.Scenario.Net,
-		DNS:       st.Scenario.DNS,
-		Clock:     vclock.New(st.Scenario.Epoch()),
-		ISP:       isp,
-		VPs:       st.VPs,
-		Announced: st.truth(isp).Announced,
+		Net:         st.Scenario.Net,
+		DNS:         st.Scenario.DNS,
+		Clock:       st.cfg.clock(st.Scenario.Epoch()),
+		ISP:         isp,
+		VPs:         st.VPs,
+		Announced:   st.truth(isp).Announced,
+		Parallelism: st.cfg.Parallelism,
+		MaxTraces:   st.cfg.ProbeBudget,
 	}
 	r := comap.Run(c)
 	st.results[isp] = r
@@ -239,10 +244,11 @@ func (st *CableStudy) cloudStudy(pings int) *cloudlat.Study {
 		vms = append(vms, cloudlat.VM{Provider: c.Provider, Region: c.Region, Addr: c.Host.Addr})
 	}
 	return &cloudlat.Study{
-		Net:   st.Scenario.Net,
-		Clock: vclock.New(st.Scenario.Epoch()),
-		VMs:   vms,
-		Pings: pings,
+		Net:         st.Scenario.Net,
+		Clock:       st.cfg.clock(st.Scenario.Epoch()),
+		VMs:         vms,
+		Pings:       pings,
+		Parallelism: st.cfg.Parallelism,
 	}
 }
 

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Config carries the study knobs shared by every case study. Studies
+// are built with functional options, so zero-configuration calls keep
+// their historical behavior:
+//
+//	st := core.NewCableStudy(7)                             // as before
+//	st := core.NewCableStudy(7, core.WithParallelism(8))    // 8 probe workers
+//	st := core.NewCableStudy(7, core.WithProbeBudget(5000)) // capped campaign
+type Config struct {
+	// Parallelism is the probe-scheduler worker count handed to every
+	// campaign the study runs (0 selects GOMAXPROCS). Results are
+	// byte-identical at any value — see internal/probesched.
+	Parallelism int
+	// ProbeBudget caps the total traceroutes a campaign may submit
+	// (0 = unlimited). Only the cable campaign currently enforces it.
+	ProbeBudget int
+	// Start overrides the campaign clocks' origin instant; the zero
+	// value keeps the scenario epoch.
+	Start time.Time
+}
+
+// Option mutates a study Config; pass options to the New*Study
+// constructors.
+type Option func(*Config)
+
+// WithParallelism sets the probe-scheduler worker count for every
+// campaign the study runs. Output is identical at any value; higher
+// counts only shorten wall-clock time on multi-core hosts.
+func WithParallelism(n int) Option {
+	return func(c *Config) { c.Parallelism = n }
+}
+
+// WithProbeBudget caps the total traceroutes a campaign may submit.
+func WithProbeBudget(n int) Option {
+	return func(c *Config) { c.ProbeBudget = n }
+}
+
+// WithClock starts the campaigns' virtual clocks at the given instant
+// instead of the scenario epoch. Useful for replaying a campaign at a
+// different virtual time (IP-ID velocities are time-dependent).
+func WithClock(start time.Time) Option {
+	return func(c *Config) { c.Start = start }
+}
+
+func buildConfig(opts []Option) Config {
+	var c Config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// clock builds a campaign clock honoring the WithClock override, with
+// the scenario epoch as the default origin.
+func (c Config) clock(epoch time.Time) *vclock.Clock {
+	start := c.Start
+	if start.IsZero() {
+		start = epoch
+	}
+	return vclock.New(start)
+}

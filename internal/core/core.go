@@ -8,4 +8,15 @@
 //	st := core.NewCableStudy(1)
 //	res := st.Result("comcast")
 //	fmt.Println(st.Table1())
+//
+// Constructors take functional options for the shared study knobs:
+//
+//	st := core.NewCableStudy(1,
+//		core.WithParallelism(8),    // probe-scheduler workers
+//		core.WithProbeBudget(5000), // cap campaign traceroutes
+//	)
+//
+// Parallelism never changes results: the probe scheduler
+// (internal/probesched) gathers probe results in canonical order, so a
+// study produces byte-identical tables at any worker count.
 package core

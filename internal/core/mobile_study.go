@@ -25,6 +25,7 @@ type MobileStudy struct {
 	Targets []netip.Addr
 	Server  netip.Addr
 
+	cfg      Config
 	rounds   map[string][]ship.Round
 	analyses map[string]*mobilemap.Analysis
 }
@@ -41,11 +42,14 @@ var coverageBias = map[string]float64{
 }
 
 // NewMobileStudy builds the mobile scenario: three carriers, targets in
-// neighboring ASes, and a San Diego reference server.
-func NewMobileStudy(seed int64) *MobileStudy {
+// neighboring ASes, and a San Diego reference server. Options configure
+// parallelism and the clock origin; with no options the study behaves
+// exactly as it always has.
+func NewMobileStudy(seed int64, opts ...Option) *MobileStudy {
 	s := topogen.NewScenario(seed)
 	st := &MobileStudy{
 		Scenario: s,
+		cfg:      buildConfig(opts),
 		Carriers: map[string]*topogen.MobileCarrier{
 			"att-mobile": s.BuildMobileCarrier(topogen.ATTMobileProfile()),
 			"verizon":    s.BuildMobileCarrier(topogen.VerizonProfile()),
@@ -84,13 +88,14 @@ func (st *MobileStudy) Rounds(carrier string) []ship.Round {
 	}
 	c := &ship.Campaign{
 		Net:          st.Scenario.Net,
-		Clock:        vclock.New(st.Scenario.Epoch()),
+		Clock:        st.cfg.clock(st.Scenario.Epoch()),
 		Modem:        st.Carriers[carrier].NewModem(),
 		CellDB:       cellgeo.NewDB(0.25),
 		Targets:      st.Targets,
 		Server:       st.Server,
 		Mode:         traceroute.Parallel,
 		CoverageBias: coverageBias[carrier],
+		Parallelism:  st.cfg.Parallelism,
 	}
 	var rs []ship.Round
 	for _, it := range ship.Shipments() {

@@ -10,11 +10,28 @@
 // through Probe; the struct fields consumed by generators and scoring
 // (router CO assignments and the like) are ground truth and must never
 // leak into inference.
+//
+// # Concurrency
+//
+// Topology construction (AddRouter, AddIface, Connect, AddHost,
+// AddPrefix, AddTunnel) is single-threaded: wire the network before the
+// first probe. Once built, Probe is safe to call from any number of
+// goroutines: the shortest-path cache is guarded by a read-write mutex,
+// the per-router and per-interface IP-ID counters are atomics, and
+// every other per-probe "random" draw (jitter, rate-limit, ECMP tie
+// breaks) is a pure splitmix-style hash of (seed, probe parameters), so
+// no probe can perturb another's outcome regardless of interleaving.
+// The only order-sensitive state is the IP-ID counters, and their
+// post-batch values depend only on the multiset of replies generated —
+// which is itself deterministic — so any schedule of the same probe set
+// leaves the network in an identical state.
 package netsim
 
 import (
 	"fmt"
 	"net/netip"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -95,7 +112,7 @@ type Router struct {
 	DstPolicy DstPolicy
 
 	IPID     IPIDMode
-	ipidBase uint64
+	ipidBase atomic.Uint64
 	// IPIDVelocity is counter increments per second from background
 	// traffic; MIDAR's monotonic bound test needs it to be modest.
 	IPIDVelocity float64
@@ -114,7 +131,7 @@ type Iface struct {
 	Link *Link
 
 	// perIfIPID supports IPIDPerInterface mode.
-	perIfIPID uint64
+	perIfIPID atomic.Uint64
 }
 
 // Link is an undirected point-to-point connection between two interfaces.
@@ -173,8 +190,13 @@ type Network struct {
 	// tunnels maps an ingress router to the MPLS LSPs it originates.
 	tunnels map[RouterID][]*Tunnel
 
-	spt  map[RouterID]*sptResult
-	seed uint64
+	// sptMu guards spt, the lazily built shortest-path-tree cache.
+	// Probing goroutines share cached trees; a miss is computed outside
+	// the write lock (Dijkstra is deterministic, so racing builders
+	// produce identical trees and the first store wins).
+	sptMu sync.RWMutex
+	spt   map[RouterID]*sptResult
+	seed  uint64
 
 	// ProcessingDelay is the per-hop forwarding cost added to RTTs.
 	ProcessingDelay time.Duration
@@ -252,7 +274,7 @@ func (n *Network) Connect(a, b *Iface, delay time.Duration) (*Link, error) {
 	l := &Link{A: a, B: b, Delay: delay}
 	a.Link = l
 	b.Link = l
-	n.spt = map[RouterID]*sptResult{} // invalidate route cache
+	n.InvalidateRoutes()
 	return l, nil
 }
 
@@ -287,7 +309,9 @@ func (n *Network) AddHost(h *Host) error {
 // it automatically; callers that tune Link.Metric after wiring must
 // call it themselves.
 func (n *Network) InvalidateRoutes() {
+	n.sptMu.Lock()
 	n.spt = map[RouterID]*sptResult{}
+	n.sptMu.Unlock()
 }
 
 // AddPrefix declares that unassigned addresses within prefix are served

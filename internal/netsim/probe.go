@@ -322,21 +322,22 @@ func u64(a netip.Addr) uint64 {
 
 // nextIPID advances and returns the router's IP-ID for a reply sent at
 // the given virtual time from the given interface (nil for canonical).
+// The counters are atomics so concurrent probes never race; their value
+// after a batch of probes depends only on how many replies each counter
+// produced, not on the interleaving, which keeps the (strictly
+// sequential) MIDAR stage deterministic after a parallel campaign.
 func (r *Router) nextIPID(at time.Time, ifc *Iface) uint16 {
 	switch r.IPID {
 	case IPIDRandom:
 		return uint16(mix(uint64(r.ID), 0x5EED, uint64(at.UnixNano())))
 	case IPIDPerInterface:
 		if ifc == nil {
-			r.ipidBase++
-			return uint16(r.ipidBase)
+			return uint16(r.ipidBase.Add(1))
 		}
-		ifc.perIfIPID++
 		base := mix(uint64(r.ID), u64(ifc.Addr)) // independent counter origins
-		return uint16(base + ifc.perIfIPID + uint64(float64(at.Unix())*r.IPIDVelocity))
+		return uint16(base + ifc.perIfIPID.Add(1) + uint64(float64(at.Unix())*r.IPIDVelocity))
 	default: // IPIDShared
-		r.ipidBase++
 		elapsed := float64(at.UnixNano()) / 1e9
-		return uint16(uint64(r.ID)*7919 + r.ipidBase + uint64(elapsed*r.IPIDVelocity))
+		return uint16(uint64(r.ID)*7919 + r.ipidBase.Add(1) + uint64(elapsed*r.IPIDVelocity))
 	}
 }

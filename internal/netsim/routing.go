@@ -47,9 +47,14 @@ const unreachable = time.Duration(1<<62 - 1)
 // shortestPaths computes (and caches) the SPT rooted at src. Link weight
 // is propagation delay plus a constant hop cost, so the simulator prefers
 // the same low-latency, few-hop paths an IGP with delay-derived metrics
-// would pick.
+// would pick. Safe for concurrent probing: the tree is computed outside
+// the write lock (it is deterministic, so concurrent builders agree) and
+// the first stored copy is shared thereafter.
 func (n *Network) shortestPaths(src RouterID) *sptResult {
-	if r, ok := n.spt[src]; ok {
+	n.sptMu.RLock()
+	r, ok := n.spt[src]
+	n.sptMu.RUnlock()
+	if ok {
 		return r
 	}
 	nr := len(n.routers)
@@ -92,7 +97,13 @@ func (n *Network) shortestPaths(src RouterID) *sptResult {
 			}
 		}
 	}
+	n.sptMu.Lock()
+	if prev, ok := n.spt[src]; ok {
+		n.sptMu.Unlock()
+		return prev
+	}
 	n.spt[src] = res
+	n.sptMu.Unlock()
 	return res
 }
 

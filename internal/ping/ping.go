@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/probesched"
 	"repro/internal/vclock"
 )
 
@@ -62,12 +63,16 @@ func (p *Pinger) defaults() {
 	}
 }
 
-// Ping sends count echo requests from src to dst.
+// Ping sends count echo requests from src to dst. The pinger's
+// configuration is treated as read-only (defaults apply to a stack
+// copy), so one Pinger may serve concurrent series as long as each
+// carries its own clock — which is how the probe scheduler drives it.
 func (p *Pinger) Ping(src, dst netip.Addr, count int) Series {
-	p.defaults()
+	cfg := *p
+	cfg.defaults()
 	var s Series
 	for i := 0; i < count; i++ {
-		r := p.Net.Probe(p.Clock.Now(), netsim.ProbeSpec{
+		r := cfg.Net.Probe(cfg.Clock.Now(), netsim.ProbeSpec{
 			Src: src, Dst: dst, TTL: 64, Proto: netsim.ICMPEcho, Seq: uint32(i),
 			FlowID: uint16(i), // pings are not Paris; let ECMP spread them
 		})
@@ -75,11 +80,11 @@ func (p *Pinger) Ping(src, dst netip.Addr, count int) Series {
 		if r.Type == netsim.EchoReply {
 			s.Received++
 			s.RTTs = append(s.RTTs, r.RTT)
-			p.Clock.Advance(r.RTT)
+			cfg.Clock.Advance(r.RTT)
 		} else {
-			p.Clock.Advance(p.Timeout)
+			cfg.Clock.Advance(cfg.Timeout)
 		}
-		p.Clock.Advance(p.Interval)
+		cfg.Clock.Advance(cfg.Interval)
 	}
 	return s
 }
@@ -91,12 +96,13 @@ func (p *Pinger) Ping(src, dst netip.Addr, count int) Series {
 // pings (§6.3). Probes share one flow ID so every probe takes the same
 // path to the same penultimate device.
 func (p *Pinger) TTLLimited(src, dst netip.Addr, ttl int, count int) (Series, netip.Addr) {
-	p.defaults()
+	cfg := *p
+	cfg.defaults()
 	var s Series
 	var from netip.Addr
 	fid := uint16(0x7e77)
 	for i := 0; i < count; i++ {
-		r := p.Net.Probe(p.Clock.Now(), netsim.ProbeSpec{
+		r := cfg.Net.Probe(cfg.Clock.Now(), netsim.ProbeSpec{
 			Src: src, Dst: dst, TTL: uint8(ttl), Proto: netsim.ICMPEcho,
 			FlowID: fid, Seq: uint32(i),
 		})
@@ -105,11 +111,38 @@ func (p *Pinger) TTLLimited(src, dst netip.Addr, ttl int, count int) (Series, ne
 			s.Received++
 			s.RTTs = append(s.RTTs, r.RTT)
 			from = r.From
-			p.Clock.Advance(r.RTT)
+			cfg.Clock.Advance(r.RTT)
 		} else {
-			p.Clock.Advance(p.Timeout)
+			cfg.Clock.Advance(cfg.Timeout)
 		}
-		p.Clock.Advance(p.Interval)
+		cfg.Clock.Advance(cfg.Interval)
 	}
 	return s, from
+}
+
+// Outcome is the scheduler-facing result of one ping job: the series
+// plus, for TTL-limited jobs, the responding device address.
+type Outcome struct {
+	Series
+	From netip.Addr
+}
+
+// WithClock returns a copy of the pinger bound to clk; the scheduler
+// uses it to hand each job a private virtual clock.
+func (p *Pinger) WithClock(clk *vclock.Clock) *Pinger {
+	cfg := *p
+	cfg.Clock = clk
+	return &cfg
+}
+
+// Probe implements probesched.Prober: a plain echo series when req.TTL
+// is zero, the §6.3 TTL-limited series otherwise. The result is an
+// Outcome.
+func (p *Pinger) Probe(clk *vclock.Clock, req probesched.Request) probesched.Result {
+	cfg := p.WithClock(clk)
+	if req.TTL > 0 {
+		s, from := cfg.TTLLimited(req.Src, req.Dst, req.TTL, req.Count)
+		return Outcome{Series: s, From: from}
+	}
+	return Outcome{Series: cfg.Ping(req.Src, req.Dst, req.Count)}
 }

@@ -1,0 +1,37 @@
+package probesched_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkParallelCampaign runs the quickstart cable campaign at 1 and
+// N workers (N = GOMAXPROCS, plus fixed 4 for cross-host comparability).
+// The outputs are byte-identical — see TestCampaignDeterministic-
+// AcrossParallelism — so the ratio of these timings is pure scheduler
+// speedup. On a single-core host the workload is CPU-bound and the
+// ratio stays ~1; the speedup materializes with GOMAXPROCS > 1.
+func BenchmarkParallelCampaign(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := quickstartCampaign(workers)
+				b.StartTimer()
+				col := c.Run()
+				if len(col.Paths) == 0 {
+					b.Fatal("campaign collected no paths")
+				}
+			}
+		})
+	}
+}
+
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}

@@ -1,0 +1,158 @@
+package probesched_test
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/comap"
+	"repro/internal/topogen"
+	"repro/internal/vclock"
+)
+
+// quickstartCampaign builds the quickstart-scale single-region cable
+// scenario and its campaign, ready to run.
+func quickstartCampaign(workers int) *comap.Campaign {
+	scenario := topogen.NewScenario(42)
+	profile := topogen.ComcastProfile()
+	profile.Regions = []topogen.CableRegionSpec{{
+		Name:     "bverton",
+		Anchor:   "Beaverton",
+		Backbone: []string{"Seattle", "Sunnyvale"},
+		Type:     topogen.DualAgg,
+		EdgeCOs:  12,
+	}}
+	isp := scenario.BuildCable(profile)
+	var vps []netip.Addr
+	for _, city := range []string{"Seattle", "San Francisco", "Denver", "Chicago", "New York"} {
+		vps = append(vps, scenario.AddTransitVP(city).Addr)
+	}
+	return &comap.Campaign{
+		Net:         scenario.Net,
+		DNS:         scenario.DNS,
+		Clock:       vclock.New(scenario.Epoch()),
+		ISP:         "comcast",
+		VPs:         vps,
+		Announced:   isp.Announced,
+		Parallelism: workers,
+	}
+}
+
+// serializeCollection renders every field of a Collection in a canonical
+// order, so two byte-identical collections serialize identically and any
+// divergence (path order, hop content, alias evidence) changes the hash.
+func serializeCollection(col *comap.Collection) string {
+	var b strings.Builder
+	for i, p := range col.Paths {
+		fmt.Fprintf(&b, "path %s>%s stage=%s reached=%v hops=", p.Src, p.Dst, col.StageOf[i], p.Reached)
+		for j, h := range p.Hops {
+			fmt.Fprintf(&b, "%s/gap=%v,", h, p.Gaps[j])
+		}
+		b.WriteByte('\n')
+	}
+	observed := make([]string, 0, len(col.Observed))
+	for a := range col.Observed {
+		observed = append(observed, a.String())
+	}
+	sort.Strings(observed)
+	fmt.Fprintf(&b, "observed %s\n", strings.Join(observed, ","))
+	for _, a := range col.ScanTargets {
+		fmt.Fprintf(&b, "scan %s\n", a)
+	}
+	var pairs []string
+	for p := range col.FalsePairs {
+		pairs = append(pairs, p[0].String()+">"+p[1].String())
+	}
+	sort.Strings(pairs)
+	fmt.Fprintf(&b, "false %s\n", strings.Join(pairs, ","))
+	pairs = pairs[:0]
+	for p := range col.DirectPairs {
+		pairs = append(pairs, p[0].String()+">"+p[1].String())
+	}
+	sort.Strings(pairs)
+	fmt.Fprintf(&b, "direct %s\n", strings.Join(pairs, ","))
+	for _, a := range col.AliasTargets {
+		fmt.Fprintf(&b, "aliastarget %s\n", a)
+	}
+	if col.Aliases != nil {
+		for _, g := range col.Aliases.Groups() {
+			fmt.Fprintf(&b, "aliasgroup %v\n", g)
+		}
+		fmt.Fprintf(&b, "evidence mercator=%d midar=%d\n", col.Aliases.MercatorPairs, col.Aliases.MIDARPairs)
+	}
+	return b.String()
+}
+
+// campaignDigest runs the full pipeline and hashes the serialized
+// Collection together with the report JSON (the Table 1/3/4 content)
+// and the final virtual-clock reading.
+func campaignDigest(t *testing.T, workers int) [32]byte {
+	t.Helper()
+	c := quickstartCampaign(workers)
+	res := comap.Run(c)
+	var b strings.Builder
+	b.WriteString(serializeCollection(res.Collection))
+	if err := res.WriteJSON(&b, "comcast"); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	fmt.Fprintf(&b, "clock %v\n", c.Clock.Now().UnixNano())
+	return sha256.Sum256([]byte(b.String()))
+}
+
+// TestProbeBudgetCapsAndStaysDeterministic checks MaxTraces truncates
+// the canonical job list identically at every worker count.
+func TestProbeBudgetCapsAndStaysDeterministic(t *testing.T) {
+	digest := func(workers int) ([32]byte, int) {
+		c := quickstartCampaign(workers)
+		c.MaxTraces = 60
+		c.SkipAlias = true
+		col := c.Run()
+		if len(col.Paths) > 60 {
+			t.Fatalf("workers=%d: %d paths exceed the 60-trace budget", workers, len(col.Paths))
+		}
+		return sha256.Sum256([]byte(serializeCollection(col))), len(col.Paths)
+	}
+	base, n := digest(1)
+	if n == 0 {
+		t.Fatal("budgeted campaign collected nothing")
+	}
+	for _, workers := range []int{4, 8} {
+		if got, _ := digest(workers); got != base {
+			t.Fatalf("workers=%d: budgeted collection diverges from sequential", workers)
+		}
+	}
+}
+
+// TestCampaignDeterministicAcrossParallelism is the PR's acceptance
+// check: the quickstart cable campaign must produce byte-identical
+// output — collection, inferred tables, and final virtual time — at
+// GOMAXPROCS 1, 4, and 8 crossed with worker counts 1, 4, and 8.
+func TestCampaignDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign; skipped with -short")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var want [32]byte
+	first := true
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{1, 4, 8} {
+			got := campaignDigest(t, workers)
+			if first {
+				want = got
+				first = false
+				continue
+			}
+			if got != want {
+				t.Fatalf("GOMAXPROCS=%d workers=%d: digest %x differs from baseline %x",
+					procs, workers, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package probesched is the deterministic parallel probe scheduler: it
+// fans independent measurement jobs (traceroutes, ping series, alias
+// probes) across a worker pool against a thread-safe netsim.Network and
+// gathers the results in canonical submission order, so the same seed
+// produces byte-identical campaign output at any GOMAXPROCS and any
+// worker count — including workers=1, which is exactly the historical
+// sequential path.
+//
+// # Why this is deterministic
+//
+// Three properties carry the proof:
+//
+//  1. Probe replies are pure functions of (network seed, probe
+//     parameters): jitter, rate-limit draws, and ECMP tie-breaks in
+//     netsim are splitmix-style hashes keyed by (seed, src, dst, ttl,
+//     seq), never draws from a shared sequential RNG, so no job can
+//     perturb another's replies. (IP-ID values additionally depend on
+//     shared counters and virtual time, but traceroute and ping discard
+//     them; the IP-ID-sensitive MIDAR stage always runs sequentially.)
+//
+//  2. Every job runs on a private Fork of the campaign clock taken at
+//     batch start. A job's elapsed virtual time is a function of its
+//     own replies only, so it too is schedule-independent.
+//
+//  3. After the batch, the campaign clock advances by the sum of
+//     per-job elapsed times folded in submission order — the exact
+//     total a sequential run would have accumulated — so everything
+//     downstream (IP-ID velocity sampling, round timestamps) observes
+//     the same virtual instant it always did.
+//
+// Results are gathered into a slice indexed by job position, so callers
+// fold them in submission order no matter which worker finished first.
+package probesched
+
+import (
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Pool schedules probe jobs over a fixed number of workers against one
+// campaign clock. A Pool is cheap to create; campaigns typically build
+// one per collection stage. The zero-value Pool is not usable;
+// construct with New.
+type Pool struct {
+	workers int
+	clock   *vclock.Clock
+}
+
+// New returns a pool with the given worker count on the given campaign
+// clock. workers <= 0 selects runtime.GOMAXPROCS(0). The clock must not
+// be nil.
+func New(workers int, clock *vclock.Clock) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, clock: clock}
+}
+
+// Workers reports the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Clock returns the campaign clock the pool advances after each batch.
+func (p *Pool) Clock() *vclock.Clock { return p.clock }
+
+// Map runs one job per element of jobs across the pool's workers and
+// returns the results in job order. Each invocation of run receives a
+// private clock forked from the campaign clock at batch start; after
+// every job completes, the campaign clock advances by the sum of
+// per-job elapsed virtual times, folded in job order. Both the result
+// slice and the final clock reading are therefore independent of worker
+// count and goroutine scheduling.
+func Map[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R) []R {
+	n := len(jobs)
+	if n == 0 {
+		return nil
+	}
+	out := make([]R, n)
+	elapsed := make([]time.Duration, n)
+	start := p.clock.Now()
+
+	runJob := func(i int) {
+		clk := vclock.New(start)
+		out[i] = run(clk, jobs[i])
+		elapsed[i] = clk.Since(start)
+	}
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			runJob(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runJob(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var total time.Duration
+	for _, d := range elapsed {
+		total += d
+	}
+	p.clock.Advance(total)
+	return out
+}
+
+// Request describes one probe job in the unified format both
+// measurement engines accept: a traceroute or a ping series from Src
+// toward Dst. Engine-specific knobs (probe counts, TTL caps, protocol)
+// live on the engine; the request carries only what varies per job.
+type Request struct {
+	// Src is the vantage-point host address; Dst the probe target.
+	Src, Dst netip.Addr
+	// TTL, when nonzero, selects the TTL-limited echo mode of the ping
+	// engine (the §6.3 trick). Traceroute engines ignore it.
+	TTL int
+	// Count is the ping-series length. Traceroute engines ignore it.
+	Count int
+}
+
+// Result is the engine-specific outcome of one Request: a
+// traceroute.Trace from the traceroute engine, a ping.Outcome from the
+// ping engine. Callers assert the type matching the Prober they
+// submitted to.
+type Result any
+
+// Prober is the unified measurement-engine interface: one probe job in,
+// one result out, on the supplied clock. Both traceroute.Engine and
+// ping.Pinger implement it, which is what lets campaign sweeps, DPR
+// passes, alias probing, and latency studies share this scheduler path.
+//
+// Implementations must be safe for concurrent Probe calls with distinct
+// clocks; the engines guarantee this by treating their configuration as
+// read-only and carrying all per-job state on the stack.
+type Prober interface {
+	Probe(clk *vclock.Clock, req Request) Result
+}
+
+// Fan submits one job per request against the prober and returns the
+// results in request order, with the same clock semantics as Map.
+func (p *Pool) Fan(pr Prober, reqs []Request) []Result {
+	return Map(p, reqs, func(clk *vclock.Clock, req Request) Result {
+		return pr.Probe(clk, req)
+	})
+}

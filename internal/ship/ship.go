@@ -13,6 +13,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/geo"
 	"repro/internal/netsim"
+	"repro/internal/probesched"
 	"repro/internal/topogen"
 	"repro/internal/traceroute"
 	"repro/internal/vclock"
@@ -82,6 +83,10 @@ type Campaign struct {
 	// the first stationary round, saving wake-up energy at the cost of
 	// the stationary re-registration samples.
 	PauseAtRest bool
+	// Parallelism is the probe-scheduler worker count for each round's
+	// per-target traceroutes (0 selects GOMAXPROCS). Rounds are
+	// byte-identical at any value — see internal/probesched.
+	Parallelism int
 
 	rng signalRNG
 }
@@ -147,8 +152,15 @@ func (c *Campaign) round(loc geo.Point) Round {
 		Net: c.Net, Clock: c.Clock, Mode: c.Mode,
 		Attempts: 2, GapLimit: 4, MaxTTL: 24,
 	}
+	// The per-target traceroutes of a round are independent (the phone
+	// runs them back to back), so they fan out over the probe scheduler.
+	pool := probesched.New(c.Parallelism, c.Clock)
+	jobs := make([]probesched.Request, len(c.Targets))
 	for i, dst := range c.Targets {
-		tr := eng.Trace(att.Host.Addr, dst)
+		jobs[i] = probesched.Request{Src: att.Host.Addr, Dst: dst}
+	}
+	for i, res := range pool.Fan(eng, jobs) {
+		tr := res.(traceroute.Trace)
 		r.Active += tr.ActiveTime
 		if i == 0 {
 			for _, h := range tr.ResponsiveHops() {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/probesched"
 	"repro/internal/vclock"
 )
 
@@ -132,13 +133,31 @@ func flowID(src, dst netip.Addr) uint16 {
 }
 
 // Trace runs one traceroute from src (a registered vantage-point host)
-// toward dst.
+// toward dst. The engine's configuration is treated as read-only (the
+// defaults are applied to a stack copy), so one Engine may serve
+// concurrent traceroutes as long as each carries its own clock — which
+// is how the probe scheduler drives it.
 func (e *Engine) Trace(src, dst netip.Addr) Trace {
-	e.defaults()
-	if e.Mode == Parallel {
-		return e.traceParallel(src, dst)
+	cfg := *e
+	cfg.defaults()
+	if cfg.Mode == Parallel {
+		return cfg.traceParallel(src, dst)
 	}
-	return e.traceSequential(src, dst)
+	return cfg.traceSequential(src, dst)
+}
+
+// WithClock returns a copy of the engine bound to clk; the scheduler
+// uses it to hand each job a private virtual clock.
+func (e *Engine) WithClock(clk *vclock.Clock) *Engine {
+	cfg := *e
+	cfg.Clock = clk
+	return &cfg
+}
+
+// Probe implements probesched.Prober: one traceroute from req.Src
+// toward req.Dst on the supplied clock. The result is a Trace.
+func (e *Engine) Probe(clk *vclock.Clock, req probesched.Request) probesched.Result {
+	return e.WithClock(clk).Trace(req.Src, req.Dst)
 }
 
 func (e *Engine) traceSequential(src, dst netip.Addr) Trace {

@@ -3,12 +3,23 @@
 // timeouts, IP-ID counters advance with it, and multi-day campaigns such
 // as ShipTraceroute complete instantly in wall-clock terms while keeping
 // realistic timing relationships.
+//
+// Clocks are safe for concurrent use. The parallel probe scheduler
+// (internal/probesched) gives every job a private Fork of the campaign
+// clock and re-merges the elapsed virtual time in canonical job order,
+// so concurrent probes observe consistent virtual time regardless of
+// how the runtime interleaves them.
 package vclock
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
-// Clock is a monotonically advancing virtual clock.
+// Clock is a monotonically advancing virtual clock. The zero Clock is
+// not usable; construct with New (or Fork an existing clock).
 type Clock struct {
+	mu  sync.Mutex
 	now time.Time
 }
 
@@ -18,22 +29,43 @@ func New(start time.Time) *Clock {
 }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() time.Time { return c.now }
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
 
 // Advance moves the clock forward by d (negative values are ignored so a
 // buggy caller cannot move time backwards).
 func (c *Clock) Advance(d time.Duration) {
 	if d > 0 {
+		c.mu.Lock()
 		c.now = c.now.Add(d)
+		c.mu.Unlock()
 	}
 }
 
 // AdvanceTo jumps to a later instant; earlier instants are ignored.
 func (c *Clock) AdvanceTo(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if t.After(c.now) {
 		c.now = t
 	}
 }
 
 // Since reports the elapsed virtual time from t.
-func (c *Clock) Since(t time.Time) time.Duration { return c.now.Sub(t) }
+func (c *Clock) Since(t time.Time) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now.Sub(t)
+}
+
+// Fork returns an independent child clock starting at this clock's
+// current instant. Advancing the child never moves the parent: the
+// scheduler accounts the child's elapsed time back into the parent
+// explicitly, in canonical job order, so campaign timing is independent
+// of goroutine interleaving.
+func (c *Clock) Fork() *Clock {
+	return New(c.Now())
+}
