@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench-sched
+.PHONY: verify build test vet race equivalence bench bench-sched
 
-verify: vet build test race
+verify: vet build test race equivalence
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,19 @@ vet:
 race:
 	$(GO) test -race ./internal/netsim/... ./internal/probesched/... ./internal/comap/...
 
+# Probe fast-path equivalence: the campaign digest must match the
+# golden captured before the fast path (LPM FIB + compiled flows)
+# landed, across a GOMAXPROCS x workers grid.
+equivalence:
+	$(GO) test ./internal/probesched/ -run TestFastPathMatchesGoldenDigest -count=1
+
 # Scheduler speedup: the quickstart campaign at 1 vs N workers.
 bench-sched:
 	$(GO) test ./internal/probesched/ -run XXX -bench BenchmarkParallelCampaign -benchtime 3x
+
+# Probe fast-path benchmarks, archived as JSON for before/after diffs
+# (see EXPERIMENTS.md).
+bench:
+	( $(GO) test ./internal/netsim/ -run XXX -bench 'BenchmarkProbe' -benchmem ; \
+	  $(GO) test ./internal/probesched/ -run XXX -bench BenchmarkParallelCampaign -benchmem -benchtime 3x ) \
+		| $(GO) run ./cmd/benchjson > BENCH_PR2.json

@@ -11,6 +11,7 @@ package repro
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -606,11 +607,7 @@ type cdf struct{ xs []float64 }
 
 func sortedCopy(xs []float64) []float64 {
 	c := append([]float64(nil), xs...)
-	for i := 1; i < len(c); i++ {
-		for j := i; j > 0 && c[j-1] > c[j]; j-- {
-			c[j-1], c[j] = c[j], c[j-1]
-		}
-	}
+	sort.Float64s(c)
 	return c
 }
 

@@ -123,9 +123,24 @@ func (c *Campaign) Run() *Collection {
 	// the traces into the collection in submission order.
 	flush := func(stage string) {
 		submitted += len(jobs)
-		for _, res := range pool.Fan(eng, jobs) {
-			tr := res.(traceroute.Trace)
-			p := Path{Src: tr.Src, Dst: tr.Dst, Reached: tr.Reached}
+		for _, tr := range eng.Traces(pool, jobs) {
+			// Count responsive hops first: all-timeout traces (most of
+			// the /24 sweep) are dropped without allocating, and kept
+			// paths get exactly-sized slices.
+			resp := 0
+			for _, h := range tr.Hops {
+				if h.Responded() {
+					resp++
+				}
+			}
+			if resp == 0 {
+				continue
+			}
+			p := Path{
+				Src: tr.Src, Dst: tr.Dst, Reached: tr.Reached,
+				Hops: make([]netip.Addr, 0, resp),
+				Gaps: make([]bool, 0, resp),
+			}
 			gap := false
 			for _, h := range tr.Hops {
 				if !h.Responded() {
@@ -136,9 +151,6 @@ func (c *Campaign) Run() *Collection {
 				p.Gaps = append(p.Gaps, gap)
 				gap = false
 				col.Observed[h.Addr] = true
-			}
-			if len(p.Hops) == 0 {
-				continue
 			}
 			col.Paths = append(col.Paths, p)
 			col.StageOf = append(col.StageOf, stage)

@@ -20,6 +20,11 @@ import (
 type DB struct {
 	live     map[netip.Addr]string
 	snapshot map[netip.Addr]string
+	// sorted is the lazily built address-ordered snapshot index that
+	// ScanSnapshot filters; nil means stale (rebuilt on next scan).
+	// Mutators invalidate it, so the per-scan cost is one pass over the
+	// index instead of a fresh sort of the whole snapshot every call.
+	sorted []Entry
 }
 
 // New returns an empty database.
@@ -32,6 +37,7 @@ func New() *DB {
 
 // SetLive records the current PTR record for addr (what dig returns).
 func (d *DB) SetLive(addr netip.Addr, name string) {
+	d.sorted = nil
 	if name == "" {
 		delete(d.live, addr)
 		return
@@ -41,6 +47,7 @@ func (d *DB) SetLive(addr netip.Addr, name string) {
 
 // SetSnapshot records the PTR record captured in the scan dataset.
 func (d *DB) SetSnapshot(addr netip.Addr, name string) {
+	d.sorted = nil
 	if name == "" {
 		delete(d.snapshot, addr)
 		return
@@ -76,16 +83,31 @@ type Entry struct {
 	Name string
 }
 
+// sortedIndex returns the address-ordered snapshot, rebuilding it if a
+// mutator ran since the last scan.
+func (d *DB) sortedIndex() []Entry {
+	if d.sorted == nil && len(d.snapshot) > 0 {
+		idx := make([]Entry, 0, len(d.snapshot))
+		for a, n := range d.snapshot {
+			idx = append(idx, Entry{Addr: a, Name: n})
+		}
+		sort.Slice(idx, func(i, j int) bool { return idx[i].Addr.Less(idx[j].Addr) })
+		d.sorted = idx
+	}
+	return d.sorted
+}
+
 // ScanSnapshot returns every snapshot entry whose hostname matches re,
 // sorted by address; this is the paper's Rapid7-based target selection.
+// Successive scans (campaigns run one per stage per operator) share one
+// lazily built sorted index instead of re-sorting the snapshot per call.
 func (d *DB) ScanSnapshot(re *regexp.Regexp) []Entry {
 	var out []Entry
-	for a, n := range d.snapshot {
-		if re.MatchString(n) {
-			out = append(out, Entry{Addr: a, Name: n})
+	for _, e := range d.sortedIndex() {
+		if re.MatchString(e.Name) {
+			out = append(out, e)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
 	return out
 }
 

@@ -8,6 +8,7 @@ package hostnames
 
 import (
 	"regexp"
+	"sync"
 )
 
 // Role is the router function implied by a hostname.
@@ -72,9 +73,32 @@ var (
 	vzSpeedtestRe = regexp.MustCompile(`^([a-z]{4})\.ost\.myvzw\.com$`)
 )
 
+// parsed memoizes Parse results. Campaigns look the same router names
+// up once per trace hop, so the regex cascade runs once per distinct
+// name instead of once per call. The snapshot-scale name population is
+// bounded (topogen assigns a few names per device), so the cache needs
+// no eviction.
+var parsed sync.Map // string -> parseResult
+
+type parseResult struct {
+	info Info
+	ok   bool
+}
+
 // Parse extracts Info from a hostname; ok is false when no convention
-// matched.
+// matched. Results are memoized per distinct name.
 func Parse(name string) (Info, bool) {
+	if v, hit := parsed.Load(name); hit {
+		r := v.(parseResult)
+		return r.info, r.ok
+	}
+	info, ok := parseOne(name)
+	parsed.Store(name, parseResult{info: info, ok: ok})
+	return info, ok
+}
+
+// parseOne runs the regex cascade for one hostname.
+func parseOne(name string) (Info, bool) {
 	if m := comcastBackboneRe.FindStringSubmatch(name); m != nil {
 		return Info{ISP: "comcast", CO: m[1], Role: RoleBackbone, Backbone: true}, true
 	}
@@ -132,18 +156,30 @@ func (i Info) COKey() string {
 	return i.CO
 }
 
+// The per-operator target-selection regexes are fixed strings, so they
+// compile once at init; TargetRegex used to recompile per call, which
+// showed up in campaign profiles because every snapshot scan starts by
+// asking for its regex.
+var (
+	comcastTargetRe = regexp.MustCompile(`^(?:ae|po|be)-[\d-]+-(?:ar|cbr|rur|cr)\d+\.[a-z0-9.]+\.comcast\.net$`)
+	charterTargetRe = regexp.MustCompile(`^(?:agg\d+\.[a-z]{8}\d{2}[rmh]\.[a-z0-9]+|bu-ether\d+\.[a-z]{8}[0-9a-z]{3}-bcr\d+\.tbone)\.rr\.com$`)
+	// The paper's lspgw pattern: ([\d-]+-1).lightspeed.([a-z]{6}).sbcglobal.net
+	attTargetRe = regexp.MustCompile(`^[\d-]+\.lightspeed\.[a-z]{6}\.sbcglobal\.net$`)
+	noTargetRe  = regexp.MustCompile(`$^`) // matches nothing
+)
+
 // TargetRegex returns the snapshot-scan regex the campaigns use for
 // target selection against an operator (§5.1 step 2, §6.1, Appendix C).
+// The returned regex is shared and must not be mutated.
 func TargetRegex(isp string) *regexp.Regexp {
 	switch isp {
 	case "comcast":
-		return regexp.MustCompile(`^(?:ae|po|be)-[\d-]+-(?:ar|cbr|rur|cr)\d+\.[a-z0-9.]+\.comcast\.net$`)
+		return comcastTargetRe
 	case "charter":
-		return regexp.MustCompile(`^(?:agg\d+\.[a-z]{8}\d{2}[rmh]\.[a-z0-9]+|bu-ether\d+\.[a-z]{8}[0-9a-z]{3}-bcr\d+\.tbone)\.rr\.com$`)
+		return charterTargetRe
 	case "att":
-		// The paper's lspgw pattern: ([\d-]+-1).lightspeed.([a-z]{6}).sbcglobal.net
-		return regexp.MustCompile(`^[\d-]+\.lightspeed\.[a-z]{6}\.sbcglobal\.net$`)
+		return attTargetRe
 	default:
-		return regexp.MustCompile(`$^`) // matches nothing
+		return noTargetRe
 	}
 }

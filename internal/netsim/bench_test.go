@@ -25,6 +25,20 @@ func BenchmarkProbeWarmCache(b *testing.B) {
 	}
 }
 
+// BenchmarkProbeCompiledFlow measures the replay fast path: the flow is
+// resolved once and every probe indexes into the compiled hop sequence.
+// This is the loop traceroute and TTL-limited ping drive; it should not
+// allocate.
+func BenchmarkProbeCompiledFlow(b *testing.B) {
+	net, src, dst := benchNet(b, 200)
+	flow := net.CompileFlow(src.Addr, dst.Addr, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flow.Probe(pt0, uint8(i%12+1), ICMPEcho, uint32(i))
+	}
+}
+
 func BenchmarkProbeColdRoutes(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -186,6 +186,16 @@ type Network struct {
 	prefixOwners []prefixOwner
 	// prefix24 indexes the common case of /24 owners for O(1) lookup.
 	prefix24 map[netip.Addr]*prefixOwner
+	// fib is the compiled longest-prefix-match index over prefixOwners
+	// (see lpm.go); nil means "rebuild on next lookup". AddPrefix
+	// invalidates it.
+	fib atomic.Pointer[lpmIndex]
+
+	// paths caches compiled visible-hop sequences per (src router, dst
+	// router, flow, dst-is-router-address) so a traceroute resolves its
+	// path once instead of once per TTL (see pathcache.go). Invalidated
+	// together with the SPT cache and by AddTunnel.
+	paths pathCache
 
 	// tunnels maps an ingress router to the MPLS LSPs it originates.
 	tunnels map[RouterID][]*Tunnel
@@ -305,13 +315,15 @@ func (n *Network) AddHost(h *Host) error {
 	return nil
 }
 
-// InvalidateRoutes drops the cached shortest-path trees. Connect calls
-// it automatically; callers that tune Link.Metric after wiring must
-// call it themselves.
+// InvalidateRoutes drops the cached shortest-path trees and the
+// compiled-path cache derived from them. Connect calls it
+// automatically; callers that tune Link.Metric or Link.Delay after
+// wiring must call it themselves.
 func (n *Network) InvalidateRoutes() {
 	n.sptMu.Lock()
 	n.spt = map[RouterID]*sptResult{}
 	n.sptMu.Unlock()
+	n.paths.invalidate()
 }
 
 // AddPrefix declares that unassigned addresses within prefix are served
@@ -327,11 +339,14 @@ func (n *Network) AddPrefix(p netip.Prefix, r *Router, isp string) {
 		return
 	}
 	n.prefixOwners = append(n.prefixOwners, po)
+	n.invalidateFIB()
 }
 
 // AddTunnel installs an MPLS LSP from ingress to egress.
 func (n *Network) AddTunnel(ingress, egress *Router) {
 	n.tunnels[ingress.ID] = append(n.tunnels[ingress.ID], &Tunnel{Ingress: ingress, Egress: egress})
+	// Tunnel visibility is baked into compiled paths; drop them.
+	n.paths.invalidate()
 }
 
 // Routers returns the ground-truth router list; for generators and

@@ -1,0 +1,95 @@
+package netsim
+
+import "sync"
+
+// flowKey identifies one compiled forwarding decision: everything that
+// the visible hop sequence depends on. Two probes that agree on the
+// source router, destination router, Paris flow identifier, and whether
+// the destination is a router-owned address traverse identical visible
+// hops, whatever their TTL, protocol, or sequence number.
+type flowKey struct {
+	src, dst     RouterID
+	flowID       uint16
+	toRouterAddr bool
+}
+
+// compiledPath is the replayable result of routerPath + visiblePath for
+// one flowKey. It is immutable after publication: probes index into vis
+// but never write it, so one copy serves any number of goroutines.
+type compiledPath struct {
+	reachable bool
+	// vis is the TTL-consuming hop sequence with MPLS-hidden hops
+	// already removed (the source router is not included).
+	vis []visibleHop
+}
+
+// pathShards is the fan-out of the compiled-path cache. Probing is
+// read-mostly (each flow is compiled once and replayed for every TTL and
+// attempt), so a small power-of-two shard count suffices to keep writer
+// stalls off the read path.
+const pathShards = 32
+
+type pathShard struct {
+	mu sync.RWMutex
+	m  map[flowKey]*compiledPath
+}
+
+// pathCache is the sharded read-mostly cache of compiled paths.
+type pathCache struct {
+	shards [pathShards]pathShard
+}
+
+func (k flowKey) shard() uint64 {
+	return mix(uint64(k.src), uint64(k.dst), uint64(k.flowID)) % pathShards
+}
+
+// invalidate drops every compiled path. Called whenever topology or
+// routing inputs change (new links, route invalidation, new tunnels).
+func (c *pathCache) invalidate() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
+	}
+}
+
+// compiledVisible returns the compiled path for a flow, computing it on
+// a miss. When store is true the result is also published to the cache
+// for replay by later probes of the same flow; CompileFlow stores (a
+// compiled flow is about to be replayed for many TTLs, and campaign
+// stages re-trace the same flows), while one-shot Probe calls do not —
+// sweeps and ping series deliberately vary the flow ID per probe, and
+// caching those single-use paths would grow the cache without a single
+// future hit. The computation is deterministic, so racing builders
+// agree on content and the first stored copy wins — identical to the
+// SPT cache's double-checked publication.
+func (n *Network) compiledVisible(src, dst RouterID, flowID uint16, toRouterAddr bool, store bool) *compiledPath {
+	k := flowKey{src: src, dst: dst, flowID: flowID, toRouterAddr: toRouterAddr}
+	sh := &n.paths.shards[k.shard()]
+	sh.mu.RLock()
+	cp := sh.m[k]
+	sh.mu.RUnlock()
+	if cp != nil {
+		return cp
+	}
+	cp = &compiledPath{}
+	if path := n.routerPath(src, dst, flowID); path != nil {
+		cp.reachable = true
+		cp.vis = n.visiblePath(path, n.routers[dst], toRouterAddr)
+	}
+	if !store {
+		return cp
+	}
+	sh.mu.Lock()
+	if prev, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
+		return prev
+	}
+	if sh.m == nil {
+		sh.m = map[flowKey]*compiledPath{}
+	}
+	sh.m[k] = cp
+	sh.mu.Unlock()
+	return cp
+}

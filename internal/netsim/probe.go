@@ -95,17 +95,8 @@ func (n *Network) resolveDst(dst netip.Addr) (dstKind, *Router, *Host, *Iface) {
 			return dstPrefixOnly, po.router, nil, nil
 		}
 	}
-	var best *prefixOwner
-	for i := range n.prefixOwners {
-		po := &n.prefixOwners[i]
-		if po.prefix.Contains(dst) {
-			if best == nil || po.prefix.Bits() > best.prefix.Bits() {
-				best = po
-			}
-		}
-	}
-	if best != nil {
-		return dstPrefixOnly, best.router, nil, nil
+	if po := n.lpm().lookup(dst); po != nil {
+		return dstPrefixOnly, po.router, nil, nil
 	}
 	return dstNone, nil, nil, nil
 }
@@ -170,20 +161,33 @@ func (n *Network) visiblePath(path []pathHop, dstRouter *Router, dstIsRouterAddr
 }
 
 // Probe injects one probe at virtual time `at` and returns the response.
+//
+// This is the convenience entry point: it resolves the destination
+// through the compiled FIB and computes the flow's visible path on
+// every call (reading, but never populating, the compiled-path cache —
+// one-shot probes tend to carry single-use flow IDs). Callers that send
+// many probes along one flow, such as a traceroute walking TTLs, should
+// compile the flow once with CompileFlow and replay it.
 func (n *Network) Probe(at time.Time, s ProbeSpec) Reply {
 	srcHost, ok := n.hosts[s.Src]
-	if !ok || s.TTL == 0 {
+	if !ok {
 		return Reply{Type: Timeout}
 	}
 	kind, dstRouter, dHost, dIface := n.resolveDst(s.Dst)
 	if kind == dstNone || dstRouter == nil {
 		return Reply{Type: Timeout}
 	}
-	path := n.routerPath(srcHost.Router.ID, dstRouter.ID, s.FlowID)
-	if path == nil {
+	cp := n.compiledVisible(srcHost.Router.ID, dstRouter.ID, s.FlowID, kind == dstIface, false)
+	return n.replay(at, s, srcHost, kind, dstRouter, dHost, dIface, cp)
+}
+
+// replay answers one probe from a compiled path. It allocates nothing:
+// every hop decision indexes into the immutable compiled hop sequence.
+func (n *Network) replay(at time.Time, s ProbeSpec, srcHost *Host, kind dstKind, dstRouter *Router, dHost *Host, dIface *Iface, cp *compiledPath) Reply {
+	if s.TTL == 0 || !cp.reachable {
 		return Reply{Type: Timeout}
 	}
-	vis := n.visiblePath(path, dstRouter, kind == dstIface)
+	vis := cp.vis
 
 	// Number of TTL-consuming hops to reach the destination endpoint:
 	// each visible router is one, plus one more when the destination is
@@ -207,12 +211,14 @@ func (n *Network) Probe(at time.Time, s ProbeSpec) Reply {
 	case dstHost:
 		return n.hostReply(at, s, srcHost, dHost, vis)
 	case dstIface:
+		var h visibleHop
 		if len(vis) == 0 {
 			// Destination router is the VP's own gateway.
-			vis = []visibleHop{{router: dstRouter, in: dIface, delay: 0, hops: 0}}
+			h = visibleHop{router: dstRouter, in: dIface, delay: 0, hops: 0}
+		} else {
+			h = vis[len(vis)-1]
+			h.in = dIface // echo/udp responses come from the probed address
 		}
-		h := vis[len(vis)-1]
-		h.in = dIface // echo/udp responses come from the probed address
 		kindReply := EchoReply
 		if s.Proto == UDP {
 			kindReply = PortUnreachable
@@ -221,6 +227,80 @@ func (n *Network) Probe(at time.Time, s ProbeSpec) Reply {
 	default: // dstPrefixOnly: address not live; the packet dies silently.
 		return Reply{Type: Timeout}
 	}
+}
+
+// Flow is a compiled probe flow: the source host, the resolved
+// destination, and the visible hop sequence for one (src, dst, flowID)
+// triple, with MPLS tunnel spans already applied. Compiling once and
+// replaying answers each TTL with pure indexing — no map lookups, path
+// walks, or allocations per probe — which is what makes TTL sweeps
+// (traceroute) cheap.
+//
+// A Flow is immutable and safe for concurrent use, but it snapshots the
+// topology: like an in-flight probe, it must not outlive a topology
+// mutation (Connect, AddTunnel, InvalidateRoutes).
+type Flow struct {
+	net       *Network
+	src, dst  netip.Addr
+	flowID    uint16
+	srcHost   *Host
+	kind      dstKind
+	dstRouter *Router
+	dstHost   *Host
+	dstIface  *Iface
+	cp        *compiledPath
+}
+
+// unreachableFlow answers every probe with a timeout.
+var unreachableFlow = &compiledPath{}
+
+// CompileFlow resolves src, dst, and the flow's forwarding path once.
+// The returned Flow answers probes for any TTL, protocol, and sequence
+// number of that flow; an unresolvable source or destination yields a
+// Flow whose probes all time out, exactly as Probe would.
+func (n *Network) CompileFlow(src, dst netip.Addr, flowID uint16) Flow {
+	f := Flow{net: n, src: src, dst: dst, flowID: flowID, cp: unreachableFlow}
+	srcHost, ok := n.hosts[src]
+	if !ok {
+		return f
+	}
+	f.srcHost = srcHost
+	kind, dstRouter, dHost, dIface := n.resolveDst(dst)
+	if kind == dstNone || dstRouter == nil {
+		return f
+	}
+	f.kind = kind
+	f.dstRouter = dstRouter
+	f.dstHost = dHost
+	f.dstIface = dIface
+	f.cp = n.compiledVisible(srcHost.Router.ID, dstRouter.ID, flowID, kind == dstIface, true)
+	return f
+}
+
+// HopsToDst returns the number of TTL-consuming hops a probe needs to
+// reach the destination endpoint: one per visible router, plus one when
+// the destination is a host behind the final router. It returns 0 when
+// the destination is unresolvable or unreachable — callers sizing hop
+// buffers should treat that as "unknown".
+func (f *Flow) HopsToDst() int {
+	if !f.cp.reachable {
+		return 0
+	}
+	h := len(f.cp.vis)
+	if f.kind == dstHost {
+		h++
+	}
+	return h
+}
+
+// Probe replays the compiled flow for one TTL. It is equivalent to —
+// and bit-identical with — Network.Probe with the same parameters.
+func (f *Flow) Probe(at time.Time, ttl uint8, proto Proto, seq uint32) Reply {
+	if f.srcHost == nil {
+		return Reply{Type: Timeout}
+	}
+	s := ProbeSpec{Src: f.src, Dst: f.dst, TTL: ttl, Proto: proto, FlowID: f.flowID, Seq: seq}
+	return f.net.replay(at, s, f.srcHost, f.kind, f.dstRouter, f.dstHost, f.dstIface, f.cp)
 }
 
 // routerReply builds a response originated by a router, applying the

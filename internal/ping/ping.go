@@ -101,11 +101,11 @@ func (p *Pinger) TTLLimited(src, dst netip.Addr, ttl int, count int) (Series, ne
 	var s Series
 	var from netip.Addr
 	fid := uint16(0x7e77)
+	// Every probe rides one flow, so compile the path once and replay
+	// it per attempt instead of re-resolving per probe.
+	flow := cfg.Net.CompileFlow(src, dst, fid)
 	for i := 0; i < count; i++ {
-		r := cfg.Net.Probe(cfg.Clock.Now(), netsim.ProbeSpec{
-			Src: src, Dst: dst, TTL: uint8(ttl), Proto: netsim.ICMPEcho,
-			FlowID: fid, Seq: uint32(i),
-		})
+		r := flow.Probe(cfg.Clock.Now(), uint8(ttl), netsim.ICMPEcho, uint32(i))
 		s.Sent++
 		if r.Type == netsim.TTLExceeded {
 			s.Received++
@@ -127,8 +127,9 @@ type Outcome struct {
 	From netip.Addr
 }
 
-// WithClock returns a copy of the pinger bound to clk; the scheduler
-// uses it to hand each job a private virtual clock.
+// WithClock returns a copy of the pinger bound to clk, for callers that
+// want to hold the binding; the scheduler path binds on the stack
+// instead (see Probe).
 func (p *Pinger) WithClock(clk *vclock.Clock) *Pinger {
 	cfg := *p
 	cfg.Clock = clk
@@ -137,12 +138,26 @@ func (p *Pinger) WithClock(clk *vclock.Clock) *Pinger {
 
 // Probe implements probesched.Prober: a plain echo series when req.TTL
 // is zero, the §6.3 TTL-limited series otherwise. The result is an
-// Outcome.
+// Outcome. The clock binding is a stack copy so the per-job dispatch
+// allocates nothing beyond the boxed result.
 func (p *Pinger) Probe(clk *vclock.Clock, req probesched.Request) probesched.Result {
-	cfg := p.WithClock(clk)
+	return p.outcome(clk, req)
+}
+
+// outcome is Probe without the interface boxing.
+func (p *Pinger) outcome(clk *vclock.Clock, req probesched.Request) Outcome {
+	cfg := *p
+	cfg.Clock = clk
 	if req.TTL > 0 {
 		s, from := cfg.TTLLimited(req.Src, req.Dst, req.TTL, req.Count)
 		return Outcome{Series: s, From: from}
 	}
 	return Outcome{Series: cfg.Ping(req.Src, req.Dst, req.Count)}
+}
+
+// Outcomes runs one ping job per request across the pool and returns
+// the outcomes in request order, with Pool.Fan's clock semantics but a
+// concretely typed result slice (no per-job interface boxing).
+func (p *Pinger) Outcomes(pool *probesched.Pool, reqs []probesched.Request) []Outcome {
+	return probesched.Map(pool, reqs, p.outcome)
 }

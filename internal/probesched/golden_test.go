@@ -1,0 +1,42 @@
+package probesched_test
+
+import (
+	"encoding/hex"
+	"runtime"
+	"testing"
+)
+
+// goldenCampaignDigest is the quickstart campaign digest captured on the
+// slow path — linear destination resolution, per-probe path computation,
+// per-job clock forks — immediately before the probe fast path (LPM FIB,
+// compiled flows, hop replay) landed. The fast path must be
+// bit-identical to that implementation, not merely self-consistent
+// across worker counts, so this value is pinned rather than derived.
+const goldenCampaignDigest = "30f935df9d973265eb27680b469cc04c2b2a8056bb635844f8b47b3d327555bd"
+
+// TestFastPathMatchesGoldenDigest is the fast-path equivalence oracle:
+// the campaign digest (serialized collection + report JSON + final
+// virtual-clock reading) must equal the pre-fast-path golden across a
+// GOMAXPROCS × worker-count grid.
+func TestFastPathMatchesGoldenDigest(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	procsGrid := []int{1, 4}
+	workersGrid := []int{1, 4}
+	if testing.Short() {
+		procsGrid = []int{prev}
+		workersGrid = []int{1, 4}
+	}
+	for _, procs := range procsGrid {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range workersGrid {
+			d := campaignDigest(t, workers)
+			if got := hex.EncodeToString(d[:]); got != goldenCampaignDigest {
+				t.Fatalf("GOMAXPROCS=%d workers=%d: digest %s differs from pre-fast-path golden %s",
+					procs, workers, got, goldenCampaignDigest)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+}

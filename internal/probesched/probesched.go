@@ -83,8 +83,12 @@ func Map[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R) []R 
 	elapsed := make([]time.Duration, n)
 	start := p.clock.Now()
 
-	runJob := func(i int) {
-		clk := vclock.New(start)
+	// Each worker owns one clock and resets it to the batch-start
+	// instant between jobs — equivalent to forking a fresh clock per
+	// job (a job only ever observes "start plus its own advances") but
+	// without the per-job allocation.
+	runJob := func(clk *vclock.Clock, i int) {
+		clk.Reset(start)
 		out[i] = run(clk, jobs[i])
 		elapsed[i] = clk.Since(start)
 	}
@@ -94,8 +98,9 @@ func Map[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R) []R 
 		workers = n
 	}
 	if workers <= 1 {
+		clk := vclock.New(start)
 		for i := range jobs {
-			runJob(i)
+			runJob(clk, i)
 		}
 	} else {
 		var next atomic.Int64
@@ -104,12 +109,13 @@ func Map[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R) []R 
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
+				clk := vclock.New(start)
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= n {
 						return
 					}
-					runJob(i)
+					runJob(clk, i)
 				}
 			}()
 		}

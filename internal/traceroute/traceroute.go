@@ -7,6 +7,7 @@ package traceroute
 
 import (
 	"net/netip"
+	"sync"
 	"time"
 
 	"repro/internal/netsim"
@@ -46,6 +47,51 @@ type Engine struct {
 	Window int
 	// Proto is the probe protocol (default ICMP echo).
 	Proto netsim.Proto
+
+	// arena is the per-trace hop scratch source, bound by traceWith on
+	// the engine's stack copy; never set on a shared Engine.
+	arena *hopArena
+}
+
+// arenaChunk is the hopArena refill size. At campaign scale most traces
+// want a handful of rows (hopCap of an unreachable flow is just
+// GapLimit), so one chunk serves hundreds of traces.
+const arenaChunk = 2048
+
+// hopArena hands out hop buffers carved from large shared chunks, so a
+// campaign of N traces costs ~N/hundreds slice allocations instead of
+// N. Regions are disjoint and capacity-clamped (three-index slicing),
+// so an append past a trace's estimate falls back to an ordinary copy
+// rather than running into the next trace's rows. Arenas recycle
+// through a sync.Pool; a chunk stays reachable while any returned
+// trace still references it, which is the same retention as per-trace
+// allocation.
+type hopArena struct {
+	buf []Hop
+}
+
+var hopArenas = sync.Pool{New: func() any { return new(hopArena) }}
+
+// take returns an empty hop buffer with capacity n.
+func (a *hopArena) take(n int) []Hop {
+	if n > arenaChunk {
+		return make([]Hop, 0, n)
+	}
+	if n > len(a.buf) {
+		a.buf = make([]Hop, arenaChunk)
+	}
+	s := a.buf[0:0:n]
+	a.buf = a.buf[n:]
+	return s
+}
+
+// takeHops sizes and carves one trace's hop buffer.
+func (e *Engine) takeHops(flow *netsim.Flow) []Hop {
+	n := e.hopCap(flow)
+	if e.arena == nil {
+		return make([]Hop, 0, n)
+	}
+	return e.arena.take(n)
 }
 
 // Hop is one row of traceroute output.
@@ -116,6 +162,19 @@ func (e *Engine) defaults() {
 	}
 }
 
+// hopCap sizes a trace's hop buffer from the compiled flow: a fully
+// responsive trace stops at the destination's hop count, and an
+// unresponsive tail adds at most GapLimit rows before the trace aborts.
+// Random mid-path losses can still exceed the estimate; append just
+// grows then.
+func (e *Engine) hopCap(flow *netsim.Flow) int {
+	est := flow.HopsToDst() + e.GapLimit
+	if est > e.MaxTTL {
+		est = e.MaxTTL
+	}
+	return est
+}
+
 // flowID derives the Paris flow identifier from the destination, so
 // every probe of one trace rides the same ECMP path while different
 // destinations may diverge.
@@ -138,16 +197,28 @@ func flowID(src, dst netip.Addr) uint16 {
 // concurrent traceroutes as long as each carries its own clock — which
 // is how the probe scheduler drives it.
 func (e *Engine) Trace(src, dst netip.Addr) Trace {
+	return e.traceWith(e.Clock, src, dst)
+}
+
+// traceWith runs one traceroute on the supplied clock. The defaulted
+// configuration copy stays on this frame (nothing returns a pointer to
+// it), so the per-job engine binding costs no allocation — unlike the
+// WithClock path, whose returned pointer must escape.
+func (e *Engine) traceWith(clk *vclock.Clock, src, dst netip.Addr) Trace {
 	cfg := *e
+	cfg.Clock = clk
 	cfg.defaults()
+	cfg.arena = hopArenas.Get().(*hopArena)
+	defer hopArenas.Put(cfg.arena)
 	if cfg.Mode == Parallel {
 		return cfg.traceParallel(src, dst)
 	}
 	return cfg.traceSequential(src, dst)
 }
 
-// WithClock returns a copy of the engine bound to clk; the scheduler
-// uses it to hand each job a private virtual clock.
+// WithClock returns a copy of the engine bound to clk, for callers that
+// want to hold the binding; the scheduler path avoids it (see
+// traceWith).
 func (e *Engine) WithClock(clk *vclock.Clock) *Engine {
 	cfg := *e
 	cfg.Clock = clk
@@ -157,21 +228,33 @@ func (e *Engine) WithClock(clk *vclock.Clock) *Engine {
 // Probe implements probesched.Prober: one traceroute from req.Src
 // toward req.Dst on the supplied clock. The result is a Trace.
 func (e *Engine) Probe(clk *vclock.Clock, req probesched.Request) probesched.Result {
-	return e.WithClock(clk).Trace(req.Src, req.Dst)
+	return e.traceWith(clk, req.Src, req.Dst)
+}
+
+// Traces runs one traceroute per request across the pool and returns
+// the traces in request order, with Pool.Fan's clock semantics. Unlike
+// Fan, the result slice is concretely typed: at campaign scale the
+// interface boxing Fan implies is one heap allocation per trace, which
+// this path avoids.
+func (e *Engine) Traces(pool *probesched.Pool, reqs []probesched.Request) []Trace {
+	return probesched.Map(pool, reqs, func(clk *vclock.Clock, req probesched.Request) Trace {
+		return e.traceWith(clk, req.Src, req.Dst)
+	})
 }
 
 func (e *Engine) traceSequential(src, dst netip.Addr) Trace {
 	tr := Trace{Src: src, Dst: dst, FlowID: flowID(src, dst)}
+	// Resolve the flow's forwarding path once; every TTL below replays
+	// it instead of re-resolving per probe.
+	flow := e.Net.CompileFlow(src, dst, tr.FlowID)
+	tr.Hops = e.takeHops(&flow)
 	gap := 0
 	var seq uint32
 	for ttl := 1; ttl <= e.MaxTTL; ttl++ {
 		hop := Hop{TTL: ttl}
 		for att := 0; att < e.Attempts; att++ {
 			seq++
-			r := e.Net.Probe(e.Clock.Now(), netsim.ProbeSpec{
-				Src: src, Dst: dst, TTL: uint8(ttl), Proto: e.Proto,
-				FlowID: tr.FlowID, Seq: seq,
-			})
+			r := flow.Probe(e.Clock.Now(), uint8(ttl), e.Proto, seq)
 			tr.Probes++
 			if r.Type == netsim.Timeout {
 				e.Clock.Advance(e.Timeout)
@@ -208,11 +291,16 @@ func (e *Engine) traceSequential(src, dst netip.Addr) Trace {
 // energy saving comes from.
 func (e *Engine) traceParallel(src, dst netip.Addr) Trace {
 	tr := Trace{Src: src, Dst: dst, FlowID: flowID(src, dst)}
+	flow := e.Net.CompileFlow(src, dst, tr.FlowID)
+	tr.Hops = e.takeHops(&flow)
+	// burstHops is scratch for the in-flight burst, reused across
+	// bursts; rows are copied into tr.Hops before the next reset.
+	burstHops := make([]Hop, 0, e.Window)
 	var seq uint32
 	gap := 0
 	for base := 1; base <= e.MaxTTL; base += e.Window {
 		var burstWait time.Duration
-		burstHops := make([]Hop, 0, e.Window)
+		burstHops = burstHops[:0]
 		done := false
 		for off := 0; off < e.Window; off++ {
 			ttl := base + off
@@ -222,10 +310,7 @@ func (e *Engine) traceParallel(src, dst netip.Addr) Trace {
 			hop := Hop{TTL: ttl}
 			for att := 0; att < e.Attempts; att++ {
 				seq++
-				r := e.Net.Probe(e.Clock.Now(), netsim.ProbeSpec{
-					Src: src, Dst: dst, TTL: uint8(ttl), Proto: e.Proto,
-					FlowID: tr.FlowID, Seq: seq,
-				})
+				r := flow.Probe(e.Clock.Now(), uint8(ttl), e.Proto, seq)
 				tr.Probes++
 				if r.Type == netsim.Timeout {
 					if e.Timeout > burstWait {

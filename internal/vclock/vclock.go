@@ -12,53 +12,67 @@
 package vclock
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Clock is a monotonically advancing virtual clock. The zero Clock is
 // not usable; construct with New (or Fork an existing clock).
+//
+// The representation is a fixed base instant plus an atomic nanosecond
+// offset: reading and advancing are single atomic operations, which
+// matters because probe loops consult the clock once or twice per
+// probe. Wall-clock arithmetic on time.Time is exact integer
+// nanoseconds, so base.Add(sum of advances) reads identically to the
+// equivalent sequence of cumulative Adds.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Time
+	base time.Time
+	off  atomic.Int64 // nanoseconds since base
 }
 
 // New returns a clock starting at the given instant.
 func New(start time.Time) *Clock {
-	return &Clock{now: start}
+	return &Clock{base: start}
 }
 
 // Now returns the current virtual time.
 func (c *Clock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return c.base.Add(time.Duration(c.off.Load()))
 }
 
 // Advance moves the clock forward by d (negative values are ignored so a
 // buggy caller cannot move time backwards).
 func (c *Clock) Advance(d time.Duration) {
 	if d > 0 {
-		c.mu.Lock()
-		c.now = c.now.Add(d)
-		c.mu.Unlock()
+		c.off.Add(int64(d))
 	}
 }
 
 // AdvanceTo jumps to a later instant; earlier instants are ignored.
 func (c *Clock) AdvanceTo(t time.Time) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t.After(c.now) {
-		c.now = t
+	target := int64(t.Sub(c.base))
+	for {
+		cur := c.off.Load()
+		if target <= cur {
+			return
+		}
+		if c.off.CompareAndSwap(cur, target) {
+			return
+		}
 	}
+}
+
+// Reset rewinds the clock to t unconditionally — the one operation
+// allowed to move time backwards. It exists for clock reuse: the probe
+// scheduler keeps one clock per worker and resets it between jobs
+// instead of allocating a fresh fork per job.
+func (c *Clock) Reset(t time.Time) {
+	c.off.Store(int64(t.Sub(c.base)))
 }
 
 // Since reports the elapsed virtual time from t.
 func (c *Clock) Since(t time.Time) time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now.Sub(t)
+	return c.Now().Sub(t)
 }
 
 // Fork returns an independent child clock starting at this clock's
