@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race equivalence bench bench-sched
+.PHONY: verify build test vet race race-infer equivalence bench bench-sched bench-diff
 
-verify: vet build test race equivalence
+verify: vet build test race race-infer equivalence
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,14 @@ vet:
 race:
 	$(GO) test -race ./internal/netsim/... ./internal/probesched/... ./internal/comap/...
 
+# Race-detect the parallel-inference paths specifically (short mode so
+# the sharded mapping/graph/alias/figure tests run without the full
+# multi-grid campaigns).
+race-infer:
+	$(GO) test -race -short -count=1 \
+		-run 'MapFold|Reduce|Deterministic|GoldenDigest|NodeAddrsSorted' \
+		./internal/probesched/ ./internal/comap/ ./internal/core/ ./internal/alias/ ./internal/mobilemap/ ./internal/dnsdb/
+
 # Probe fast-path equivalence: the campaign digest must match the
 # golden captured before the fast path (LPM FIB + compiled flows)
 # landed, across a GOMAXPROCS x workers grid.
@@ -31,9 +39,16 @@ equivalence:
 bench-sched:
 	$(GO) test ./internal/probesched/ -run XXX -bench BenchmarkParallelCampaign -benchtime 3x
 
-# Probe fast-path benchmarks, archived as JSON for before/after diffs
-# (see EXPERIMENTS.md).
+# Campaign benchmarks, archived as JSON for before/after diffs (see
+# EXPERIMENTS.md): the end-to-end campaign plus its collection and
+# inference halves, each across the workers={1,2,4,8} grid.
 bench:
 	( $(GO) test ./internal/netsim/ -run XXX -bench 'BenchmarkProbe' -benchmem ; \
-	  $(GO) test ./internal/probesched/ -run XXX -bench BenchmarkParallelCampaign -benchmem -benchtime 3x ) \
-		| $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	  $(GO) test ./internal/probesched/ -run XXX \
+		-bench 'BenchmarkParallelCampaign|BenchmarkCampaignCollect|BenchmarkCampaignInfer' \
+		-benchmem -benchtime 3x ) \
+		| $(GO) run ./cmd/benchjson > BENCH_PR3.json
+
+# Per-benchmark speedup of the current archive over the previous PR's.
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff BENCH_PR2.json BENCH_PR3.json

@@ -1,17 +1,26 @@
 // Command benchjson converts `go test -bench` text output read from
 // stdin into a JSON array, one object per benchmark result line, so
 // bench runs can be archived and diffed (see `make bench`, which writes
-// BENCH_PR2.json).
+// BENCH_PR3.json).
 //
 // Usage:
 //
 //	go test -bench . -benchmem | benchjson > out.json
+//	go test -bench . -benchmem | benchjson -prev BENCH_PR2.json > out.json
+//	benchjson -diff BENCH_PR2.json BENCH_PR3.json
+//
+// With -prev, the speedup of each parsed benchmark over the matching
+// entry in the previous archive is reported on stderr alongside the
+// JSON. With -diff, no stdin is read: the two archives are compared and
+// the per-benchmark table goes to stdout.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -63,7 +72,70 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// loadArchive reads a previously written benchjson JSON array.
+func loadArchive(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// writeDiff prints a per-benchmark comparison of old vs new, keyed by
+// benchmark name. Speedup is old/new ns/op, so >1 means the new run is
+// faster. Benchmarks present on only one side are listed, never
+// silently dropped.
+func writeDiff(w io.Writer, old, new []Result) {
+	byName := map[string]Result{}
+	for _, r := range old {
+		byName[r.Name] = r
+	}
+	seen := map[string]bool{}
+	fmt.Fprintf(w, "%-70s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
+	for _, r := range new {
+		o, ok := byName[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-70s %14s %14.0f %8s\n", r.Name, "-", r.NsPerOp, "new")
+			continue
+		}
+		seen[r.Name] = true
+		fmt.Fprintf(w, "%-70s %14.0f %14.0f %7.2fx\n", r.Name, o.NsPerOp, r.NsPerOp, o.NsPerOp/r.NsPerOp)
+	}
+	for _, o := range old {
+		if !seen[o.Name] {
+			fmt.Fprintf(w, "%-70s %14.0f %14s %8s\n", o.Name, o.NsPerOp, "-", "gone")
+		}
+	}
+}
+
 func main() {
+	prev := flag.String("prev", "", "previous benchjson archive to report speedups against (stderr)")
+	diff := flag.Bool("diff", false, "compare two archives given as arguments instead of reading stdin")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json")
+			os.Exit(2)
+		}
+		old, err := loadArchive(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		cur, err := loadArchive(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		writeDiff(os.Stdout, old, cur)
+		return
+	}
+
 	results := []Result{} // non-nil so no-benchmark input encodes as []
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -79,6 +151,15 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
+	}
+	if *prev != "" {
+		old, err := loadArchive(*prev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr)
+		writeDiff(os.Stderr, old, results)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

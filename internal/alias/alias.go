@@ -28,11 +28,14 @@ type Resolver struct {
 	// VP is the probing source (must be a registered host; pick one
 	// inside the target ISP when its routers block external probes).
 	VP netip.Addr
-	// Parallelism is the worker count for the Mercator stage (0 selects
-	// GOMAXPROCS). Mercator probes are independent, so results are
-	// identical at any value. The MIDAR stage always runs sequentially:
-	// its signal is the time-interleaving of IP-ID samples across
-	// targets, which is inherently order-dependent.
+	// Parallelism is the worker count for the Mercator stage and for
+	// MIDAR's velocity-fit computation (0 selects GOMAXPROCS). Mercator
+	// probes are independent, so results are identical at any value.
+	// MIDAR's probing always runs sequentially: its signal is the
+	// time-interleaving of IP-ID samples across targets, which is
+	// inherently order-dependent (replies draw on shared per-router
+	// counters); only the pure-compute fit over the collected samples
+	// shards across workers.
 	Parallelism int
 
 	// VelocityTolerance bounds the relative velocity mismatch for MIDAR

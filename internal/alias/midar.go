@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/probesched"
 )
 
 // midar implements the IP-ID stage: velocity estimation over interleaved
@@ -30,20 +31,28 @@ import (
 //     in velocity (residual growing with the gap), so a small maximum
 //     residual rejects them.
 func (r *Resolver) midar(targets []netip.Addr, res *Result) {
+	// Compile each target's forwarding path once up front; every
+	// estimation-round and MBT probe across every pass replays the
+	// compiled flow. Flow.Probe is bit-identical to Network.Probe (see
+	// internal/netsim), so the reply stream — and hence the IP-ID
+	// evidence — is unchanged; only the per-probe destination resolution
+	// and path-cache lookups disappear.
+	flows := make(map[netip.Addr]*netsim.Flow, len(targets))
+	for _, t := range targets {
+		f := r.Net.CompileFlow(r.VP, t, 0)
+		flows[t] = &f
+	}
 	for pass := 0; pass < r.Passes; pass++ {
-		r.midarPass(targets, res, pass)
+		r.midarPass(targets, flows, res, pass)
 	}
 }
 
-func (r *Resolver) midarPass(targets []netip.Addr, res *Result, pass int) {
+func (r *Resolver) midarPass(targets []netip.Addr, flows map[netip.Addr]*netsim.Flow, res *Result, pass int) {
 	epoch := r.Clock.Now()
 	samples := map[netip.Addr][]ipidSample{}
 	for round := 0; round < r.EstimationSamples; round++ {
 		for _, t := range targets {
-			reply := r.Net.Probe(r.Clock.Now(), netsim.ProbeSpec{
-				Src: r.VP, Dst: t, TTL: 64, Proto: netsim.ICMPEcho,
-				Seq: uint32(1000 + pass*32 + round),
-			})
+			reply := flows[t].Probe(r.Clock.Now(), 64, netsim.ICMPEcho, uint32(1000+pass*32+round))
 			if reply.Type == netsim.EchoReply {
 				samples[t] = append(samples[t], ipidSample{at: r.Clock.Now(), ipid: reply.IPID})
 			}
@@ -52,21 +61,29 @@ func (r *Resolver) midarPass(targets []netip.Addr, res *Result, pass int) {
 		r.Clock.Advance(r.EstimationSpacing)
 	}
 
-	var cands []candidate
-	for _, t := range targets {
-		s := samples[t]
-		// Tolerate one rate-limited round; three samples still fit a
-		// velocity.
-		if len(s) < r.EstimationSamples-1 || len(s) < 3 {
-			continue
-		}
-		c, ok := estimate(s, epoch)
-		if !ok {
-			continue
-		}
-		c.addr = t
-		cands = append(cands, c)
-	}
+	// The velocity fits are pure computation over the collected sample
+	// series, so they shard across workers; per-shard candidate lists
+	// concatenate in shard order, preserving the target-order candidate
+	// list the pairing stage expects.
+	pool := probesched.New(r.Parallelism, nil)
+	cands := probesched.Reduce(pool, len(targets),
+		func() []candidate { return nil },
+		func(out []candidate, i int) []candidate {
+			t := targets[i]
+			s := samples[t]
+			// Tolerate one rate-limited round; three samples still fit a
+			// velocity.
+			if len(s) < r.EstimationSamples-1 || len(s) < 3 {
+				return out
+			}
+			c, ok := estimate(s, epoch)
+			if !ok {
+				return out
+			}
+			c.addr = t
+			return append(out, c)
+		},
+		func(into, from []candidate) []candidate { return append(into, from...) })
 
 	// Candidate pairing: sort by projected counter value and compare
 	// each candidate to neighbors within the projection window,
@@ -79,7 +96,7 @@ func (r *Resolver) midarPass(targets []netip.Addr, res *Result, pass int) {
 		if !velocityCompatible(cands[i].velocity, cands[j].velocity, r.VelocityTolerance) {
 			return
 		}
-		if r.monotonicBoundTest(cands[i], cands[j]) {
+		if r.monotonicBoundTest(flows, cands[i], cands[j]) {
 			res.union(cands[i].addr, cands[j].addr)
 			res.MIDARPairs++
 		}
@@ -108,7 +125,7 @@ const projWindow = 250
 // separated by a long gap, unwraps the combined IP-ID series with the
 // estimated velocity, and accepts the pair only when every step advances
 // and a least-squares line fits the series with small residuals.
-func (r *Resolver) monotonicBoundTest(a, b candidate) bool {
+func (r *Resolver) monotonicBoundTest(flows map[netip.Addr]*netsim.Flow, a, b candidate) bool {
 	v := (a.velocity + b.velocity) / 2
 	var series []ipidSample
 	collect := func(n int) {
@@ -117,10 +134,7 @@ func (r *Resolver) monotonicBoundTest(a, b candidate) bool {
 				// Retry rate-limited probes; a lost sample shrinks the
 				// series but does not abort the test.
 				for att := 0; att < 3; att++ {
-					reply := r.Net.Probe(r.Clock.Now(), netsim.ProbeSpec{
-						Src: r.VP, Dst: addr, TTL: 64, Proto: netsim.ICMPEcho,
-						Seq: uint32(2000 + i*4 + att),
-					})
+					reply := flows[addr].Probe(r.Clock.Now(), 64, netsim.ICMPEcho, uint32(2000+i*4+att))
 					if reply.Type == netsim.EchoReply {
 						series = append(series, ipidSample{at: r.Clock.Now(), ipid: reply.IPID})
 						r.Clock.Advance(500 * time.Millisecond)

@@ -187,15 +187,28 @@ func (c *Campaign) Run() *Result {
 	eng := &traceroute.Engine{Net: c.Net, Clock: c.Clock, Attempts: 2, GapLimit: 5}
 
 	// Target selection: every snapshot address matching the lightspeed
-	// pattern, grouped by 6-character city code.
+	// pattern, grouped by 6-character city code. The scan and grammar
+	// sweep shard across the campaign workers; per-code lists
+	// concatenate in shard order, preserving the address-sorted order
+	// within each code.
+	pool := probesched.New(c.Parallelism, c.Clock)
 	re := hostnames.TargetRegex(c.ISP)
-	for _, e := range c.DNS.ScanSnapshot(re) {
-		info, ok := hostnames.Parse(e.Name)
-		if !ok || info.ISP != c.ISP {
-			continue
-		}
-		res.Lspgws[info.CO] = append(res.Lspgws[info.CO], e.Addr)
-	}
+	scan := c.DNS.ScanSnapshotParallel(re, c.Parallelism)
+	res.Lspgws = probesched.Reduce(pool, len(scan),
+		func() map[string][]netip.Addr { return map[string][]netip.Addr{} },
+		func(acc map[string][]netip.Addr, i int) map[string][]netip.Addr {
+			info, ok := hostnames.Parse(scan[i].Name)
+			if ok && info.ISP == c.ISP {
+				acc[info.CO] = append(acc[info.CO], scan[i].Addr)
+			}
+			return acc
+		},
+		func(into, from map[string][]netip.Addr) map[string][]netip.Addr {
+			for code, addrs := range from {
+				into[code] = append(into[code], addrs...)
+			}
+			return into
+		})
 
 	// Bootstrap: traceroute from the Ark-style VPs toward a few lspgws
 	// per code; record the backbone tag seen en route and the /24 of
@@ -203,7 +216,6 @@ func (c *Campaign) Run() *Result {
 	// traces fan out over the probe scheduler; the fold walks them in
 	// submission (code, target, VP) order so the first-wins CodeToTag
 	// assignment matches a sequential run.
-	pool := probesched.New(c.Parallelism, c.Clock)
 	var jobs []probesched.Request
 	var jobCode []string
 	edge24s := map[string]map[netip.Prefix]bool{} // tag -> /24 set
@@ -226,12 +238,11 @@ func (c *Campaign) Run() *Result {
 			}
 		}
 	}
-	for j, out := range pool.Fan(eng, jobs) {
-		tr := out.(traceroute.Trace)
+	eng.FoldTraces(pool, jobs, func(j int, tr traceroute.Trace) {
 		code := jobCode[j]
 		tag := backboneTag(c.DNS, tr)
 		if tag == "" {
-			continue
+			return
 		}
 		if res.CodeToTag[code] == "" {
 			res.CodeToTag[code] = tag
@@ -242,7 +253,7 @@ func (c *Campaign) Run() *Result {
 			}
 			edge24s[tag][pfx] = true
 		}
-	}
+	})
 
 	// Region mapping: for each region with internal VPs, sweep the
 	// discovered router /24s (DPR reveals the MPLS-hidden agg layer),
@@ -260,15 +271,17 @@ func (c *Campaign) Run() *Result {
 		if len(vps) == 0 {
 			continue
 		}
+		// Walk the sorted code list, not the CodeToTag map: the lspgw
+		// target order feeds straight into mapRegion's probe schedule,
+		// so it must not depend on map iteration order.
 		var lspgws []netip.Addr
 		var regionCodes []string
-		for code, t := range res.CodeToTag {
-			if t == tag {
+		for _, code := range codes {
+			if res.CodeToTag[code] == tag {
 				regionCodes = append(regionCodes, code)
 				lspgws = append(lspgws, res.Lspgws[code]...)
 			}
 		}
-		sort.Strings(regionCodes)
 		var prefixes []netip.Prefix
 		for pfx := range edge24s[tag] {
 			prefixes = append(prefixes, pfx)

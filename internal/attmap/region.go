@@ -47,9 +47,7 @@ func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Add
 	}
 	var traces []traceroute.Trace
 	flush := func() {
-		for _, out := range pool.Fan(eng, jobs) {
-			traces = append(traces, out.(traceroute.Trace))
-		}
+		traces = append(traces, eng.Traces(pool, jobs)...)
 		jobs = jobs[:0]
 	}
 
@@ -74,20 +72,31 @@ func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Add
 	// Second DPR wave: unnamed addresses observed outside the known
 	// /24s are candidate aggregation-router interfaces; targeting them
 	// directly confirms their interconnections (Table 5).
+	// The candidate scan shards the first-wave traces across the pool's
+	// workers (per-shard address sets merged by union — the final list
+	// is sorted, so shard order cannot matter).
 	already := len(traces)
-	candidateSet := map[netip.Addr]bool{}
-	for _, tr := range traces[:already] {
-		for _, h := range tr.ResponsiveHops() {
-			a := h.Addr
-			if isLspgw[a] || inEdge24(a) || candidateSet[a] {
-				continue
+	candidateSet := probesched.Reduce(pool, already,
+		func() map[netip.Addr]bool { return map[netip.Addr]bool{} },
+		func(set map[netip.Addr]bool, i int) map[netip.Addr]bool {
+			for _, h := range traces[i].ResponsiveHops() {
+				a := h.Addr
+				if isLspgw[a] || inEdge24(a) || set[a] {
+					continue
+				}
+				if _, named := c.DNS.Name(a); named {
+					continue
+				}
+				set[a] = true
 			}
-			if _, named := c.DNS.Name(a); named {
-				continue
+			return set
+		},
+		func(into, from map[netip.Addr]bool) map[netip.Addr]bool {
+			for a := range from {
+				into[a] = true
 			}
-			candidateSet[a] = true
-		}
-	}
+			return into
+		})
 	var candidates []netip.Addr
 	for a := range candidateSet {
 		candidates = append(candidates, a)
@@ -116,54 +125,86 @@ func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Add
 		}
 		return false
 	}
-	inRegion := map[netip.Addr]bool{}
-	for _, tr := range traces {
-		hops := tr.ResponsiveHops()
-		for i, h := range hops {
-			if !seed(h.Addr) {
-				continue
-			}
-			inRegion[h.Addr] = true
-			// Unnamed neighbors of seeds belong to the region.
-			for _, j := range []int{i - 1, i + 1} {
-				if j < 0 || j >= len(hops) {
+	// Sharded like the candidate scan: inRegion is a pure set union over
+	// per-trace contributions, so the merge order is immaterial.
+	inRegion := probesched.Reduce(pool, len(traces),
+		func() map[netip.Addr]bool { return map[netip.Addr]bool{} },
+		func(set map[netip.Addr]bool, ti int) map[netip.Addr]bool {
+			hops := traces[ti].ResponsiveHops()
+			for i, h := range hops {
+				if !seed(h.Addr) {
 					continue
 				}
-				n := hops[j]
-				if absDiff(n.TTL, h.TTL) != 1 {
-					continue
-				}
-				if _, named := c.DNS.Name(n.Addr); !named && !isLspgw[n.Addr] {
-					inRegion[n.Addr] = true
+				set[h.Addr] = true
+				// Unnamed neighbors of seeds belong to the region.
+				for _, j := range []int{i - 1, i + 1} {
+					if j < 0 || j >= len(hops) {
+						continue
+					}
+					n := hops[j]
+					if absDiff(n.TTL, h.TTL) != 1 {
+						continue
+					}
+					if _, named := c.DNS.Name(n.Addr); !named && !isLspgw[n.Addr] {
+						set[n.Addr] = true
+					}
 				}
 			}
-		}
-	}
+			return set
+		},
+		func(into, from map[netip.Addr]bool) map[netip.Addr]bool {
+			for a := range from {
+				into[a] = true
+			}
+			return into
+		})
 
 	// Adjacencies and last-mile clustering signals, restricted to the
 	// in-region set.
+	// Sharded with contiguous-shard concatenation: adjs comes back in
+	// trace order (every downstream consumer is a set insert anyway),
+	// and lspgwPrev merges as a union of per-shard sets.
 	type adj struct{ a, b netip.Addr }
-	var adjs []adj
-	lspgwPrev := map[netip.Addr]map[netip.Addr]bool{}
-	for _, tr := range traces {
-		hops := tr.ResponsiveHops()
-		for i := 1; i < len(hops); i++ {
-			prev, h := hops[i-1], hops[i]
-			if h.TTL != prev.TTL+1 {
-				continue
-			}
-			if !inRegion[prev.Addr] || !inRegion[h.Addr] {
-				continue
-			}
-			adjs = append(adjs, adj{prev.Addr, h.Addr})
-			if isLspgw[h.Addr] && !isLspgw[prev.Addr] {
-				if lspgwPrev[h.Addr] == nil {
-					lspgwPrev[h.Addr] = map[netip.Addr]bool{}
-				}
-				lspgwPrev[h.Addr][prev.Addr] = true
-			}
-		}
+	type adjAcc struct {
+		adjs      []adj
+		lspgwPrev map[netip.Addr]map[netip.Addr]bool
 	}
+	adjRes := probesched.Reduce(pool, len(traces),
+		func() adjAcc { return adjAcc{lspgwPrev: map[netip.Addr]map[netip.Addr]bool{}} },
+		func(a adjAcc, ti int) adjAcc {
+			hops := traces[ti].ResponsiveHops()
+			for i := 1; i < len(hops); i++ {
+				prev, h := hops[i-1], hops[i]
+				if h.TTL != prev.TTL+1 {
+					continue
+				}
+				if !inRegion[prev.Addr] || !inRegion[h.Addr] {
+					continue
+				}
+				a.adjs = append(a.adjs, adj{prev.Addr, h.Addr})
+				if isLspgw[h.Addr] && !isLspgw[prev.Addr] {
+					if a.lspgwPrev[h.Addr] == nil {
+						a.lspgwPrev[h.Addr] = map[netip.Addr]bool{}
+					}
+					a.lspgwPrev[h.Addr][prev.Addr] = true
+				}
+			}
+			return a
+		},
+		func(into, from adjAcc) adjAcc {
+			into.adjs = append(into.adjs, from.adjs...)
+			for l, prevs := range from.lspgwPrev {
+				if into.lspgwPrev[l] == nil {
+					into.lspgwPrev[l] = prevs
+					continue
+				}
+				for p := range prevs {
+					into.lspgwPrev[l][p] = true
+				}
+			}
+			return into
+		})
+	adjs, lspgwPrev := adjRes.adjs, adjRes.lspgwPrev
 
 	// Alias resolution from an internal VP over the region's router
 	// addresses.

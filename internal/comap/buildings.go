@@ -27,19 +27,33 @@ type BuildingStats struct {
 // function is safe to call on any operator's graph.
 func BuildingRedundancy(g *RegionGraph) BuildingStats {
 	stats := BuildingStats{Buildings: map[string][]string{}}
+	// Group by city over the sorted CO keys so the per-city building
+	// lists come out ordered by construction, not by map iteration.
+	keys := make([]string, 0, len(g.COs))
+	for key := range g.COs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	byCity := map[string][]string{}
-	for key, node := range g.COs {
+	var cities []string
+	for _, key := range keys {
+		node := g.COs[key]
 		if !isCLLITag(node.Tag) {
 			continue
 		}
-		byCity[node.Tag[:6]] = append(byCity[node.Tag[:6]], key)
+		city := node.Tag[:6]
+		if byCity[city] == nil {
+			cities = append(cities, city)
+		}
+		byCity[city] = append(byCity[city], key)
 	}
 	stats.Cities = len(byCity)
-	for city, keys := range byCity {
+	sort.Strings(cities)
+	for _, city := range cities {
+		keys := byCity[city]
 		if len(keys) < 2 {
 			continue
 		}
-		sort.Strings(keys)
 		stats.MultiBuilding++
 		stats.Buildings[city] = keys
 		aggs := 0

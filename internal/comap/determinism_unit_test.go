@@ -1,0 +1,104 @@
+package comap
+
+// Determinism tests for report-facing code paths: anything that walks a
+// Go map into user-visible output must impose its own order. These run
+// the same input through each path repeatedly; Go randomizes map
+// iteration per range statement, so a missing sort shows up as a
+// mismatch within a single process run.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// edgeEdgeGraph builds a graph with several aggregation stars plus a
+// mesh of edge-to-edge artifacts so removeEdgeEdgeEdges has many
+// eligible deletions to order.
+func edgeEdgeGraph() *RegionGraph {
+	var edges [][2]string
+	for _, agg := range []string{"aggA", "aggB", "aggC"} {
+		edges = append(edges, starEdges(agg, 10)...)
+	}
+	for i := 0; i < 9; i++ {
+		edges = append(edges,
+			[2]string{fmt.Sprintf("aggA-e%02d", i), fmt.Sprintf("aggB-e%02d", i+1)},
+			[2]string{fmt.Sprintf("aggB-e%02d", i), fmt.Sprintf("aggC-e%02d", i+1)},
+		)
+	}
+	g := buildGraph("r", edges)
+	identifyAggCOs(g)
+	return g
+}
+
+func TestRemoveEdgeEdgeEdgesDeterministic(t *testing.T) {
+	serialize := func(g *RegionGraph) string {
+		keys := make([][2]string, 0, len(g.Edges))
+		for e := range g.Edges {
+			keys = append(keys, e)
+		}
+		sortPairs(keys)
+		return fmt.Sprintf("%v removed=%d", keys, g.EdgesRemovedEdgeEdge)
+	}
+	base := edgeEdgeGraph()
+	removeEdgeEdgeEdges(base)
+	want := serialize(base)
+	for run := 0; run < 10; run++ {
+		g := edgeEdgeGraph()
+		removeEdgeEdgeEdges(g)
+		if got := serialize(g); got != want {
+			t.Fatalf("run %d diverged:\n got %s\nwant %s", run, got, want)
+		}
+	}
+}
+
+func TestBuildingRedundancyDeterministic(t *testing.T) {
+	build := func() *RegionGraph {
+		var edges [][2]string
+		// 12 CLLI cities with 3 buildings each, linked pairwise so every
+		// CO survives with edges.
+		for c := 0; c < 12; c++ {
+			city := fmt.Sprintf("%cttlwa", 'a'+c)
+			edges = append(edges,
+				[2]string{city + "aa", city + "bb"},
+				[2]string{city + "aa", city + "cc"},
+			)
+		}
+		return buildGraph("r", edges)
+	}
+	want := BuildingRedundancy(build())
+	if want.MultiBuilding != 12 {
+		t.Fatalf("multi-building cities = %d, want 12", want.MultiBuilding)
+	}
+	for city, keys := range want.Buildings {
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("city %s buildings unsorted: %v", city, keys)
+			}
+		}
+	}
+	for run := 0; run < 10; run++ {
+		if got := BuildingRedundancy(build()); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d diverged:\n got %+v\nwant %+v", run, got, want)
+		}
+	}
+}
+
+// TestNodeAddrsSorted checks the pipeline attaches CO addresses in
+// sorted order; figures use Addrs[0] as a node's representative, so an
+// unsorted list makes downstream probing schedules input-dependent on
+// map iteration.
+func TestNodeAddrsSorted(t *testing.T) {
+	f := getFixture(t)
+	for _, res := range []*Result{f.resC, f.resH} {
+		for name, g := range res.Inference.Regions {
+			for key, node := range g.COs {
+				for i := 1; i < len(node.Addrs); i++ {
+					if !node.Addrs[i-1].Less(node.Addrs[i]) {
+						t.Fatalf("region %s CO %s Addrs unsorted: %v", name, key, node.Addrs)
+					}
+				}
+			}
+		}
+	}
+}

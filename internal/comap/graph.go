@@ -3,7 +3,10 @@ package comap
 import (
 	"math"
 	"net/netip"
+	"sort"
 	"strings"
+
+	"repro/internal/probesched"
 )
 
 // Inference is the Phase 2 output: one inferred graph per regional
@@ -28,10 +31,24 @@ func regionOf(key string) (string, bool) {
 	return key[:i], true
 }
 
-// BuildGraphs runs Phase 2 of the pipeline (§5.2): extract CO
-// adjacencies, prune noise, identify AggCOs, repair the ring/star
+// BuildGraphs runs Phase 2 of the pipeline (§5.2) sequentially: extract
+// CO adjacencies, prune noise, identify AggCOs, repair the ring/star
 // structure, and infer entry points.
 func BuildGraphs(col *Collection, m *Mapping) *Inference {
+	return BuildGraphsParallel(col, m, 1)
+}
+
+// BuildGraphsParallel is BuildGraphs with the adjacency-record pass and
+// the entry-inference path scan sharded across workers (0 selects
+// GOMAXPROCS) as shard-accumulate-merge passes: contiguous path shards
+// accumulate private IP-adjacency and CO-path maps, merged in shard
+// order. The merged maps are identical at any worker count because
+// every write is either a set insert or a same-key-same-value
+// assignment (an IP adjacency's CO pair depends only on the frozen
+// mapping, not on which shard records it), so the output graphs are
+// byte-identical to the sequential build.
+func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
+	pool := probesched.New(workers, nil)
 	inf := &Inference{
 		Regions: map[string]*RegionGraph{},
 		Map:     m.Stats,
@@ -41,29 +58,54 @@ func BuildGraphs(col *Collection, m *Mapping) *Inference {
 	// Collect IP adjacencies where both addresses carry CO mappings,
 	// tracking which paths observed each CO adjacency.
 	type coPair = [2]string
-	ipAdjs := map[[2]netip.Addr]coPair{}
-	coPaths := map[coPair]map[int]bool{}
-	record := func(pathIdx int, x, y netip.Addr) {
-		cox, okx := m.CO[x]
-		coy, oky := m.CO[y]
-		if !okx || !oky || cox == coy {
-			return
-		}
-		pair := coPair{cox, coy}
-		ipAdjs[[2]netip.Addr{x, y}] = pair
-		if coPaths[pair] == nil {
-			coPaths[pair] = map[int]bool{}
-		}
-		coPaths[pair][pathIdx] = true
+	type recordAcc struct {
+		ipAdjs  map[[2]netip.Addr]coPair
+		coPaths map[coPair]map[int]bool
 	}
-	for pi, p := range col.Paths {
-		for i := 1; i < len(p.Hops); i++ {
-			if p.Gaps[i] {
-				continue
+	rec := probesched.Reduce(pool, len(col.Paths),
+		func() recordAcc {
+			return recordAcc{
+				ipAdjs:  map[[2]netip.Addr]coPair{},
+				coPaths: map[coPair]map[int]bool{},
 			}
-			record(pi, p.Hops[i-1], p.Hops[i])
-		}
-	}
+		},
+		func(acc recordAcc, pi int) recordAcc {
+			p := col.Paths[pi]
+			for i := 1; i < len(p.Hops); i++ {
+				if p.Gaps[i] {
+					continue
+				}
+				x, y := p.Hops[i-1], p.Hops[i]
+				cox, okx := m.CO[x]
+				coy, oky := m.CO[y]
+				if !okx || !oky || cox == coy {
+					continue
+				}
+				pair := coPair{cox, coy}
+				acc.ipAdjs[[2]netip.Addr{x, y}] = pair
+				if acc.coPaths[pair] == nil {
+					acc.coPaths[pair] = map[int]bool{}
+				}
+				acc.coPaths[pair][pi] = true
+			}
+			return acc
+		},
+		func(into, from recordAcc) recordAcc {
+			for k, v := range from.ipAdjs {
+				into.ipAdjs[k] = v
+			}
+			for pair, paths := range from.coPaths {
+				if into.coPaths[pair] == nil {
+					into.coPaths[pair] = paths
+					continue
+				}
+				for pi := range paths {
+					into.coPaths[pair][pi] = true
+				}
+			}
+			return into
+		})
+	ipAdjs, coPaths := rec.ipAdjs, rec.coPaths
 	inf.Prune.InitialIPAdjs = len(ipAdjs)
 	inf.Prune.InitialCOAdjs = len(coPaths)
 
@@ -143,6 +185,13 @@ func BuildGraphs(col *Collection, m *Mapping) *Inference {
 			}
 		}
 	}
+	// The attach loop above walks a map, so sort each node's address
+	// list; consumers index Addrs[0] as the node's representative.
+	for _, g := range inf.Regions {
+		for _, n := range g.COs {
+			sort.Slice(n.Addrs, func(i, j int) bool { return n.Addrs[i].Less(n.Addrs[j]) })
+		}
+	}
 
 	for _, g := range inf.Regions {
 		identifyAggCOs(g)
@@ -150,7 +199,7 @@ func BuildGraphs(col *Collection, m *Mapping) *Inference {
 		identifyAggCOs(g) // re-run on the cleaned graph
 		pairAggCOsAndComplete(g)
 	}
-	inferEntries(col, m, inf)
+	inferEntries(pool, col, m, inf)
 	return inf
 }
 
@@ -192,7 +241,16 @@ func removeEdgeEdgeEdges(g *RegionGraph) {
 		}
 		return false
 	}
+	// Walk the edges in sorted order: each deletion feeds back into the
+	// dependents and hasAggLink tests for later edges, so iterating the
+	// map directly would let Go's randomized order pick which of two
+	// mutually-dependent edge-edge edges survives.
+	edges := make([][2]string, 0, len(g.Edges))
 	for e := range g.Edges {
+		edges = append(edges, e)
+	}
+	sortPairs(edges)
+	for _, e := range edges {
 		x, y := e[0], e[1]
 		if agg[x] || agg[y] {
 			continue
@@ -341,56 +399,87 @@ func sortGroups(groups [][]string) {
 // of §5.2.5: a triplet (co_i, r1) -> (co_j, r2) -> (co_k, r2) marks co_i
 // as a candidate entry into r2, kept only when it demonstrably leads to
 // two or more COs of the region.
-func inferEntries(col *Collection, m *Mapping, inf *Inference) {
+func inferEntries(pool *probesched.Pool, col *Collection, m *Mapping, inf *Inference) {
 	type entryKey struct {
 		from   string
 		region string
 	}
-	firstCOs := map[entryKey]map[string]bool{}
-	reached := map[entryKey]map[string]bool{}
-	for _, p := range col.Paths {
-		// Project the path onto mapped COs, collapsing repeats and
-		// respecting gaps.
-		type pc struct {
-			co     string
-			region string
-			gapped bool
-		}
-		var cos []pc
-		for i, h := range p.Hops {
-			co, ok := m.CO[h]
-			if !ok {
+	// The triplet scan shards the paths across workers; firstCOs and
+	// reached are per-(entry, CO) set inserts, so the shard-order union
+	// equals the sequential scan.
+	type entryAcc struct {
+		firstCOs map[entryKey]map[string]bool
+		reached  map[entryKey]map[string]bool
+	}
+	mergeSets := func(into, from map[entryKey]map[string]bool) {
+		for k, set := range from {
+			if into[k] == nil {
+				into[k] = set
 				continue
 			}
-			r, _ := regionOf(co)
-			if len(cos) > 0 && cos[len(cos)-1].co == co {
-				continue
-			}
-			cos = append(cos, pc{co: co, region: r, gapped: p.Gaps[i]})
-		}
-		for i := 0; i+2 < len(cos); i++ {
-			a, b, c := cos[i], cos[i+1], cos[i+2]
-			if b.gapped || c.gapped {
-				continue
-			}
-			if b.region == "" || b.region != c.region || a.region == b.region {
-				continue
-			}
-			k := entryKey{from: a.co, region: b.region}
-			if firstCOs[k] == nil {
-				firstCOs[k] = map[string]bool{}
-				reached[k] = map[string]bool{}
-			}
-			firstCOs[k][b.co] = true
-			// Every subsequent CO in the same region strengthens the
-			// evidence.
-			for _, later := range cos[i+1:] {
-				if later.region == b.region {
-					reached[k][later.co] = true
-				}
+			for co := range set {
+				into[k][co] = true
 			}
 		}
 	}
+	acc := probesched.Reduce(pool, len(col.Paths),
+		func() entryAcc {
+			return entryAcc{
+				firstCOs: map[entryKey]map[string]bool{},
+				reached:  map[entryKey]map[string]bool{},
+			}
+		},
+		func(acc entryAcc, pi int) entryAcc {
+			p := col.Paths[pi]
+			// Project the path onto mapped COs, collapsing repeats and
+			// respecting gaps.
+			type pc struct {
+				co     string
+				region string
+				gapped bool
+			}
+			var cos []pc
+			for i, h := range p.Hops {
+				co, ok := m.CO[h]
+				if !ok {
+					continue
+				}
+				r, _ := regionOf(co)
+				if len(cos) > 0 && cos[len(cos)-1].co == co {
+					continue
+				}
+				cos = append(cos, pc{co: co, region: r, gapped: p.Gaps[i]})
+			}
+			for i := 0; i+2 < len(cos); i++ {
+				a, b, c := cos[i], cos[i+1], cos[i+2]
+				if b.gapped || c.gapped {
+					continue
+				}
+				if b.region == "" || b.region != c.region || a.region == b.region {
+					continue
+				}
+				k := entryKey{from: a.co, region: b.region}
+				if acc.firstCOs[k] == nil {
+					acc.firstCOs[k] = map[string]bool{}
+					acc.reached[k] = map[string]bool{}
+				}
+				acc.firstCOs[k][b.co] = true
+				// Every subsequent CO in the same region strengthens the
+				// evidence.
+				for _, later := range cos[i+1:] {
+					if later.region == b.region {
+						acc.reached[k][later.co] = true
+					}
+				}
+			}
+			return acc
+		},
+		func(into, from entryAcc) entryAcc {
+			mergeSets(into.firstCOs, from.firstCOs)
+			mergeSets(into.reached, from.reached)
+			return into
+		})
+	firstCOs, reached := acc.firstCOs, acc.reached
 	for k, rs := range reached {
 		// The paper requires an entry to lead to two or more COs of the
 		// region; we additionally require three for inter-region

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dnsdb"
 	"repro/internal/hostnames"
+	"repro/internal/probesched"
 )
 
 // Mapping is the Phase 1 result: every relevant address mapped to a CO
@@ -21,9 +22,22 @@ type Mapping struct {
 	Stats   MappingStats
 }
 
-// BuildMapping runs Appendix B.1: initial rDNS mapping (dig priority),
-// alias-group majority remapping, and point-to-point-subnet refinement.
+// BuildMapping runs Appendix B.1 sequentially: initial rDNS mapping
+// (dig priority), alias-group majority remapping, and point-to-point-
+// subnet refinement.
 func BuildMapping(col *Collection, dns *dnsdb.DB, isp string) *Mapping {
+	return BuildMappingParallel(col, dns, isp, 1)
+}
+
+// BuildMappingParallel is BuildMapping with the rDNS sweep, the p2p-bit
+// census, and the mate-vote scan sharded across workers (0 selects
+// GOMAXPROCS). The output is byte-identical at any worker count: every
+// sharded pass accumulates into per-shard sets or same-key-same-value
+// maps whose union is independent of shard boundaries, and every
+// order-sensitive step (majority votes, stats, final application) runs
+// on the merged result exactly as the sequential code did.
+func BuildMappingParallel(col *Collection, dns *dnsdb.DB, isp string, workers int) *Mapping {
+	pool := probesched.New(workers, nil)
 	m := &Mapping{
 		CO:       map[netip.Addr]string{},
 		Backbone: map[netip.Addr]bool{},
@@ -44,24 +58,55 @@ func BuildMapping(col *Collection, dns *dnsdb.DB, isp string) *Mapping {
 		universe[a] = true
 	}
 
-	// Initial mapping from reverse DNS, preferring live records.
+	// Initial mapping from reverse DNS, preferring live records. The
+	// sweep shards the universe across workers; each address's verdict
+	// depends only on the (read-only) DNS layers, so the per-shard maps
+	// have disjoint keys and their union is order-independent.
+	addrs := make([]netip.Addr, 0, len(universe))
 	for a := range universe {
-		name, ok := dns.Name(a)
-		if !ok {
-			continue
-		}
-		info, ok := hostnames.Parse(name)
-		if !ok || info.ISP != isp {
-			continue
-		}
-		key := info.COKey()
-		if key == "" || info.Role == hostnames.RoleLastMile {
-			continue
-		}
-		m.CO[a] = key
-		m.Backbone[a] = info.Backbone
-		m.NameOf[a] = name
+		addrs = append(addrs, a)
 	}
+	type rdnsAcc struct {
+		co       map[netip.Addr]string
+		backbone map[netip.Addr]bool
+		nameOf   map[netip.Addr]string
+	}
+	rdns := probesched.Reduce(pool, len(addrs),
+		func() rdnsAcc {
+			return rdnsAcc{
+				co:       map[netip.Addr]string{},
+				backbone: map[netip.Addr]bool{},
+				nameOf:   map[netip.Addr]string{},
+			}
+		},
+		func(acc rdnsAcc, i int) rdnsAcc {
+			a := addrs[i]
+			name, ok := dns.Name(a)
+			if !ok {
+				return acc
+			}
+			info, ok := hostnames.Parse(name)
+			if !ok || info.ISP != isp {
+				return acc
+			}
+			key := info.COKey()
+			if key == "" || info.Role == hostnames.RoleLastMile {
+				return acc
+			}
+			acc.co[a] = key
+			acc.backbone[a] = info.Backbone
+			acc.nameOf[a] = name
+			return acc
+		},
+		func(into, from rdnsAcc) rdnsAcc {
+			for a, key := range from.co {
+				into.co[a] = key
+				into.backbone[a] = from.backbone[a]
+				into.nameOf[a] = from.nameOf[a]
+			}
+			return into
+		})
+	m.CO, m.Backbone, m.NameOf = rdns.co, rdns.backbone, rdns.nameOf
 	m.Stats.Initial = len(m.CO)
 
 	// Alias-group majority vote (paper: "we remap all addresses in the
@@ -107,7 +152,7 @@ func BuildMapping(col *Collection, dns *dnsdb.DB, isp string) *Mapping {
 
 	// Infer the operator's point-to-point subnet convention from the
 	// addresses in the traceroutes.
-	m.P2PBits = inferP2PBits(col, m)
+	m.P2PBits = inferP2PBits(pool, col, m)
 
 	// Point-to-point-subnet refinement (Fig. 19): for each observed
 	// adjacency x -> y, the other address of y's subnet most likely
@@ -115,33 +160,46 @@ func BuildMapping(col *Collection, dns *dnsdb.DB, isp string) *Mapping {
 	// Each distinct mate contributes one vote regardless of how many
 	// paths crossed the link (Fig. 19 counts addresses, not packets),
 	// so one stale mate on a busy link cannot outvote the fresh ones.
-	seenMate := map[[2]netip.Addr]bool{}
+	// The scan shards the paths across workers, accumulating the SET of
+	// distinct (x, mate) pairs (union across shards restores the
+	// sequential dedup); votes are then counted off the merged set, so a
+	// pair straddling two shards still contributes exactly one vote.
+	seenMate := probesched.Reduce(pool, len(col.Paths),
+		func() map[[2]netip.Addr]bool { return map[[2]netip.Addr]bool{} },
+		func(set map[[2]netip.Addr]bool, pi int) map[[2]netip.Addr]bool {
+			p := col.Paths[pi]
+			for i := 1; i < len(p.Hops); i++ {
+				if p.Gaps[i] {
+					continue
+				}
+				x, y := p.Hops[i-1], p.Hops[i]
+				mate, ok := p2pMate(y, m.P2PBits)
+				if !ok || mate == x {
+					// When the mate is x itself the link is already
+					// self-evident; no extra information.
+					continue
+				}
+				set[[2]netip.Addr{x, mate}] = true
+			}
+			return set
+		},
+		func(into, from map[[2]netip.Addr]bool) map[[2]netip.Addr]bool {
+			for k := range from {
+				into[k] = true
+			}
+			return into
+		})
 	mateVotes := map[netip.Addr]map[string]int{}
-	for _, p := range col.Paths {
-		for i := 1; i < len(p.Hops); i++ {
-			if p.Gaps[i] {
-				continue
-			}
-			x, y := p.Hops[i-1], p.Hops[i]
-			mate, ok := p2pMate(y, m.P2PBits)
-			if !ok || mate == x {
-				// When the mate is x itself the link is already
-				// self-evident; no extra information.
-				continue
-			}
-			if seenMate[[2]netip.Addr{x, mate}] {
-				continue
-			}
-			seenMate[[2]netip.Addr{x, mate}] = true
-			co, ok := m.CO[mate]
-			if !ok {
-				continue
-			}
-			if mateVotes[x] == nil {
-				mateVotes[x] = map[string]int{}
-			}
-			mateVotes[x][co]++
+	for pair := range seenMate {
+		x, mate := pair[0], pair[1]
+		co, ok := m.CO[mate]
+		if !ok {
+			continue
 		}
+		if mateVotes[x] == nil {
+			mateVotes[x] = map[string]int{}
+		}
+		mateVotes[x][co]++
 	}
 	for x, votes := range mateVotes {
 		cur, has := m.CO[x]
@@ -196,25 +254,39 @@ func isBackboneKey(key string) bool {
 // broadcast addresses), while /31 subnets use all four offsets evenly.
 // Loopback-style canonical reply addresses add uniform noise, so the
 // decision threshold sits well above it.
-func inferP2PBits(col *Collection, m *Mapping) int {
+func inferP2PBits(pool *probesched.Pool, col *Collection, m *Mapping) int {
+	// Sharded census: accumulate the set of distinct qualifying
+	// addresses (union across shards = the sequential dedup), then count
+	// last-two-bit offsets off the merged set.
+	seen := probesched.Reduce(pool, len(col.Paths),
+		func() map[netip.Addr]bool { return map[netip.Addr]bool{} },
+		func(set map[netip.Addr]bool, pi int) map[netip.Addr]bool {
+			p := col.Paths[pi]
+			end := len(p.Hops)
+			if p.Reached {
+				end-- // the destination itself may be a host, not a router
+			}
+			for i := 0; i < end; i++ {
+				h := p.Hops[i]
+				if !h.Is4() || set[h] {
+					continue
+				}
+				if _, ok := m.CO[h]; !ok {
+					continue // only the operator's own infrastructure counts
+				}
+				set[h] = true
+			}
+			return set
+		},
+		func(into, from map[netip.Addr]bool) map[netip.Addr]bool {
+			for a := range from {
+				into[a] = true
+			}
+			return into
+		})
 	var offsets [4]int
-	seen := map[netip.Addr]bool{}
-	for _, p := range col.Paths {
-		end := len(p.Hops)
-		if p.Reached {
-			end-- // the destination itself may be a host, not a router
-		}
-		for i := 0; i < end; i++ {
-			h := p.Hops[i]
-			if !h.Is4() || seen[h] {
-				continue
-			}
-			if _, ok := m.CO[h]; !ok {
-				continue // only the operator's own infrastructure counts
-			}
-			seen[h] = true
-			offsets[h.As4()[3]&3]++
-		}
+	for a := range seen {
+		offsets[a.As4()[3]&3]++
 	}
 	total := offsets[0] + offsets[1] + offsets[2] + offsets[3]
 	if total == 0 {

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/dnsdb"
+	"repro/internal/probesched"
 )
 
 func a(s string) netip.Addr { return netip.MustParseAddr(s) }
@@ -192,16 +193,16 @@ func TestInferP2PBitsFromOffsets(t *testing.T) {
 	}
 	// /30 style: offsets 1 and 2 only.
 	col, m := mk("10.0.0.1", "10.0.1.2", "10.0.2.1", "10.0.3.2", "10.0.4.1")
-	if got := inferP2PBits(col, m); got != 30 {
+	if got := inferP2PBits(probesched.New(1, nil), col, m); got != 30 {
 		t.Errorf("offsets {1,2} inferred /%d, want /30", got)
 	}
 	// /31 style: all offsets.
 	col, m = mk("10.0.0.0", "10.0.1.3", "10.0.2.1", "10.0.3.2", "10.0.4.0", "10.0.5.3")
-	if got := inferP2PBits(col, m); got != 31 {
+	if got := inferP2PBits(probesched.New(1, nil), col, m); got != 31 {
 		t.Errorf("uniform offsets inferred /%d, want /31", got)
 	}
 	// No data: default /30.
-	if got := inferP2PBits(&Collection{}, &Mapping{CO: map[netip.Addr]string{}}); got != 30 {
+	if got := inferP2PBits(probesched.New(1, nil), &Collection{}, &Mapping{CO: map[netip.Addr]string{}}); got != 30 {
 		t.Errorf("empty default = /%d", got)
 	}
 }

@@ -1,5 +1,7 @@
 package comap
 
+import "repro/internal/probesched"
+
 // Result bundles everything one end-to-end run of the cable pipeline
 // produces: the raw collection, the Phase 1 mapping, and the Phase 2
 // inference.
@@ -7,16 +9,24 @@ type Result struct {
 	Collection *Collection
 	Mapping    *Mapping
 	Inference  *Inference
+
+	// workers is the parallelism the pipeline ran with; post-hoc
+	// analyses on the Result (StageAdjacencies) reuse it.
+	workers int
 }
 
-// Run executes the full pipeline: collection, mapping, graphs.
+// Run executes the full pipeline: collection, mapping, graphs. The
+// campaign's Parallelism knob drives the inference half exactly as it
+// drives collection — one worker-count setting end to end, with
+// byte-identical output at any value.
 func Run(c *Campaign) *Result {
 	col := c.Run()
-	m := BuildMapping(col, c.DNS, c.ISP)
+	m := BuildMappingParallel(col, c.DNS, c.ISP, c.Parallelism)
 	return &Result{
 		Collection: col,
 		Mapping:    m,
-		Inference:  BuildGraphs(col, m),
+		Inference:  BuildGraphsParallel(col, m, c.Parallelism),
+		workers:    c.Parallelism,
 	}
 }
 
@@ -24,31 +34,49 @@ func Run(c *Campaign) *Result {
 // collection stage observed (independently — a pair seen by several
 // stages counts for each), quantifying §5.1's claim that directly
 // targeting CO router interfaces reveals several times more
-// interconnections than the /24 sweep alone.
+// interconnections than the /24 sweep alone. The path scan shards
+// across the pipeline's workers; per-stage pair sets union across
+// shards, so the counts are shard-order independent.
 func (r *Result) StageAdjacencies() map[string]int {
-	perStage := map[string]map[[2]string]bool{}
-	for i, p := range r.Collection.Paths {
-		stage := r.Collection.StageOf[i]
-		if perStage[stage] == nil {
-			perStage[stage] = map[[2]string]bool{}
-		}
-		for h := 1; h < len(p.Hops); h++ {
-			if p.Gaps[h] {
-				continue
+	pool := probesched.New(r.workers, nil)
+	perStage := probesched.Reduce(pool, len(r.Collection.Paths),
+		func() map[string]map[[2]string]bool { return map[string]map[[2]string]bool{} },
+		func(acc map[string]map[[2]string]bool, i int) map[string]map[[2]string]bool {
+			p := r.Collection.Paths[i]
+			stage := r.Collection.StageOf[i]
+			for h := 1; h < len(p.Hops); h++ {
+				if p.Gaps[h] {
+					continue
+				}
+				a, oka := r.Mapping.CO[p.Hops[h-1]]
+				b, okb := r.Mapping.CO[p.Hops[h]]
+				if !oka || !okb || a == b {
+					continue
+				}
+				ra, okra := regionOf(a)
+				rb, okrb := regionOf(b)
+				if !okra || !okrb || ra != rb {
+					continue
+				}
+				if acc[stage] == nil {
+					acc[stage] = map[[2]string]bool{}
+				}
+				acc[stage][[2]string{a, b}] = true
 			}
-			a, oka := r.Mapping.CO[p.Hops[h-1]]
-			b, okb := r.Mapping.CO[p.Hops[h]]
-			if !oka || !okb || a == b {
-				continue
+			return acc
+		},
+		func(into, from map[string]map[[2]string]bool) map[string]map[[2]string]bool {
+			for stage, pairs := range from {
+				if into[stage] == nil {
+					into[stage] = pairs
+					continue
+				}
+				for pair := range pairs {
+					into[stage][pair] = true
+				}
 			}
-			ra, okra := regionOf(a)
-			rb, okrb := regionOf(b)
-			if !okra || !okrb || ra != rb {
-				continue
-			}
-			perStage[stage][[2]string{a, b}] = true
-		}
-	}
+			return into
+		})
 	out := map[string]int{}
 	for stage, pairs := range perStage {
 		out[stage] = len(pairs)

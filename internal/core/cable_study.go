@@ -2,6 +2,7 @@ package core
 
 import (
 	"net/netip"
+	"sort"
 	"strings"
 
 	"repro/internal/cloudlat"
@@ -9,6 +10,27 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/topogen"
 )
+
+// sortedRegions returns the region names in sorted order so figures
+// that walk the inference emit rows independently of map iteration.
+func sortedRegions(regions map[string]*comap.RegionGraph) []string {
+	names := make([]string, 0, len(regions))
+	for name := range regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sortedCOKeys returns a region's CO keys in sorted order.
+func sortedCOKeys(g *comap.RegionGraph) []string {
+	keys := make([]string, 0, len(g.COs))
+	for key := range g.COs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // CableStudy is the §5 case study: Comcast- and Charter-like operators
 // mapped from 50+ vantage points.
@@ -89,7 +111,9 @@ func (st *CableStudy) Figure7() (cos, aggs map[string][]float64) {
 	cos = map[string][]float64{}
 	aggs = map[string][]float64{}
 	for _, isp := range []string{"comcast", "charter"} {
-		for _, g := range st.Result(isp).Inference.Regions {
+		regions := st.Result(isp).Inference.Regions
+		for _, name := range sortedRegions(regions) {
+			g := regions[name]
 			cos[isp] = append(cos[isp], float64(len(g.COs)))
 			n := 0
 			for key := range g.COs {
@@ -263,7 +287,8 @@ func (st *CableStudy) Figure9(pings int) []cloudlat.Fig9Row {
 		if g == nil {
 			continue
 		}
-		for _, node := range g.COs {
+		for _, key := range sortedCOKeys(g) {
+			node := g.COs[key]
 			if node.IsAgg || len(node.Addrs) == 0 {
 				continue
 			}
@@ -286,12 +311,18 @@ func (st *CableStudy) Figure10(pings, maxPairs int) cloudlat.Fig10 {
 	var pairs []cloudlat.EdgePair
 	for _, isp := range []string{"comcast", "charter"} {
 		res := st.Result(isp)
-		for _, g := range res.Inference.Regions {
-			for _, node := range g.COs {
+		regions := res.Inference.Regions
+		for _, name := range sortedRegions(regions) {
+			g := regions[name]
+			for _, key := range sortedCOKeys(g) {
+				node := g.COs[key]
 				if node.IsAgg || len(node.Addrs) == 0 {
 					continue
 				}
-				// Find an upstream AggCO with a known address.
+				// Pick the smallest-keyed upstream AggCO with a known
+				// address, so the probed pair set does not depend on map
+				// iteration order.
+				upstream := ""
 				for e := range g.Edges {
 					if e[1] != node.Key {
 						continue
@@ -300,8 +331,12 @@ func (st *CableStudy) Figure10(pings, maxPairs int) cloudlat.Fig10 {
 					if up == nil || !up.IsAgg || len(up.Addrs) == 0 {
 						continue
 					}
-					pairs = append(pairs, cloudlat.EdgePair{Edge: node.Addrs[0], Agg: up.Addrs[0]})
-					break
+					if upstream == "" || e[0] < upstream {
+						upstream = e[0]
+					}
+				}
+				if upstream != "" {
+					pairs = append(pairs, cloudlat.EdgePair{Edge: node.Addrs[0], Agg: g.COs[upstream].Addrs[0]})
 				}
 			}
 		}

@@ -1,0 +1,38 @@
+package core
+
+// Figure outputs walk the inferred region graphs; these tests call each
+// figure twice over one cached study and demand identical output, so a
+// figure that iterates a Go map without sorting fails here rather than
+// producing row orders that shuffle between runs.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFigure7Deterministic(t *testing.T) {
+	st := getCable(t)
+	cos1, aggs1 := st.Figure7()
+	cos2, aggs2 := st.Figure7()
+	if !reflect.DeepEqual(cos1, cos2) || !reflect.DeepEqual(aggs1, aggs2) {
+		t.Error("Figure7 output differs between identical calls")
+	}
+}
+
+func TestFigure9Deterministic(t *testing.T) {
+	st := getCable(t)
+	r1 := st.Figure9(1)
+	r2 := st.Figure9(1)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("Figure9 rows differ between identical calls:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestFigure10Deterministic(t *testing.T) {
+	st := getCable(t)
+	f1 := st.Figure10(1, 40)
+	f2 := st.Figure10(1, 40)
+	if !reflect.DeepEqual(f1, f2) {
+		t.Error("Figure10 CDFs differ between identical calls")
+	}
+}

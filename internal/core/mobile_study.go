@@ -110,7 +110,7 @@ func (st *MobileStudy) Analysis(carrier string) *mobilemap.Analysis {
 	if a, ok := st.analyses[carrier]; ok {
 		return a
 	}
-	a := mobilemap.Analyze(st.Rounds(carrier), st.Scenario.DNS)
+	a := mobilemap.AnalyzeParallel(st.Rounds(carrier), st.Scenario.DNS, st.cfg.Parallelism)
 	st.analyses[carrier] = a
 	return a
 }

@@ -14,6 +14,8 @@ import (
 	"net/netip"
 	"regexp"
 	"sort"
+
+	"repro/internal/probesched"
 )
 
 // DB holds the live PTR zone and the scanned snapshot.
@@ -102,13 +104,28 @@ func (d *DB) sortedIndex() []Entry {
 // Successive scans (campaigns run one per stage per operator) share one
 // lazily built sorted index instead of re-sorting the snapshot per call.
 func (d *DB) ScanSnapshot(re *regexp.Regexp) []Entry {
-	var out []Entry
-	for _, e := range d.sortedIndex() {
-		if re.MatchString(e.Name) {
-			out = append(out, e)
-		}
-	}
-	return out
+	return d.ScanSnapshotParallel(re, 1)
+}
+
+// ScanSnapshotParallel is ScanSnapshot with the regex filter sharded
+// across workers (0 selects GOMAXPROCS): contiguous index shards
+// collect their hits privately and the per-shard hit lists concatenate
+// in shard order, so the output is the same address-sorted entry list
+// at any worker count. The index build itself stays serial (one sort,
+// amortized across scans); matching is where the time goes on
+// Rapid7-scale snapshots.
+func (d *DB) ScanSnapshotParallel(re *regexp.Regexp, workers int) []Entry {
+	idx := d.sortedIndex()
+	pool := probesched.New(workers, nil)
+	return probesched.Reduce(pool, len(idx),
+		func() []Entry { return nil },
+		func(out []Entry, i int) []Entry {
+			if re.MatchString(idx[i].Name) {
+				out = append(out, idx[i])
+			}
+			return out
+		},
+		func(into, from []Entry) []Entry { return append(into, from...) })
 }
 
 // SnapshotSize reports the number of snapshot records.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dnsdb"
 	"repro/internal/geo"
 	"repro/internal/ipalloc"
+	"repro/internal/probesched"
 	"repro/internal/ship"
 )
 
@@ -104,8 +105,20 @@ type Analysis struct {
 // movement; tower-location quantization stays well below it.
 const moveThresholdKm = 40
 
-// Analyze infers the carrier structure from measurement rounds.
+// Analyze infers the carrier structure from measurement rounds,
+// sequentially.
 func Analyze(rounds []ship.Round, dns *dnsdb.DB) *Analysis {
+	return AnalyzeParallel(rounds, dns, 1)
+}
+
+// AnalyzeParallel is Analyze with the per-nibble statistics sweep and
+// the router-field candidate scan sharded across workers (0 selects
+// GOMAXPROCS). Each nibble position and each candidate bit range is
+// evaluated independently over the (read-only) rounds, and the merge
+// walks shards in canonical order, so the analysis is byte-identical at
+// any worker count.
+func AnalyzeParallel(rounds []ship.Round, dns *dnsdb.DB, workers int) *Analysis {
+	pool := probesched.New(workers, nil)
 	a := &Analysis{PGWCounts: map[uint64]int{}}
 	var ok []ship.Round
 	for _, r := range rounds {
@@ -130,41 +143,64 @@ func Analyze(rounds []ship.Round, dns *dnsdb.DB) *Analysis {
 	type stats struct {
 		changes, stationary, distinct int
 	}
-	nibble := map[int]stats{} // keyed by nibble start bit
-	prefix := map[int]stats{} // keyed by prefix length
-	for start := a.UserPrefixLen; start < 64; start += 4 {
-		ns := stats{}
-		ps := stats{}
-		seenN := map[uint64]bool{}
-		seenP := map[uint64]bool{}
-		L := start + 4
-		for i := range ok {
-			nv := ipalloc.V6Bits(ok[i].UserAddr, start, 4)
-			pv := ipalloc.V6Bits(ok[i].UserAddr, 0, L)
-			seenN[nv] = true
-			seenP[pv] = true
-			if i == 0 {
-				continue
-			}
-			stationary := geo.DistanceKm(ok[i].TowerLoc, ok[i-1].TowerLoc) < moveThresholdKm
-			if nv != ipalloc.V6Bits(ok[i-1].UserAddr, start, 4) {
-				ns.changes++
-				if stationary {
-					ns.stationary++
-				}
-			}
-			if pv != ipalloc.V6Bits(ok[i-1].UserAddr, 0, L) {
-				ps.changes++
-				if stationary {
-					ps.stationary++
-				}
-			}
-		}
-		ns.distinct = len(seenN)
-		ps.distinct = len(seenP)
-		nibble[start] = ns
-		prefix[L] = ps
+	type nibbleAcc struct {
+		nibble map[int]stats // keyed by nibble start bit
+		prefix map[int]stats // keyed by prefix length
 	}
+	// Each nibble position's statistics depend only on the sorted round
+	// sequence, so the positions shard across workers; the per-shard
+	// maps have disjoint keys (one per position) and union cleanly.
+	var starts []int
+	for start := a.UserPrefixLen; start < 64; start += 4 {
+		starts = append(starts, start)
+	}
+	acc := probesched.Reduce(pool, len(starts),
+		func() nibbleAcc { return nibbleAcc{nibble: map[int]stats{}, prefix: map[int]stats{}} },
+		func(acc nibbleAcc, si int) nibbleAcc {
+			start := starts[si]
+			ns := stats{}
+			ps := stats{}
+			seenN := map[uint64]bool{}
+			seenP := map[uint64]bool{}
+			L := start + 4
+			for i := range ok {
+				nv := ipalloc.V6Bits(ok[i].UserAddr, start, 4)
+				pv := ipalloc.V6Bits(ok[i].UserAddr, 0, L)
+				seenN[nv] = true
+				seenP[pv] = true
+				if i == 0 {
+					continue
+				}
+				stationary := geo.DistanceKm(ok[i].TowerLoc, ok[i-1].TowerLoc) < moveThresholdKm
+				if nv != ipalloc.V6Bits(ok[i-1].UserAddr, start, 4) {
+					ns.changes++
+					if stationary {
+						ns.stationary++
+					}
+				}
+				if pv != ipalloc.V6Bits(ok[i-1].UserAddr, 0, L) {
+					ps.changes++
+					if stationary {
+						ps.stationary++
+					}
+				}
+			}
+			ns.distinct = len(seenN)
+			ps.distinct = len(seenP)
+			acc.nibble[start] = ns
+			acc.prefix[L] = ps
+			return acc
+		},
+		func(into, from nibbleAcc) nibbleAcc {
+			for k, v := range from.nibble {
+				into.nibble[k] = v
+			}
+			for k, v := range from.prefix {
+				into.prefix[k] = v
+			}
+			return into
+		})
+	nibble, prefix := acc.nibble, acc.prefix
 
 	// Classify nibbles against the stationary re-registrations: a PGW
 	// nibble changes on a large share of them (gateways cycle on every
@@ -256,7 +292,7 @@ func Analyze(rounds []ship.Round, dns *dnsdb.DB) *Analysis {
 		a.PGWCounts[region] = len(set)
 	}
 
-	a.inferRouterField(ok, dns)
+	a.inferRouterField(pool, ok, dns)
 	a.inferProviders(ok, dns)
 
 	// Fig. 17 classification.
@@ -287,7 +323,7 @@ func commonPrefixLen(rounds []ship.Round) int {
 // inferRouterField finds the infrastructure address base (the most
 // common non-user /32 among hops) and the bit range that partitions
 // rounds identically to the user region field.
-func (a *Analysis) inferRouterField(rounds []ship.Round, dns *dnsdb.DB) {
+func (a *Analysis) inferRouterField(pool *probesched.Pool, rounds []ship.Round, dns *dnsdb.DB) {
 	if a.RegionField.Len == 0 {
 		// Still find the infrastructure base for reporting.
 		a.RouterBase = dominantInfraBase(rounds, rounds[0].UserAddr, dns)
@@ -298,12 +334,26 @@ func (a *Analysis) inferRouterField(rounds []ship.Round, dns *dnsdb.DB) {
 	if !base.IsValid() {
 		return
 	}
-	// Candidate nibble ranges in the infrastructure addresses; pick the
-	// narrowest whose values correspond 1:1 with the user region values
-	// across rounds.
-	best := Field{}
+	// Candidate nibble ranges in the infrastructure addresses, in
+	// canonical (length, start) order; the winner is the FIRST
+	// consistent candidate in that order. Each candidate's consistency
+	// check is independent of the others, so the grid shards across
+	// workers and the merge keeps the first hit in shard (= canonical)
+	// order — identical to the sequential scan, which never stopped
+	// early either.
+	var grid []Field
 	for length := 4; length <= 16; length += 4 {
 		for start := 32; start+length <= 80; start += 4 {
+			grid = append(grid, Field{Start: start, Len: length})
+		}
+	}
+	a.RouterField = probesched.Reduce(pool, len(grid),
+		func() Field { return Field{} },
+		func(best Field, gi int) Field {
+			if best.Len != 0 {
+				return best
+			}
+			start, length := grid[gi].Start, grid[gi].Len
 			forward := map[uint64]uint64{}
 			backward := map[uint64]uint64{}
 			consistent := true
@@ -329,12 +379,17 @@ func (a *Analysis) inferRouterField(rounds []ship.Round, dns *dnsdb.DB) {
 					backward[v] = region
 				}
 			}
-			if consistent && samples > 0 && len(forward) >= 2 && best.Len == 0 {
-				best = Field{Start: start, Len: length}
+			if consistent && samples > 0 && len(forward) >= 2 {
+				return grid[gi]
 			}
-		}
-	}
-	a.RouterField = best
+			return best
+		},
+		func(into, from Field) Field {
+			if into.Len != 0 {
+				return into
+			}
+			return from
+		})
 }
 
 // dominantInfraBase returns the /32 base most early-path hops share:
@@ -366,12 +421,16 @@ func dominantInfraBase(rounds []ship.Round, userAddr netip.Addr, dns *dnsdb.DB) 
 			rep[b] = h
 		}
 	}
+	// Ties break toward the numerically lowest base: counts is a Go map,
+	// and "first key wins" would make the reported base depend on map
+	// iteration order.
 	bestN := 0
 	var best netip.Addr
 	for b, n := range counts {
-		if n > bestN {
+		cand := maskTo32(rep[b])
+		if n > bestN || n == bestN && best.IsValid() && cand.Less(best) {
 			bestN = n
-			best = maskTo32(rep[b])
+			best = cand
 		}
 	}
 	return best

@@ -4,15 +4,36 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"repro/internal/comap"
 )
 
-// BenchmarkParallelCampaign runs the quickstart cable campaign at 1 and
-// N workers (N = GOMAXPROCS, plus fixed 4 for cross-host comparability).
-// The outputs are byte-identical — see TestCampaignDeterministic-
+// BenchmarkParallelCampaign runs the quickstart cable campaign
+// end-to-end (collection + inference) across the worker grid. The
+// outputs are byte-identical — see TestCampaignDeterministic-
 // AcrossParallelism — so the ratio of these timings is pure scheduler
 // speedup. On a single-core host the workload is CPU-bound and the
 // ratio stays ~1; the speedup materializes with GOMAXPROCS > 1.
 func BenchmarkParallelCampaign(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := quickstartCampaign(workers)
+				b.StartTimer()
+				res := comap.Run(c)
+				if len(res.Collection.Paths) == 0 {
+					b.Fatal("campaign collected no paths")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignCollect times only the probing half: traceroute
+// waves, rDNS-directed stages, and alias resolution, without Phase 1/2
+// inference.
+func BenchmarkCampaignCollect(b *testing.B) {
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -28,9 +49,28 @@ func BenchmarkParallelCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignInfer times only the analysis half — the B.1
+// mapping refinement and the Phase 2 graph construction — over one
+// pre-collected quickstart collection.
+func BenchmarkCampaignInfer(b *testing.B) {
+	c := quickstartCampaign(1)
+	col := c.Run()
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := comap.BuildMappingParallel(col, c.DNS, c.ISP, workers)
+				inf := comap.BuildGraphsParallel(col, m, workers)
+				if len(inf.Regions) == 0 {
+					b.Fatal("inference produced no regions")
+				}
+			}
+		})
+	}
+}
+
 func benchWorkerCounts() []int {
-	counts := []int{1, 4}
-	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+	counts := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 && n != 8 {
 		counts = append(counts, n)
 	}
 	return counts

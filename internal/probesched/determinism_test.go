@@ -87,20 +87,54 @@ func serializeCollection(col *comap.Collection) string {
 	return b.String()
 }
 
+// serializeAliases renders the alias-resolution evidence alone: every
+// resolved group plus the per-technique pair counts.
+func serializeAliases(col *comap.Collection) string {
+	var b strings.Builder
+	for _, a := range col.AliasTargets {
+		fmt.Fprintf(&b, "aliastarget %s\n", a)
+	}
+	if col.Aliases != nil {
+		for _, g := range col.Aliases.Groups() {
+			fmt.Fprintf(&b, "aliasgroup %v\n", g)
+		}
+		fmt.Fprintf(&b, "evidence mercator=%d midar=%d\n", col.Aliases.MercatorPairs, col.Aliases.MIDARPairs)
+	}
+	return b.String()
+}
+
 // campaignDigest runs the full pipeline and hashes the serialized
 // Collection together with the report JSON (the Table 1/3/4 content)
 // and the final virtual-clock reading.
 func campaignDigest(t *testing.T, workers int) [32]byte {
 	t.Helper()
+	d, _, _ := campaignDigests(t, workers)
+	return d
+}
+
+// campaignDigests runs the full pipeline once and returns three hashes:
+// the whole-campaign digest (collection + report + clock), the
+// alias-resolution digest, and the region-graph (report JSON) digest.
+// The narrower digests attribute a whole-campaign mismatch to the
+// stage that drifted.
+func campaignDigests(t *testing.T, workers int) (campaign, alias, graph [32]byte) {
+	t.Helper()
 	c := quickstartCampaign(workers)
 	res := comap.Run(c)
-	var b strings.Builder
-	b.WriteString(serializeCollection(res.Collection))
-	if err := res.WriteJSON(&b, "comcast"); err != nil {
+
+	var report strings.Builder
+	if err := res.WriteJSON(&report, "comcast"); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
+
+	var b strings.Builder
+	b.WriteString(serializeCollection(res.Collection))
+	b.WriteString(report.String())
 	fmt.Fprintf(&b, "clock %v\n", c.Clock.Now().UnixNano())
-	return sha256.Sum256([]byte(b.String()))
+	campaign = sha256.Sum256([]byte(b.String()))
+	alias = sha256.Sum256([]byte(serializeAliases(res.Collection)))
+	graph = sha256.Sum256([]byte(report.String()))
+	return campaign, alias, graph
 }
 
 // TestProbeBudgetCapsAndStaysDeterministic checks MaxTraces truncates

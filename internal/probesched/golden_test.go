@@ -14,6 +14,17 @@ import (
 // across worker counts, so this value is pinned rather than derived.
 const goldenCampaignDigest = "30f935df9d973265eb27680b469cc04c2b2a8056bb635844f8b47b3d327555bd"
 
+// goldenAliasDigest and goldenRegionGraphDigest pin the two inference
+// stages the parallel pipeline reworked hardest: the alias-resolution
+// evidence (Mercator + MIDAR groups and pair counts) and the region
+// graphs as serialized into the report JSON. A whole-campaign mismatch
+// plus these two localizes the drift to collection, aliasing, or graph
+// construction.
+const (
+	goldenAliasDigest       = "c8965ee5b475627195de223721d28e1c2f0e1dfec21b85f38f3661e0f17d6d43"
+	goldenRegionGraphDigest = "06413d1e832707f76250e923f766553d933fa210a28ff988a31385c5f7f4e4cf"
+)
+
 // TestFastPathMatchesGoldenDigest is the fast-path equivalence oracle:
 // the campaign digest (serialized collection + report JSON + final
 // virtual-clock reading) must equal the pre-fast-path golden across a
@@ -23,7 +34,7 @@ func TestFastPathMatchesGoldenDigest(t *testing.T) {
 	defer runtime.GOMAXPROCS(prev)
 
 	procsGrid := []int{1, 4}
-	workersGrid := []int{1, 4}
+	workersGrid := []int{1, 2, 4, 8}
 	if testing.Short() {
 		procsGrid = []int{prev}
 		workersGrid = []int{1, 4}
@@ -31,10 +42,21 @@ func TestFastPathMatchesGoldenDigest(t *testing.T) {
 	for _, procs := range procsGrid {
 		runtime.GOMAXPROCS(procs)
 		for _, workers := range workersGrid {
-			d := campaignDigest(t, workers)
-			if got := hex.EncodeToString(d[:]); got != goldenCampaignDigest {
-				t.Fatalf("GOMAXPROCS=%d workers=%d: digest %s differs from pre-fast-path golden %s",
+			campaign, alias, graph := campaignDigests(t, workers)
+			if got := hex.EncodeToString(campaign[:]); got != goldenCampaignDigest {
+				t.Errorf("GOMAXPROCS=%d workers=%d: digest %s differs from pre-fast-path golden %s",
 					procs, workers, got, goldenCampaignDigest)
+			}
+			if got := hex.EncodeToString(alias[:]); got != goldenAliasDigest {
+				t.Errorf("GOMAXPROCS=%d workers=%d: alias digest %s differs from golden %s",
+					procs, workers, got, goldenAliasDigest)
+			}
+			if got := hex.EncodeToString(graph[:]); got != goldenRegionGraphDigest {
+				t.Errorf("GOMAXPROCS=%d workers=%d: region-graph digest %s differs from golden %s",
+					procs, workers, got, goldenRegionGraphDigest)
+			}
+			if t.Failed() {
+				t.FailNow()
 			}
 		}
 	}

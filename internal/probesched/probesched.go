@@ -53,7 +53,9 @@ type Pool struct {
 
 // New returns a pool with the given worker count on the given campaign
 // clock. workers <= 0 selects runtime.GOMAXPROCS(0). The clock must not
-// be nil.
+// be nil for pools that schedule probes (Map, MapFold, Fan); a
+// compute-only pool used exclusively with Reduce may pass a nil clock,
+// since analysis work consumes no virtual time.
 func New(workers int, clock *vclock.Clock) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -75,6 +77,36 @@ func (p *Pool) Clock() *vclock.Clock { return p.clock }
 // slice and the final clock reading are therefore independent of worker
 // count and goroutine scheduling.
 func Map[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R) []R {
+	return mapFold(p, jobs, run, nil)
+}
+
+// MapFold runs jobs like Map but streams the results, in job order, to
+// fold on the caller's goroutine while later jobs are still in flight.
+// Workers claim contiguous job chunks and announce each finished chunk;
+// the caller folds a chunk as soon as every earlier chunk has been
+// folded. This removes the collect-everything-then-fold barrier that
+// serialized campaign result handling behind the slowest worker: at any
+// instant the fold is consuming chunk k while workers produce chunks
+// k+1....
+//
+// Determinism is unchanged from Map: fold observes exactly the sequence
+// (0, r0), (1, r1), ... regardless of worker count or scheduling, and
+// the campaign clock advances by the identical job-order elapsed total
+// after the batch. fold must not submit probes on the campaign clock
+// (it runs before the batch advance).
+func MapFold[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R, fold func(i int, r R)) {
+	mapFold(p, jobs, run, fold)
+}
+
+// chunksPerWorker over-partitions the job list so a straggler chunk
+// cannot idle the other workers; minChunk bounds the per-chunk
+// bookkeeping for short job lists.
+const (
+	chunksPerWorker = 8
+	minChunk        = 4
+)
+
+func mapFold[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R, fold func(i int, r R)) []R {
 	n := len(jobs)
 	if n == 0 {
 		return nil
@@ -98,11 +130,31 @@ func Map[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R) []R 
 		workers = n
 	}
 	if workers <= 1 {
+		// The historical sequential path: run and fold interleaved, in
+		// job order.
 		clk := vclock.New(start)
 		for i := range jobs {
 			runJob(clk, i)
+			if fold != nil {
+				fold(i, out[i])
+			}
 		}
 	} else {
+		chunk := (n + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
+		if chunk < minChunk {
+			chunk = minChunk
+		}
+		numChunks := (n + chunk - 1) / chunk
+		span := func(c int) (int, int) {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			return lo, hi
+		}
+		// done is buffered to numChunks so workers never block on a slow
+		// folder (or on nobody draining it when fold is nil).
+		done := make(chan int, numChunks)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
@@ -111,13 +163,34 @@ func Map[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R) []R 
 				defer wg.Done()
 				clk := vclock.New(start)
 				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
+					c := int(next.Add(1)) - 1
+					if c >= numChunks {
 						return
 					}
-					runJob(clk, i)
+					lo, hi := span(c)
+					for i := lo; i < hi; i++ {
+						runJob(clk, i)
+					}
+					done <- c
 				}
 			}()
+		}
+		if fold != nil {
+			// Fold chunks in canonical order as they complete; the
+			// channel receive orders each chunk's result writes before
+			// the fold reads them.
+			ready := make([]bool, numChunks)
+			nextFold := 0
+			for finished := 0; finished < numChunks; finished++ {
+				ready[<-done] = true
+				for nextFold < numChunks && ready[nextFold] {
+					lo, hi := span(nextFold)
+					for i := lo; i < hi; i++ {
+						fold(i, out[i])
+					}
+					nextFold++
+				}
+			}
 		}
 		wg.Wait()
 	}
@@ -128,6 +201,74 @@ func Map[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R) []R 
 	}
 	p.clock.Advance(total)
 	return out
+}
+
+// Reduce shards the index range [0, n) into contiguous spans, builds
+// one accumulator per span on the pool's workers (init once per span,
+// then accum over the span's indices in ascending order), and merges
+// the partial accumulators in span order. It is the shard-accumulate-
+// merge primitive the inference half of the pipeline parallelizes with.
+//
+// The result equals the sequential fold
+//
+//	a := init(); for i := 0..n-1 { a = accum(a, i) }
+//
+// for any (accum, merge) pair where merging two accumulators built over
+// adjacent index ranges equals accumulating over the concatenated range
+// — true for set unions, count sums, and first-wins assignments over
+// disjoint keys, which is what the analysis passes use. Reduce never
+// touches the pool's clock: analysis work consumes no virtual time.
+func Reduce[A any](p *Pool, n int, init func() A, accum func(a A, i int) A, merge func(into, from A) A) A {
+	if n == 0 {
+		return init()
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		a := init()
+		for i := 0; i < n; i++ {
+			a = accum(a, i)
+		}
+		return a
+	}
+	spans := workers * 4
+	if spans > n {
+		spans = n
+	}
+	chunk := (n + spans - 1) / spans
+	numSpans := (n + chunk - 1) / chunk
+	partial := make([]A, numSpans)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numSpans {
+					return
+				}
+				lo, hi := c*chunk, (c+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				a := init()
+				for i := lo; i < hi; i++ {
+					a = accum(a, i)
+				}
+				partial[c] = a
+			}
+		}()
+	}
+	wg.Wait()
+	a := partial[0]
+	for _, b := range partial[1:] {
+		a = merge(a, b)
+	}
+	return a
 }
 
 // Request describes one probe job in the unified format both

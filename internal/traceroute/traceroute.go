@@ -242,6 +242,18 @@ func (e *Engine) Traces(pool *probesched.Pool, reqs []probesched.Request) []Trac
 	})
 }
 
+// FoldTraces runs one traceroute per request across the pool and
+// streams the traces, in request order, to fold while later requests
+// are still probing — probesched.MapFold's semantics with the same
+// concrete Trace typing as Traces. Campaign collection uses this to
+// overlap result folding with in-flight probing instead of waiting for
+// a whole stage to finish.
+func (e *Engine) FoldTraces(pool *probesched.Pool, reqs []probesched.Request, fold func(i int, tr Trace)) {
+	probesched.MapFold(pool, reqs, func(clk *vclock.Clock, req probesched.Request) Trace {
+		return e.traceWith(clk, req.Src, req.Dst)
+	}, fold)
+}
+
 func (e *Engine) traceSequential(src, dst netip.Addr) Trace {
 	tr := Trace{Src: src, Dst: dst, FlowID: flowID(src, dst)}
 	// Resolve the flow's forwarding path once; every TTL below replays
