@@ -1,13 +1,15 @@
 # Verification entry points. `make verify` is the tier-1 gate: vet,
 # build, full test suite, then the race detector over the packages with
 # concurrency (the probe scheduler, the thread-safe simulator, and the
-# campaign that drives them in parallel).
+# campaign that drives them in parallel), and finally the fault-plane
+# gates: fast-path equivalence, zero-fault golden equivalence, and the
+# graceful-degradation chaos sweep.
 
 GO ?= go
 
-.PHONY: verify build test vet race race-infer equivalence bench bench-sched bench-diff
+.PHONY: verify build test vet race race-infer equivalence chaos bench bench-sched bench-diff
 
-verify: vet build test race race-infer equivalence
+verify: vet build test race race-infer equivalence chaos
 
 build:
 	$(GO) build ./...
@@ -31,9 +33,18 @@ race-infer:
 
 # Probe fast-path equivalence: the campaign digest must match the
 # golden captured before the fast path (LPM FIB + compiled flows)
-# landed, across a GOMAXPROCS x workers grid.
+# landed, across a GOMAXPROCS x workers grid. The zero-fault-plan test
+# extends the same guarantee to the fault layer: an installed-but-empty
+# FaultPlan may not move a byte.
 equivalence:
-	$(GO) test ./internal/probesched/ -run TestFastPathMatchesGoldenDigest -count=1
+	$(GO) test ./internal/probesched/ -run 'TestFastPathMatchesGoldenDigest|TestZeroFaultPlanMatchesGoldenDigest' -count=1
+
+# Graceful degradation: the faulted campaign must stay deterministic
+# across worker counts, account for every probe, and the chaos sweep's
+# CO recall must slide rather than cliff as the loss grid worsens.
+chaos:
+	$(GO) test ./internal/probesched/ -run TestFaultedCampaignDeterministicAcrossWorkers -count=1
+	$(GO) run ./cmd/chaossweep -icmp-rate 2 -check
 
 # Scheduler speedup: the quickstart campaign at 1 vs N workers.
 bench-sched:
@@ -41,14 +52,15 @@ bench-sched:
 
 # Campaign benchmarks, archived as JSON for before/after diffs (see
 # EXPERIMENTS.md): the end-to-end campaign plus its collection and
-# inference halves, each across the workers={1,2,4,8} grid.
+# inference halves across the workers={1,2,4,8} grid, and the faulted
+# campaign across the loss grid (benchjson archives the loss rate).
 bench:
 	( $(GO) test ./internal/netsim/ -run XXX -bench 'BenchmarkProbe' -benchmem ; \
 	  $(GO) test ./internal/probesched/ -run XXX \
-		-bench 'BenchmarkParallelCampaign|BenchmarkCampaignCollect|BenchmarkCampaignInfer' \
+		-bench 'BenchmarkParallelCampaign|BenchmarkCampaignCollect|BenchmarkCampaignInfer|BenchmarkFaultedCampaign' \
 		-benchmem -benchtime 3x ) \
-		| $(GO) run ./cmd/benchjson > BENCH_PR3.json
+		| $(GO) run ./cmd/benchjson > BENCH_PR4.json
 
 # Per-benchmark speedup of the current archive over the previous PR's.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_PR2.json BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -diff BENCH_PR3.json BENCH_PR4.json

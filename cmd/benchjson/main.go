@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -35,7 +36,15 @@ type Result struct {
 	// BytesPerOp and AllocsPerOp are present only with -benchmem.
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Loss is the injected per-link loss rate, parsed from a
+	// "loss=RATE" token in the benchmark name (fault-injection benches
+	// encode their fault grid in sub-benchmark names); absent otherwise.
+	Loss *float64 `json:"loss,omitempty"`
 }
+
+// lossRe extracts the loss rate a faulted benchmark encodes in its name,
+// e.g. BenchmarkFaultedCampaign/loss=0.10-8.
+var lossRe = regexp.MustCompile(`loss=([0-9.]+)`)
 
 // parseLine parses one "BenchmarkX-8  10  123 ns/op  45 B/op  6 allocs/op"
 // line; ok is false for non-benchmark output (headers, PASS, ok lines).
@@ -68,6 +77,11 @@ func parseLine(line string) (Result, bool) {
 	}
 	if r.NsPerOp == 0 {
 		return Result{}, false
+	}
+	if m := lossRe.FindStringSubmatch(r.Name); m != nil {
+		if v, err := strconv.ParseFloat(m[1], 64); err == nil {
+			r.Loss = &v
+		}
 	}
 	return r, true
 }

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	regionmap [-seed N] [-isp comcast|charter] [-region NAME] [-v]
+//	          [-loss RATE] [-icmp-rate N] [-retries N]
+//
+// The -loss / -icmp-rate flags inject deterministic faults into the
+// measurement plane (see netsim.FaultPlan); -retries opts the campaign
+// into resilient probing. With any of the three set, a coverage report
+// is printed to stderr alongside the usual output.
 package main
 
 import (
@@ -14,9 +20,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/comap"
 	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/probesched"
 )
 
 func main() {
@@ -29,6 +38,9 @@ func main() {
 	verbose := flag.Bool("v", false, "print every region summary")
 	parallel := flag.Int("parallel", 0, "probe-scheduler workers (0 = GOMAXPROCS); output is identical at any value")
 	budget := flag.Int("budget", 0, "cap total campaign traceroutes (0 = unlimited)")
+	loss := flag.Float64("loss", 0, "inject per-link loss at this rate (0 = pristine plane)")
+	icmpRate := flag.Float64("icmp-rate", 0, "cap per-router ICMP replies/sec (0 = no rate limiting)")
+	retries := flag.Int("retries", 0, "per-hop attempts with backoff for the resilient campaign (0 = historical behavior)")
 	flag.Parse()
 
 	if *isp != "comcast" && *isp != "charter" {
@@ -37,8 +49,24 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "building scenario (seed %d) and running the %s campaign...\n", *seed, *isp)
-	st := core.NewCableStudy(*seed, core.WithParallelism(*parallel), core.WithProbeBudget(*budget))
+	opts := []core.Option{core.WithParallelism(*parallel), core.WithProbeBudget(*budget)}
+	if *loss > 0 || *icmpRate > 0 {
+		opts = append(opts, core.WithFaults(netsim.FaultPlan{
+			Seed: uint64(*seed), LinkLoss: *loss, ICMPRate: *icmpRate,
+		}))
+	}
+	if *retries > 0 {
+		opts = append(opts, core.WithResilience(probesched.Resilience{
+			Attempts:         *retries,
+			RetryBackoff:     200 * time.Millisecond,
+			BreakerThreshold: 10,
+		}))
+	}
+	st := core.NewCableStudy(*seed, opts...)
 	res := st.Result(*isp)
+	if *loss > 0 || *icmpRate > 0 || *retries > 0 {
+		res.Coverage.Write(os.Stderr)
+	}
 
 	if *asJSON {
 		if err := res.WriteJSON(os.Stdout, *isp); err != nil {

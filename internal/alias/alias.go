@@ -52,6 +52,22 @@ type Resolver struct {
 	// samples to rate limiting get another chance (default 2, like
 	// MIDAR's repeated elimination rounds).
 	Passes int
+
+	// Stats, when non-nil, accumulates the resolver's probe-outcome
+	// ledger; campaigns point it at their collection-wide tally so
+	// coverage reports account for alias probes too. Outcomes are filed
+	// from the resolver's own (sequential) fold paths, never from
+	// worker goroutines, so no synchronization is needed.
+	Stats *probesched.ProbeStats
+}
+
+// observe files one probe outcome into Stats, when attached.
+func (r *Resolver) observe(reply netsim.Reply, retry bool) {
+	if r.Stats == nil {
+		return
+	}
+	r.Stats.Observe(reply.Type != netsim.Timeout,
+		reply.Outcome() == netsim.OutcomeRateLimited, retry)
 }
 
 // Result holds resolved alias groups.
@@ -216,6 +232,7 @@ func (r *Resolver) mercator(targets []netip.Addr, res *Result) {
 	})
 	for i, reply := range replies {
 		t := targets[i]
+		r.observe(reply, false)
 		if reply.Type == netsim.PortUnreachable && reply.From.IsValid() && reply.From != t {
 			res.union(t, reply.From)
 			res.MercatorPairs++

@@ -53,6 +53,7 @@ func (r *Resolver) midarPass(targets []netip.Addr, flows map[netip.Addr]*netsim.
 	for round := 0; round < r.EstimationSamples; round++ {
 		for _, t := range targets {
 			reply := flows[t].Probe(r.Clock.Now(), 64, netsim.ICMPEcho, uint32(1000+pass*32+round))
+			r.observe(reply, false)
 			if reply.Type == netsim.EchoReply {
 				samples[t] = append(samples[t], ipidSample{at: r.Clock.Now(), ipid: reply.IPID})
 			}
@@ -135,6 +136,7 @@ func (r *Resolver) monotonicBoundTest(flows map[netip.Addr]*netsim.Flow, a, b ca
 				// series but does not abort the test.
 				for att := 0; att < 3; att++ {
 					reply := flows[addr].Probe(r.Clock.Now(), 64, netsim.ICMPEcho, uint32(2000+i*4+att))
+					r.observe(reply, att > 0)
 					if reply.Type == netsim.EchoReply {
 						series = append(series, ipidSample{at: r.Clock.Now(), ipid: reply.IPID})
 						r.Clock.Advance(500 * time.Millisecond)

@@ -42,6 +42,12 @@ type Campaign struct {
 	// GOMAXPROCS). Results are byte-identical at any value — see
 	// internal/probesched — so this is purely a throughput knob.
 	Parallelism int
+
+	// Resilience opts the campaign into retries, probe budgets, and the
+	// per-VP circuit breaker (zero value keeps historical behavior). The
+	// breaker is fed from the bootstrap wave: a bootstrap VP with zero
+	// yield there is dropped from every later DPR wave.
+	Resilience probesched.Resilience
 }
 
 // RouterRole is the inferred function of a router group.
@@ -172,6 +178,12 @@ type Result struct {
 	CodeToTag map[string]string
 	// Lspgws lists the scan-selected gateway addresses per code.
 	Lspgws map[string][]netip.Addr
+
+	// Stats is the campaign-wide probe-outcome ledger (accounting only —
+	// the inference never branches on it).
+	Stats probesched.ProbeStats
+	// QuarantinedVPs lists bootstrap VPs the circuit breaker benched.
+	QuarantinedVPs []netip.Addr
 }
 
 // Run executes the full AT&T pipeline.
@@ -185,6 +197,8 @@ func (c *Campaign) Run() *Result {
 		Lspgws:    map[string][]netip.Addr{},
 	}
 	eng := &traceroute.Engine{Net: c.Net, Clock: c.Clock, Attempts: 2, GapLimit: 5}
+	eng.ApplyResilience(c.Resilience)
+	breaker := probesched.NewBreaker(c.Resilience.BreakerThreshold)
 
 	// Target selection: every snapshot address matching the lightspeed
 	// pattern, grouped by 6-character city code. The scan and grammar
@@ -239,6 +253,8 @@ func (c *Campaign) Run() *Result {
 		}
 	}
 	eng.FoldTraces(pool, jobs, func(j int, tr traceroute.Trace) {
+		res.Stats.Add(tr.Stats())
+		breaker.Record(tr.Src, len(tr.ResponsiveHops()) == 0)
 		code := jobCode[j]
 		tag := backboneTag(c.DNS, tr)
 		if tag == "" {
@@ -254,6 +270,17 @@ func (c *Campaign) Run() *Result {
 			edge24s[tag][pfx] = true
 		}
 	})
+
+	// Bootstrap VPs with zero yield are benched before the DPR waves;
+	// quarantine decisions run on the in-order fold above, so the list
+	// (and every job schedule derived from it) is worker-count invariant.
+	res.QuarantinedVPs = breaker.QuarantinedVPs()
+	boots := make([]netip.Addr, 0, len(c.BootstrapVPs))
+	for _, vp := range c.BootstrapVPs {
+		if !breaker.Quarantined(vp) {
+			boots = append(boots, vp)
+		}
+	}
 
 	// Region mapping: for each region with internal VPs, sweep the
 	// discovered router /24s (DPR reveals the MPLS-hidden agg layer),
@@ -287,7 +314,7 @@ func (c *Campaign) Run() *Result {
 			prefixes = append(prefixes, pfx)
 		}
 		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Addr().Less(prefixes[j].Addr()) })
-		rm := c.mapRegion(eng, tag, vps, lspgws, prefixes)
+		rm := c.mapRegion(eng, tag, vps, boots, lspgws, prefixes, &res.Stats)
 		rm.Codes = regionCodes
 		res.Regions[tag] = rm
 	}

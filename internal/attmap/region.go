@@ -12,8 +12,10 @@ import (
 
 // mapRegion builds the router- and CO-level map of one region from
 // internal vantage points plus inter-region DPR traceroutes (§6.1-6.2,
-// Appendix C).
-func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Addr, lspgws []netip.Addr, edgePrefixes []netip.Prefix) *RegionMap {
+// Appendix C). boots is the bootstrap VP list with breaker-benched VPs
+// already removed; stats receives every probe outcome of the region's
+// waves (traceroute and alias alike).
+func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Addr, boots []netip.Addr, lspgws []netip.Addr, edgePrefixes []netip.Prefix, stats *probesched.ProbeStats) *RegionMap {
 	rm := &RegionMap{
 		Tag:              tag,
 		RouterOf:         map[netip.Addr]netip.Addr{},
@@ -47,7 +49,11 @@ func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Add
 	}
 	var traces []traceroute.Trace
 	flush := func() {
-		traces = append(traces, eng.Traces(pool, jobs)...)
+		batch := eng.Traces(pool, jobs)
+		for i := range batch {
+			stats.Add(batch[i].Stats())
+		}
+		traces = append(traces, batch...)
 		jobs = jobs[:0]
 	}
 
@@ -66,7 +72,7 @@ func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Add
 		}
 	}
 	sweep(vps, 2)
-	sweep(c.BootstrapVPs, 2)
+	sweep(boots, 2)
 	flush()
 
 	// Second DPR wave: unnamed addresses observed outside the known
@@ -106,8 +112,8 @@ func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Add
 		for k := 0; k < 2 && k < len(vps); k++ {
 			add(vps[(i+k*3)%len(vps)], a)
 		}
-		for k := 0; k < 2 && k < len(c.BootstrapVPs); k++ {
-			add(c.BootstrapVPs[(i+k*5)%len(c.BootstrapVPs)], a)
+		for k := 0; k < 2 && k < len(boots); k++ {
+			add(boots[(i+k*5)%len(boots)], a)
 		}
 	}
 	flush()
@@ -215,7 +221,7 @@ func (c *Campaign) mapRegion(eng *traceroute.Engine, tag string, vps []netip.Add
 		}
 	}
 	sort.Slice(aliasTargets, func(i, j int) bool { return aliasTargets[i].Less(aliasTargets[j]) })
-	resolver := &alias.Resolver{Net: c.Net, Clock: c.Clock, VP: vps[0], Parallelism: c.Parallelism}
+	resolver := &alias.Resolver{Net: c.Net, Clock: c.Clock, VP: vps[0], Parallelism: c.Parallelism, Stats: stats}
 	groups := resolver.Resolve(aliasTargets)
 	for _, a := range aliasTargets {
 		rm.RouterOf[a] = groups.GroupOf(a)[0]

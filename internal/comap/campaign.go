@@ -42,6 +42,13 @@ type Campaign struct {
 	// canonical job list, so a given budget is deterministic too.
 	MaxTraces int
 
+	// Resilience opts the campaign's probing into retry/backoff/budget
+	// behavior and the per-VP circuit breaker. The zero value keeps the
+	// campaign bit-identical to its historical (and golden-digested)
+	// behavior: even legitimate timeouts would otherwise be retried,
+	// changing every downstream observation.
+	Resilience probesched.Resilience
+
 	// SkipDirectTargeting disables step 2 (rDNS-selected targets); used
 	// by the ablation benches to quantify the paper's 5.3x claim.
 	SkipDirectTargeting bool
@@ -73,6 +80,22 @@ type Collection struct {
 	Aliases *alias.Result
 	// AliasTargets is the address set fed to alias resolution.
 	AliasTargets []netip.Addr
+
+	// Stats is the campaign-wide probe-outcome ledger (traceroute and
+	// alias probes both land here); Sent == Replied + Lost + RateLimited
+	// always. TracesRun / EmptyTraces / TruncatedTraces count whole
+	// traces; HopRowsProbed / HopRowsAnswered count hop rows across all
+	// traces (answered/probed is the campaign's hop yield). Quarantined
+	// lists vantage points the circuit breaker benched. All of this is
+	// accounting only — it never feeds inference, and none of it enters
+	// the pinned campaign digests.
+	Stats           probesched.ProbeStats
+	TracesRun       int
+	EmptyTraces     int
+	TruncatedTraces int
+	HopRowsProbed   int
+	HopRowsAnswered int
+	Quarantined     []netip.Addr
 }
 
 func (c *Campaign) defaults() {
@@ -86,7 +109,9 @@ func (c *Campaign) defaults() {
 
 // engine builds a traceroute engine bound to the campaign clock.
 func (c *Campaign) engine() *traceroute.Engine {
-	return &traceroute.Engine{Net: c.Net, Clock: c.Clock, Attempts: 2, GapLimit: 5}
+	eng := &traceroute.Engine{Net: c.Net, Clock: c.Clock, Attempts: 2, GapLimit: 5}
+	eng.ApplyResilience(c.Resilience)
+	return eng
 }
 
 // Run executes every collection stage and returns the raw observations.
@@ -120,9 +145,18 @@ func (c *Campaign) Run() *Collection {
 	seen := make(map[[2]netip.Addr]bool, hint) // (src,dst) pairs already traced
 	submitted := 0
 
+	// The circuit breaker benches dead VPs between stages: Record runs
+	// only on the in-order fold goroutine, and Quarantined is consulted
+	// only while building the next stage's job list (stages are
+	// sequential barriers), so its decisions are worker-count invariant.
+	breaker := probesched.NewBreaker(c.Resilience.BreakerThreshold)
+
 	jobs := make([]probesched.Request, 0, hint/2)
 	add := func(src, dst netip.Addr) {
 		if c.MaxTraces > 0 && submitted+len(jobs) >= c.MaxTraces {
+			return
+		}
+		if breaker.Quarantined(src) {
 			return
 		}
 		key := [2]netip.Addr{src, dst}
@@ -147,7 +181,16 @@ func (c *Campaign) Run() *Collection {
 					resp++
 				}
 			}
+			col.TracesRun++
+			col.Stats.Add(tr.Stats())
+			col.HopRowsProbed += len(tr.Hops)
+			col.HopRowsAnswered += resp
+			if tr.Truncated {
+				col.TruncatedTraces++
+			}
+			breaker.Record(tr.Src, resp == 0)
 			if resp == 0 {
+				col.EmptyTraces++
 				return
 			}
 			p := Path{
@@ -236,6 +279,7 @@ func (c *Campaign) Run() *Collection {
 		resolver := &alias.Resolver{
 			Net: c.Net, Clock: c.Clock, VP: c.VPs[0],
 			Parallelism: c.Parallelism,
+			Stats:       &col.Stats,
 		}
 		resolver.MercatorInto(col.AliasTargets, res)
 		for _, part := range c.partitionByRegion(col) {
@@ -243,6 +287,7 @@ func (c *Campaign) Run() *Collection {
 		}
 		col.Aliases = res
 	}
+	col.Quarantined = breaker.QuarantinedVPs()
 	return col
 }
 

@@ -1,0 +1,110 @@
+package comap
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/probesched"
+	"repro/internal/topogen"
+	"repro/internal/vclock"
+)
+
+// TestCoverageQuarantinesOfflineVP pins the breaker path end to end: a
+// vantage point forced offline by the fault plan yields only empty
+// traces, the circuit breaker benches it between stages, and the
+// coverage report both lists the quarantined VP and keeps the probe
+// ledger consistent.
+func TestCoverageQuarantinesOfflineVP(t *testing.T) {
+	s := topogen.NewScenario(7)
+	comcast := s.BuildCable(topogen.ComcastProfile())
+	charter := s.BuildCable(topogen.CharterProfile())
+	vps := s.StandardVPs(comcast, charter)
+	if len(vps) < 2 {
+		t.Fatalf("need at least 2 VPs, got %d", len(vps))
+	}
+	dead := vps[0]
+	s.Net.SetFaultPlan(netsim.FaultPlan{
+		Seed:       3,
+		OfflineVPs: []netip.Addr{dead},
+	})
+	c := &Campaign{
+		Net:       s.Net,
+		DNS:       s.DNS,
+		Clock:     vclock.New(s.Epoch()),
+		ISP:       comcast.Name,
+		VPs:       vps,
+		Announced: comcast.Announced,
+		Resilience: probesched.Resilience{
+			BreakerThreshold: 3,
+		},
+	}
+	res := Run(c)
+	cov := res.Coverage
+
+	found := false
+	for _, vp := range cov.QuarantinedVPs {
+		if vp == dead {
+			found = true
+		}
+		if vp != dead {
+			t.Errorf("unexpected quarantined VP %v (only %v is offline)", vp, dead)
+		}
+	}
+	if !found {
+		t.Fatalf("offline VP %v not quarantined; quarantined=%v empty traces=%d",
+			dead, cov.QuarantinedVPs, cov.EmptyTraces)
+	}
+	if !cov.Probes.Consistent() {
+		t.Fatalf("inconsistent probe ledger under faults: %+v", cov.Probes)
+	}
+	if cov.EmptyTraces < c.Resilience.BreakerThreshold {
+		t.Errorf("breaker tripped with only %d empty traces, threshold %d",
+			cov.EmptyTraces, c.Resilience.BreakerThreshold)
+	}
+	// Losing one VP must not kill the inference: the surviving VPs still
+	// discover the regions.
+	if len(cov.Regions) == 0 {
+		t.Fatal("coverage report has no regions despite surviving VPs")
+	}
+	for _, rc := range cov.Regions {
+		if rc.COs == 0 {
+			t.Errorf("region %s inferred zero COs", rc.Region)
+		}
+		if rc.MeanConfidence <= 0 || rc.MeanConfidence >= 1 {
+			t.Errorf("region %s mean confidence %v outside (0,1)", rc.Region, rc.MeanConfidence)
+		}
+		if rc.MinConfidence > rc.MeanConfidence {
+			t.Errorf("region %s min confidence %v exceeds mean %v",
+				rc.Region, rc.MinConfidence, rc.MeanConfidence)
+		}
+	}
+	if cov.HopYield() <= 0 || cov.HopYield() > 1 {
+		t.Errorf("hop yield %v outside (0,1]", cov.HopYield())
+	}
+
+	var b strings.Builder
+	cov.Write(&b)
+	out := b.String()
+	for _, want := range []string{"probes:", "traces:", "quarantined VPs:", "region"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coverage table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBuildCoverageNilInference checks the report builder tolerates a
+// collection-only run (SkipAlias-style usage with no graphs built).
+func TestBuildCoverageNilInference(t *testing.T) {
+	col := &Collection{}
+	col.Stats.Observe(true, false, false)
+	col.Stats.Observe(false, false, false)
+	r := BuildCoverage(col, nil)
+	if len(r.Regions) != 0 {
+		t.Fatalf("nil inference produced regions: %+v", r.Regions)
+	}
+	if !r.Probes.Consistent() || r.Probes.Sent != 2 {
+		t.Fatalf("ledger not carried through: %+v", r.Probes)
+	}
+}

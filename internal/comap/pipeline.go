@@ -9,6 +9,9 @@ type Result struct {
 	Collection *Collection
 	Mapping    *Mapping
 	Inference  *Inference
+	// Coverage accounts for how completely the (possibly faulted)
+	// measurement plane was observed; see CoverageReport.
+	Coverage CoverageReport
 
 	// workers is the parallelism the pipeline ran with; post-hoc
 	// analyses on the Result (StageAdjacencies) reuse it.
@@ -22,10 +25,12 @@ type Result struct {
 func Run(c *Campaign) *Result {
 	col := c.Run()
 	m := BuildMappingParallel(col, c.DNS, c.ISP, c.Parallelism)
+	inf := BuildGraphsParallel(col, m, c.Parallelism)
 	return &Result{
 		Collection: col,
 		Mapping:    m,
-		Inference:  BuildGraphsParallel(col, m, c.Parallelism),
+		Inference:  inf,
+		Coverage:   BuildCoverage(col, inf),
 		workers:    c.Parallelism,
 	}
 }

@@ -36,6 +36,7 @@ func NewATTStudy(seed int64, opts ...Option) *ATTStudy {
 	s := topogen.NewScenario(seed)
 	tel := s.BuildTelco(topogen.ATTProfile())
 	st := &ATTStudy{Scenario: s, Telco: tel, cfg: buildConfig(opts)}
+	st.cfg.installFaults(s.Net)
 	for i, tag := range []string{"la2ca", "bkfdca", "frsnca", "sffca", "scrmca"} {
 		st.BootstrapVPs = append(st.BootstrapVPs, s.AddTelcoVP(tel, tag, i).Addr)
 	}
@@ -62,6 +63,7 @@ func (st *ATTStudy) campaign() *attmap.Campaign {
 			DetailRegion: append(append([]netip.Addr{}, st.ArkAtlasVPs...), st.HotspotVPs...),
 		},
 		Parallelism: st.cfg.Parallelism,
+		Resilience:  st.cfg.Resilience,
 	}
 }
 

@@ -53,12 +53,14 @@ func NewCableStudy(seed int64, opts ...Option) *CableStudy {
 	comcast := s.BuildCable(topogen.ComcastProfile())
 	charter := s.BuildCable(topogen.CharterProfile())
 	vps := s.StandardVPs(comcast, charter)
+	cfg := buildConfig(opts)
+	cfg.installFaults(s.Net)
 	return &CableStudy{
 		Scenario: s,
 		Comcast:  comcast,
 		Charter:  charter,
 		VPs:      vps,
-		cfg:      buildConfig(opts),
+		cfg:      cfg,
 		results:  map[string]*comap.Result{},
 	}
 }
@@ -85,6 +87,7 @@ func (st *CableStudy) Result(isp string) *comap.Result {
 		Announced:   st.truth(isp).Announced,
 		Parallelism: st.cfg.Parallelism,
 		MaxTraces:   st.cfg.ProbeBudget,
+		Resilience:  st.cfg.Resilience,
 	}
 	r := comap.Run(c)
 	st.results[isp] = r

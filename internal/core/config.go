@@ -3,6 +3,8 @@ package core
 import (
 	"time"
 
+	"repro/internal/netsim"
+	"repro/internal/probesched"
 	"repro/internal/vclock"
 )
 
@@ -24,6 +26,13 @@ type Config struct {
 	// Start overrides the campaign clocks' origin instant; the zero
 	// value keeps the scenario epoch.
 	Start time.Time
+	// Faults, when non-nil, is installed on the scenario network after
+	// it is built: every campaign the study runs measures through the
+	// faulted plane. nil (the default) leaves the network pristine.
+	Faults *netsim.FaultPlan
+	// Resilience configures the campaigns' retry/budget/breaker policy;
+	// the zero value keeps historical behavior exactly.
+	Resilience probesched.Resilience
 }
 
 // Option mutates a study Config; pass options to the New*Study
@@ -49,12 +58,34 @@ func WithClock(start time.Time) Option {
 	return func(c *Config) { c.Start = start }
 }
 
+// WithFaults installs a fault plan on the study's network: link loss,
+// ICMP rate limiting, blackouts, silent routers, and VP churn, all
+// derived deterministically from the plan seed (see netsim.FaultPlan).
+func WithFaults(p netsim.FaultPlan) Option {
+	return func(c *Config) { c.Faults = &p }
+}
+
+// WithResilience opts the study's campaigns into retries with backoff,
+// per-trace probe budgets, and the per-VP circuit breaker.
+func WithResilience(r probesched.Resilience) Option {
+	return func(c *Config) { c.Resilience = r }
+}
+
 func buildConfig(opts []Option) Config {
 	var c Config
 	for _, o := range opts {
 		o(&c)
 	}
 	return c
+}
+
+// installFaults applies the WithFaults plan (if any) to a freshly-built
+// scenario network; study constructors call it once, after topology
+// generation, so the fault hashes see the final network seed.
+func (c Config) installFaults(n *netsim.Network) {
+	if c.Faults != nil {
+		n.SetFaultPlan(*c.Faults)
+	}
 }
 
 // clock builds a campaign clock honoring the WithClock override, with

@@ -58,6 +58,7 @@ func NewMobileStudy(seed int64, opts ...Option) *MobileStudy {
 		rounds:   map[string][]ship.Round{},
 		analyses: map[string]*mobilemap.Analysis{},
 	}
+	st.cfg.installFaults(s.Net)
 	add := func(city, addr string) netip.Addr {
 		a := netip.MustParseAddr(addr)
 		h := &netsim.Host{
@@ -96,6 +97,7 @@ func (st *MobileStudy) Rounds(carrier string) []ship.Round {
 		Mode:         traceroute.Parallel,
 		CoverageBias: coverageBias[carrier],
 		Parallelism:  st.cfg.Parallelism,
+		Resilience:   st.cfg.Resilience,
 	}
 	var rs []ship.Round
 	for _, it := range ship.Shipments() {

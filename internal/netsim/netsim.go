@@ -25,6 +25,13 @@
 // post-batch values depend only on the multiset of replies generated —
 // which is itself deterministic — so any schedule of the same probe set
 // leaves the network in an identical state.
+//
+// Injected measurement faults (SetFaultPlan) keep this property: every
+// fault decision — link loss, rate-limit windows, blackouts, silent
+// hops, vantage-point churn — is likewise a pure hash of (seeds, probe
+// parameters, virtual-time window), never a counter or shared RNG, so
+// a faulted probe set is exactly as schedule-independent as a
+// fault-free one.
 package netsim
 
 import (
@@ -207,6 +214,11 @@ type Network struct {
 	sptMu sync.RWMutex
 	spt   map[RouterID]*sptResult
 	seed  uint64
+
+	// faults is the installed measurement-fault plan (see fault.go);
+	// nil or the zero plan means every probe behaves as if the
+	// measurement plane were perfect.
+	faults atomic.Pointer[FaultPlan]
 
 	// ProcessingDelay is the per-hop forwarding cost added to RTTs.
 	ProcessingDelay time.Duration

@@ -70,6 +70,10 @@ type Reply struct {
 	ReplyTTL uint8
 	// IPID is the IP identifier of the response, the signal MIDAR uses.
 	IPID uint16
+	// Drop records why a Timeout happened when an injected fault is to
+	// blame (see DropCause); DropNone otherwise. Accounting metadata
+	// only — inference must never branch on it.
+	Drop DropCause
 }
 
 // resolveDst locates the router that serves dst and whether dst is a
@@ -184,6 +188,13 @@ func (n *Network) Probe(at time.Time, s ProbeSpec) Reply {
 // replay answers one probe from a compiled path. It allocates nothing:
 // every hop decision indexes into the immutable compiled hop sequence.
 func (n *Network) replay(at time.Time, s ProbeSpec, srcHost *Host, kind dstKind, dstRouter *Router, dHost *Host, dIface *Iface, cp *compiledPath) Reply {
+	plan := n.faults.Load()
+	if !plan.active() {
+		plan = nil
+	}
+	if plan != nil && plan.vpOffline(n.seed, s.Src, at) {
+		return Reply{Type: Timeout, Drop: DropVPDown}
+	}
 	if s.TTL == 0 || !cp.reachable {
 		return Reply{Type: Timeout}
 	}
@@ -200,7 +211,7 @@ func (n *Network) replay(at time.Time, s ProbeSpec, srcHost *Host, kind dstKind,
 	if int(s.TTL) <= len(vis) && int(s.TTL) < hopsToDst {
 		// Expires at an intermediate router.
 		h := vis[s.TTL-1]
-		return n.routerReply(at, s, srcHost, h, TTLExceeded)
+		return n.routerReply(at, s, srcHost, h, TTLExceeded, plan)
 	}
 	if int(s.TTL) < hopsToDst {
 		return Reply{Type: Timeout}
@@ -209,7 +220,7 @@ func (n *Network) replay(at time.Time, s ProbeSpec, srcHost *Host, kind dstKind,
 	// Probe reaches the destination.
 	switch kind {
 	case dstHost:
-		return n.hostReply(at, s, srcHost, dHost, vis)
+		return n.hostReply(at, s, srcHost, dHost, vis, plan)
 	case dstIface:
 		var h visibleHop
 		if len(vis) == 0 {
@@ -223,7 +234,7 @@ func (n *Network) replay(at time.Time, s ProbeSpec, srcHost *Host, kind dstKind,
 		if s.Proto == UDP {
 			kindReply = PortUnreachable
 		}
-		return n.routerReply(at, s, srcHost, h, kindReply)
+		return n.routerReply(at, s, srcHost, h, kindReply, plan)
 	default: // dstPrefixOnly: address not live; the packet dies silently.
 		return Reply{Type: Timeout}
 	}
@@ -304,10 +315,17 @@ func (f *Flow) Probe(at time.Time, ttl uint8, proto Proto, seq uint32) Reply {
 }
 
 // routerReply builds a response originated by a router, applying the
-// router's ICMP policies. A router in ReplyCanonical mode answers from
-// its fixed address even when the probe was addressed to a different
-// interface — the signal Mercator-style alias resolution exploits.
-func (n *Network) routerReply(at time.Time, s ProbeSpec, src *Host, h visibleHop, typ ReplyType) Reply {
+// router's ICMP policies and any injected faults. A router in
+// ReplyCanonical mode answers from its fixed address even when the
+// probe was addressed to a different interface — the signal
+// Mercator-style alias resolution exploits.
+//
+// Fault ordering: policy denials first (they are intrinsic, not
+// faults), then in-flight loss, then control-plane silence (permanent,
+// blackout, rate limit), then the router's own ResponseProb draw. Each
+// check is a pure hash, so the ordering only decides which DropCause a
+// multiply-doomed probe reports.
+func (n *Network) routerReply(at time.Time, s ProbeSpec, src *Host, h visibleHop, typ ReplyType, plan *FaultPlan) Reply {
 	r := h.router
 	if typ != TTLExceeded {
 		switch r.DstPolicy {
@@ -319,10 +337,28 @@ func (n *Network) routerReply(at time.Time, s ProbeSpec, src *Host, h visibleHop
 			}
 		}
 	}
+	if plan != nil {
+		// Round trip traverses each of the h.hops+1 links (access link
+		// included) in both directions.
+		if plan.lossDrop(n.seed, s, 2*(h.hops+1)) {
+			return Reply{Type: Timeout, Drop: DropLoss}
+		}
+		if plan.routerSilent(n.seed, r.ID) {
+			return Reply{Type: Timeout, Drop: DropSilent}
+		}
+		if plan.blackedOut(n.seed, r.ID, at) {
+			return Reply{Type: Timeout, Drop: DropBlackout}
+		}
+		if plan.rateLimited(n.seed, r.ID, at) {
+			return Reply{Type: Timeout, Drop: DropRateLimited}
+		}
+	}
 	if r.ResponseProb < 1 {
 		draw := float64(mix(n.seed, 0xA11CE, u64(s.Src), u64(s.Dst), uint64(s.TTL), uint64(s.Seq))%1_000_000) / 1_000_000
 		if draw >= r.ResponseProb {
-			return Reply{Type: Timeout}
+			// ResponseProb has always modelled ICMP rate limiting
+			// (see Router docs), so classify its silence accordingly.
+			return Reply{Type: Timeout, Drop: DropRateLimited}
 		}
 	}
 	from := r.Canonical
@@ -341,7 +377,7 @@ func (n *Network) routerReply(at time.Time, s ProbeSpec, src *Host, h visibleHop
 	}
 }
 
-func (n *Network) hostReply(at time.Time, s ProbeSpec, src, dst *Host, vis []visibleHop) Reply {
+func (n *Network) hostReply(at time.Time, s ProbeSpec, src, dst *Host, vis []visibleHop, plan *FaultPlan) Reply {
 	if !dst.RespondsToPing {
 		return Reply{Type: Timeout}
 	}
@@ -351,6 +387,11 @@ func (n *Network) hostReply(at time.Time, s ProbeSpec, src, dst *Host, vis []vis
 		last := vis[len(vis)-1]
 		pathDelay = last.delay
 		hops = last.hops
+	}
+	// Round trip crosses hops+2 links (transit plus both access links)
+	// in each direction.
+	if plan != nil && plan.lossDrop(n.seed, s, 2*(hops+2)) {
+		return Reply{Type: Timeout, Drop: DropLoss}
 	}
 	typ := EchoReply
 	if s.Proto == UDP {

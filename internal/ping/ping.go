@@ -27,7 +27,29 @@ type Pinger struct {
 // Series summarizes one measurement run.
 type Series struct {
 	Sent, Received int
-	RTTs           []time.Duration // the received RTTs in send order
+	// Lost and RateLimited classify the unanswered probes: RateLimited
+	// counts replies suppressed by ICMP rate limiting, Lost everything
+	// else — including replies of an unusable type (a series only
+	// accepts its expected reply kind), so Sent == Received + Lost +
+	// RateLimited always holds.
+	Lost, RateLimited int
+	RTTs              []time.Duration // the received RTTs in send order
+}
+
+// Stats exports the series' outcome ledger for campaign accounting.
+func (s Series) Stats() probesched.ProbeStats {
+	return probesched.ProbeStats{
+		Sent: s.Sent, Replied: s.Received, Lost: s.Lost, RateLimited: s.RateLimited,
+	}
+}
+
+// account files an unusable reply into the series' loss buckets.
+func (s *Series) account(r netsim.Reply) {
+	if r.Outcome() == netsim.OutcomeRateLimited {
+		s.RateLimited++
+	} else {
+		s.Lost++
+	}
 }
 
 // Min returns the minimum RTT, or false when nothing was received.
@@ -82,6 +104,7 @@ func (p *Pinger) Ping(src, dst netip.Addr, count int) Series {
 			s.RTTs = append(s.RTTs, r.RTT)
 			cfg.Clock.Advance(r.RTT)
 		} else {
+			s.account(r)
 			cfg.Clock.Advance(cfg.Timeout)
 		}
 		cfg.Clock.Advance(cfg.Interval)
@@ -113,6 +136,7 @@ func (p *Pinger) TTLLimited(src, dst netip.Addr, ttl int, count int) (Series, ne
 			from = r.From
 			cfg.Clock.Advance(r.RTT)
 		} else {
+			s.account(r)
 			cfg.Clock.Advance(cfg.Timeout)
 		}
 		cfg.Clock.Advance(cfg.Interval)

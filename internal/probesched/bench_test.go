@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/comap"
+	"repro/internal/netsim"
+	"repro/internal/probesched"
 )
 
 // BenchmarkParallelCampaign runs the quickstart cable campaign
@@ -62,6 +65,36 @@ func BenchmarkCampaignInfer(b *testing.B) {
 				inf := comap.BuildGraphsParallel(col, m, workers)
 				if len(inf.Regions) == 0 {
 					b.Fatal("inference produced no regions")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFaultedCampaign runs the quickstart campaign through an
+// increasingly lossy measurement plane with retries enabled, at
+// GOMAXPROCS workers. The loss rate is encoded in the sub-benchmark
+// name so benchjson archives it (the "loss" field): the cost of
+// resilience shows up as extra probes per campaign, not extra cost per
+// probe.
+func BenchmarkFaultedCampaign(b *testing.B) {
+	for _, loss := range []float64{0, 0.05, 0.10} {
+		b.Run(fmt.Sprintf("loss=%.2f", loss), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := quickstartCampaign(runtime.GOMAXPROCS(0))
+				if loss > 0 {
+					c.Net.SetFaultPlan(netsim.FaultPlan{Seed: 7, LinkLoss: loss})
+					c.Resilience = probesched.Resilience{
+						Attempts:         3,
+						RetryBackoff:     200 * time.Millisecond,
+						BreakerThreshold: 10,
+					}
+				}
+				b.StartTimer()
+				res := comap.Run(c)
+				if len(res.Collection.Paths) == 0 {
+					b.Fatal("faulted campaign collected no paths")
 				}
 			}
 		})

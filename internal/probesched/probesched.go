@@ -33,14 +33,38 @@
 package probesched
 
 import (
+	"fmt"
 	"net/netip"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/vclock"
 )
+
+// JobPanicError is the typed error a panicking job is converted into.
+// The pool recovers the panic on the worker, lets every other job (and
+// the fold, and the clock advance) finish normally, then re-panics with
+// this error — carrying the canonical job index and the original stack
+// — from the caller's goroutine. One bad job therefore cannot deadlock
+// a batch or strand worker goroutines, but it also cannot be silently
+// swallowed. When several jobs panic, the lowest job index wins (it is
+// the one a sequential run would have hit first).
+type JobPanicError struct {
+	// Job is the canonical index of the panicking job (or, for Reduce,
+	// the accumulator index being folded when the panic fired).
+	Job int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *JobPanicError) Error() string {
+	return fmt.Sprintf("probesched: job %d panicked: %v", e.Job, e.Value)
+}
 
 // Pool schedules probe jobs over a fixed number of workers against one
 // campaign clock. A Pool is cheap to create; campaigns typically build
@@ -113,16 +137,26 @@ func mapFold[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R, 
 	}
 	out := make([]R, n)
 	elapsed := make([]time.Duration, n)
+	panics := make([]*JobPanicError, n)
 	start := p.clock.Now()
 
 	// Each worker owns one clock and resets it to the batch-start
 	// instant between jobs — equivalent to forking a fresh clock per
 	// job (a job only ever observes "start plus its own advances") but
-	// without the per-job allocation.
+	// without the per-job allocation. A panicking job is recovered into
+	// panics[i] so the batch still completes (its result stays the zero
+	// value, which the fold observes like any other); the elapsed time
+	// it consumed before dying is still charged to the campaign clock,
+	// exactly as a sequential run would have.
 	runJob := func(clk *vclock.Clock, i int) {
 		clk.Reset(start)
+		defer func() {
+			elapsed[i] = clk.Since(start)
+			if v := recover(); v != nil {
+				panics[i] = &JobPanicError{Job: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
 		out[i] = run(clk, jobs[i])
-		elapsed[i] = clk.Since(start)
 	}
 
 	workers := p.workers
@@ -200,6 +234,11 @@ func mapFold[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R, 
 		total += d
 	}
 	p.clock.Advance(total)
+	for _, pe := range panics {
+		if pe != nil {
+			panic(pe)
+		}
+	}
 	return out
 }
 
@@ -227,9 +266,9 @@ func Reduce[A any](p *Pool, n int, init func() A, accum func(a A, i int) A, merg
 		workers = n
 	}
 	if workers <= 1 {
-		a := init()
-		for i := 0; i < n; i++ {
-			a = accum(a, i)
+		a, pe := reduceSpan(init, accum, 0, n)
+		if pe != nil {
+			panic(pe)
 		}
 		return a
 	}
@@ -240,6 +279,7 @@ func Reduce[A any](p *Pool, n int, init func() A, accum func(a A, i int) A, merg
 	chunk := (n + spans - 1) / spans
 	numSpans := (n + chunk - 1) / chunk
 	partial := make([]A, numSpans)
+	panics := make([]*JobPanicError, numSpans)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -255,20 +295,41 @@ func Reduce[A any](p *Pool, n int, init func() A, accum func(a A, i int) A, merg
 				if hi > n {
 					hi = n
 				}
-				a := init()
-				for i := lo; i < hi; i++ {
-					a = accum(a, i)
-				}
-				partial[c] = a
+				partial[c], panics[c] = reduceSpan(init, accum, lo, hi)
 			}
 		}()
 	}
 	wg.Wait()
+	// Re-raise before merging: a panicked span holds a half-built
+	// accumulator that merge must never observe. Lowest span (and hence
+	// lowest index) wins, matching the sequential failure point.
+	for _, pe := range panics {
+		if pe != nil {
+			panic(pe)
+		}
+	}
 	a := partial[0]
 	for _, b := range partial[1:] {
 		a = merge(a, b)
 	}
 	return a
+}
+
+// reduceSpan accumulates one contiguous index span, converting a panic
+// in init or accum into a *JobPanicError carrying the index being
+// folded, so one bad element cannot strand the other Reduce workers.
+func reduceSpan[A any](init func() A, accum func(a A, i int) A, lo, hi int) (a A, pe *JobPanicError) {
+	cur := lo
+	defer func() {
+		if v := recover(); v != nil {
+			pe = &JobPanicError{Job: cur, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	a = init()
+	for cur = lo; cur < hi; cur++ {
+		a = accum(a, cur)
+	}
+	return a, nil
 }
 
 // Request describes one probe job in the unified format both

@@ -1,0 +1,173 @@
+package probesched
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Resilience configures how measurement loops respond to a lossy
+// measurement plane: extra per-hop attempts with deterministic
+// virtual-clock backoff, a per-trace probe budget, and a per-vantage-
+// point circuit breaker. The zero value disables everything — engines
+// behave bit-identically to their historical selves — so installing a
+// Resilience is always an explicit opt-in (legitimate timeouts exist
+// even without injected faults, and retrying them would change pinned
+// campaign digests).
+type Resilience struct {
+	// Attempts, when > 0, overrides the engine's per-hop attempt count
+	// (traceroute defaults to 2; raise it to ride out link loss).
+	Attempts int
+	// RetryBackoff is extra virtual wait added before each retry of a
+	// timed-out probe, scaled by the retry ordinal: the k-th retry waits
+	// Timeout + k*RetryBackoff. Backoff consumes virtual time only, so
+	// it is free in wall-clock terms but lets rate-limit and blackout
+	// windows pass before the retry fires.
+	RetryBackoff time.Duration
+	// TraceBudget, when > 0, caps the total probes one trace may emit;
+	// a trace that exhausts it stops early and is marked truncated.
+	TraceBudget int
+	// BreakerThreshold, when > 0, quarantines a vantage point once it
+	// has run this many traces without a single one producing a
+	// responsive hop. Any lifetime success protects the VP for good —
+	// see Breaker for why the bar is set that high.
+	BreakerThreshold int
+}
+
+// Enabled reports whether any resilience behavior is configured.
+func (r Resilience) Enabled() bool {
+	return r.Attempts > 0 || r.RetryBackoff > 0 || r.TraceBudget > 0 || r.BreakerThreshold > 0
+}
+
+// ProbeStats is the typed probe-outcome ledger resilient measurement
+// loops maintain: every probe sent lands in exactly one of the three
+// outcome buckets, so coverage reports can account for the whole
+// campaign (Sent == Replied + Lost + RateLimited always).
+type ProbeStats struct {
+	// Sent counts probes emitted.
+	Sent int `json:"sent"`
+	// Replied counts probes that got any usable answer.
+	Replied int `json:"replied"`
+	// Lost counts probes that timed out for reasons other than rate
+	// limiting (in-flight loss, silent/blacked-out hops, dead VPs,
+	// dead addresses).
+	Lost int `json:"lost"`
+	// RateLimited counts probes suppressed by ICMP rate limiting.
+	RateLimited int `json:"rate_limited"`
+	// Retries counts the subset of Sent that were retransmissions.
+	Retries int `json:"retries"`
+}
+
+// Observe files one probe into its outcome bucket; retry marks it a
+// retransmission.
+func (s *ProbeStats) Observe(replied, rateLimited, retry bool) {
+	s.Sent++
+	switch {
+	case replied:
+		s.Replied++
+	case rateLimited:
+		s.RateLimited++
+	default:
+		s.Lost++
+	}
+	if retry {
+		s.Retries++
+	}
+}
+
+// Add folds another ledger into this one.
+func (s *ProbeStats) Add(o ProbeStats) {
+	s.Sent += o.Sent
+	s.Replied += o.Replied
+	s.Lost += o.Lost
+	s.RateLimited += o.RateLimited
+	s.Retries += o.Retries
+}
+
+// Consistent reports whether every sent probe is accounted for.
+func (s ProbeStats) Consistent() bool {
+	return s.Sent == s.Replied+s.Lost+s.RateLimited
+}
+
+// LossRate is the fraction of sent probes that got no answer at all.
+func (s ProbeStats) LossRate() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(s.Sent)
+}
+
+// Breaker is a per-vantage-point circuit breaker: a VP that has run
+// BreakerThreshold or more traces without a single responsive hop —
+// zero lifetime yield — is quarantined, and later stages stop
+// scheduling work from it.
+//
+// The bar is deliberately "never answered", not "N consecutive
+// failures": in a sweep-heavy campaign most traces target dark /24
+// addresses and come back completely empty even from a perfectly
+// healthy VP, so any streak-based rule short enough to be useful would
+// bench healthy probers mid-sweep. Zero lifetime yield is the one
+// signal the measurement itself can distinguish — a dead or offline VP
+// never answers from anywhere, while a healthy VP answers at least for
+// responsive targets.
+//
+// A Breaker is not safe for concurrent use; campaigns call Record from
+// the in-order fold goroutine only, and consult Quarantined when
+// building the next stage's job list — stages are sequential barriers,
+// so the decisions (and everything downstream) are independent of
+// worker count.
+//
+// The nil *Breaker is inert: Record is a no-op and nothing is ever
+// quarantined, so callers can thread one pointer through unconditionally.
+type Breaker struct {
+	threshold int
+	dead      map[netip.Addr]int
+	alive     map[netip.Addr]bool
+}
+
+// NewBreaker returns a breaker quarantining VPs with zero yield across
+// threshold traces, or nil (inert) when threshold <= 0.
+func NewBreaker(threshold int) *Breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	return &Breaker{
+		threshold: threshold,
+		dead:      map[netip.Addr]int{},
+		alive:     map[netip.Addr]bool{},
+	}
+}
+
+// Record files the outcome of one trace from vp; dead means the trace
+// produced no responsive hop at all.
+func (b *Breaker) Record(vp netip.Addr, dead bool) {
+	if b == nil {
+		return
+	}
+	if !dead {
+		b.alive[vp] = true
+		return
+	}
+	b.dead[vp]++
+}
+
+// Quarantined reports whether vp has been benched: threshold empty
+// traces on record and not one responsive trace ever.
+func (b *Breaker) Quarantined(vp netip.Addr) bool {
+	return b != nil && !b.alive[vp] && b.dead[vp] >= b.threshold
+}
+
+// QuarantinedVPs lists benched vantage points in address order.
+func (b *Breaker) QuarantinedVPs() []netip.Addr {
+	if b == nil {
+		return nil
+	}
+	var out []netip.Addr
+	for vp := range b.dead {
+		if b.Quarantined(vp) {
+			out = append(out, vp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

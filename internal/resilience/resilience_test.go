@@ -149,3 +149,22 @@ func TestEmptyGraph(t *testing.T) {
 		t.Error("WorstCO on empty graph")
 	}
 }
+
+func TestEntryLossSurvivableVacuousWithoutEntries(t *testing.T) {
+	// A region observed with COs but no inferred entry points: there is
+	// no entry to lose, so EntryLossSurvivable is vacuously true — the
+	// claim is about surviving any single entry failure, and zero
+	// entries admit zero failures. Callers who need "has redundant
+	// entries" must check len(Entries) >= 2 themselves.
+	edges, aggs := dualStar(4)
+	g := mk(edges, aggs, nil)
+	rep := Analyze(g)
+	if !rep.EntryLossSurvivable() {
+		t.Error("zero-entry region must be vacuously survivable")
+	}
+	for _, im := range rep.Impacts {
+		if im.Kind == "entry" {
+			t.Fatalf("entry impact materialized from no entries: %+v", im)
+		}
+	}
+}

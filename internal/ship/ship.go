@@ -55,6 +55,10 @@ type Round struct {
 	// Paused marks rounds skipped by the accelerometer rest detector
 	// (no wake-up, no probing).
 	Paused bool
+	// Stats is the round's probe-outcome ledger: every traceroute probe
+	// and reference-server ping lands in exactly one bucket (accounting
+	// only — the inference never reads it).
+	Stats probesched.ProbeStats
 }
 
 // Campaign runs shipments for one carrier.
@@ -87,6 +91,9 @@ type Campaign struct {
 	// per-target traceroutes (0 selects GOMAXPROCS). Rounds are
 	// byte-identical at any value — see internal/probesched.
 	Parallelism int
+	// Resilience opts the round traceroutes into retries, backoff, and
+	// probe budgets (zero value keeps historical behavior).
+	Resilience probesched.Resilience
 
 	rng signalRNG
 }
@@ -152,6 +159,7 @@ func (c *Campaign) round(loc geo.Point) Round {
 		Net: c.Net, Clock: c.Clock, Mode: c.Mode,
 		Attempts: 2, GapLimit: 4, MaxTTL: 24,
 	}
+	eng.ApplyResilience(c.Resilience)
 	// The per-target traceroutes of a round are independent (the phone
 	// runs them back to back), so they fan out over the probe scheduler.
 	pool := probesched.New(c.Parallelism, c.Clock)
@@ -162,6 +170,7 @@ func (c *Campaign) round(loc geo.Point) Round {
 	for i, res := range pool.Fan(eng, jobs) {
 		tr := res.(traceroute.Trace)
 		r.Active += tr.ActiveTime
+		r.Stats.Add(tr.Stats())
 		if i == 0 {
 			for _, h := range tr.ResponsiveHops() {
 				r.Hops = append(r.Hops, h.Addr)
@@ -175,6 +184,8 @@ func (c *Campaign) round(loc geo.Point) Round {
 				Src: att.Host.Addr, Dst: c.Server, TTL: 40,
 				Seq: uint32(seq), FlowID: uint16(seq),
 			})
+			r.Stats.Observe(reply.Type != netsim.Timeout,
+				reply.Outcome() == netsim.OutcomeRateLimited, false)
 			if reply.Type != netsim.EchoReply {
 				continue
 			}
@@ -280,6 +291,16 @@ func JourneyEnergy(rounds []Round, m energy.Model) float64 {
 		total += m.WakeEnergymAh + r.Active.Seconds()*m.ActiveDrawmAhPerSec
 	}
 	return total
+}
+
+// CampaignStats folds every round's probe-outcome ledger into one
+// journey-wide total (paused and no-signal rounds contribute zeros).
+func CampaignStats(rounds []Round) probesched.ProbeStats {
+	var s probesched.ProbeStats
+	for i := range rounds {
+		s.Add(rounds[i].Stats)
+	}
+	return s
 }
 
 // LatencyMap aggregates per-hex minimum RTT in milliseconds (Fig. 18).

@@ -48,6 +48,15 @@ type Engine struct {
 	// Proto is the probe protocol (default ICMP echo).
 	Proto netsim.Proto
 
+	// RetryBackoff, when nonzero, adds k*RetryBackoff of extra wait
+	// before the k-th retry of a timed-out hop, letting rate-limit and
+	// blackout windows pass. Zero (the default) keeps the historical
+	// fixed-timeout retry schedule bit-identical.
+	RetryBackoff time.Duration
+	// ProbeBudget, when nonzero, caps the probes one trace may send;
+	// an exhausted trace stops early with Truncated set.
+	ProbeBudget int
+
 	// arena is the per-trace hop scratch source, bound by traceWith on
 	// the engine's stack copy; never set on a shared Engine.
 	arena *hopArena
@@ -121,6 +130,42 @@ type Trace struct {
 	// the Fig. 14 energy model.
 	Probes     int
 	ActiveTime time.Duration
+
+	// Typed outcome ledger: every probe sent lands in exactly one of
+	// Replied / Lost / RateLimited, so Probes == Replied + Lost +
+	// RateLimited always holds. Retries counts retransmissions within
+	// Probes, and Truncated marks a trace stopped by ProbeBudget.
+	Replied     int
+	Lost        int
+	RateLimited int
+	Retries     int
+	Truncated   bool
+}
+
+// Stats exports the trace's outcome ledger for campaign accounting.
+func (t *Trace) Stats() probesched.ProbeStats {
+	return probesched.ProbeStats{
+		Sent:        t.Probes,
+		Replied:     t.Replied,
+		Lost:        t.Lost,
+		RateLimited: t.RateLimited,
+		Retries:     t.Retries,
+	}
+}
+
+// observe files one reply into the trace's outcome ledger.
+func (t *Trace) observe(r netsim.Reply, retry bool) {
+	switch r.Outcome() {
+	case netsim.OutcomeReply:
+		t.Replied++
+	case netsim.OutcomeRateLimited:
+		t.RateLimited++
+	default:
+		t.Lost++
+	}
+	if retry {
+		t.Retries++
+	}
 }
 
 // ResponsiveHops returns the hops that answered, in TTL order.
@@ -216,6 +261,23 @@ func (e *Engine) traceWith(clk *vclock.Clock, src, dst netip.Addr) Trace {
 	return cfg.traceSequential(src, dst)
 }
 
+// ApplyResilience overlays a resilience policy on the engine: a
+// positive Attempts overrides the per-hop attempt count, and the
+// retry backoff and trace budget are installed as given. The zero
+// policy is a no-op, keeping default engines bit-identical to their
+// historical behavior.
+func (e *Engine) ApplyResilience(r probesched.Resilience) {
+	if r.Attempts > 0 {
+		e.Attempts = r.Attempts
+	}
+	if r.RetryBackoff > 0 {
+		e.RetryBackoff = r.RetryBackoff
+	}
+	if r.TraceBudget > 0 {
+		e.ProbeBudget = r.TraceBudget
+	}
+}
+
 // WithClock returns a copy of the engine bound to clk, for callers that
 // want to hold the binding; the scheduler path avoids it (see
 // traceWith).
@@ -263,14 +325,29 @@ func (e *Engine) traceSequential(src, dst netip.Addr) Trace {
 	gap := 0
 	var seq uint32
 	for ttl := 1; ttl <= e.MaxTTL; ttl++ {
+		if e.ProbeBudget > 0 && tr.Probes >= e.ProbeBudget {
+			tr.Truncated = true
+			break
+		}
 		hop := Hop{TTL: ttl}
 		for att := 0; att < e.Attempts; att++ {
+			// Budget can only trip on a retry here: the TTL-loop check
+			// above covers attempt 0, so no zero-probe hop rows appear.
+			if att > 0 && e.ProbeBudget > 0 && tr.Probes >= e.ProbeBudget {
+				tr.Truncated = true
+				break
+			}
 			seq++
 			r := flow.Probe(e.Clock.Now(), uint8(ttl), e.Proto, seq)
 			tr.Probes++
+			tr.observe(r, att > 0)
 			if r.Type == netsim.Timeout {
-				e.Clock.Advance(e.Timeout)
-				tr.ActiveTime += e.Timeout
+				wait := e.Timeout
+				if e.RetryBackoff > 0 && att+1 < e.Attempts {
+					wait += time.Duration(att+1) * e.RetryBackoff
+				}
+				e.Clock.Advance(wait)
+				tr.ActiveTime += wait
 				continue
 			}
 			e.Clock.Advance(r.RTT)
@@ -319,14 +396,28 @@ func (e *Engine) traceParallel(src, dst netip.Addr) Trace {
 			if ttl > e.MaxTTL {
 				break
 			}
+			if e.ProbeBudget > 0 && tr.Probes >= e.ProbeBudget {
+				tr.Truncated = true
+				done = true
+				break
+			}
 			hop := Hop{TTL: ttl}
 			for att := 0; att < e.Attempts; att++ {
+				if att > 0 && e.ProbeBudget > 0 && tr.Probes >= e.ProbeBudget {
+					tr.Truncated = true
+					break
+				}
 				seq++
 				r := flow.Probe(e.Clock.Now(), uint8(ttl), e.Proto, seq)
 				tr.Probes++
+				tr.observe(r, att > 0)
 				if r.Type == netsim.Timeout {
-					if e.Timeout > burstWait {
-						burstWait = e.Timeout
+					wait := e.Timeout
+					if e.RetryBackoff > 0 && att+1 < e.Attempts {
+						wait += time.Duration(att+1) * e.RetryBackoff
+					}
+					if wait > burstWait {
+						burstWait = wait
 					}
 					continue
 				}
