@@ -1,21 +1,29 @@
-# Verification entry points. `make verify` is the tier-1 gate: vet,
-# build, full test suite, then the race detector over the packages with
-# concurrency (the probe scheduler, the thread-safe simulator, and the
-# campaign that drives them in parallel), and finally the fault-plane
-# gates: fast-path equivalence, zero-fault golden equivalence, and the
-# graceful-degradation chaos sweep.
+# Verification entry points. `make verify` is the tier-1 gate: gofmt,
+# vet, build, full test suite, then the race detector over the packages
+# with concurrency (the probe scheduler, the thread-safe simulator, and
+# the campaign that drives them in parallel), the fault-plane gates
+# (fast-path equivalence, zero-fault golden equivalence, and the
+# graceful-degradation chaos sweep), and finally the allocation gate
+# (bench-mem), which fails on a >10% bytes_per_op regression against
+# the previous PR's benchmark archive.
 
 GO ?= go
 
-.PHONY: verify build test vet race race-infer equivalence chaos bench bench-sched bench-diff
+.PHONY: verify build test fmt vet race race-infer equivalence chaos bench bench-mem bench-sched bench-diff profile
 
-verify: vet build test race race-infer equivalence chaos
+verify: fmt vet build test race race-infer equivalence chaos bench-mem
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# gofmt as a gate: the target fails (and lists the offenders) when any
+# tracked Go file needs reformatting.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -59,8 +67,25 @@ bench:
 	  $(GO) test ./internal/probesched/ -run XXX \
 		-bench 'BenchmarkParallelCampaign|BenchmarkCampaignCollect|BenchmarkCampaignInfer|BenchmarkFaultedCampaign' \
 		-benchmem -benchtime 3x ) \
-		| $(GO) run ./cmd/benchjson > BENCH_PR4.json
+		| $(GO) run ./cmd/benchjson > BENCH_PR5.json
 
-# Per-benchmark speedup of the current archive over the previous PR's.
+# Allocation gate: rerun the campaign bench with -benchmem, archive the
+# numbers, and fail if any benchmark's bytes_per_op regressed more than
+# 10% against the previous PR's archive (benchjson -prev exits nonzero
+# on regression). This is what keeps the memory-engine wins from
+# quietly eroding. Writes its own archive (BENCH_MEM.json) so it never
+# clobbers the full `make bench` archive.
+bench-mem:
+	$(GO) test ./internal/probesched/ -run XXX \
+		-bench 'BenchmarkParallelCampaign' -benchmem -benchtime 3x \
+		| $(GO) run ./cmd/benchjson -prev BENCH_PR4.json > BENCH_MEM.json
+
+# Per-benchmark time/bytes/allocs comparison of the current archive
+# over the previous PR's.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_PR3.json BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -diff BENCH_PR4.json BENCH_PR5.json
+
+# CPU+heap profiles of a full campaign run, ready for `go tool pprof`.
+profile:
+	$(GO) run ./cmd/regionmap -cpuprofile cpu.out -memprofile mem.out > /dev/null
+	@echo "wrote cpu.out and mem.out; inspect with: $(GO) tool pprof cpu.out"

@@ -11,8 +11,13 @@
 //
 // With -prev, the speedup of each parsed benchmark over the matching
 // entry in the previous archive is reported on stderr alongside the
-// JSON. With -diff, no stdin is read: the two archives are compared and
-// the per-benchmark table goes to stdout.
+// JSON, and the process exits nonzero when any benchmark present in
+// both runs grew its bytes_per_op by more than -max-bytes-growth
+// (default 10%) — the allocation-regression gate `make bench-mem`
+// relies on. With -diff, no stdin is read: the two archives are
+// compared and the per-benchmark table (time and, when -benchmem data
+// exists, bytes/allocs) goes to stdout; names present in only one
+// archive are reported as new/gone rather than failing.
 package main
 
 import (
@@ -99,36 +104,76 @@ func loadArchive(path string) ([]Result, error) {
 	return rs, nil
 }
 
+// fmtMem renders an optional -benchmem value; "-" when the run was
+// taken without -benchmem.
+func fmtMem(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	return strconv.FormatFloat(*v, 'f', 0, 64)
+}
+
 // writeDiff prints a per-benchmark comparison of old vs new, keyed by
 // benchmark name. Speedup is old/new ns/op, so >1 means the new run is
-// faster. Benchmarks present on only one side are listed, never
-// silently dropped.
+// faster; the memory columns come from -benchmem runs and show "-"
+// when either side lacks them. Benchmarks present on only one side are
+// listed as new/gone, never silently dropped.
 func writeDiff(w io.Writer, old, new []Result) {
 	byName := map[string]Result{}
 	for _, r := range old {
 		byName[r.Name] = r
 	}
 	seen := map[string]bool{}
-	fmt.Fprintf(w, "%-70s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
+	fmt.Fprintf(w, "%-70s %14s %14s %8s %12s %12s %10s %10s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup",
+		"old B/op", "new B/op", "old allocs", "new allocs")
 	for _, r := range new {
 		o, ok := byName[r.Name]
 		if !ok {
-			fmt.Fprintf(w, "%-70s %14s %14.0f %8s\n", r.Name, "-", r.NsPerOp, "new")
+			fmt.Fprintf(w, "%-70s %14s %14.0f %8s %12s %12s %10s %10s\n",
+				r.Name, "-", r.NsPerOp, "new", "-", fmtMem(r.BytesPerOp), "-", fmtMem(r.AllocsPerOp))
 			continue
 		}
 		seen[r.Name] = true
-		fmt.Fprintf(w, "%-70s %14.0f %14.0f %7.2fx\n", r.Name, o.NsPerOp, r.NsPerOp, o.NsPerOp/r.NsPerOp)
+		fmt.Fprintf(w, "%-70s %14.0f %14.0f %7.2fx %12s %12s %10s %10s\n",
+			r.Name, o.NsPerOp, r.NsPerOp, o.NsPerOp/r.NsPerOp,
+			fmtMem(o.BytesPerOp), fmtMem(r.BytesPerOp), fmtMem(o.AllocsPerOp), fmtMem(r.AllocsPerOp))
 	}
 	for _, o := range old {
 		if !seen[o.Name] {
-			fmt.Fprintf(w, "%-70s %14.0f %14s %8s\n", o.Name, o.NsPerOp, "-", "gone")
+			fmt.Fprintf(w, "%-70s %14.0f %14s %8s %12s %12s %10s %10s\n",
+				o.Name, o.NsPerOp, "-", "gone", fmtMem(o.BytesPerOp), "-", fmtMem(o.AllocsPerOp), "-")
 		}
 	}
 }
 
+// bytesRegressions returns one message per benchmark whose bytes_per_op
+// grew more than maxGrowth (fractional) over the old archive. Only
+// benchmarks present in both archives with -benchmem data on both sides
+// are gated; new, gone, or time-only benchmarks cannot fail the gate.
+func bytesRegressions(old, new []Result, maxGrowth float64) []string {
+	byName := map[string]Result{}
+	for _, r := range old {
+		byName[r.Name] = r
+	}
+	var bad []string
+	for _, r := range new {
+		o, ok := byName[r.Name]
+		if !ok || o.BytesPerOp == nil || r.BytesPerOp == nil || *o.BytesPerOp == 0 {
+			continue
+		}
+		if growth := *r.BytesPerOp / *o.BytesPerOp; growth > 1+maxGrowth {
+			bad = append(bad, fmt.Sprintf("%s: bytes_per_op %.0f -> %.0f (%.1f%% growth, limit %.0f%%)",
+				r.Name, *o.BytesPerOp, *r.BytesPerOp, (growth-1)*100, maxGrowth*100))
+		}
+	}
+	return bad
+}
+
 func main() {
-	prev := flag.String("prev", "", "previous benchjson archive to report speedups against (stderr)")
+	prev := flag.String("prev", "", "previous benchjson archive to report speedups against (stderr); exits nonzero on bytes_per_op regression")
 	diff := flag.Bool("diff", false, "compare two archives given as arguments instead of reading stdin")
+	maxBytesGrowth := flag.Float64("max-bytes-growth", 0.10, "with -prev: allowed fractional bytes_per_op growth before the exit status turns nonzero")
 	flag.Parse()
 
 	if *diff {
@@ -166,6 +211,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
+	var gateFailures []string
 	if *prev != "" {
 		old, err := loadArchive(*prev)
 		if err != nil {
@@ -174,11 +220,20 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 		writeDiff(os.Stderr, old, results)
+		gateFailures = bytesRegressions(old, results, *maxBytesGrowth)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+	// The gate reports after the JSON is written: a regression should
+	// fail the build without losing the archive that shows it.
+	if len(gateFailures) > 0 {
+		for _, f := range gateFailures {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", f)
+		}
 		os.Exit(1)
 	}
 }

@@ -12,6 +12,7 @@
 //
 //	chaossweep [-seed N] [-isp comcast|charter] [-grid 0,0.05,0.1,0.2]
 //	           [-icmp-rate N] [-retries N] [-check]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // Every cell rebuilds the same seeded scenario, so cells differ only in
 // the installed fault plan; output is byte-identical at any -parallel
@@ -31,6 +32,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/probesched"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -43,6 +45,8 @@ func main() {
 	breaker := flag.Int("breaker", 10, "circuit-breaker threshold (zero-yield traces before a VP is benched; 0 = off)")
 	parallel := flag.Int("parallel", 0, "probe-scheduler workers (0 = GOMAXPROCS); output is identical at any value")
 	check := flag.Bool("check", false, "exit nonzero unless degradation is graceful")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *isp != "comcast" && *isp != "charter" {
@@ -54,6 +58,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chaossweep:", err)
 		os.Exit(2)
 	}
+	defer profiling.Start(*cpuprofile, *memprofile)()
 
 	type row struct {
 		loss     float64

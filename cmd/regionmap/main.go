@@ -8,6 +8,7 @@
 //
 //	regionmap [-seed N] [-isp comcast|charter] [-region NAME] [-v]
 //	          [-loss RATE] [-icmp-rate N] [-retries N]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // The -loss / -icmp-rate flags inject deterministic faults into the
 // measurement plane (see netsim.FaultPlan); -retries opts the campaign
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/probesched"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -41,12 +43,15 @@ func main() {
 	loss := flag.Float64("loss", 0, "inject per-link loss at this rate (0 = pristine plane)")
 	icmpRate := flag.Float64("icmp-rate", 0, "cap per-router ICMP replies/sec (0 = no rate limiting)")
 	retries := flag.Int("retries", 0, "per-hop attempts with backoff for the resilient campaign (0 = historical behavior)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *isp != "comcast" && *isp != "charter" {
 		fmt.Fprintln(os.Stderr, "regionmap: -isp must be comcast or charter")
 		os.Exit(2)
 	}
+	defer profiling.Start(*cpuprofile, *memprofile)()
 
 	fmt.Fprintf(os.Stderr, "building scenario (seed %d) and running the %s campaign...\n", *seed, *isp)
 	opts := []core.Option{core.WithParallelism(*parallel), core.WithProbeBudget(*budget)}

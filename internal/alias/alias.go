@@ -59,6 +59,11 @@ type Resolver struct {
 	// from the resolver's own (sequential) fold paths, never from
 	// worker goroutines, so no synchronization is needed.
 	Stats *probesched.ProbeStats
+
+	// scratch reuses the MIDAR sampling grid and fit buffers across
+	// passes and partitions (see midarScratch). Only the resolver's own
+	// sequential probing path touches it.
+	scratch midarScratch
 }
 
 // observe files one probe outcome into Stats, when attached.
@@ -248,7 +253,10 @@ type ipidSample struct {
 
 // candidate is an address that passed velocity estimation.
 type candidate struct {
-	addr     netip.Addr
+	addr netip.Addr
+	// flow is the target's compiled forwarding path, shared with the
+	// MBT stage so it probes without re-resolving.
+	flow     *netsim.Flow
 	velocity float64 // counts per second
 	// projected is the counter value extrapolated to the estimation
 	// epoch; aliases share both slope and intercept.

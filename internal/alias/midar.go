@@ -36,26 +36,54 @@ func (r *Resolver) midar(targets []netip.Addr, res *Result) {
 	// compiled flow. Flow.Probe is bit-identical to Network.Probe (see
 	// internal/netsim), so the reply stream — and hence the IP-ID
 	// evidence — is unchanged; only the per-probe destination resolution
-	// and path-cache lookups disappear.
-	flows := make(map[netip.Addr]*netsim.Flow, len(targets))
-	for _, t := range targets {
-		f := r.Net.CompileFlow(r.VP, t, 0)
-		flows[t] = &f
+	// and path-cache lookups disappear. Flows live in one slice indexed
+	// like targets (candidates keep a pointer into it), not a per-target
+	// heap allocation.
+	flows := make([]netsim.Flow, len(targets))
+	for i, t := range targets {
+		flows[i] = r.Net.CompileFlow(r.VP, t, 0)
 	}
 	for pass := 0; pass < r.Passes; pass++ {
 		r.midarPass(targets, flows, res, pass)
 	}
 }
 
-func (r *Resolver) midarPass(targets []netip.Addr, flows map[netip.Addr]*netsim.Flow, res *Result, pass int) {
+// midarScratch holds the IP-ID stage's reusable buffers: the flat
+// estimation-sample grid (row i = target i's samples, EstimationSamples
+// wide) with its per-row fill counts, plus the MBT's series and fit
+// arrays. Reused across rounds, passes, and regional partitions, the
+// whole IP-ID stage settles into zero steady-state allocation; a map of
+// per-target append-grown slices was ~4.5k allocations per campaign.
+type midarScratch struct {
+	samples   []ipidSample
+	counts    []int
+	series    []ipidSample
+	unwrapped []float64
+	times     []float64
+}
+
+func (r *Resolver) midarPass(targets []netip.Addr, flows []netsim.Flow, res *Result, pass int) {
 	epoch := r.Clock.Now()
-	samples := map[netip.Addr][]ipidSample{}
-	for round := 0; round < r.EstimationSamples; round++ {
-		for _, t := range targets {
-			reply := flows[t].Probe(r.Clock.Now(), 64, netsim.ICMPEcho, uint32(1000+pass*32+round))
+	es := r.EstimationSamples
+	sc := &r.scratch
+	if cap(sc.samples) < len(targets)*es {
+		sc.samples = make([]ipidSample, len(targets)*es)
+	}
+	if cap(sc.counts) < len(targets) {
+		sc.counts = make([]int, len(targets))
+	}
+	grid := sc.samples[:len(targets)*es]
+	counts := sc.counts[:len(targets)]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for round := 0; round < es; round++ {
+		for i := range targets {
+			reply := flows[i].Probe(r.Clock.Now(), 64, netsim.ICMPEcho, uint32(1000+pass*32+round))
 			r.observe(reply, false)
 			if reply.Type == netsim.EchoReply {
-				samples[t] = append(samples[t], ipidSample{at: r.Clock.Now(), ipid: reply.IPID})
+				grid[i*es+counts[i]] = ipidSample{at: r.Clock.Now(), ipid: reply.IPID}
+				counts[i]++
 			}
 			r.Clock.Advance(2 * time.Millisecond)
 		}
@@ -63,25 +91,26 @@ func (r *Resolver) midarPass(targets []netip.Addr, flows map[netip.Addr]*netsim.
 	}
 
 	// The velocity fits are pure computation over the collected sample
-	// series, so they shard across workers; per-shard candidate lists
-	// concatenate in shard order, preserving the target-order candidate
-	// list the pairing stage expects.
+	// series, so they shard across workers (the grid and counts are
+	// read-only here); per-shard candidate lists concatenate in shard
+	// order, preserving the target-order candidate list the pairing
+	// stage expects.
 	pool := probesched.New(r.Parallelism, nil)
 	cands := probesched.Reduce(pool, len(targets),
 		func() []candidate { return nil },
 		func(out []candidate, i int) []candidate {
-			t := targets[i]
-			s := samples[t]
+			s := grid[i*es : i*es+counts[i]]
 			// Tolerate one rate-limited round; three samples still fit a
 			// velocity.
-			if len(s) < r.EstimationSamples-1 || len(s) < 3 {
+			if len(s) < es-1 || len(s) < 3 {
 				return out
 			}
 			c, ok := estimate(s, epoch)
 			if !ok {
 				return out
 			}
-			c.addr = t
+			c.addr = targets[i]
+			c.flow = &flows[i]
 			return append(out, c)
 		},
 		func(into, from []candidate) []candidate { return append(into, from...) })
@@ -97,7 +126,7 @@ func (r *Resolver) midarPass(targets []netip.Addr, flows map[netip.Addr]*netsim.
 		if !velocityCompatible(cands[i].velocity, cands[j].velocity, r.VelocityTolerance) {
 			return
 		}
-		if r.monotonicBoundTest(flows, cands[i], cands[j]) {
+		if r.monotonicBoundTest(cands[i], cands[j]) {
 			res.union(cands[i].addr, cands[j].addr)
 			res.MIDARPairs++
 		}
@@ -126,16 +155,20 @@ const projWindow = 250
 // separated by a long gap, unwraps the combined IP-ID series with the
 // estimated velocity, and accepts the pair only when every step advances
 // and a least-squares line fits the series with small residuals.
-func (r *Resolver) monotonicBoundTest(flows map[netip.Addr]*netsim.Flow, a, b candidate) bool {
+func (r *Resolver) monotonicBoundTest(a, b candidate) bool {
 	v := (a.velocity + b.velocity) / 2
-	var series []ipidSample
+	series := r.scratch.series[:0]
 	collect := func(n int) {
 		for i := 0; i < n; i++ {
-			for _, addr := range []netip.Addr{a.addr, b.addr} {
+			for side := 0; side < 2; side++ {
+				f := a.flow
+				if side == 1 {
+					f = b.flow
+				}
 				// Retry rate-limited probes; a lost sample shrinks the
 				// series but does not abort the test.
 				for att := 0; att < 3; att++ {
-					reply := flows[addr].Probe(r.Clock.Now(), 64, netsim.ICMPEcho, uint32(2000+i*4+att))
+					reply := f.Probe(r.Clock.Now(), 64, netsim.ICMPEcho, uint32(2000+i*4+att))
 					r.observe(reply, att > 0)
 					if reply.Type == netsim.EchoReply {
 						series = append(series, ipidSample{at: r.Clock.Now(), ipid: reply.IPID})
@@ -150,6 +183,10 @@ func (r *Resolver) monotonicBoundTest(flows map[netip.Addr]*netsim.Flow, a, b ca
 	collect(r.MBTSamples)
 	r.Clock.Advance(10 * time.Minute)
 	collect(r.MBTSamples)
+	// Hand the (possibly grown) buffer back for the next invocation;
+	// this call keeps using series, which is finished with before any
+	// other MBT can run (the pairing loop is sequential).
+	r.scratch.series = series
 	// Demand most of both bursts: the test needs interleaved samples on
 	// both sides of the long gap.
 	if len(series) < 3*r.MBTSamples {
@@ -158,8 +195,13 @@ func (r *Resolver) monotonicBoundTest(flows map[netip.Addr]*netsim.Flow, a, b ca
 
 	// Velocity-guided unwrap into a cumulative series.
 	t0 := series[0].at
-	unwrapped := make([]float64, len(series))
-	times := make([]float64, len(series))
+	if cap(r.scratch.unwrapped) < len(series) {
+		r.scratch.unwrapped = make([]float64, len(series))
+		r.scratch.times = make([]float64, len(series))
+	}
+	unwrapped := r.scratch.unwrapped[:len(series)]
+	times := r.scratch.times[:len(series)]
+	times[0] = 0
 	cur := float64(series[0].ipid)
 	for i := 1; i < len(series); i++ {
 		dt := series[i].at.Sub(series[i-1].at).Seconds()

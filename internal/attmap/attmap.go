@@ -15,6 +15,7 @@ import (
 	"repro/internal/hostnames"
 	"repro/internal/netsim"
 	"repro/internal/probesched"
+	"repro/internal/symtab"
 	"repro/internal/traceroute"
 	"repro/internal/vclock"
 )
@@ -208,21 +209,44 @@ func (c *Campaign) Run() *Result {
 	pool := probesched.New(c.Parallelism, c.Clock)
 	re := hostnames.TargetRegex(c.ISP)
 	scan := c.DNS.ScanSnapshotParallel(re, c.Parallelism)
-	res.Lspgws = probesched.Reduce(pool, len(scan),
-		func() map[string][]netip.Addr { return map[string][]netip.Addr{} },
-		func(acc map[string][]netip.Addr, i int) map[string][]netip.Addr {
+	// City codes are interned per shard and the per-code lists live in a
+	// dense slice indexed by symbol (Syms are 0..Len-1 by construction);
+	// the shard-order table merge keeps concatenation order identical to
+	// a sequential scan, and the string-keyed Lspgws map is materialized
+	// once at the end.
+	type lspAcc struct {
+		syms  *symtab.Table
+		addrs [][]netip.Addr // indexed by city-code Sym
+	}
+	lsp := probesched.Reduce(pool, len(scan),
+		func() lspAcc { return lspAcc{syms: symtab.New(0)} },
+		func(acc lspAcc, i int) lspAcc {
 			info, ok := hostnames.Parse(scan[i].Name)
 			if ok && info.ISP == c.ISP {
-				acc[info.CO] = append(acc[info.CO], scan[i].Addr)
+				s := acc.syms.Intern(info.CO)
+				if int(s) == len(acc.addrs) {
+					acc.addrs = append(acc.addrs, nil)
+				}
+				acc.addrs[s] = append(acc.addrs[s], scan[i].Addr)
 			}
 			return acc
 		},
-		func(into, from map[string][]netip.Addr) map[string][]netip.Addr {
-			for code, addrs := range from {
-				into[code] = append(into[code], addrs...)
+		func(into, from lspAcc) lspAcc {
+			remap := into.syms.Merge(from.syms)
+			for s, addrs := range from.addrs {
+				t := int(remap[s])
+				for t >= len(into.addrs) {
+					into.addrs = append(into.addrs, nil)
+				}
+				into.addrs[t] = append(into.addrs[t], addrs...)
 			}
 			return into
 		})
+	for s, addrs := range lsp.addrs {
+		if len(addrs) > 0 {
+			res.Lspgws[lsp.syms.Str(symtab.Sym(s))] = addrs
+		}
+	}
 
 	// Bootstrap: traceroute from the Ark-style VPs toward a few lspgws
 	// per code; record the backbone tag seen en route and the /24 of

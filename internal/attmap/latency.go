@@ -8,6 +8,7 @@ import (
 	"repro/internal/hostnames"
 	"repro/internal/ping"
 	"repro/internal/probesched"
+	"repro/internal/symtab"
 	"repro/internal/traceroute"
 )
 
@@ -100,7 +101,9 @@ func (c *Campaign) PathCoverage(vps []netip.Addr, targets []netip.Addr) int {
 			jobs = append(jobs, probesched.Request{Src: vp, Dst: dst})
 		}
 	}
-	seen := map[string]bool{}
+	// The interner doubles as the dedup set: distinct path keys get
+	// distinct symbols, so the table length IS the distinct-path count.
+	seen := symtab.New(0)
 	for _, res := range pool.Fan(eng, jobs) {
 		tr := res.(traceroute.Trace)
 		hops := tr.ResponsiveHops()
@@ -112,7 +115,7 @@ func (c *Campaign) PathCoverage(vps []netip.Addr, targets []netip.Addr) int {
 			b.WriteString(h.Addr.String())
 			b.WriteByte('>')
 		}
-		seen[b.String()] = true
+		seen.Intern(b.String())
 	}
-	return len(seen)
+	return seen.Len()
 }

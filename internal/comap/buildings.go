@@ -1,6 +1,10 @@
 package comap
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/symtab"
+)
 
 // BuildingStats quantifies building-level structure recovered from
 // CLLI-style CO tags (§1: "Layer 3 topology information, including
@@ -34,28 +38,32 @@ func BuildingRedundancy(g *RegionGraph) BuildingStats {
 		keys = append(keys, key)
 	}
 	sort.Strings(keys)
-	byCity := map[string][]string{}
-	var cities []string
+	// City codes are interned; per-city building lists live in a dense
+	// slice indexed by symbol. Because every key in one region graph
+	// shares the "region/" prefix, walking the sorted keys yields city
+	// codes in nondecreasing order, so the table's first-seen symbol
+	// order IS sorted city order and the reporting loop below needs no
+	// extra sort.
+	citySyms := symtab.New(0)
+	var byCity [][]string // indexed by city-code Sym
 	for _, key := range keys {
 		node := g.COs[key]
 		if !isCLLITag(node.Tag) {
 			continue
 		}
-		city := node.Tag[:6]
-		if byCity[city] == nil {
-			cities = append(cities, city)
+		s := citySyms.Intern(node.Tag[:6])
+		if int(s) == len(byCity) {
+			byCity = append(byCity, nil)
 		}
-		byCity[city] = append(byCity[city], key)
+		byCity[s] = append(byCity[s], key)
 	}
-	stats.Cities = len(byCity)
-	sort.Strings(cities)
-	for _, city := range cities {
-		keys := byCity[city]
+	stats.Cities = citySyms.Len()
+	for s, keys := range byCity {
 		if len(keys) < 2 {
 			continue
 		}
 		stats.MultiBuilding++
-		stats.Buildings[city] = keys
+		stats.Buildings[citySyms.Str(symtab.Sym(s))] = keys
 		aggs := 0
 		for _, k := range keys {
 			if g.COs[k].IsAgg {

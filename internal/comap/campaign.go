@@ -142,7 +142,13 @@ func (c *Campaign) Run() *Collection {
 	if c.MaxTraces > 0 && hint > c.MaxTraces*2 {
 		hint = c.MaxTraces * 2
 	}
-	seen := make(map[[2]netip.Addr]bool, hint) // (src,dst) pairs already traced
+	// The dedup set keys IPv4 (src,dst) pairs as one packed uint64 —
+	// injective, since each address is exactly its 32-bit value — which
+	// more than halves the set's footprint vs [2]netip.Addr keys (48-byte
+	// keys, most of it Addr internals). Non-IPv4 pairs (none in the cable
+	// campaigns, but the API allows them) fall back to a wide map.
+	seen := make(map[uint64]bool, hint) // packed (src,dst) pairs already traced
+	var seenWide map[[2]netip.Addr]bool
 	submitted := 0
 
 	// The circuit breaker benches dead VPs between stages: Record runs
@@ -159,53 +165,91 @@ func (c *Campaign) Run() *Collection {
 		if breaker.Quarantined(src) {
 			return
 		}
-		key := [2]netip.Addr{src, dst}
-		if seen[key] {
-			return
+		if src.Is4() && dst.Is4() {
+			s, d := src.As4(), dst.As4()
+			key := uint64(uint32(s[0])<<24|uint32(s[1])<<16|uint32(s[2])<<8|uint32(s[3]))<<32 |
+				uint64(uint32(d[0])<<24|uint32(d[1])<<16|uint32(d[2])<<8|uint32(d[3]))
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+		} else {
+			if seenWide == nil {
+				seenWide = map[[2]netip.Addr]bool{}
+			}
+			key := [2]netip.Addr{src, dst}
+			if seenWide[key] {
+				return
+			}
+			seenWide[key] = true
 		}
-		seen[key] = true
 		jobs = append(jobs, probesched.Request{Src: src, Dst: dst})
 	}
+	// Kept paths carve their Hops/Gaps out of shared arena chunks instead
+	// of two exact-size allocations per path; the chunks stay alive for
+	// the Collection's lifetime through the path slices, and each carve is
+	// capacity-clamped so an append on one path can never bleed into the
+	// next path's region.
+	var hopArena []netip.Addr
+	var gapArena []bool
+	const arenaChunk = 4096
+
 	// flush runs the accumulated jobs through the scheduler, streaming
 	// each trace into the collection in submission order while later
 	// jobs are still probing (traceroute.FoldTraces).
 	flush := func(stage string) {
 		submitted += len(jobs)
-		eng.FoldTraces(pool, jobs, func(_ int, tr traceroute.Trace) {
+		eng.FoldTracesColumnar(pool, jobs, func(_ int, tv traceroute.TraceView) {
 			// Count responsive hops first: all-timeout traces (most of
 			// the /24 sweep) are dropped without allocating, and kept
-			// paths get exactly-sized slices.
+			// paths get exactly-sized slices. Hop rows live in the
+			// chunk's columnar store, valid exactly for this fold call.
+			n := tv.NumHops()
 			resp := 0
-			for _, h := range tr.Hops {
-				if h.Responded() {
+			for k := 0; k < n; k++ {
+				if tv.HopResponded(k) {
 					resp++
 				}
 			}
 			col.TracesRun++
-			col.Stats.Add(tr.Stats())
-			col.HopRowsProbed += len(tr.Hops)
+			col.Stats.Add(tv.Stats())
+			col.HopRowsProbed += n
 			col.HopRowsAnswered += resp
-			if tr.Truncated {
+			if tv.Truncated {
 				col.TruncatedTraces++
 			}
-			breaker.Record(tr.Src, resp == 0)
+			breaker.Record(tv.Src, resp == 0)
 			if resp == 0 {
 				col.EmptyTraces++
 				return
 			}
+			if cap(hopArena)-len(hopArena) < resp {
+				grow := arenaChunk
+				if grow < resp {
+					grow = resp
+				}
+				hopArena = make([]netip.Addr, 0, grow)
+				gapArena = make([]bool, 0, grow)
+			}
+			lo := len(hopArena)
+			hopArena = hopArena[:lo+resp]
+			gapArena = gapArena[:lo+resp]
 			p := Path{
-				Src: tr.Src, Dst: tr.Dst, Reached: tr.Reached,
-				Hops: make([]netip.Addr, 0, resp),
-				Gaps: make([]bool, 0, resp),
+				Src: tv.Src, Dst: tv.Dst, Reached: tv.Reached,
+				Hops: hopArena[lo : lo+resp : lo+resp],
+				Gaps: gapArena[lo : lo+resp : lo+resp],
 			}
 			gap := false
-			for _, h := range tr.Hops {
-				if !h.Responded() {
+			w := 0
+			for k := 0; k < n; k++ {
+				if !tv.HopResponded(k) {
 					gap = true
 					continue
 				}
-				p.Hops = append(p.Hops, h.Addr)
-				p.Gaps = append(p.Gaps, gap)
+				h := tv.Hop(k)
+				p.Hops[w] = h.Addr
+				p.Gaps[w] = gap
+				w++
 				gap = false
 				col.Observed[h.Addr] = true
 			}
@@ -422,7 +466,8 @@ func (c *Campaign) aliasTargets(col *Collection) []netip.Addr {
 			continue
 		}
 		add(a)
-		for _, m := range subnet30Neighbors(a) {
+		nbrs, n := subnet30Neighbors(a)
+		for _, m := range nbrs[:n] {
 			add(m)
 		}
 	}
@@ -434,21 +479,23 @@ func (c *Campaign) aliasTargets(col *Collection) []netip.Addr {
 	return out
 }
 
-// subnet30Neighbors returns the other three addresses of a's /30.
-func subnet30Neighbors(a netip.Addr) []netip.Addr {
+// subnet30Neighbors returns the other (up to three) addresses of a's
+// /30 in out[:n]; the fixed-size return keeps the per-address call
+// allocation-free.
+func subnet30Neighbors(a netip.Addr) (out [3]netip.Addr, n int) {
 	if !a.Is4() {
-		return nil
+		return out, 0
 	}
 	b := a.As4()
 	base := b[3] &^ 3
-	var out []netip.Addr
 	for off := byte(0); off < 4; off++ {
-		n := netip.AddrFrom4([4]byte{b[0], b[1], b[2], base | off})
-		if n != a {
-			out = append(out, n)
+		nb := netip.AddrFrom4([4]byte{b[0], b[1], b[2], base | off})
+		if nb != a {
+			out[n] = nb
+			n++
 		}
 	}
-	return out
+	return out, n
 }
 
 // p2pMate returns the interface address expected on the far side of a
@@ -477,7 +524,9 @@ func p2pMate(a netip.Addr, bits int) (netip.Addr, bool) {
 // but separated by intermediate hops in a path destined to the pair's
 // second address is an MPLS entry/exit artifact.
 func (c *Campaign) findFalsePairs(col *Collection) {
-	adj := map[[2]netip.Addr]bool{}
+	// Presize off the collection's own ledger: answered hop rows bound
+	// the adjacency count, so the maps never rehash mid-build.
+	adj := make(map[[2]netip.Addr]bool, col.HopRowsAnswered)
 	for _, p := range col.Paths {
 		for i := 1; i < len(p.Hops); i++ {
 			if p.Gaps[i] {
@@ -487,7 +536,7 @@ func (c *Campaign) findFalsePairs(col *Collection) {
 		}
 	}
 	// Index paths by destination.
-	byDst := map[netip.Addr][]int{}
+	byDst := make(map[netip.Addr][]int, len(col.Paths))
 	for i, p := range col.Paths {
 		if p.Reached {
 			byDst[p.Dst] = append(byDst[p.Dst], i)

@@ -1,0 +1,145 @@
+package comap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// regionReport builds a minimal RegionReport for diff tests.
+func regionReport(name, typ string, cos []string, edges [][2]string) RegionReport {
+	rr := RegionReport{Name: name, Type: typ}
+	for _, k := range cos {
+		rr.COs = append(rr.COs, COReport{Key: k})
+	}
+	for _, e := range edges {
+		rr.Edges = append(rr.Edges, EdgeReport{From: e[0], To: e[1], Count: 1})
+	}
+	return rr
+}
+
+func TestDiffReportsRegionAddRemove(t *testing.T) {
+	old := Report{Regions: []RegionReport{
+		regionReport("alpha", "single", []string{"alpha/aaa"}, nil),
+		regionReport("beta", "single", []string{"beta/bbb"}, nil),
+	}}
+	new := Report{Regions: []RegionReport{
+		regionReport("beta", "single", []string{"beta/bbb"}, nil),
+		regionReport("gamma", "single", []string{"gamma/ccc"}, nil),
+		regionReport("delta", "single", []string{"delta/ddd"}, nil),
+	}}
+	d := DiffReports(old, new)
+	if got, want := d.RegionsAdded, []string{"delta", "gamma"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("RegionsAdded = %v, want %v (sorted)", got, want)
+	}
+	if got, want := d.RegionsRemoved, []string{"alpha"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("RegionsRemoved = %v, want %v", got, want)
+	}
+	if len(d.Regions) != 0 {
+		t.Errorf("unchanged shared region produced a RegionDiff: %+v", d.Regions)
+	}
+	if d.Empty() {
+		t.Error("diff with added/removed regions reported Empty")
+	}
+}
+
+func TestDiffReportsChangedCOsAndEdges(t *testing.T) {
+	old := Report{Regions: []RegionReport{regionReport("r", "single",
+		[]string{"r/aaa", "r/bbb", "r/ccc"},
+		[][2]string{{"r/aaa", "r/bbb"}, {"r/aaa", "r/ccc"}})}}
+	new := Report{Regions: []RegionReport{regionReport("r", "two-level",
+		[]string{"r/aaa", "r/ccc", "r/ddd"},
+		[][2]string{{"r/aaa", "r/ccc"}, {"r/aaa", "r/ddd"}})}}
+	d := DiffReports(old, new)
+	rd, ok := d.Regions["r"]
+	if !ok {
+		t.Fatal("changed region missing from diff")
+	}
+	if got, want := rd.COsAdded, []string{"r/ddd"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("COsAdded = %v, want %v", got, want)
+	}
+	if got, want := rd.COsRemoved, []string{"r/bbb"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("COsRemoved = %v, want %v", got, want)
+	}
+	if got, want := rd.EdgesAdded, [][2]string{{"r/aaa", "r/ddd"}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("EdgesAdded = %v, want %v", got, want)
+	}
+	if got, want := rd.EdgesRemoved, [][2]string{{"r/aaa", "r/bbb"}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("EdgesRemoved = %v, want %v", got, want)
+	}
+	if rd.TypeChanged != "single->two-level" {
+		t.Errorf("TypeChanged = %q", rd.TypeChanged)
+	}
+	if rd.Empty() {
+		t.Error("changed region reported Empty")
+	}
+}
+
+func TestDiffReportsIdenticalRunsEmpty(t *testing.T) {
+	rep := Report{Regions: []RegionReport{regionReport("r", "single",
+		[]string{"r/aaa", "r/bbb"}, [][2]string{{"r/aaa", "r/bbb"}})}}
+	d := DiffReports(rep, rep)
+	if !d.Empty() {
+		t.Errorf("identical runs produced a non-empty diff: %+v", d)
+	}
+}
+
+// buildingGraph assembles a RegionGraph whose COs carry CLLI-style tags,
+// inserting keys in the given order (map insertion order feeds Go's
+// randomized iteration differently, which is exactly what the
+// determinism test shuffles).
+func buildingGraph(order []int) *RegionGraph {
+	type co struct {
+		tag string
+		agg bool
+	}
+	cos := []co{
+		{"sndgcaxk", true},  // san diego, building xk, Agg
+		{"sndgcaxa", true},  // san diego, building xa, Agg
+		{"lsancabb", false}, // LA, building bb
+		{"lsancacc", true},  // LA, building cc (one agg only)
+		{"frsnocaa", false}, // fresno, single building
+		{"notclli", false},  // ignored: 7 chars
+		{"UPPERABC", false}, // ignored: uppercase
+	}
+	g := &RegionGraph{Region: "socal", COs: map[string]*CONode{}}
+	for _, i := range order {
+		c := cos[i]
+		key := "socal/" + c.tag
+		g.COs[key] = &CONode{Key: key, Tag: c.tag, IsAgg: c.agg}
+	}
+	return g
+}
+
+func TestBuildingRedundancyGrouping(t *testing.T) {
+	order := []int{0, 1, 2, 3, 4, 5, 6}
+	stats := BuildingRedundancy(buildingGraph(order))
+	if stats.Cities != 3 {
+		t.Errorf("Cities = %d, want 3 (sndgca, lsanca, frsnoc)", stats.Cities)
+	}
+	if stats.MultiBuilding != 2 {
+		t.Errorf("MultiBuilding = %d, want 2", stats.MultiBuilding)
+	}
+	if stats.RedundantAggCities != 1 {
+		t.Errorf("RedundantAggCities = %d, want 1 (only sndgca has two Aggs)", stats.RedundantAggCities)
+	}
+	want := map[string][]string{
+		"sndgca": {"socal/sndgcaxa", "socal/sndgcaxk"},
+		"lsanca": {"socal/lsancabb", "socal/lsancacc"},
+	}
+	if !reflect.DeepEqual(stats.Buildings, want) {
+		t.Errorf("Buildings = %v, want %v (sorted keys within each city)", stats.Buildings, want)
+	}
+}
+
+func TestBuildingRedundancyDeterministicUnderShuffle(t *testing.T) {
+	base := BuildingRedundancy(buildingGraph([]int{0, 1, 2, 3, 4, 5, 6}))
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		order := rng.Perm(7)
+		got := BuildingRedundancy(buildingGraph(order))
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("insertion order %v changed the stats:\ngot  %+v\nwant %+v", order, got, base)
+		}
+	}
+}

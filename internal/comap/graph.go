@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/probesched"
+	"repro/internal/symtab"
 )
 
 // Inference is the Phase 2 output: one inferred graph per regional
@@ -55,9 +56,26 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 		P2PBits: m.P2PBits,
 	}
 
+	// Per-symbol classification, computed once over the CO-key universe
+	// so the sharded passes below never touch a string: the region tag is
+	// interned into the mapping's own table (appending beyond nCO, which
+	// the fixed loop bound ignores) and backbone-ness is precomputed.
+	nCO := m.Syms.Len()
+	infos := make([]symInfo, nCO)
+	for s := 0; s < nCO; s++ {
+		key := m.Syms.Str(symtab.Sym(s))
+		if r, ok := regionOf(key); ok {
+			infos[s] = symInfo{region: m.Syms.Intern(r), hasRegion: true}
+		} else {
+			infos[s] = symInfo{backbone: isBackboneKey(key)}
+		}
+	}
+
 	// Collect IP adjacencies where both addresses carry CO mappings,
-	// tracking which paths observed each CO adjacency.
-	type coPair = [2]string
+	// tracking which paths observed each CO adjacency. Pairs are interned
+	// symbols (8 bytes), not strings; the string keys reappear only at
+	// the RegionGraph boundary.
+	type coPair = [2]symtab.Sym
 	type recordAcc struct {
 		ipAdjs  map[[2]netip.Addr]coPair
 		coPaths map[coPair]map[int]bool
@@ -76,8 +94,8 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 					continue
 				}
 				x, y := p.Hops[i-1], p.Hops[i]
-				cox, okx := m.CO[x]
-				coy, oky := m.CO[y]
+				cox, okx := m.COSym[x]
+				coy, oky := m.COSym[y]
 				if !okx || !oky || cox == coy {
 					continue
 				}
@@ -140,14 +158,13 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 	// inter-region entries are re-added by §5.2.5 with stronger
 	// evidence); single-observation adjacencies are traceroute noise.
 	for pair, paths := range coPaths {
-		rx, okx := regionOf(pair[0])
-		ry, oky := regionOf(pair[1])
+		ix, iy := infos[pair[0]], infos[pair[1]]
 		switch {
-		case !okx || !oky:
+		case !ix.hasRegion || !iy.hasRegion:
 			inf.Prune.BackboneCOAdjs++
 			inf.Prune.BackboneIPAdjs += support[pair]
 			delete(coPaths, pair)
-		case rx != ry:
+		case ix.region != iy.region:
 			inf.Prune.CrossRegionCOAdjs++
 			inf.Prune.CrossRegionIPAdjs += support[pair]
 			delete(coPaths, pair)
@@ -158,16 +175,18 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 		}
 	}
 
-	// Build per-region graphs from the surviving adjacencies.
+	// Build per-region graphs from the surviving adjacencies, converting
+	// the interned pairs back to strings at this boundary.
 	for pair, paths := range coPaths {
-		region, _ := regionOf(pair[0])
+		region := m.Syms.Str(infos[pair[0]].region)
 		g := inf.Regions[region]
 		if g == nil {
 			g = &RegionGraph{Region: region, COs: map[string]*CONode{}, Edges: map[[2]string]int{}}
 			inf.Regions[region] = g
 		}
-		g.Edges[pair] = len(paths)
-		for _, key := range pair {
+		spair := [2]string{m.Syms.Str(pair[0]), m.Syms.Str(pair[1])}
+		g.Edges[spair] = len(paths)
+		for _, key := range spair {
 			if g.COs[key] == nil {
 				g.COs[key] = &CONode{Key: key, Tag: key[strings.IndexByte(key, '/')+1:]}
 			}
@@ -199,8 +218,17 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 		identifyAggCOs(g) // re-run on the cleaned graph
 		pairAggCOsAndComplete(g)
 	}
-	inferEntries(pool, col, m, inf)
+	inferEntries(pool, col, m, infos, inf)
 	return inf
+}
+
+// symInfo is the per-CO-symbol classification BuildGraphsParallel
+// precomputes: the interned region tag (when the key is region-qualified)
+// and whether the key is a backbone key.
+type symInfo struct {
+	region    symtab.Sym
+	hasRegion bool
+	backbone  bool
 }
 
 // identifyAggCOs classifies COs whose out-degree exceeds the regional
@@ -399,19 +427,32 @@ func sortGroups(groups [][]string) {
 // of §5.2.5: a triplet (co_i, r1) -> (co_j, r2) -> (co_k, r2) marks co_i
 // as a candidate entry into r2, kept only when it demonstrably leads to
 // two or more COs of the region.
-func inferEntries(pool *probesched.Pool, col *Collection, m *Mapping, inf *Inference) {
+func inferEntries(pool *probesched.Pool, col *Collection, m *Mapping, infos []symInfo, inf *Inference) {
 	type entryKey struct {
-		from   string
-		region string
+		from   symtab.Sym
+		region symtab.Sym
+	}
+	// pc is one CO along a projected path. The region is carried as an
+	// interned symbol plus a presence bit: hasRegion stands in for the
+	// string code's region != "" tests, so backbone COs (no region) never
+	// compare equal to each other through a shared zero value.
+	type pc struct {
+		co        symtab.Sym
+		region    symtab.Sym
+		hasRegion bool
+		gapped    bool
 	}
 	// The triplet scan shards the paths across workers; firstCOs and
 	// reached are per-(entry, CO) set inserts, so the shard-order union
-	// equals the sequential scan.
+	// equals the sequential scan. Each shard keeps one reusable cos
+	// scratch — per-path append growth was the single largest allocation
+	// site in the whole inference after the mapping passes were interned.
 	type entryAcc struct {
-		firstCOs map[entryKey]map[string]bool
-		reached  map[entryKey]map[string]bool
+		firstCOs map[entryKey]map[symtab.Sym]bool
+		reached  map[entryKey]map[symtab.Sym]bool
+		cos      []pc
 	}
-	mergeSets := func(into, from map[entryKey]map[string]bool) {
+	mergeSets := func(into, from map[entryKey]map[symtab.Sym]bool) {
 		for k, set := range from {
 			if into[k] == nil {
 				into[k] = set
@@ -425,49 +466,46 @@ func inferEntries(pool *probesched.Pool, col *Collection, m *Mapping, inf *Infer
 	acc := probesched.Reduce(pool, len(col.Paths),
 		func() entryAcc {
 			return entryAcc{
-				firstCOs: map[entryKey]map[string]bool{},
-				reached:  map[entryKey]map[string]bool{},
+				firstCOs: map[entryKey]map[symtab.Sym]bool{},
+				reached:  map[entryKey]map[symtab.Sym]bool{},
 			}
 		},
 		func(acc entryAcc, pi int) entryAcc {
 			p := col.Paths[pi]
 			// Project the path onto mapped COs, collapsing repeats and
 			// respecting gaps.
-			type pc struct {
-				co     string
-				region string
-				gapped bool
-			}
-			var cos []pc
+			cos := acc.cos[:0]
 			for i, h := range p.Hops {
-				co, ok := m.CO[h]
+				co, ok := m.COSym[h]
 				if !ok {
 					continue
 				}
-				r, _ := regionOf(co)
 				if len(cos) > 0 && cos[len(cos)-1].co == co {
 					continue
 				}
-				cos = append(cos, pc{co: co, region: r, gapped: p.Gaps[i]})
+				si := infos[co]
+				cos = append(cos, pc{co: co, region: si.region, hasRegion: si.hasRegion, gapped: p.Gaps[i]})
 			}
+			acc.cos = cos
 			for i := 0; i+2 < len(cos); i++ {
 				a, b, c := cos[i], cos[i+1], cos[i+2]
 				if b.gapped || c.gapped {
 					continue
 				}
-				if b.region == "" || b.region != c.region || a.region == b.region {
+				if !b.hasRegion || !(c.hasRegion && b.region == c.region) ||
+					(a.hasRegion && a.region == b.region) {
 					continue
 				}
 				k := entryKey{from: a.co, region: b.region}
 				if acc.firstCOs[k] == nil {
-					acc.firstCOs[k] = map[string]bool{}
-					acc.reached[k] = map[string]bool{}
+					acc.firstCOs[k] = map[symtab.Sym]bool{}
+					acc.reached[k] = map[symtab.Sym]bool{}
 				}
 				acc.firstCOs[k][b.co] = true
 				// Every subsequent CO in the same region strengthens the
 				// evidence.
 				for _, later := range cos[i+1:] {
-					if later.region == b.region {
+					if later.hasRegion && later.region == b.region {
 						acc.reached[k][later.co] = true
 					}
 				}
@@ -486,27 +524,28 @@ func inferEntries(pool *probesched.Pool, col *Collection, m *Mapping, inf *Infer
 		// (non-backbone) entries, which stale rDNS fabricates more
 		// easily than backbone entries.
 		need := 2
-		if !isBackboneKey(k.from) {
+		if !infos[k.from].backbone {
 			need = 3
 		}
 		if len(rs) < need {
 			continue
 		}
-		g := inf.Regions[k.region]
+		g := inf.Regions[m.Syms.Str(k.region)]
 		if g == nil {
 			continue
 		}
 		var first []string
 		for co := range firstCOs[k] {
-			if g.COs[co] != nil {
-				first = append(first, co)
+			s := m.Syms.Str(co)
+			if g.COs[s] != nil {
+				first = append(first, s)
 			}
 		}
 		if len(first) == 0 {
 			continue
 		}
 		sortStrings(first)
-		g.Entries = append(g.Entries, Entry{From: k.from, FirstCOs: first})
+		g.Entries = append(g.Entries, Entry{From: m.Syms.Str(k.from), FirstCOs: first})
 	}
 	for _, g := range inf.Regions {
 		sortEntries(g.Entries)

@@ -6,10 +6,17 @@ import (
 	"repro/internal/dnsdb"
 	"repro/internal/hostnames"
 	"repro/internal/probesched"
+	"repro/internal/symtab"
 )
 
 // Mapping is the Phase 1 result: every relevant address mapped to a CO
 // key, with the refinement accounting of paper Table 3.
+//
+// The mapping is built on interned CO-key symbols (Syms/COSym) — every
+// vote, census, and graph pass compares 4-byte Syms instead of strings
+// — and the string-keyed views (CO, Backbone) are materialized once at
+// the end, so everything digest-visible is byte-identical to the
+// string-keyed implementation.
 type Mapping struct {
 	// CO maps interface addresses to region-qualified CO keys.
 	CO map[netip.Addr]string
@@ -20,6 +27,19 @@ type Mapping struct {
 	// P2PBits is the operator's inferred point-to-point subnet size.
 	P2PBits int
 	Stats   MappingStats
+
+	// Syms interns every distinct CO key, in the canonical first-seen
+	// order of the address-sharded rDNS sweep (shard tables merge in
+	// shard order, so IDs are worker-invariant; see internal/symtab).
+	// Phase 2 additionally interns region tags into the same table.
+	Syms *symtab.Table
+	// COSym is the interned form of CO: COSym[a] == Syms.Intern(CO[a]).
+	COSym map[netip.Addr]symtab.Sym
+}
+
+// backboneSym reports whether an interned CO key is a backbone key.
+func (m *Mapping) backboneSym(s symtab.Sym) bool {
+	return isBackboneKey(m.Syms.Str(s))
 }
 
 // BuildMapping runs Appendix B.1 sequentially: initial rDNS mapping
@@ -38,11 +58,7 @@ func BuildMapping(col *Collection, dns *dnsdb.DB, isp string) *Mapping {
 // on the merged result exactly as the sequential code did.
 func BuildMappingParallel(col *Collection, dns *dnsdb.DB, isp string, workers int) *Mapping {
 	pool := probesched.New(workers, nil)
-	m := &Mapping{
-		CO:       map[netip.Addr]string{},
-		Backbone: map[netip.Addr]bool{},
-		NameOf:   map[netip.Addr]string{},
-	}
+	m := &Mapping{}
 
 	// The universe of addresses worth mapping: everything observed in
 	// traceroutes, every scan target, and every alias target (which
@@ -66,17 +82,21 @@ func BuildMappingParallel(col *Collection, dns *dnsdb.DB, isp string, workers in
 	for a := range universe {
 		addrs = append(addrs, a)
 	}
+	// Each shard interns CO keys into a private table; merging the shard
+	// tables in shard order reproduces the sequential first-seen symbol
+	// assignment (symtab's determinism property), and the per-address
+	// verdicts remap through the merge's translation table.
 	type rdnsAcc struct {
-		co       map[netip.Addr]string
-		backbone map[netip.Addr]bool
-		nameOf   map[netip.Addr]string
+		syms   *symtab.Table
+		co     map[netip.Addr]symtab.Sym
+		nameOf map[netip.Addr]string
 	}
 	rdns := probesched.Reduce(pool, len(addrs),
 		func() rdnsAcc {
 			return rdnsAcc{
-				co:       map[netip.Addr]string{},
-				backbone: map[netip.Addr]bool{},
-				nameOf:   map[netip.Addr]string{},
+				syms:   symtab.New(0),
+				co:     map[netip.Addr]symtab.Sym{},
+				nameOf: map[netip.Addr]string{},
 			}
 		},
 		func(acc rdnsAcc, i int) rdnsAcc {
@@ -85,65 +105,62 @@ func BuildMappingParallel(col *Collection, dns *dnsdb.DB, isp string, workers in
 			if !ok {
 				return acc
 			}
-			info, ok := hostnames.Parse(name)
+			info, key, ok := hostnames.ParseWithKey(name)
 			if !ok || info.ISP != isp {
 				return acc
 			}
-			key := info.COKey()
 			if key == "" || info.Role == hostnames.RoleLastMile {
 				return acc
 			}
-			acc.co[a] = key
-			acc.backbone[a] = info.Backbone
+			acc.co[a] = acc.syms.Intern(key)
 			acc.nameOf[a] = name
 			return acc
 		},
 		func(into, from rdnsAcc) rdnsAcc {
-			for a, key := range from.co {
-				into.co[a] = key
-				into.backbone[a] = from.backbone[a]
+			remap := into.syms.Merge(from.syms)
+			for a, s := range from.co {
+				into.co[a] = remap[s]
 				into.nameOf[a] = from.nameOf[a]
 			}
 			return into
 		})
-	m.CO, m.Backbone, m.NameOf = rdns.co, rdns.backbone, rdns.nameOf
-	m.Stats.Initial = len(m.CO)
+	m.Syms, m.COSym, m.NameOf = rdns.syms, rdns.co, rdns.nameOf
+	m.Stats.Initial = len(m.COSym)
 
 	// Alias-group majority vote (paper: "we remap all addresses in the
 	// group to that CO"; ties remove the group's mappings).
 	if col.Aliases != nil {
+		votes := map[symtab.Sym]int{}
 		for _, group := range col.Aliases.Groups() {
-			votes := map[string]int{}
+			for s := range votes {
+				delete(votes, s)
+			}
 			for _, a := range group {
-				if co, ok := m.CO[a]; ok {
+				if co, ok := m.COSym[a]; ok {
 					votes[co]++
 				}
 			}
 			if len(votes) == 0 {
 				continue
 			}
-			top, tied := majority(votes)
+			top, tied := majoritySym(m.Syms, votes)
 			if tied {
 				for _, a := range group {
-					if _, ok := m.CO[a]; ok {
-						delete(m.CO, a)
-						delete(m.Backbone, a)
+					if _, ok := m.COSym[a]; ok {
+						delete(m.COSym, a)
 						m.Stats.AliasRemoved++
 					}
 				}
 				continue
 			}
-			bb := isBackboneKey(top)
 			for _, a := range group {
-				cur, ok := m.CO[a]
+				cur, ok := m.COSym[a]
 				switch {
 				case !ok:
-					m.CO[a] = top
-					m.Backbone[a] = bb
+					m.COSym[a] = top
 					m.Stats.AliasAdded++
 				case cur != top:
-					m.CO[a] = top
-					m.Backbone[a] = bb
+					m.COSym[a] = top
 					m.Stats.AliasChanged++
 				}
 			}
@@ -189,39 +206,46 @@ func BuildMappingParallel(col *Collection, dns *dnsdb.DB, isp string, workers in
 			}
 			return into
 		})
-	mateVotes := map[netip.Addr]map[string]int{}
+	mateVotes := map[netip.Addr]map[symtab.Sym]int{}
 	for pair := range seenMate {
 		x, mate := pair[0], pair[1]
-		co, ok := m.CO[mate]
+		co, ok := m.COSym[mate]
 		if !ok {
 			continue
 		}
 		if mateVotes[x] == nil {
-			mateVotes[x] = map[string]int{}
+			mateVotes[x] = map[symtab.Sym]int{}
 		}
 		mateVotes[x][co]++
 	}
 	for x, votes := range mateVotes {
-		cur, has := m.CO[x]
+		cur, has := m.COSym[x]
 		if has {
 			votes[cur]++ // the existing mapping counts as one vote
 		}
-		top, tied := majority(votes)
+		top, tied := majoritySym(m.Syms, votes)
 		if tied {
 			continue
 		}
 		switch {
 		case !has:
-			m.CO[x] = top
-			m.Backbone[x] = isBackboneKey(top)
+			m.COSym[x] = top
 			m.Stats.SubnetAdded++
 		case top != cur:
-			m.CO[x] = top
-			m.Backbone[x] = isBackboneKey(top)
+			m.COSym[x] = top
 			m.Stats.SubnetChanged++
 		}
 	}
 
+	// Materialize the string-keyed views once; everything before this
+	// point compared interned symbols only.
+	m.CO = make(map[netip.Addr]string, len(m.COSym))
+	m.Backbone = make(map[netip.Addr]bool, len(m.COSym))
+	for a, s := range m.COSym {
+		key := m.Syms.Str(s)
+		m.CO[a] = key
+		m.Backbone[a] = isBackboneKey(key)
+	}
 	m.Stats.Final = len(m.CO)
 	return m
 }
@@ -238,6 +262,26 @@ func majority(votes map[string]int) (string, bool) {
 			tied = true
 			if k < best {
 				best = k // deterministic representative
+			}
+		}
+	}
+	return best, tied
+}
+
+// majoritySym is majority over interned keys. The tie-break compares the
+// interned strings (not the Sym IDs) so the deterministic representative
+// is the same key the string-keyed implementation would pick.
+func majoritySym(t *symtab.Table, votes map[symtab.Sym]int) (symtab.Sym, bool) {
+	var best symtab.Sym
+	bestN, tied := -1, false
+	for s, n := range votes {
+		switch {
+		case n > bestN:
+			best, bestN, tied = s, n, false
+		case n == bestN:
+			tied = true
+			if t.Str(s) < t.Str(best) {
+				best = s // deterministic representative
 			}
 		}
 	}
@@ -271,7 +315,7 @@ func inferP2PBits(pool *probesched.Pool, col *Collection, m *Mapping) int {
 				if !h.Is4() || set[h] {
 					continue
 				}
-				if _, ok := m.CO[h]; !ok {
+				if _, ok := m.COSym[h]; !ok {
 					continue // only the operator's own infrastructure counts
 				}
 				set[h] = true

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dnsdb"
 	"repro/internal/probesched"
+	"repro/internal/symtab"
 )
 
 func a(s string) netip.Addr { return netip.MustParseAddr(s) }
@@ -63,17 +64,17 @@ func TestP2PMateInvolution(t *testing.T) {
 }
 
 func TestSubnet30Neighbors(t *testing.T) {
-	n := subnet30Neighbors(a("10.0.0.5"))
-	if len(n) != 3 {
-		t.Fatalf("neighbors = %v", n)
+	nbrs, n := subnet30Neighbors(a("10.0.0.5"))
+	if n != 3 {
+		t.Fatalf("neighbors = %v (n=%d)", nbrs, n)
 	}
 	want := map[string]bool{"10.0.0.4": true, "10.0.0.6": true, "10.0.0.7": true}
-	for _, x := range n {
+	for _, x := range nbrs[:n] {
 		if !want[x.String()] {
 			t.Errorf("unexpected neighbor %v", x)
 		}
 	}
-	if subnet30Neighbors(a("2001:db8::1")) != nil {
+	if _, n := subnet30Neighbors(a("2001:db8::1")); n != 0 {
 		t.Error("IPv6 produced neighbors")
 	}
 }
@@ -180,13 +181,18 @@ func TestSubnetRefinementVote(t *testing.T) {
 func TestInferP2PBitsFromOffsets(t *testing.T) {
 	mk := func(addrs ...string) (*Collection, *Mapping) {
 		col := &Collection{FalsePairs: map[[2]netip.Addr]bool{}, DirectPairs: map[[2]netip.Addr]bool{}}
-		m := &Mapping{CO: map[netip.Addr]string{}}
+		m := &Mapping{
+			CO:    map[netip.Addr]string{},
+			Syms:  symtab.New(0),
+			COSym: map[netip.Addr]symtab.Sym{},
+		}
 		var hops []netip.Addr
 		var gaps []bool
 		for _, s := range addrs {
 			hops = append(hops, a(s))
 			gaps = append(gaps, false)
 			m.CO[a(s)] = "r/c" + s
+			m.COSym[a(s)] = m.Syms.Intern("r/c" + s)
 		}
 		col.Paths = []Path{{Hops: hops, Gaps: gaps}}
 		return col, m
@@ -202,7 +208,7 @@ func TestInferP2PBitsFromOffsets(t *testing.T) {
 		t.Errorf("uniform offsets inferred /%d, want /31", got)
 	}
 	// No data: default /30.
-	if got := inferP2PBits(probesched.New(1, nil), &Collection{}, &Mapping{CO: map[netip.Addr]string{}}); got != 30 {
+	if got := inferP2PBits(probesched.New(1, nil), &Collection{}, &Mapping{COSym: map[netip.Addr]symtab.Sym{}}); got != 30 {
 		t.Errorf("empty default = /%d", got)
 	}
 }

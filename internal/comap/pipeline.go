@@ -1,6 +1,9 @@
 package comap
 
-import "repro/internal/probesched"
+import (
+	"repro/internal/probesched"
+	"repro/internal/symtab"
+)
 
 // Result bundles everything one end-to-end run of the cable pipeline
 // produces: the raw collection, the Phase 1 mapping, and the Phase 2
@@ -44,33 +47,47 @@ func Run(c *Campaign) *Result {
 // shards, so the counts are shard-order independent.
 func (r *Result) StageAdjacencies() map[string]int {
 	pool := probesched.New(r.workers, nil)
+	// Region lookups go through a snapshot of the per-symbol region tags
+	// (the interned table is append-only, so the snapshot covers every
+	// symbol the mapping can produce) and the pair sets are keyed by
+	// interned symbols — no strings on the scan path.
+	m := r.Mapping
+	regions := make([]struct {
+		region symtab.Sym
+		ok     bool
+	}, m.Syms.Len())
+	for s := range regions {
+		if rg, ok := regionOf(m.Syms.Str(symtab.Sym(s))); ok {
+			regions[s].region = m.Syms.Intern(rg)
+			regions[s].ok = true
+		}
+	}
 	perStage := probesched.Reduce(pool, len(r.Collection.Paths),
-		func() map[string]map[[2]string]bool { return map[string]map[[2]string]bool{} },
-		func(acc map[string]map[[2]string]bool, i int) map[string]map[[2]string]bool {
+		func() map[string]map[[2]symtab.Sym]bool { return map[string]map[[2]symtab.Sym]bool{} },
+		func(acc map[string]map[[2]symtab.Sym]bool, i int) map[string]map[[2]symtab.Sym]bool {
 			p := r.Collection.Paths[i]
 			stage := r.Collection.StageOf[i]
 			for h := 1; h < len(p.Hops); h++ {
 				if p.Gaps[h] {
 					continue
 				}
-				a, oka := r.Mapping.CO[p.Hops[h-1]]
-				b, okb := r.Mapping.CO[p.Hops[h]]
+				a, oka := m.COSym[p.Hops[h-1]]
+				b, okb := m.COSym[p.Hops[h]]
 				if !oka || !okb || a == b {
 					continue
 				}
-				ra, okra := regionOf(a)
-				rb, okrb := regionOf(b)
-				if !okra || !okrb || ra != rb {
+				ra, rb := regions[a], regions[b]
+				if !ra.ok || !rb.ok || ra.region != rb.region {
 					continue
 				}
 				if acc[stage] == nil {
-					acc[stage] = map[[2]string]bool{}
+					acc[stage] = map[[2]symtab.Sym]bool{}
 				}
-				acc[stage][[2]string{a, b}] = true
+				acc[stage][[2]symtab.Sym{a, b}] = true
 			}
 			return acc
 		},
-		func(into, from map[string]map[[2]string]bool) map[string]map[[2]string]bool {
+		func(into, from map[string]map[[2]symtab.Sym]bool) map[string]map[[2]symtab.Sym]bool {
 			for stage, pairs := range from {
 				if into[stage] == nil {
 					into[stage] = pairs

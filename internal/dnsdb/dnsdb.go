@@ -16,12 +16,21 @@ import (
 	"sort"
 
 	"repro/internal/probesched"
+	"repro/internal/symtab"
 )
 
-// DB holds the live PTR zone and the scanned snapshot.
+// DB holds the live PTR zone and the scanned snapshot. Both layers store
+// interned name symbols rather than strings: an address whose live and
+// snapshot records agree (the common case — staleness is the exception
+// the generators inject) references one table entry instead of carrying
+// two map values, and lookups hand back the table's canonical string
+// instance, so repeated Name calls never copy. The table is append-only;
+// deleting a record drops the address key but retains the (shared) name,
+// which is the right trade for snapshot-scale churn.
 type DB struct {
-	live     map[netip.Addr]string
-	snapshot map[netip.Addr]string
+	names    *symtab.Table
+	live     map[netip.Addr]symtab.Sym
+	snapshot map[netip.Addr]symtab.Sym
 	// sorted is the lazily built address-ordered snapshot index that
 	// ScanSnapshot filters; nil means stale (rebuilt on next scan).
 	// Mutators invalidate it, so the per-scan cost is one pass over the
@@ -32,8 +41,9 @@ type DB struct {
 // New returns an empty database.
 func New() *DB {
 	return &DB{
-		live:     map[netip.Addr]string{},
-		snapshot: map[netip.Addr]string{},
+		names:    symtab.New(0),
+		live:     map[netip.Addr]symtab.Sym{},
+		snapshot: map[netip.Addr]symtab.Sym{},
 	}
 }
 
@@ -44,7 +54,7 @@ func (d *DB) SetLive(addr netip.Addr, name string) {
 		delete(d.live, addr)
 		return
 	}
-	d.live[addr] = name
+	d.live[addr] = d.names.Intern(name)
 }
 
 // SetSnapshot records the PTR record captured in the scan dataset.
@@ -54,29 +64,38 @@ func (d *DB) SetSnapshot(addr netip.Addr, name string) {
 		delete(d.snapshot, addr)
 		return
 	}
-	d.snapshot[addr] = name
+	d.snapshot[addr] = d.names.Intern(name)
 }
 
 // Dig performs a live PTR lookup.
 func (d *DB) Dig(addr netip.Addr) (string, bool) {
-	n, ok := d.live[addr]
-	return n, ok
+	s, ok := d.live[addr]
+	if !ok {
+		return "", false
+	}
+	return d.names.Str(s), true
 }
 
 // SnapshotLookup returns the snapshot PTR record for addr.
 func (d *DB) SnapshotLookup(addr netip.Addr) (string, bool) {
-	n, ok := d.snapshot[addr]
-	return n, ok
+	s, ok := d.snapshot[addr]
+	if !ok {
+		return "", false
+	}
+	return d.names.Str(s), true
 }
 
 // Name implements the paper's lookup priority: the live record when one
 // exists, the snapshot otherwise.
 func (d *DB) Name(addr netip.Addr) (string, bool) {
-	if n, ok := d.live[addr]; ok {
-		return n, true
+	if s, ok := d.live[addr]; ok {
+		return d.names.Str(s), true
 	}
-	n, ok := d.snapshot[addr]
-	return n, ok
+	s, ok := d.snapshot[addr]
+	if !ok {
+		return "", false
+	}
+	return d.names.Str(s), true
 }
 
 // Entry is one (address, hostname) pair from the snapshot.
@@ -90,8 +109,8 @@ type Entry struct {
 func (d *DB) sortedIndex() []Entry {
 	if d.sorted == nil && len(d.snapshot) > 0 {
 		idx := make([]Entry, 0, len(d.snapshot))
-		for a, n := range d.snapshot {
-			idx = append(idx, Entry{Addr: a, Name: n})
+		for a, s := range d.snapshot {
+			idx = append(idx, Entry{Addr: a, Name: d.names.Str(s)})
 		}
 		sort.Slice(idx, func(i, j int) bool { return idx[i].Addr.Less(idx[j].Addr) })
 		d.sorted = idx

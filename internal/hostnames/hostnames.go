@@ -82,19 +82,36 @@ var parsed sync.Map // string -> parseResult
 
 type parseResult struct {
 	info Info
-	ok   bool
+	// coKey caches info.COKey(): the key is built (and allocated) once
+	// per distinct name, and every ParseWithKey hit hands back the same
+	// string instance — so downstream map inserts and interner lookups
+	// of the key never re-concatenate it.
+	coKey string
+	ok    bool
 }
 
 // Parse extracts Info from a hostname; ok is false when no convention
 // matched. Results are memoized per distinct name.
 func Parse(name string) (Info, bool) {
+	info, _, ok := ParseWithKey(name)
+	return info, ok
+}
+
+// ParseWithKey is Parse plus the memoized COKey of the parsed name; the
+// returned key is the same string instance on every call with the same
+// name.
+func ParseWithKey(name string) (Info, string, bool) {
 	if v, hit := parsed.Load(name); hit {
 		r := v.(parseResult)
-		return r.info, r.ok
+		return r.info, r.coKey, r.ok
 	}
 	info, ok := parseOne(name)
-	parsed.Store(name, parseResult{info: info, ok: ok})
-	return info, ok
+	res := parseResult{info: info, ok: ok}
+	if ok {
+		res.coKey = info.COKey()
+	}
+	parsed.Store(name, res)
+	return info, res.coKey, ok
 }
 
 // parseOne runs the regex cascade for one hostname.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ipalloc"
 	"repro/internal/probesched"
 	"repro/internal/ship"
+	"repro/internal/symtab"
 )
 
 // Level is one geographically-stable prefix level of the user address
@@ -448,7 +449,9 @@ func sameBase(a, base netip.Addr, bits int) bool {
 // inferProviders extracts the distinct upstream networks seen right
 // after the carrier's infrastructure hops, using reverse DNS.
 func (a *Analysis) inferProviders(rounds []ship.Round, dns *dnsdb.DB) {
-	seen := map[string]bool{}
+	// The interner is the dedup set; its first-seen order is discarded by
+	// the sort, so only distinctness matters here.
+	seen := symtab.New(0)
 	for _, r := range rounds {
 		for _, h := range r.Hops {
 			name, ok := dns.Name(h)
@@ -457,13 +460,13 @@ func (a *Analysis) inferProviders(rounds []ship.Round, dns *dnsdb.DB) {
 			}
 			prov := providerOf(name)
 			if prov != "" {
-				seen[prov] = true
+				seen.Intern(prov)
 				break // first named upstream per round
 			}
 		}
 	}
-	for p := range seen {
-		a.Providers = append(a.Providers, p)
+	for s := 0; s < seen.Len(); s++ {
+		a.Providers = append(a.Providers, seen.Str(symtab.Sym(s)))
 	}
 	sort.Strings(a.Providers)
 }

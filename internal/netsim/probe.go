@@ -122,20 +122,33 @@ type visibleHop struct {
 // beyond the egress ride the LSP and never see the interior. The source
 // router itself is not included in the result.
 func (n *Network) visiblePath(path []pathHop, dstRouter *Router, dstIsRouterAddr bool) []visibleHop {
-	hidden := make([]bool, len(path))
-	pos := make(map[RouterID]int, len(path))
-	for i, h := range path {
-		pos[h.router.ID] = i
+	// Router paths are a handful of hops, so position lookups scan the
+	// path directly and the hidden mask lives on the stack — a map and a
+	// heap slice per compiled flow otherwise.
+	pos := func(id RouterID) (int, bool) {
+		for i, h := range path {
+			if h.router.ID == id {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	var hiddenBuf [64]bool
+	var hidden []bool
+	if len(path) <= len(hiddenBuf) {
+		hidden = hiddenBuf[:len(path)]
+	} else {
+		hidden = make([]bool, len(path))
 	}
 	dstPos := len(path) // beyond every hop unless the dst is a router
 	if dstIsRouterAddr {
-		if p, ok := pos[dstRouter.ID]; ok {
+		if p, ok := pos(dstRouter.ID); ok {
 			dstPos = p
 		}
 	}
 	for i, h := range path {
 		for _, t := range n.tunnels[h.router.ID] {
-			e, ok := pos[t.Egress.ID]
+			e, ok := pos(t.Egress.ID)
 			if !ok || e <= i {
 				continue
 			}

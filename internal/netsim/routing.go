@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -24,22 +23,60 @@ type pqItem struct {
 	dist   time.Duration
 }
 
+// pq is a hand-rolled binary min-heap ordered by (dist, router).
+// container/heap would box every pqItem through interface{} on Push and
+// Pop — two heap allocations per queue operation, tens of thousands per
+// campaign. Distinct items order strictly (equal dist ties break on
+// router, and same-router-same-dist entries are identical values), so
+// the pop sequence is the unique minimum each step regardless of heap
+// internals — the Dijkstra result cannot depend on this representation.
 type pq []pqItem
 
-func (p pq) Len() int { return len(p) }
-func (p pq) Less(i, j int) bool {
+func (p pq) less(i, j int) bool {
 	if p[i].dist != p[j].dist {
 		return p[i].dist < p[j].dist
 	}
 	return p[i].router < p[j].router
 }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	it := old[len(old)-1]
-	*p = old[:len(old)-1]
-	return it
+
+func (p *pq) push(it pqItem) {
+	q := append(*p, it)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*p = q
+}
+
+func (p *pq) pop() pqItem {
+	q := *p
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q) && q.less(l, small) {
+			small = l
+		}
+		if r < len(q) && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	*p = q
+	return top
 }
 
 const unreachable = time.Duration(1<<62 - 1)
@@ -66,10 +103,11 @@ func (n *Network) shortestPaths(src RouterID) *sptResult {
 		res.dist[i] = unreachable
 	}
 	res.dist[src] = 0
-	q := pq{{router: int32(src), dist: 0}}
+	q := make(pq, 0, nr)
+	q.push(pqItem{router: int32(src), dist: 0})
 	done := make([]bool, nr)
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
+	for len(q) > 0 {
+		it := q.pop()
 		u := it.router
 		if done[u] {
 			continue
@@ -91,7 +129,7 @@ func (n *Network) shortestPaths(src RouterID) *sptResult {
 				res.dist[v] = w
 				res.preds[v] = res.preds[v][:0]
 				res.preds[v] = append(res.preds[v], predEdge{from: u, iface: peer, link: ifc.Link})
-				heap.Push(&q, pqItem{router: v, dist: w})
+				q.push(pqItem{router: v, dist: w})
 			case w == res.dist[v]:
 				res.preds[v] = append(res.preds[v], predEdge{from: u, iface: peer, link: ifc.Link})
 			}
@@ -143,8 +181,19 @@ func (n *Network) routerPath(src, dst RouterID, flowID uint16) []pathHop {
 	if spt.dist[dst] == unreachable {
 		return nil
 	}
-	// Walk predecessors from dst back to src.
-	var rev []pathHop
+	// Walk predecessors from dst back to src — twice. The first walk
+	// only counts, so the retained path gets one exact-size allocation;
+	// the picks are pure functions of (seed, flowID, router), so both
+	// walks agree. Compiled paths live in the flow cache, where the 2-3
+	// append-growth reallocations per path used to dominate compile
+	// allocations.
+	hops := 1
+	for cur := int32(dst); cur != int32(src); {
+		preds := spt.preds[cur]
+		cur = preds[int(mix(n.seed, uint64(flowID), uint64(cur))%uint64(len(preds)))].from
+		hops++
+	}
+	rev := make([]pathHop, 0, hops)
 	cur := int32(dst)
 	for cur != int32(src) {
 		preds := spt.preds[cur]

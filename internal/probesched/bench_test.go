@@ -17,17 +17,36 @@ import (
 // AcrossParallelism — so the ratio of these timings is pure scheduler
 // speedup. On a single-core host the workload is CPU-bound and the
 // ratio stays ~1; the speedup materializes with GOMAXPROCS > 1.
+//
+// Beyond -benchmem's per-op totals, the bench reports allocation cost
+// normalized per traceroute (allocs/trace, KB/trace): per-op numbers
+// move when the scenario grows, but the per-trace cost is what the
+// memory engine actually controls, so it is the comparable figure
+// across PRs.
 func BenchmarkParallelCampaign(b *testing.B) {
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var allocs, bytes float64
+			traces := 0
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				c := quickstartCampaign(workers)
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
 				b.StartTimer()
 				res := comap.Run(c)
+				b.StopTimer()
+				runtime.ReadMemStats(&m1)
+				allocs += float64(m1.Mallocs - m0.Mallocs)
+				bytes += float64(m1.TotalAlloc - m0.TotalAlloc)
+				traces += res.Collection.TracesRun
 				if len(res.Collection.Paths) == 0 {
 					b.Fatal("campaign collected no paths")
 				}
+			}
+			if traces > 0 {
+				b.ReportMetric(allocs/float64(traces), "allocs/trace")
+				b.ReportMetric(bytes/float64(traces)/1024, "KB/trace")
 			}
 		})
 	}

@@ -122,6 +122,21 @@ func MapFold[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R, 
 	mapFold(p, jobs, run, fold)
 }
 
+// MapFoldScratch runs jobs like MapFold but additionally leases every
+// worker chunk a scratch value: get is called when a worker starts a
+// chunk, each of the chunk's jobs runs with that scratch, and put is
+// called only after the chunk's results have been folded. Results may
+// therefore reference their chunk's scratch (the columnar trace store
+// hands out views into a shared hop buffer this way) — the scratch is
+// guaranteed alive until the fold has consumed them, and put typically
+// resets and pools it for the next chunk. On the workers<=1 sequential
+// path every job is its own chunk: get, run, fold, put, in job order.
+// fold must be non-nil. Determinism matches MapFold exactly.
+func MapFoldScratch[J, R, S any](p *Pool, jobs []J, get func() S, put func(S),
+	run func(clk *vclock.Clock, scratch S, job J) R, fold func(i int, r R)) {
+	mapFoldCore(p, jobs, get, put, run, fold, false)
+}
+
 // chunksPerWorker over-partitions the job list so a straggler chunk
 // cannot idle the other workers; minChunk bounds the per-chunk
 // bookkeeping for short job lists.
@@ -130,33 +145,64 @@ const (
 	minChunk        = 4
 )
 
+// noScratch is the empty scratch type of the Map/MapFold paths.
+type noScratch = struct{}
+
+func noScratchGet() noScratch { return noScratch{} }
+func noScratchPut(noScratch)  {}
+
 func mapFold[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R, fold func(i int, r R)) []R {
+	wrapped := func(clk *vclock.Clock, _ noScratch, job J) R { return run(clk, job) }
+	// With no fold the caller needs the full result slice (Map); with a
+	// fold the core streams results through pooled per-chunk buffers and
+	// never materializes the batch.
+	return mapFoldCore(p, jobs, noScratchGet, noScratchPut, wrapped, fold, fold == nil)
+}
+
+// mapFoldCore is the shared engine behind Map, MapFold, and
+// MapFoldScratch. When collect is true it writes results into one
+// batch-sized slice and returns it (the Map contract; fold, if any,
+// still streams in job order). When collect is false, results live in
+// per-chunk buffers recycled through a sync.Pool the moment the fold
+// has consumed them, so a large batch costs O(in-flight chunks) result
+// memory instead of O(jobs) — the campaign fold path's main saving.
+//
+// Determinism is identical either way: fold observes exactly the
+// sequence (0, r0), (1, r1), ..., and the campaign clock advances by
+// the per-job elapsed total. Elapsed time is accumulated per chunk and
+// the chunk totals summed in chunk order; integer addition of
+// durations makes that the same sum a per-job fold in job order would
+// produce, so the clock reading is bit-identical to the historical
+// path.
+func mapFoldCore[J, R, S any](p *Pool, jobs []J, get func() S, put func(S),
+	run func(clk *vclock.Clock, scratch S, job J) R, fold func(i int, r R), collect bool) []R {
 	n := len(jobs)
 	if n == 0 {
 		return nil
 	}
-	out := make([]R, n)
-	elapsed := make([]time.Duration, n)
-	panics := make([]*JobPanicError, n)
 	start := p.clock.Now()
+	var out []R
+	if collect {
+		out = make([]R, n)
+	}
 
 	// Each worker owns one clock and resets it to the batch-start
 	// instant between jobs — equivalent to forking a fresh clock per
 	// job (a job only ever observes "start plus its own advances") but
 	// without the per-job allocation. A panicking job is recovered into
-	// panics[i] so the batch still completes (its result stays the zero
-	// value, which the fold observes like any other); the elapsed time
-	// it consumed before dying is still charged to the campaign clock,
-	// exactly as a sequential run would have.
-	runJob := func(clk *vclock.Clock, i int) {
+	// its chunk's first-panic slot so the batch still completes (its
+	// result stays the zero value, which the fold observes like any
+	// other); the elapsed time it consumed before dying is still charged
+	// to the campaign clock, exactly as a sequential run would have.
+	runJob := func(clk *vclock.Clock, scratch S, i int, dst *R, elapsed *time.Duration, pe **JobPanicError) {
 		clk.Reset(start)
 		defer func() {
-			elapsed[i] = clk.Since(start)
-			if v := recover(); v != nil {
-				panics[i] = &JobPanicError{Job: i, Value: v, Stack: debug.Stack()}
+			*elapsed += clk.Since(start)
+			if v := recover(); v != nil && *pe == nil {
+				*pe = &JobPanicError{Job: i, Value: v, Stack: debug.Stack()}
 			}
 		}()
-		out[i] = run(clk, jobs[i])
+		*dst = run(clk, scratch, jobs[i])
 	}
 
 	workers := p.workers
@@ -165,69 +211,139 @@ func mapFold[J, R any](p *Pool, jobs []J, run func(clk *vclock.Clock, job J) R, 
 	}
 	if workers <= 1 {
 		// The historical sequential path: run and fold interleaved, in
-		// job order.
+		// job order. Each job is its own scratch chunk: the scratch is
+		// returned (and typically reset) only after the fold consumed
+		// the result that may reference it.
 		clk := vclock.New(start)
+		var total time.Duration
+		var firstPanic *JobPanicError
+		var slot R
 		for i := range jobs {
-			runJob(clk, i)
+			dst := &slot
+			if collect {
+				dst = &out[i]
+			} else {
+				var zero R
+				slot = zero
+			}
+			scratch := get()
+			runJob(clk, scratch, i, dst, &total, &firstPanic)
 			if fold != nil {
-				fold(i, out[i])
+				fold(i, *dst)
 			}
+			put(scratch)
 		}
-	} else {
-		chunk := (n + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
-		if chunk < minChunk {
-			chunk = minChunk
+		p.clock.Advance(total)
+		if firstPanic != nil {
+			panic(firstPanic)
 		}
-		numChunks := (n + chunk - 1) / chunk
-		span := func(c int) (int, int) {
-			lo, hi := c*chunk, (c+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			return lo, hi
+		return out
+	}
+
+	chunk := (n + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	numChunks := (n + chunk - 1) / chunk
+	span := func(c int) (int, int) {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > n {
+			hi = n
 		}
-		// done is buffered to numChunks so workers never block on a slow
-		// folder (or on nobody draining it when fold is nil).
-		done := make(chan int, numChunks)
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				clk := vclock.New(start)
-				for {
-					c := int(next.Add(1)) - 1
-					if c >= numChunks {
-						return
-					}
-					lo, hi := span(c)
-					for i := lo; i < hi; i++ {
-						runJob(clk, i)
-					}
-					done <- c
+		return lo, hi
+	}
+	elapsed := make([]time.Duration, numChunks)
+	panics := make([]*JobPanicError, numChunks)
+	// Streaming mode parks each finished chunk's result buffer and
+	// scratch until the folder reaches it in canonical order; buffers
+	// recycle through bufPool once folded.
+	var (
+		bufs      []*[]R
+		scratches []S
+		bufPool   sync.Pool
+	)
+	if !collect {
+		bufs = make([]*[]R, numChunks)
+		scratches = make([]S, numChunks)
+		bufPool.New = func() any { s := make([]R, 0, chunk); return &s }
+	}
+	// done is buffered to numChunks so workers never block on a slow
+	// folder (or on nobody draining it when fold is nil).
+	done := make(chan int, numChunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			clk := vclock.New(start)
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
 				}
-			}()
-		}
-		if fold != nil {
-			// Fold chunks in canonical order as they complete; the
-			// channel receive orders each chunk's result writes before
-			// the fold reads them.
-			ready := make([]bool, numChunks)
-			nextFold := 0
-			for finished := 0; finished < numChunks; finished++ {
-				ready[<-done] = true
-				for nextFold < numChunks && ready[nextFold] {
-					lo, hi := span(nextFold)
+				lo, hi := span(c)
+				scratch := get()
+				var buf []R
+				var bp *[]R
+				if !collect {
+					// Zero-scrub the recycled buffer so a panicked job
+					// folds as the zero value, like a fresh slice would.
+					bp = bufPool.Get().(*[]R)
+					buf = (*bp)[:0]
+					var zero R
+					for i := lo; i < hi; i++ {
+						buf = append(buf, zero)
+					}
+				}
+				for i := lo; i < hi; i++ {
+					var dst *R
+					if collect {
+						dst = &out[i]
+					} else {
+						dst = &buf[i-lo]
+					}
+					runJob(clk, scratch, i, dst, &elapsed[c], &panics[c])
+				}
+				if collect {
+					put(scratch)
+				} else {
+					*bp = buf
+					bufs[c] = bp
+					scratches[c] = scratch
+				}
+				done <- c
+			}
+		}()
+	}
+	if fold != nil {
+		// Fold chunks in canonical order as they complete; the
+		// channel receive orders each chunk's result writes before
+		// the fold reads them.
+		ready := make([]bool, numChunks)
+		nextFold := 0
+		for finished := 0; finished < numChunks; finished++ {
+			ready[<-done] = true
+			for nextFold < numChunks && ready[nextFold] {
+				lo, hi := span(nextFold)
+				if collect {
 					for i := lo; i < hi; i++ {
 						fold(i, out[i])
 					}
-					nextFold++
+				} else {
+					buf := *bufs[nextFold]
+					for i := lo; i < hi; i++ {
+						fold(i, buf[i-lo])
+					}
+					put(scratches[nextFold])
+					bufPool.Put(bufs[nextFold])
+					bufs[nextFold] = nil
 				}
+				nextFold++
 			}
 		}
-		wg.Wait()
 	}
+	wg.Wait()
 
 	var total time.Duration
 	for _, d := range elapsed {

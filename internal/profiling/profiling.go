@@ -1,0 +1,55 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile file
+// flags into the repo's commands, so `make profile` (and ad-hoc runs)
+// can hand pprof-ready captures of a full campaign straight to
+// `go tool pprof` without a test harness in the loop.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpu is non-empty and returns a stop
+// function that flushes the CPU profile and, when mem is non-empty,
+// writes a heap profile (after a GC, so the capture reflects live
+// retention rather than garbage awaiting collection). Defer the stop
+// function in main: it runs on every normal return, while error paths
+// that os.Exit lose the profile — acceptable for a performance tool,
+// since a failed run is not the one being profiled.
+func Start(cpu, mem string) func() {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profiling:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Package symtab is the campaign memory engine's string interner: a
+// deterministic mapping from the pipeline's highly redundant identifier
+// strings (CO keys, CLLI codes, region tags, hostname-derived labels)
+// to dense uint32 symbols. Hot aggregation passes key their maps by
+// Sym instead of string — a 4-byte comparison and hash instead of a
+// 16-byte header plus byte-wise compare — and convert back to strings
+// only at report and digest boundaries, so interning can never move a
+// byte of pinned output.
+//
+// # Why symbol IDs are deterministic under sharding
+//
+// A sequential pass interns identifiers in first-seen order, so IDs are
+// a pure function of the input stream. The parallel pipeline shards
+// inputs into contiguous spans, builds one shard-local Table per span,
+// and merges the shard tables in span order (probesched.Reduce's merge
+// discipline). Every symbol first seen in span k has a stream position
+// strictly before every symbol first seen only in span k+1, and
+// Merge assigns new IDs in the from-table's own first-seen order — so
+// the merged table equals the sequential first-seen table exactly,
+// independent of worker count. That is the property TestMergeOrder
+// pins.
+package symtab
+
+// Sym is a dense interned-string identifier. IDs start at 0 and are
+// assigned in first-Intern order; a Sym is only meaningful relative to
+// the Table that produced it.
+type Sym uint32
+
+// Table interns strings to dense Syms. The zero value is not usable;
+// construct with New. A Table is not safe for concurrent mutation, but
+// any number of goroutines may call Str, Lookup, and Len concurrently
+// once no more Intern/Merge calls occur (the sharded passes freeze the
+// canonical table before fan-out, which is what keeps them race-clean).
+type Table struct {
+	ids  map[string]Sym
+	strs []string
+}
+
+// New returns an empty table. sizeHint presizes the index for the
+// expected number of distinct strings; 0 is fine.
+func New(sizeHint int) *Table {
+	return &Table{
+		ids:  make(map[string]Sym, sizeHint),
+		strs: make([]string, 0, sizeHint),
+	}
+}
+
+// Intern returns the symbol for s, assigning the next dense ID on
+// first sight. Interning an already-known string allocates nothing.
+func (t *Table) Intern(s string) Sym {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := Sym(len(t.strs))
+	t.ids[s] = id
+	t.strs = append(t.strs, s)
+	return id
+}
+
+// Lookup returns the symbol for s without interning; ok is false when
+// s has never been interned.
+func (t *Table) Lookup(s string) (Sym, bool) {
+	id, ok := t.ids[s]
+	return id, ok
+}
+
+// Str returns the string a symbol stands for. Sym identity guarantees
+// string identity: Str(x) == Str(y) iff x == y.
+func (t *Table) Str(y Sym) string { return t.strs[y] }
+
+// Len reports the number of distinct interned strings; valid Syms are
+// exactly [0, Len).
+func (t *Table) Len() int { return len(t.strs) }
+
+// Merge interns every symbol of from into t, in from's own ID order,
+// and returns the remap table: remap[fromSym] is the corresponding Sym
+// in t. Merging contiguous-shard tables in shard order reproduces the
+// sequential first-seen ID assignment (see the package comment).
+func (t *Table) Merge(from *Table) []Sym {
+	remap := make([]Sym, len(from.strs))
+	for i, s := range from.strs {
+		remap[i] = t.Intern(s)
+	}
+	return remap
+}

@@ -1,0 +1,158 @@
+package symtab_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+// TestRoundTrip pins the basic interner contract: Intern is idempotent,
+// IDs are dense in first-seen order, and Str inverts Intern.
+func TestRoundTrip(t *testing.T) {
+	tb := symtab.New(0)
+	words := []string{"socal", "socal/sndgcaxk", "bb:sunnyvale.ca", "", "socal", "maine"}
+	want := map[string]symtab.Sym{}
+	for _, w := range words {
+		id := tb.Intern(w)
+		if prev, seen := want[w]; seen {
+			if id != prev {
+				t.Fatalf("Intern(%q) = %d, previously %d", w, id, prev)
+			}
+			continue
+		}
+		if int(id) != len(want) {
+			t.Fatalf("Intern(%q) = %d, want dense next ID %d", w, id, len(want))
+		}
+		want[w] = id
+	}
+	if tb.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", tb.Len(), len(want))
+	}
+	for w, id := range want {
+		if got := tb.Str(id); got != w {
+			t.Fatalf("Str(%d) = %q, want %q", id, got, w)
+		}
+		if got, ok := tb.Lookup(w); !ok || got != id {
+			t.Fatalf("Lookup(%q) = %d,%v, want %d,true", w, got, ok, id)
+		}
+	}
+	if _, ok := tb.Lookup("never-interned"); ok {
+		t.Fatal("Lookup of unknown string reported ok")
+	}
+}
+
+// TestMergeOrder is the determinism property the parallel pipeline
+// leans on: splitting a stream into contiguous shards, interning each
+// shard locally, and merging the shard tables in shard order must
+// reproduce the sequential first-seen ID assignment exactly — for any
+// shard-boundary choice.
+func TestMergeOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		stream := make([]string, n)
+		for i := range stream {
+			stream[i] = fmt.Sprintf("id%d", rng.Intn(20))
+		}
+
+		seq := symtab.New(0)
+		for _, s := range stream {
+			seq.Intern(s)
+		}
+
+		// Random contiguous shard boundaries.
+		var cuts []int
+		for i := 1; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				cuts = append(cuts, i)
+			}
+		}
+		cuts = append(cuts, n)
+		merged := symtab.New(0)
+		lo := 0
+		for _, hi := range cuts {
+			shard := symtab.New(0)
+			localSyms := make([]symtab.Sym, 0, hi-lo)
+			for _, s := range stream[lo:hi] {
+				localSyms = append(localSyms, shard.Intern(s))
+			}
+			remap := shard.Merge(shard) // self-merge must be identity
+			for i := range remap {
+				if remap[i] != symtab.Sym(i) {
+					t.Fatalf("self-merge remap[%d] = %d", i, remap[i])
+				}
+			}
+			remap = merged.Merge(shard)
+			// The remap must send every shard-local observation to the
+			// symbol the canonical table assigns that string.
+			for i, s := range stream[lo:hi] {
+				want, _ := merged.Lookup(s)
+				if remap[localSyms[i]] != want {
+					t.Fatalf("trial %d: remap(%q) = %d, canonical %d", trial, s, remap[localSyms[i]], want)
+				}
+			}
+			lo = hi
+		}
+
+		if merged.Len() != seq.Len() {
+			t.Fatalf("trial %d: merged Len %d != sequential %d", trial, merged.Len(), seq.Len())
+		}
+		for id := 0; id < seq.Len(); id++ {
+			if merged.Str(symtab.Sym(id)) != seq.Str(symtab.Sym(id)) {
+				t.Fatalf("trial %d: ID %d = %q merged vs %q sequential (cuts %v)",
+					trial, id, merged.Str(symtab.Sym(id)), seq.Str(symtab.Sym(id)), cuts)
+			}
+		}
+	}
+}
+
+// TestConcurrentReaders exercises the frozen-table read contract under
+// the race detector: once interning stops, Str/Lookup/Len from many
+// goroutines must be race-clean.
+func TestConcurrentReaders(t *testing.T) {
+	tb := symtab.New(64)
+	for i := 0; i < 64; i++ {
+		tb.Intern(fmt.Sprintf("region%d", i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id := symtab.Sym((i + w) % tb.Len())
+				s := tb.Str(id)
+				got, ok := tb.Lookup(s)
+				if !ok || got != id {
+					t.Errorf("Lookup(Str(%d)) = %d,%v", id, got, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// FuzzInternRoundTrip fuzzes the round-trip invariant over arbitrary
+// byte strings, including embedded NULs and invalid UTF-8.
+func FuzzInternRoundTrip(f *testing.F) {
+	f.Add("socal/sndgcaxk", "bb:sunnyvale.ca")
+	f.Add("", "\x00\xffregion")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		tb := symtab.New(0)
+		ia := tb.Intern(a)
+		ib := tb.Intern(b)
+		if (a == b) != (ia == ib) {
+			t.Fatalf("identity broken: %q=%d %q=%d", a, ia, b, ib)
+		}
+		if tb.Str(ia) != a || tb.Str(ib) != b {
+			t.Fatalf("round trip broken: %q->%d->%q, %q->%d->%q", a, ia, tb.Str(ia), b, ib, tb.Str(ib))
+		}
+		if tb.Intern(a) != ia || tb.Intern(b) != ib {
+			t.Fatal("re-Intern moved an ID")
+		}
+	})
+}

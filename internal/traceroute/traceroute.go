@@ -60,6 +60,13 @@ type Engine struct {
 	// arena is the per-trace hop scratch source, bound by traceWith on
 	// the engine's stack copy; never set on a shared Engine.
 	arena *hopArena
+
+	// cols, when non-nil, redirects hop rows into a columnar store
+	// instead of per-trace []Hop slices; colsLo remembers where this
+	// trace's rows begin. Both are bound by traceColumnar on the
+	// engine's stack copy, never on a shared Engine.
+	cols   *HopStore
+	colsLo int
 }
 
 // arenaChunk is the hopArena refill size. At campaign scale most traces
@@ -101,6 +108,92 @@ func (e *Engine) takeHops(flow *netsim.Flow) []Hop {
 		return make([]Hop, 0, n)
 	}
 	return e.arena.take(n)
+}
+
+// HopStore is the columnar (struct-of-arrays) hop row store of the
+// campaign fast path: instead of one []Hop per trace, every trace in a
+// fold chunk appends its rows to one shared store and hands the fold a
+// TraceView holding [lo, hi) offsets. The five parallel slices hold
+// exactly the Hop fields, so view.Hop(k) reconstructs rows losslessly;
+// what changes is the allocation shape — one growing buffer per chunk,
+// recycled after the fold, instead of thousands of per-trace slices.
+// A HopStore is single-goroutine scratch (one per worker chunk).
+type HopStore struct {
+	addrs     []netip.Addr
+	ttls      []int32
+	rtts      []time.Duration
+	types     []netsim.ReplyType
+	replyTTLs []uint8
+}
+
+// Len reports the number of stored hop rows.
+func (s *HopStore) Len() int { return len(s.addrs) }
+
+// Reset truncates the store to empty, keeping capacity for reuse.
+func (s *HopStore) Reset() { s.truncate(0) }
+
+// push appends one hop row.
+func (s *HopStore) push(h Hop) {
+	s.addrs = append(s.addrs, h.Addr)
+	s.ttls = append(s.ttls, int32(h.TTL))
+	s.rtts = append(s.rtts, h.RTT)
+	s.types = append(s.types, h.Type)
+	s.replyTTLs = append(s.replyTTLs, h.ReplyTTL)
+}
+
+// row reconstructs the k-th stored hop.
+func (s *HopStore) row(k int) Hop {
+	return Hop{
+		TTL:      int(s.ttls[k]),
+		Addr:     s.addrs[k],
+		RTT:      s.rtts[k],
+		Type:     s.types[k],
+		ReplyTTL: s.replyTTLs[k],
+	}
+}
+
+func (s *HopStore) truncate(n int) {
+	s.addrs = s.addrs[:n]
+	s.ttls = s.ttls[:n]
+	s.rtts = s.rtts[:n]
+	s.types = s.types[:n]
+	s.replyTTLs = s.replyTTLs[:n]
+}
+
+// trimReached drops the rows after the destination response in the
+// current trace's span [lo, Len) — the columnar form of the
+// scamper-style trim traceParallel applies to []Hop output.
+func (s *HopStore) trimReached(lo int) {
+	for k := lo; k < len(s.types); k++ {
+		if s.types[k] == netsim.EchoReply || s.types[k] == netsim.PortUnreachable {
+			s.truncate(k + 1)
+			return
+		}
+	}
+}
+
+// TraceView is a Trace whose hop rows live in a HopStore span instead
+// of an owned Hops slice. The embedded Trace carries every scalar field
+// (ledger, Reached, ActiveTime, ...) with Hops nil; rows are read
+// through Hop/HopResponded. A view is only valid until its chunk's
+// store is recycled — campaign folds consume views immediately and
+// keep only what they extract, which is the whole point.
+type TraceView struct {
+	Trace
+	store  *HopStore
+	lo, hi int
+}
+
+// NumHops reports the trace's hop row count.
+func (v *TraceView) NumHops() int { return v.hi - v.lo }
+
+// Hop reconstructs the trace's k-th hop row.
+func (v *TraceView) Hop(k int) Hop { return v.store.row(v.lo + k) }
+
+// HopResponded reports whether the k-th hop produced any answer,
+// without materializing the row.
+func (v *TraceView) HopResponded(k int) bool {
+	return v.store.types[v.lo+k] != netsim.Timeout
 }
 
 // Hop is one row of traceroute output.
@@ -261,6 +354,55 @@ func (e *Engine) traceWith(clk *vclock.Clock, src, dst netip.Addr) Trace {
 	return cfg.traceSequential(src, dst)
 }
 
+// pushHop files one finished hop row: into the columnar store when the
+// engine runs on the fold fast path, else onto the trace's own slice.
+func (e *Engine) pushHop(tr *Trace, h Hop) {
+	if e.cols != nil {
+		e.cols.push(h)
+		return
+	}
+	tr.Hops = append(tr.Hops, h)
+}
+
+// traceColumnar runs one traceroute whose hop rows land in store,
+// returning a view over the rows it appended. Probing order, sequence
+// numbers, and clock advances are identical to traceWith — only where
+// the rows live changes — so columnar campaigns stay bit-identical.
+func (e *Engine) traceColumnar(clk *vclock.Clock, store *HopStore, src, dst netip.Addr) TraceView {
+	cfg := *e
+	cfg.Clock = clk
+	cfg.defaults()
+	cfg.cols = store
+	cfg.colsLo = store.Len()
+	var tr Trace
+	if cfg.Mode == Parallel {
+		tr = cfg.traceParallel(src, dst)
+	} else {
+		tr = cfg.traceSequential(src, dst)
+	}
+	return TraceView{Trace: tr, store: store, lo: cfg.colsLo, hi: store.Len()}
+}
+
+// hopStores recycles columnar stores across fold chunks; a store grows
+// to its chunk's row count once and is then reused at full capacity.
+var hopStores = sync.Pool{New: func() any { return new(HopStore) }}
+
+// FoldTracesColumnar is FoldTraces on the columnar store: each worker
+// chunk leases one pooled HopStore, every trace in the chunk appends
+// its rows there, and fold receives TraceViews in request order. The
+// store is reset and repooled only after its chunk has been folded
+// (probesched.MapFoldScratch's scratch lifecycle), so views stay valid
+// exactly as long as the fold can see them. Campaign collection uses
+// this to drop the per-trace []Hop and result-slice allocations.
+func (e *Engine) FoldTracesColumnar(pool *probesched.Pool, reqs []probesched.Request, fold func(i int, tv TraceView)) {
+	probesched.MapFoldScratch(pool, reqs,
+		func() *HopStore { return hopStores.Get().(*HopStore) },
+		func(s *HopStore) { s.Reset(); hopStores.Put(s) },
+		func(clk *vclock.Clock, s *HopStore, req probesched.Request) TraceView {
+			return e.traceColumnar(clk, s, req.Src, req.Dst)
+		}, fold)
+}
+
 // ApplyResilience overlays a resilience policy on the engine: a
 // positive Attempts overrides the per-hop attempt count, and the
 // retry backoff and trace budget are installed as given. The zero
@@ -321,7 +463,9 @@ func (e *Engine) traceSequential(src, dst netip.Addr) Trace {
 	// Resolve the flow's forwarding path once; every TTL below replays
 	// it instead of re-resolving per probe.
 	flow := e.Net.CompileFlow(src, dst, tr.FlowID)
-	tr.Hops = e.takeHops(&flow)
+	if e.cols == nil {
+		tr.Hops = e.takeHops(&flow)
+	}
 	gap := 0
 	var seq uint32
 	for ttl := 1; ttl <= e.MaxTTL; ttl++ {
@@ -358,7 +502,7 @@ func (e *Engine) traceSequential(src, dst netip.Addr) Trace {
 			hop.ReplyTTL = r.ReplyTTL
 			break
 		}
-		tr.Hops = append(tr.Hops, hop)
+		e.pushHop(&tr, hop)
 		if hop.Responded() {
 			gap = 0
 			if hop.Type == netsim.EchoReply || hop.Type == netsim.PortUnreachable {
@@ -381,7 +525,9 @@ func (e *Engine) traceSequential(src, dst netip.Addr) Trace {
 func (e *Engine) traceParallel(src, dst netip.Addr) Trace {
 	tr := Trace{Src: src, Dst: dst, FlowID: flowID(src, dst)}
 	flow := e.Net.CompileFlow(src, dst, tr.FlowID)
-	tr.Hops = e.takeHops(&flow)
+	if e.cols == nil {
+		tr.Hops = e.takeHops(&flow)
+	}
 	// burstHops is scratch for the in-flight burst, reused across
 	// bursts; rows are copied into tr.Hops before the next reset.
 	burstHops := make([]Hop, 0, e.Window)
@@ -439,7 +585,7 @@ func (e *Engine) traceParallel(src, dst netip.Addr) Trace {
 		e.Clock.Advance(burstWait)
 		tr.ActiveTime += burstWait
 		for _, h := range burstHops {
-			tr.Hops = append(tr.Hops, h)
+			e.pushHop(&tr, h)
 			if h.Responded() {
 				gap = 0
 				if h.Type == netsim.EchoReply || h.Type == netsim.PortUnreachable {
@@ -455,10 +601,14 @@ func (e *Engine) traceParallel(src, dst netip.Addr) Trace {
 	}
 	// Trim the trace after the destination response, mirroring scamper
 	// output.
-	for i, h := range tr.Hops {
-		if h.Type == netsim.EchoReply || h.Type == netsim.PortUnreachable {
-			tr.Hops = tr.Hops[:i+1]
-			break
+	if e.cols != nil {
+		e.cols.trimReached(e.colsLo)
+	} else {
+		for i, h := range tr.Hops {
+			if h.Type == netsim.EchoReply || h.Type == netsim.PortUnreachable {
+				tr.Hops = tr.Hops[:i+1]
+				break
+			}
 		}
 	}
 	return tr
