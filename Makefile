@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: verify build test fmt vet race race-infer equivalence chaos bench bench-mem bench-sched bench-diff profile
+.PHONY: verify build test fmt vet race race-infer equivalence chaos bench bench-mem bench-sched bench-diff serve-bench profile
 
-verify: fmt vet build test race race-infer equivalence chaos bench-mem
+verify: fmt vet build test race race-infer equivalence chaos bench-mem serve-bench
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/netsim/... ./internal/probesched/... ./internal/comap/...
+	$(GO) test -race ./internal/netsim/... ./internal/probesched/... ./internal/comap/... ./internal/snapshot/...
 
 # Race-detect the parallel-inference paths specifically (short mode so
 # the sharded mapping/graph/alias/figure tests run without the full
@@ -84,6 +84,17 @@ bench-mem:
 # over the previous PR's.
 bench-diff:
 	$(GO) run ./cmd/benchjson -diff BENCH_PR4.json BENCH_PR5.json
+
+# Resident-service bench: the regiond load generator hammers the
+# snapshot store from 10k concurrent clients while three background
+# refreshes swap the artifact, and benchjson archives the per-op
+# mean/p50/p99 latencies and throughput (the p50_ns/p99_ns/qps pairs
+# land in each entry's extra-metrics map) as BENCH_PR6.json. The race
+# half of the same guarantee — no torn snapshot is ever observable —
+# runs under `make race` via internal/snapshot's swap test.
+serve-bench:
+	$(GO) run ./cmd/regiond -loadgen -clients 10000 -duration 2s -swaps 3 \
+		| $(GO) run ./cmd/benchjson > BENCH_PR6.json
 
 # CPU+heap profiles of a full campaign run, ready for `go tool pprof`.
 profile:

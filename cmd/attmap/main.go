@@ -11,20 +11,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 )
 
 func main() {
-	seed := flag.Int64("seed", 21, "scenario seed")
+	var cfg cli.Config
+	cfg.BindSeed(flag.CommandLine, 21, "scenario seed")
 	pings := flag.Int("pings", 100, "TTL-limited echos per customer (Table 2)")
-	parallel := flag.Int("parallel", 0, "probe-scheduler workers (0 = GOMAXPROCS); output is identical at any value")
+	cfg.BindParallel(flag.CommandLine)
 	flag.Parse()
 
-	fmt.Printf("building the AT&T-like scenario (seed %d) and running the campaign...\n", *seed)
-	st := core.NewATTStudy(*seed, core.WithParallelism(*parallel))
+	fmt.Printf("building the AT&T-like scenario (seed %d) and running the campaign...\n", cfg.Seed)
+	stAny, err := core.NewStudy("att", cfg.Seed, cfg.Options()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attmap:", err)
+		os.Exit(1)
+	}
+	st := stAny.(*core.ATTStudy)
 	res := st.Result()
 
 	fmt.Printf("\n== region inventory (Appendix C) ==\n")

@@ -45,6 +45,11 @@ type Result struct {
 	// "loss=RATE" token in the benchmark name (fault-injection benches
 	// encode their fault grid in sub-benchmark names); absent otherwise.
 	Loss *float64 `json:"loss,omitempty"`
+	// Extra carries custom metrics keyed by their unit token — any
+	// (value, unit) pair beyond the standard ns/op, B/op, allocs/op.
+	// The regiond load generator reports p50_ns, p99_ns, and qps this
+	// way; previously unknown units were silently dropped.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // lossRe extracts the loss rate a faulted benchmark encodes in its name,
@@ -78,6 +83,11 @@ func parseLine(line string) (Result, bool) {
 		case "allocs/op":
 			a := v
 			r.AllocsPerOp = &a
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[fields[i+1]] = v
 		}
 	}
 	if r.NsPerOp == 0 {

@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestParseLineStandardUnits(t *testing.T) {
+	r, ok := parseLine("BenchmarkParallelCampaign/workers=4-8 \t3\t123456789 ns/op\t4096 B/op\t77 allocs/op")
+	if !ok {
+		t.Fatal("standard -benchmem line did not parse")
+	}
+	if r.Name != "BenchmarkParallelCampaign/workers=4-8" || r.Iterations != 3 || r.NsPerOp != 123456789 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 4096 || r.AllocsPerOp == nil || *r.AllocsPerOp != 77 {
+		t.Errorf("memory fields: %+v", r)
+	}
+	if r.Extra != nil {
+		t.Errorf("standard units leaked into Extra: %v", r.Extra)
+	}
+}
+
+// TestParseLineExtraUnits pins the contract with the regiond load
+// generator: its p50_ns / p99_ns / qps pairs must survive into the
+// archive instead of being dropped.
+func TestParseLineExtraUnits(t *testing.T) {
+	r, ok := parseLine("BenchmarkServeAll/clients=10000 \t344668 \t4577.4 ns/op \t384 p50_ns \t98304 p99_ns \t144749 qps")
+	if !ok {
+		t.Fatal("loadgen line did not parse")
+	}
+	if r.NsPerOp != 4577.4 || r.Iterations != 344668 {
+		t.Errorf("parsed %+v", r)
+	}
+	want := map[string]float64{"p50_ns": 384, "p99_ns": 98304, "qps": 144749}
+	for k, v := range want {
+		if r.Extra[k] != v {
+			t.Errorf("Extra[%s] = %v, want %v", k, r.Extra[k], v)
+		}
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"ok  \trepro/internal/probesched\t2.1s",
+		"PASS",
+		"goos: linux",
+		"loadgen: 344668 ops in 2.381s (144749 qps) across 3 swaps; final snapshot v4",
+		"regiond loadgen: 10000 clients, 2s, 3 refresh swaps, 1 GOMAXPROCS",
+		"BenchmarkBroken notanint 5 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parsed non-benchmark line %q", line)
+		}
+	}
+}
+
+func TestParseLineLossGrid(t *testing.T) {
+	r, ok := parseLine("BenchmarkFaultedCampaign/loss=0.10-8 \t3\t999 ns/op")
+	if !ok || r.Loss == nil || *r.Loss != 0.10 {
+		t.Fatalf("loss grid line: ok=%v r=%+v", ok, r)
+	}
+}

@@ -28,25 +28,25 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/probesched"
-	"repro/internal/profiling"
 )
 
 func main() {
-	seed := flag.Int64("seed", 7, "scenario seed (same seed, same maps)")
+	var cfg cli.Config
+	cfg.BindSeed(flag.CommandLine, 7)
 	isp := flag.String("isp", "comcast", "operator to score: comcast or charter")
 	grid := flag.String("grid", "0,0.02,0.05,0.1,0.2", "comma-separated per-link loss rates to sweep (loss compounds per link traversal, so deep hops see far higher probe loss)")
-	icmpRate := flag.Float64("icmp-rate", 0, "per-router ICMP replies/sec cap applied at every nonzero-loss cell (0 = no rate limiting)")
-	retries := flag.Int("retries", 3, "per-hop attempts for the resilient cells (0 = engine default, no resilience)")
+	cfg.BindICMPRate(flag.CommandLine, "per-router ICMP replies/sec cap applied at every nonzero-loss cell (0 = no rate limiting)")
+	cfg.BindRetries(flag.CommandLine, 3, "per-hop attempts for the resilient cells (0 = engine default, no resilience)")
 	backoff := flag.Duration("backoff", 200*time.Millisecond, "virtual backoff added per retry")
 	breaker := flag.Int("breaker", 10, "circuit-breaker threshold (zero-yield traces before a VP is benched; 0 = off)")
-	parallel := flag.Int("parallel", 0, "probe-scheduler workers (0 = GOMAXPROCS); output is identical at any value")
+	cfg.BindParallel(flag.CommandLine)
 	check := flag.Bool("check", false, "exit nonzero unless degradation is graceful")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	cfg.BindProfiles(flag.CommandLine, "write a CPU profile of the sweep to this file")
 	flag.Parse()
 
 	if *isp != "comcast" && *isp != "charter" {
@@ -58,7 +58,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chaossweep:", err)
 		os.Exit(2)
 	}
-	defer profiling.Start(*cpuprofile, *memprofile)()
+	defer cfg.StartProfiling()()
 
 	type row struct {
 		loss     float64
@@ -73,24 +73,32 @@ func main() {
 	fmt.Printf("%-6s %8s %8s %8s %8s %7s %6s %8s %8s %6s\n",
 		"loss", "sent", "lost", "ratelim", "retries", "yield", "COs", "CO-rec", "CO-F1", "conf")
 	for _, loss := range losses {
-		opts := []core.Option{core.WithParallelism(*parallel)}
-		if loss > 0 || *icmpRate > 0 {
-			plan := netsim.FaultPlan{Seed: uint64(*seed), LinkLoss: loss}
+		// Cells assemble options by hand rather than through cfg.Options:
+		// the loss rate varies per cell and the resilience policy carries
+		// the sweep's -backoff/-breaker knobs.
+		opts := []core.Option{core.WithParallelism(cfg.Parallel)}
+		if loss > 0 || cfg.ICMPRate > 0 {
+			plan := netsim.FaultPlan{Seed: uint64(cfg.Seed), LinkLoss: loss}
 			if loss > 0 {
 				// Rate limiting only joins nonzero-loss cells so the
 				// loss=0 column stays the pristine baseline.
-				plan.ICMPRate = *icmpRate
+				plan.ICMPRate = cfg.ICMPRate
 			}
 			opts = append(opts, core.WithFaults(plan))
 		}
-		if *retries > 0 {
+		if cfg.Retries > 0 {
 			opts = append(opts, core.WithResilience(probesched.Resilience{
-				Attempts:         *retries,
+				Attempts:         cfg.Retries,
 				RetryBackoff:     *backoff,
 				BreakerThreshold: *breaker,
 			}))
 		}
-		st := core.NewCableStudy(*seed, opts...)
+		stAny, err := core.NewStudy("cable", cfg.Seed, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaossweep:", err)
+			os.Exit(1)
+		}
+		st := stAny.(*core.CableStudy)
 		res := st.Result(*isp)
 		cov := res.Coverage
 		if !cov.Probes.Consistent() {

@@ -11,32 +11,46 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/comap"
 	"repro/internal/core"
 )
 
 func main() {
-	seed := flag.Int64("seed", 7, "scenario seed")
+	var cfg cli.Config
+	cfg.BindSeed(flag.CommandLine, 7, "scenario seed")
 	study := flag.String("study", "all", "cable, att, mobile, or all")
-	parallel := flag.Int("parallel", 0, "probe-scheduler workers (0 = GOMAXPROCS); output is identical at any value")
+	cfg.BindParallel(flag.CommandLine)
 	flag.Parse()
 
 	if *study == "all" || *study == "cable" {
-		cable(*seed, *parallel)
+		cable(cfg.Seed, &cfg)
 	}
 	if *study == "all" || *study == "att" {
-		att(*seed*3, *parallel)
+		att(cfg.Seed*3, &cfg)
 	}
 	if *study == "all" || *study == "mobile" {
-		mobile(*seed*7+2, *parallel)
+		mobile(cfg.Seed*7+2, &cfg)
 	}
 }
 
-func cable(seed int64, parallel int) {
+// launch builds the named study at a derived seed through the registry,
+// sharing the sweep's option bridge.
+func launch(name string, seed int64, cfg *cli.Config) core.Study {
+	st, err := core.NewStudy(name, seed, cfg.Options()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "papertables:", err)
+		os.Exit(1)
+	}
+	return st
+}
+
+func cable(seed int64, cfg *cli.Config) {
 	fmt.Printf("=== cable study (§5), seed %d ===\n", seed)
-	st := core.NewCableStudy(seed, core.WithParallelism(parallel))
+	st := launch("cable", seed, cfg).(*core.CableStudy)
 	st.Result("comcast")
 	st.Result("charter")
 
@@ -97,9 +111,9 @@ func cable(seed int64, parallel int) {
 	}
 }
 
-func att(seed int64, parallel int) {
+func att(seed int64, cfg *cli.Config) {
 	fmt.Printf("\n=== AT&T study (§6), seed %d ===\n", seed)
-	st := core.NewATTStudy(seed, core.WithParallelism(parallel))
+	st := launch("att", seed, cfg).(*core.ATTStudy)
 	fig := st.Figure13()
 	fmt.Printf("Figure 13: bb=%d agg=%d edge=%d routers; %d EdgeCOs; %d BackboneCO (mesh=%v); paper 2/4/84, 42, 1\n",
 		fig.BackboneRouters, fig.AggRouters, fig.EdgeRouters, fig.EdgeCOs, fig.BackboneCOs, fig.FullMesh)
@@ -112,9 +126,9 @@ func att(seed int64, parallel int) {
 	fmt.Printf("Table 2: mean=%.1fms outliers>2x=%d (paper 4.3ms, 2 outliers)\n", mean, outliers)
 }
 
-func mobile(seed int64, parallel int) {
+func mobile(seed int64, cfg *cli.Config) {
 	fmt.Printf("\n=== mobile study (§7), seed %d ===\n", seed)
-	st := core.NewMobileStudy(seed, core.WithParallelism(parallel))
+	st := launch("mobile", seed, cfg).(*core.MobileStudy)
 	states, rates := st.Figure15()
 	fmt.Printf("Figure 15: %d states (paper 40); success", len(states))
 	for _, c := range core.CarrierNames {

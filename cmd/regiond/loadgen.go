@@ -1,0 +1,233 @@
+package main
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The load generator measures the resident query path itself — snapshot
+// load, LPM lookup, region extract, stats — not HTTP framing, so the
+// numbers bound what any transport can deliver. Each client goroutine
+// runs a fixed op mix against the store while a background writer
+// performs full snapshot rebuild+swap cycles; per-op latencies go into
+// per-client log-bucketed histograms that are merged once at the end,
+// so the measurement adds no shared state to the hammered path.
+
+// opKinds is the measured query mix: address lookups dominate (the
+// paper's applications resolve customer addresses), with prefix scans,
+// region extracts, and stats reads behind them.
+var opKinds = []struct {
+	name   string
+	weight int
+}{
+	{"LookupAddr", 60},
+	{"LookupPrefix", 15},
+	{"Region", 15},
+	{"Stats", 10},
+}
+
+// hist is a log2-bucketed latency histogram: bucket i counts latencies
+// with bit-length i nanoseconds. 64 buckets cover any duration, and
+// reconstruction error (a bucket spans [2^(i-1), 2^i)) is well under
+// the run-to-run noise of a p99.
+type hist struct {
+	count [64]uint64
+	total uint64
+	sumNs uint64
+}
+
+func (h *hist) record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.count[bits.Len64(ns)%64]++
+	h.total++
+	h.sumNs += ns
+}
+
+func (h *hist) merge(o *hist) {
+	for i, c := range o.count {
+		h.count[i] += c
+	}
+	h.total += o.total
+	h.sumNs += o.sumNs
+}
+
+// percentile returns the latency at quantile q as the geometric middle
+// of the bucket holding that rank.
+func (h *hist) percentile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.count {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << (i - 1))
+			return lo * 1.5
+		}
+	}
+	return 0
+}
+
+func (h *hist) mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sumNs) / float64(h.total)
+}
+
+// runLoadgen hammers the bootstrapped service from clients goroutines
+// for the given duration while performing swaps background refreshes,
+// then prints one `go test -bench`-shaped line per op kind plus an
+// aggregate line with throughput, for cmd/benchjson to archive.
+func runLoadgen(svc *service, clients int, duration time.Duration, swaps int) error {
+	if clients < 1 {
+		return fmt.Errorf("-clients must be >= 1")
+	}
+	isp := svc.isps[0]
+	store := svc.stores[isp]
+	base := store.Load()
+
+	// Sample the query targets once from the boot snapshot: known
+	// interface addresses (plus a miss probe), the /24s they live in,
+	// and the region names. Refreshed snapshots of the same seed carry
+	// the same address space, so the targets stay valid across swaps.
+	var addrs []netip.Addr
+	var prefixes []netip.Prefix
+	for _, co := range base.LookupPrefix(netip.MustParsePrefix("0.0.0.0/0")) {
+		addrs = append(addrs, co.Addrs...)
+		if p, err := co.Addrs[0].Prefix(24); err == nil {
+			prefixes = append(prefixes, p)
+		}
+	}
+	regions := base.RegionNames()
+	if len(addrs) == 0 || len(regions) == 0 {
+		return fmt.Errorf("boot snapshot has no addresses or regions to query")
+	}
+
+	// Cumulative weights for the op mix.
+	cum := make([]int, len(opKinds)+1)
+	for i, k := range opKinds {
+		cum[i+1] = cum[i] + k.weight
+	}
+	weightSum := cum[len(opKinds)]
+
+	fmt.Printf("regiond loadgen: %d clients, %v, %d refresh swaps, %d GOMAXPROCS\n",
+		clients, duration, swaps, runtime.GOMAXPROCS(0))
+
+	perClient := make([][]hist, clients)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		perClient[c] = make([]hist, len(opKinds))
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)*2654435761 + 1))
+			hs := perClient[c]
+			for !stop.Load() {
+				op := 0
+				w := rng.Intn(weightSum)
+				for cum[op+1] <= w {
+					op++
+				}
+				start := time.Now()
+				s := store.Load()
+				switch op {
+				case 0:
+					s.LookupAddr(addrs[rng.Intn(len(addrs))])
+				case 1:
+					s.LookupPrefix(prefixes[rng.Intn(len(prefixes))])
+				case 2:
+					s.Region(regions[rng.Intn(len(regions))])
+				case 3:
+					s.Stats()
+				}
+				hs[op].record(time.Since(start))
+				// Yield between ops: clients that spin without parking
+				// hold their whole 10ms preemption slice, which starves
+				// the swap writer into multi-second publishes on small
+				// hosts. The yield sits outside the timed window, so the
+				// percentiles still measure the op, not the scheduler.
+				runtime.Gosched()
+			}
+		}(c)
+	}
+
+	// The writer performs real rebuild+swap cycles — a full snapshot
+	// compile from the retained study results per swap, spread across
+	// the window — so the percentiles include reads taken
+	// mid-publication. Recompiling rather than re-measuring keeps the
+	// swap cadence near the loadgen window; -refresh in serve mode
+	// re-runs the whole campaign. -duration is a minimum: the clients
+	// keep hammering until every requested swap has been published, so
+	// the reported percentiles always cover all the swaps.
+	started := time.Now()
+	swapErr := make(chan error, 1)
+	var swapped atomic.Int32
+	go func() {
+		defer close(swapErr)
+		gap := duration / time.Duration(swaps+1)
+		for i := 0; i < swaps; i++ {
+			time.Sleep(gap)
+			if err := svc.recompile(); err != nil {
+				swapErr <- err
+				return
+			}
+			swapped.Add(1)
+		}
+	}()
+
+	time.Sleep(duration)
+	err, errSent := <-swapErr // readers run on until the last swap publishes
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(started)
+	if errSent && err != nil {
+		return fmt.Errorf("refresh during loadgen: %w", err)
+	}
+
+	merged := make([]hist, len(opKinds))
+	for _, hs := range perClient {
+		for i := range hs {
+			merged[i].merge(&hs[i])
+		}
+	}
+	var all hist
+	for i := range merged {
+		all.merge(&merged[i])
+	}
+	if all.total == 0 {
+		return fmt.Errorf("loadgen recorded no operations")
+	}
+
+	// `go test -bench` format: name, iteration count, then (value, unit)
+	// pairs. benchjson understands ns/op natively and archives p50_ns /
+	// p99_ns / qps through its extra-metrics map.
+	for i, k := range opKinds {
+		h := &merged[i]
+		if h.total == 0 {
+			continue
+		}
+		fmt.Printf("BenchmarkServe%s/clients=%d \t%d \t%.1f ns/op \t%.0f p50_ns \t%.0f p99_ns\n",
+			k.name, clients, h.total, h.mean(), h.percentile(0.50), h.percentile(0.99))
+	}
+	qps := float64(all.total) / elapsed.Seconds()
+	fmt.Printf("BenchmarkServeAll/clients=%d \t%d \t%.1f ns/op \t%.0f p50_ns \t%.0f p99_ns \t%.0f qps\n",
+		clients, all.total, all.mean(), all.percentile(0.50), all.percentile(0.99), qps)
+	fmt.Printf("loadgen: %d ops in %v (%.0f qps) across %d swaps; final snapshot v%d\n",
+		all.total, elapsed.Round(time.Millisecond), qps, swapped.Load(), store.Version())
+	return nil
+}

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"time"
+
+	"repro/internal/comap"
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// service owns one snapshot store per measured operator. The stores and
+// results maps are written only during bootstrap, before any handler or
+// refresher runs (refreshes re-publish into existing stores from a
+// single background goroutine); every query is an atomic store.Load
+// plus reads of the immutable snapshot — no locks anywhere on the read
+// path.
+type service struct {
+	study string
+	seed  int64
+	opts  []core.Option
+
+	isps    []string
+	stores  map[string]*snapshot.Store
+	results map[string]*comap.Result
+}
+
+func newService(study string, seed int64, opts []core.Option) *service {
+	return &service{
+		study: study, seed: seed, opts: opts,
+		stores:  map[string]*snapshot.Store{},
+		results: map[string]*comap.Result{},
+	}
+}
+
+// runStudy executes the study through the registry and returns the
+// per-operator pipeline results in campaign order.
+func (s *service) runStudy(ctx context.Context) ([]string, map[string]*comap.Result, error) {
+	st, err := core.NewStudy(s.study, s.seed, s.opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := st.Run(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(res.CableISPs) == 0 {
+		return nil, nil, fmt.Errorf("study %q produces no snapshot-servable reports (only cable campaigns build comap reports)", s.study)
+	}
+	return res.CableISPs, res.Cable, nil
+}
+
+// compile builds one operator's result into a snapshot and publishes it
+// to that operator's store.
+func (s *service) compile(isp string) error {
+	store, ok := s.stores[isp]
+	if !ok {
+		return fmt.Errorf("no store for operator %q", isp)
+	}
+	snap, err := snapshot.Build(snapshot.Meta{
+		Study: s.study, ISP: isp, Seed: s.seed, BuiltAt: time.Now(),
+	}, s.results[isp])
+	if err != nil {
+		return fmt.Errorf("%s: %w", isp, err)
+	}
+	_, err = store.Publish(snap)
+	return err
+}
+
+// bootstrap runs the study once, creates the per-operator stores, and
+// publishes version 1 of each snapshot. It must complete before the
+// listener (or loadgen) starts: it is the only writer of the maps.
+func (s *service) bootstrap(ctx context.Context) error {
+	isps, results, err := s.runStudy(ctx)
+	if err != nil {
+		return err
+	}
+	s.isps, s.results = isps, results
+	for _, isp := range isps {
+		s.stores[isp] = &snapshot.Store{}
+		if err := s.compile(isp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refresh re-runs the full campaign, recompiles, and swaps each
+// operator's fresh snapshot into its existing store. Readers holding
+// the superseded artifact keep it; new loads observe the new version.
+func (s *service) refresh(ctx context.Context) error {
+	isps, results, err := s.runStudy(ctx)
+	if err != nil {
+		return err
+	}
+	for _, isp := range isps {
+		if _, ok := s.stores[isp]; !ok {
+			return fmt.Errorf("refresh produced unknown operator %q", isp)
+		}
+	}
+	s.results = results
+	return s.recompile()
+}
+
+// recompile rebuilds every operator's snapshot from the retained study
+// results — a full artifact compile (interning, columns, LPM tables),
+// not a re-measurement — and swaps each in. The loadgen writer uses
+// this so its refresh cadence is bounded by compile time, not campaign
+// time.
+func (s *service) recompile() error {
+	for _, isp := range s.isps {
+		if err := s.compile(isp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snap resolves the request's operator (?isp=, default the first
+// measured one) to its current snapshot.
+func (s *service) snap(w http.ResponseWriter, r *http.Request) *snapshot.Snapshot {
+	isp := r.URL.Query().Get("isp")
+	if isp == "" {
+		isp = s.isps[0]
+	}
+	store, ok := s.stores[isp]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown operator %q (serving %v)", isp, s.isps)
+		return nil
+	}
+	snap := store.Load()
+	if snap == nil {
+		httpError(w, http.StatusServiceUnavailable, "no snapshot published yet for %q", isp)
+		return nil
+	}
+	return snap
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handler builds the query surface. Every endpoint resolves one
+// immutable snapshot up front and reads only from it, so a refresh
+// mid-request is invisible.
+func (s *service) handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
+		versions := map[string]uint64{}
+		for isp, store := range s.stores {
+			versions[isp] = store.Version()
+		}
+		writeJSON(w, map[string]any{"status": "ok", "study": s.study, "seed": s.seed, "versions": versions})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if snap := s.snap(w, r); snap != nil {
+			writeJSON(w, snap.Stats())
+		}
+	})
+
+	mux.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.snap(w, r)
+		if snap == nil {
+			return
+		}
+		q := r.URL.Query()
+		switch {
+		case q.Get("addr") != "":
+			addr, err := netip.ParseAddr(q.Get("addr"))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad addr: %v", err)
+				return
+			}
+			co, ok := snap.LookupAddr(addr)
+			if !ok {
+				httpError(w, http.StatusNotFound, "%s maps to no CO", addr)
+				return
+			}
+			writeJSON(w, co)
+		case q.Get("prefix") != "":
+			p, err := netip.ParsePrefix(q.Get("prefix"))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad prefix: %v", err)
+				return
+			}
+			cos := snap.LookupPrefix(p)
+			if cos == nil {
+				cos = []snapshot.CO{} // an empty range is [], not null
+			}
+			writeJSON(w, cos)
+		default:
+			httpError(w, http.StatusBadRequest, "need ?addr= or ?prefix=")
+		}
+	})
+
+	mux.HandleFunc("GET /v1/regions", func(w http.ResponseWriter, r *http.Request) {
+		if snap := s.snap(w, r); snap != nil {
+			writeJSON(w, snap.RegionNames())
+		}
+	})
+
+	mux.HandleFunc("GET /v1/region/{name}", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.snap(w, r)
+		if snap == nil {
+			return
+		}
+		rr, ok := snap.Region(r.PathValue("name"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "region %q not in snapshot", r.PathValue("name"))
+			return
+		}
+		writeJSON(w, rr)
+	})
+
+	// The full report is pre-marshaled at snapshot build, so this is a
+	// single buffer write.
+	mux.HandleFunc("GET /v1/report", func(w http.ResponseWriter, r *http.Request) {
+		if snap := s.snap(w, r); snap != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(snap.ReportJSON())
+		}
+	})
+
+	mux.HandleFunc("GET /v1/coverage", func(w http.ResponseWriter, r *http.Request) {
+		if snap := s.snap(w, r); snap != nil {
+			writeJSON(w, snap.Coverage())
+		}
+	})
+
+	mux.HandleFunc("GET /v1/table1", func(w http.ResponseWriter, r *http.Request) {
+		if snap := s.snap(w, r); snap != nil {
+			writeJSON(w, snap.Table1())
+		}
+	})
+
+	mux.HandleFunc("GET /v1/figure7", func(w http.ResponseWriter, r *http.Request) {
+		if snap := s.snap(w, r); snap != nil {
+			writeJSON(w, snap.Figure7())
+		}
+	})
+
+	return mux
+}

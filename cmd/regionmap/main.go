@@ -21,55 +21,44 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"time"
 
+	"repro/internal/cli"
 	"repro/internal/comap"
 	"repro/internal/core"
-	"repro/internal/netsim"
-	"repro/internal/probesched"
-	"repro/internal/profiling"
 )
 
 func main() {
-	seed := flag.Int64("seed", 7, "scenario seed (same seed, same maps)")
+	var cfg cli.Config
+	cfg.BindSeed(flag.CommandLine, 7)
 	isp := flag.String("isp", "comcast", "operator to report: comcast or charter")
 	region := flag.String("region", "", "print one region's full CO graph")
 	dot := flag.Bool("dot", false, "with -region: emit Graphviz DOT instead of text")
 	asJSON := flag.Bool("json", false, "emit the full inference as JSON")
 	resil := flag.Bool("resilience", false, "print the §8 failure-impact analysis per region")
 	verbose := flag.Bool("v", false, "print every region summary")
-	parallel := flag.Int("parallel", 0, "probe-scheduler workers (0 = GOMAXPROCS); output is identical at any value")
-	budget := flag.Int("budget", 0, "cap total campaign traceroutes (0 = unlimited)")
-	loss := flag.Float64("loss", 0, "inject per-link loss at this rate (0 = pristine plane)")
-	icmpRate := flag.Float64("icmp-rate", 0, "cap per-router ICMP replies/sec (0 = no rate limiting)")
-	retries := flag.Int("retries", 0, "per-hop attempts with backoff for the resilient campaign (0 = historical behavior)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	cfg.BindParallel(flag.CommandLine)
+	cfg.BindBudget(flag.CommandLine)
+	cfg.BindLoss(flag.CommandLine)
+	cfg.BindICMPRate(flag.CommandLine)
+	cfg.BindRetries(flag.CommandLine, 0)
+	cfg.BindProfiles(flag.CommandLine)
 	flag.Parse()
 
 	if *isp != "comcast" && *isp != "charter" {
 		fmt.Fprintln(os.Stderr, "regionmap: -isp must be comcast or charter")
 		os.Exit(2)
 	}
-	defer profiling.Start(*cpuprofile, *memprofile)()
+	defer cfg.StartProfiling()()
 
-	fmt.Fprintf(os.Stderr, "building scenario (seed %d) and running the %s campaign...\n", *seed, *isp)
-	opts := []core.Option{core.WithParallelism(*parallel), core.WithProbeBudget(*budget)}
-	if *loss > 0 || *icmpRate > 0 {
-		opts = append(opts, core.WithFaults(netsim.FaultPlan{
-			Seed: uint64(*seed), LinkLoss: *loss, ICMPRate: *icmpRate,
-		}))
+	fmt.Fprintf(os.Stderr, "building scenario (seed %d) and running the %s campaign...\n", cfg.Seed, *isp)
+	stAny, err := core.NewStudy("cable", cfg.Seed, cfg.Options()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regionmap:", err)
+		os.Exit(1)
 	}
-	if *retries > 0 {
-		opts = append(opts, core.WithResilience(probesched.Resilience{
-			Attempts:         *retries,
-			RetryBackoff:     200 * time.Millisecond,
-			BreakerThreshold: 10,
-		}))
-	}
-	st := core.NewCableStudy(*seed, opts...)
+	st := stAny.(*core.CableStudy)
 	res := st.Result(*isp)
-	if *loss > 0 || *icmpRate > 0 || *retries > 0 {
+	if cfg.Faulted() {
 		res.Coverage.Write(os.Stderr)
 	}
 

@@ -14,20 +14,27 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/ship"
 )
 
 func main() {
-	seed := flag.Int64("seed", 51, "scenario seed")
+	var cfg cli.Config
+	cfg.BindSeed(flag.CommandLine, 51, "scenario seed")
 	carrier := flag.String("carrier", "all", "carrier to report, or all")
 	showMap := flag.Bool("map", false, "print the Fig. 18 latency hexes")
 	csvPath := flag.String("csv", "", "write the raw rounds of -carrier to a CSV file")
-	parallel := flag.Int("parallel", 0, "probe-scheduler workers (0 = GOMAXPROCS); output is identical at any value")
+	cfg.BindParallel(flag.CommandLine)
 	flag.Parse()
 
-	fmt.Printf("building carriers (seed %d) and shipping phones across 12 itineraries...\n", *seed)
-	st := core.NewMobileStudy(*seed, core.WithParallelism(*parallel))
+	fmt.Printf("building carriers (seed %d) and shipping phones across 12 itineraries...\n", cfg.Seed)
+	stAny, err := core.NewStudy("mobile", cfg.Seed, cfg.Options()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shipmap:", err)
+		os.Exit(1)
+	}
+	st := stAny.(*core.MobileStudy)
 
 	carriers := core.CarrierNames
 	if *carrier != "all" {

@@ -21,6 +21,11 @@ type Campaign struct {
 	Clock *vclock.Clock
 	// ISP selects the hostname convention under study.
 	ISP string
+	// Seed is the scenario seed the probed topology was generated from;
+	// it is carried into the Report (generated_seed) so a served
+	// artifact names the world it measured. Zero when the caller did
+	// not thread one — the campaign itself never consumes it.
+	Seed int64
 	// VPs are the vantage-point host addresses (the paper used 47 in
 	// access, cloud, and transit networks).
 	VPs []netip.Addr

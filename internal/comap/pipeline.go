@@ -15,6 +15,9 @@ type Result struct {
 	// Coverage accounts for how completely the (possibly faulted)
 	// measurement plane was observed; see CoverageReport.
 	Coverage CoverageReport
+	// Seed is the campaign's scenario seed, surfaced in the Report as
+	// generated_seed.
+	Seed int64
 
 	// workers is the parallelism the pipeline ran with; post-hoc
 	// analyses on the Result (StageAdjacencies) reuse it.
@@ -34,6 +37,7 @@ func Run(c *Campaign) *Result {
 		Mapping:    m,
 		Inference:  inf,
 		Coverage:   BuildCoverage(col, inf),
+		Seed:       c.Seed,
 		workers:    c.Parallelism,
 	}
 }

@@ -7,14 +7,32 @@ import (
 	"sort"
 )
 
+// ReportSchemaVersion identifies the wire schema of Report. Version 1
+// was the implicit, unversioned schema the one-shot cmds printed before
+// the resident service landed; version 2 made the version explicit and
+// added generated_seed so a long-lived artifact names the world it was
+// measured from. Renaming, removing, or retyping any serialized field
+// requires bumping this constant — TestReportSchemaStable pins the
+// field set for the current version and fails otherwise.
+const ReportSchemaVersion = 2
+
 // Report is the JSON-serializable form of an inference result, for
-// downstream tooling (GIS overlays, resilience dashboards, diffing runs).
+// downstream tooling (GIS overlays, resilience dashboards, diffing
+// runs) and the unit the resident service (cmd/regiond) versions,
+// caches, and serves.
 type Report struct {
-	ISP     string         `json:"isp"`
-	P2PBits int            `json:"p2p_bits"`
-	Mapping MappingStats   `json:"mapping"`
-	Pruning PruneStats     `json:"pruning"`
-	Regions []RegionReport `json:"regions"`
+	// SchemaVersion is ReportSchemaVersion as of serialization, so a
+	// consumer holding an archived artifact can tell which schema it
+	// speaks before decoding the rest.
+	SchemaVersion int `json:"schema_version"`
+	// GeneratedSeed is the scenario seed the measured topology was
+	// generated from (zero when the campaign was built without one).
+	GeneratedSeed int64          `json:"generated_seed"`
+	ISP           string         `json:"isp"`
+	P2PBits       int            `json:"p2p_bits"`
+	Mapping       MappingStats   `json:"mapping"`
+	Pruning       PruneStats     `json:"pruning"`
+	Regions       []RegionReport `json:"regions"`
 }
 
 // RegionReport serializes one region graph.
@@ -45,10 +63,12 @@ type EdgeReport struct {
 // BuildReport assembles the serializable form of a pipeline result.
 func (r *Result) BuildReport(isp string) Report {
 	rep := Report{
-		ISP:     isp,
-		P2PBits: r.Inference.P2PBits,
-		Mapping: r.Mapping.Stats,
-		Pruning: r.Inference.Prune,
+		SchemaVersion: ReportSchemaVersion,
+		GeneratedSeed: r.Seed,
+		ISP:           isp,
+		P2PBits:       r.Inference.P2PBits,
+		Mapping:       r.Mapping.Stats,
+		Pruning:       r.Inference.Prune,
 	}
 	names := make([]string, 0, len(r.Inference.Regions))
 	for n := range r.Inference.Regions {

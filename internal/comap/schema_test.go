@@ -1,0 +1,138 @@
+package comap
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// pinnedReportSchemas pins the serialized field set of Report for every
+// published schema version. The stable-schema test recomputes the
+// current fingerprint by reflection and requires it to match the entry
+// for ReportSchemaVersion exactly: renaming, dropping, or retyping a
+// serialized field without bumping the version (and adding the new
+// pinned fingerprint here) fails the build. Adding a version keeps the
+// old entries — they document what archived artifacts of that version
+// contain.
+var pinnedReportSchemas = map[int]string{
+	2: strings.Join([]string{
+		"Report.SchemaVersion json=schema_version type=int",
+		"Report.GeneratedSeed json=generated_seed type=int64",
+		"Report.ISP json=isp type=string",
+		"Report.P2PBits json=p2p_bits type=int",
+		"Report.Mapping json=mapping type=comap.MappingStats",
+		"MappingStats.Initial json=Initial type=int",
+		"MappingStats.AliasChanged json=AliasChanged type=int",
+		"MappingStats.AliasAdded json=AliasAdded type=int",
+		"MappingStats.AliasRemoved json=AliasRemoved type=int",
+		"MappingStats.SubnetChanged json=SubnetChanged type=int",
+		"MappingStats.SubnetAdded json=SubnetAdded type=int",
+		"MappingStats.Final json=Final type=int",
+		"Report.Pruning json=pruning type=comap.PruneStats",
+		"PruneStats.InitialIPAdjs json=InitialIPAdjs type=int",
+		"PruneStats.InitialCOAdjs json=InitialCOAdjs type=int",
+		"PruneStats.BackboneIPAdjs json=BackboneIPAdjs type=int",
+		"PruneStats.BackboneCOAdjs json=BackboneCOAdjs type=int",
+		"PruneStats.CrossRegionIPAdjs json=CrossRegionIPAdjs type=int",
+		"PruneStats.CrossRegionCOAdjs json=CrossRegionCOAdjs type=int",
+		"PruneStats.SingleIPAdjs json=SingleIPAdjs type=int",
+		"PruneStats.SingleCOAdjs json=SingleCOAdjs type=int",
+		"PruneStats.MPLSIPAdjs json=MPLSIPAdjs type=int",
+		"PruneStats.MPLSCOAdjs json=MPLSCOAdjs type=int",
+		"Report.Regions json=regions type=[]comap.RegionReport",
+		"RegionReport.Name json=name type=string",
+		"RegionReport.Type json=type type=string",
+		"RegionReport.COs json=cos type=[]comap.COReport",
+		"COReport.Key json=key type=string",
+		"COReport.Tag json=tag type=string",
+		"COReport.IsAgg json=is_agg type=bool",
+		"COReport.Addrs json=addrs,omitempty type=[]netip.Addr",
+		"RegionReport.Edges json=edges type=[]comap.EdgeReport",
+		"EdgeReport.From json=from type=string",
+		"EdgeReport.To json=to type=string",
+		"EdgeReport.Count json=count type=int",
+		"RegionReport.AggGroups json=agg_groups,omitempty type=[][]string",
+		"RegionReport.Entries json=entries,omitempty type=[]comap.Entry",
+		"Entry.From json=From type=string",
+		"Entry.FirstCOs json=FirstCOs type=[]string",
+	}, "\n"),
+}
+
+// schemaFingerprint walks a struct type depth-first in declaration
+// order, emitting one line per exported serialized field: owning type,
+// field name, json tag (the declared name when untagged, matching
+// encoding/json), and the field's Go type. Named struct types reachable
+// through fields are expanded once, inline, right after the field that
+// first reaches them, so nesting changes move lines and change the
+// fingerprint.
+func schemaFingerprint(t reflect.Type) string {
+	var b strings.Builder
+	seen := map[reflect.Type]bool{}
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag := f.Tag.Get("json")
+			if tag == "-" {
+				continue
+			}
+			if tag == "" {
+				tag = f.Name
+			}
+			b.WriteString(t.Name() + "." + f.Name + " json=" + tag + " type=" + f.Type.String() + "\n")
+			ft := f.Type
+			for ft.Kind() == reflect.Slice || ft.Kind() == reflect.Ptr {
+				ft = ft.Elem()
+			}
+			// Expand named structs declared in this package; leave
+			// foreign leaf types (netip.Addr) opaque — their wire form
+			// is theirs to version.
+			if ft.Kind() == reflect.Struct && ft.PkgPath() == t.PkgPath() {
+				walk(ft)
+			}
+		}
+	}
+	walk(t)
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+// TestReportSchemaStable is the no-silent-breakage gate for the served
+// artifact format: the reflected schema of Report must match the
+// fingerprint pinned for ReportSchemaVersion. A mismatch means a field
+// was renamed, dropped, retyped, or reordered — bump the version and
+// pin the new fingerprint rather than mutating an existing one.
+func TestReportSchemaStable(t *testing.T) {
+	pinned, ok := pinnedReportSchemas[ReportSchemaVersion]
+	if !ok {
+		t.Fatalf("ReportSchemaVersion %d has no pinned schema; add its fingerprint to pinnedReportSchemas", ReportSchemaVersion)
+	}
+	got := schemaFingerprint(reflect.TypeOf(Report{}))
+	if got != pinned {
+		t.Errorf("Report schema drifted from the version-%d pin without a version bump.\n--- pinned ---\n%s\n--- current ---\n%s",
+			ReportSchemaVersion, pinned, got)
+	}
+}
+
+// TestReportCarriesSchemaVersion checks BuildReport stamps the current
+// version and the threaded seed.
+func TestReportCarriesSchemaVersion(t *testing.T) {
+	res := &Result{
+		Mapping:   &Mapping{},
+		Inference: &Inference{},
+		Seed:      99,
+	}
+	rep := res.BuildReport("x")
+	if rep.SchemaVersion != ReportSchemaVersion {
+		t.Errorf("SchemaVersion = %d, want %d", rep.SchemaVersion, ReportSchemaVersion)
+	}
+	if rep.GeneratedSeed != 99 {
+		t.Errorf("GeneratedSeed = %d, want 99", rep.GeneratedSeed)
+	}
+}

@@ -23,6 +23,7 @@ type ATTStudy struct {
 	BootstrapVPs []netip.Addr
 
 	cfg    Config
+	seed   int64
 	result *attmap.Result
 }
 
@@ -35,7 +36,7 @@ const DetailRegion = "sd2ca"
 func NewATTStudy(seed int64, opts ...Option) *ATTStudy {
 	s := topogen.NewScenario(seed)
 	tel := s.BuildTelco(topogen.ATTProfile())
-	st := &ATTStudy{Scenario: s, Telco: tel, cfg: buildConfig(opts)}
+	st := &ATTStudy{Scenario: s, Telco: tel, cfg: buildConfig(opts), seed: seed}
 	st.cfg.installFaults(s.Net)
 	for i, tag := range []string{"la2ca", "bkfdca", "frsnca", "sffca", "scrmca"} {
 		st.BootstrapVPs = append(st.BootstrapVPs, s.AddTelcoVP(tel, tag, i).Addr)

@@ -41,6 +41,7 @@ type CableStudy struct {
 	VPs      []netip.Addr
 
 	cfg     Config
+	seed    int64
 	results map[string]*comap.Result
 }
 
@@ -61,6 +62,7 @@ func NewCableStudy(seed int64, opts ...Option) *CableStudy {
 		Charter:  charter,
 		VPs:      vps,
 		cfg:      cfg,
+		seed:     seed,
 		results:  map[string]*comap.Result{},
 	}
 }
@@ -83,6 +85,7 @@ func (st *CableStudy) Result(isp string) *comap.Result {
 		DNS:         st.Scenario.DNS,
 		Clock:       st.cfg.clock(st.Scenario.Epoch()),
 		ISP:         isp,
+		Seed:        st.seed,
 		VPs:         st.VPs,
 		Announced:   st.truth(isp).Announced,
 		Parallelism: st.cfg.Parallelism,

@@ -26,6 +26,7 @@ type MobileStudy struct {
 	Server  netip.Addr
 
 	cfg      Config
+	seed     int64
 	rounds   map[string][]ship.Round
 	analyses map[string]*mobilemap.Analysis
 }
@@ -50,6 +51,7 @@ func NewMobileStudy(seed int64, opts ...Option) *MobileStudy {
 	st := &MobileStudy{
 		Scenario: s,
 		cfg:      buildConfig(opts),
+		seed:     seed,
 		Carriers: map[string]*topogen.MobileCarrier{
 			"att-mobile": s.BuildMobileCarrier(topogen.ATTMobileProfile()),
 			"verizon":    s.BuildMobileCarrier(topogen.VerizonProfile()),

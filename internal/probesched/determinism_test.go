@@ -36,6 +36,7 @@ func quickstartCampaign(workers int) *comap.Campaign {
 		DNS:         scenario.DNS,
 		Clock:       vclock.New(scenario.Epoch()),
 		ISP:         "comcast",
+		Seed:        42,
 		VPs:         vps,
 		Announced:   isp.Announced,
 		Parallelism: workers,

@@ -1,0 +1,534 @@
+// Package snapshot turns a one-shot inference result into a long-lived,
+// queryable topology artifact. A Snapshot is an immutable compilation
+// of one comap pipeline run: symtab-interned CO identifiers, columnar
+// CO/edge storage (structure-of-arrays, region-major spans), a compiled
+// longest-prefix-match table from interface address to central office,
+// a sorted address index for prefix-range queries, and the pre-encoded
+// schema-versioned report JSON. Build it once, publish it through a
+// Store, and any number of goroutines query it concurrently with zero
+// locks — immutability is the whole synchronization story on the read
+// side.
+//
+// Versioning: a Snapshot's content is fixed at Build; its Version is
+// stamped by the Store at publication (monotonic per Store). Refreshing
+// a served topology is therefore one atomic pointer swap — readers in
+// flight keep the version they loaded, new readers see the new one, and
+// no reader ever observes a half-installed artifact (Consistent()
+// re-derives the content digest to prove it).
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/comap"
+	"repro/internal/symtab"
+)
+
+// Meta names the study run a snapshot was compiled from.
+type Meta struct {
+	// Study is the registry name of the study ("cable") and ISP the
+	// operator whose inference this snapshot serves.
+	Study string
+	ISP   string
+	// Seed is the scenario seed; BuiltAt the campaign's final
+	// virtual-clock reading (the artifact's logical timestamp).
+	Seed    int64
+	BuiltAt time.Time
+}
+
+// CO is the materialized view of one central office, as returned by
+// lookups. Addrs aliases the snapshot's columnar storage — callers must
+// not mutate it.
+type CO struct {
+	Key        string       `json:"key"`
+	Tag        string       `json:"tag"`
+	Region     string       `json:"region"`
+	IsAgg      bool         `json:"is_agg"`
+	Addrs      []netip.Addr `json:"addrs,omitempty"`
+	Confidence float64      `json:"confidence"`
+}
+
+// Stats summarizes a snapshot for the service's stats endpoint.
+type Stats struct {
+	Version       uint64    `json:"version"`
+	Study         string    `json:"study"`
+	ISP           string    `json:"isp"`
+	Seed          int64     `json:"seed"`
+	SchemaVersion int       `json:"schema_version"`
+	BuiltAt       time.Time `json:"built_at"`
+	Regions       int       `json:"regions"`
+	COs           int       `json:"cos"`
+	AggCOs        int       `json:"agg_cos"`
+	Edges         int       `json:"edges"`
+	Addrs         int       `json:"addrs"`
+	// MeanConfidence averages per-CO evidence confidence across every
+	// CO; MinConfidence is the weakest CO's score.
+	MeanConfidence float64 `json:"mean_confidence"`
+	MinConfidence  float64 `json:"min_confidence"`
+}
+
+// regionMeta is one region's spans into the columnar CO/edge storage.
+type regionMeta struct {
+	name           symtab.Sym
+	aggType        string
+	coLo, coHi     uint32
+	edgeLo, edgeHi uint32
+}
+
+// Snapshot is the immutable artifact. All fields are written by Build
+// (and Version once, by Store.Publish, before the pointer is ever
+// shared); afterwards every method is safe for unlimited concurrent use
+// with no locking.
+type Snapshot struct {
+	version uint64
+	meta    Meta
+
+	syms *symtab.Table
+
+	// Columnar CO storage, region-major: COs of region r occupy
+	// [regions[r].coLo, regions[r].coHi).
+	coKey     []symtab.Sym
+	coTag     []symtab.Sym
+	coRegion  []uint32
+	coIsAgg   []bool
+	coConf    []float64
+	coAddrOff []uint32 // len = len(coKey)+1; spans into coAddrs
+	coAddrs   []netip.Addr
+
+	// Columnar edge storage, region-major, (from, to, count).
+	edgeFrom  []symtab.Sym
+	edgeTo    []symtab.Sym
+	edgeCount []int32
+
+	regions   []regionMeta
+	regionIdx map[string]int
+
+	// addrSorted/addrCO is the sorted address index for prefix-range
+	// queries; lpmLens/lpmTables are the compiled longest-prefix-match
+	// tables (one masked-address map per distinct bit length, probed
+	// longest first) for point lookups.
+	addrSorted []netip.Addr
+	addrCO     []uint32
+	lpmLens    []int
+	lpmTables  []map[netip.Addr]int32
+
+	report     *comap.Report
+	reportJSON []byte
+	coverage   comap.CoverageReport
+
+	// digest is the FNV-1a content digest computed as the final build
+	// step; Consistent() re-derives it. Version is deliberately outside
+	// the digest: publication stamps it after content is sealed.
+	digest uint64
+}
+
+// Build compiles a pipeline result into a servable snapshot. The
+// traversal orders everything canonically (regions and CO keys sorted,
+// edges sorted by endpoints), so equal results compile to byte-equal
+// artifacts regardless of map iteration order.
+func Build(meta Meta, res *comap.Result) (*Snapshot, error) {
+	if res == nil || res.Inference == nil {
+		return nil, fmt.Errorf("snapshot: nil result for study %q isp %q", meta.Study, meta.ISP)
+	}
+	rep := res.BuildReport(meta.ISP)
+	js, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encode report: %w", err)
+	}
+	js = append(js, '\n')
+
+	s := &Snapshot{
+		meta:       meta,
+		syms:       symtab.New(256),
+		regionIdx:  map[string]int{},
+		report:     &rep,
+		reportJSON: js,
+		coverage:   res.Coverage,
+	}
+
+	names := make([]string, 0, len(res.Inference.Regions))
+	for n := range res.Inference.Regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := res.Inference.Regions[name]
+		rm := regionMeta{
+			name:    s.syms.Intern(name),
+			aggType: g.Classify().String(),
+			coLo:    uint32(len(s.coKey)),
+			edgeLo:  uint32(len(s.edgeFrom)),
+		}
+		keys := make([]string, 0, len(g.COs))
+		for k := range g.COs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			node := g.COs[k]
+			s.coKey = append(s.coKey, s.syms.Intern(k))
+			s.coTag = append(s.coTag, s.syms.Intern(node.Tag))
+			s.coRegion = append(s.coRegion, uint32(len(s.regions)))
+			s.coIsAgg = append(s.coIsAgg, node.IsAgg)
+			s.coConf = append(s.coConf, comap.COConfidence(g, k))
+			addrs := append([]netip.Addr(nil), node.Addrs...)
+			sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+			s.coAddrs = append(s.coAddrs, addrs...)
+			s.coAddrOff = append(s.coAddrOff, uint32(len(s.coAddrs)))
+		}
+		type edge struct {
+			from, to string
+			n        int
+		}
+		edges := make([]edge, 0, len(g.Edges))
+		for e, n := range g.Edges {
+			edges = append(edges, edge{e[0], e[1], n})
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].from != edges[j].from {
+				return edges[i].from < edges[j].from
+			}
+			return edges[i].to < edges[j].to
+		})
+		for _, e := range edges {
+			s.edgeFrom = append(s.edgeFrom, s.syms.Intern(e.from))
+			s.edgeTo = append(s.edgeTo, s.syms.Intern(e.to))
+			s.edgeCount = append(s.edgeCount, int32(e.n))
+		}
+		rm.coHi = uint32(len(s.coKey))
+		rm.edgeHi = uint32(len(s.edgeFrom))
+		s.regionIdx[name] = len(s.regions)
+		s.regions = append(s.regions, rm)
+	}
+	// coAddrOff needs the leading 0 sentinel; it was appended per-CO
+	// above, so prepend once.
+	s.coAddrOff = append([]uint32{0}, s.coAddrOff...)
+
+	s.buildAddrIndex()
+	s.digest = s.computeDigest()
+	return s, nil
+}
+
+// buildAddrIndex compiles the two address-query structures: the sorted
+// (addr, CO) index for range scans, and the per-bit-length LPM tables
+// for point lookups — a /32 (or /128) entry per interface address, plus
+// a /24 (or /48) aggregate for every block whose addresses all belong
+// to one CO, so a query for an unprobed address still resolves to its
+// CO when the block is unambiguous.
+func (s *Snapshot) buildAddrIndex() {
+	n := len(s.coAddrs)
+	s.addrSorted = make([]netip.Addr, 0, n)
+	s.addrCO = make([]uint32, 0, n)
+	type pair struct {
+		a  netip.Addr
+		co uint32
+	}
+	pairs := make([]pair, 0, n)
+	for co := 0; co < len(s.coKey); co++ {
+		for _, a := range s.coAddrs[s.coAddrOff[co]:s.coAddrOff[co+1]] {
+			pairs = append(pairs, pair{a, uint32(co)})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a.Less(pairs[j].a)
+		}
+		return pairs[i].co < pairs[j].co
+	})
+	for _, p := range pairs {
+		s.addrSorted = append(s.addrSorted, p.a)
+		s.addrCO = append(s.addrCO, p.co)
+	}
+
+	// Exact tables first, then unambiguous block aggregates. An
+	// ambiguous block (two COs sharing it) gets no aggregate entry:
+	// a miss is better than a guess.
+	byLen := map[int]map[netip.Addr]int32{}
+	put := func(bits int, masked netip.Addr, co int32) {
+		t := byLen[bits]
+		if t == nil {
+			t = map[netip.Addr]int32{}
+			byLen[bits] = t
+		}
+		if prev, ok := t[masked]; ok && prev != co {
+			t[masked] = -1 // ambiguous
+			return
+		}
+		t[masked] = co
+	}
+	for i, a := range s.addrSorted {
+		exact := a.BitLen() // 32 or 128
+		put(exact, a, int32(s.addrCO[i]))
+		blockBits := 24
+		if a.Is6() && !a.Is4In6() {
+			blockBits = 48
+		}
+		if p, err := a.Prefix(blockBits); err == nil {
+			put(blockBits, p.Addr(), int32(s.addrCO[i]))
+		}
+	}
+	for bits, t := range byLen {
+		for masked, co := range t {
+			if co < 0 {
+				delete(t, masked)
+			}
+		}
+		if len(t) == 0 {
+			delete(byLen, bits)
+			continue
+		}
+		s.lpmLens = append(s.lpmLens, bits)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(s.lpmLens)))
+	s.lpmTables = make([]map[netip.Addr]int32, len(s.lpmLens))
+	for i, bits := range s.lpmLens {
+		s.lpmTables[i] = byLen[bits]
+	}
+}
+
+// computeDigest folds every content column (never the publication
+// version) into one FNV-1a value.
+func (s *Snapshot) computeDigest() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "meta %s/%s seed=%d built=%d\n", s.meta.Study, s.meta.ISP, s.meta.Seed, s.meta.BuiltAt.UnixNano())
+	for i := 0; i < s.syms.Len(); i++ {
+		h.Write([]byte(s.syms.Str(symtab.Sym(i))))
+		h.Write([]byte{0})
+	}
+	var scratch [8]byte
+	wu32 := func(v uint32) {
+		scratch[0], scratch[1], scratch[2], scratch[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(scratch[:4])
+	}
+	for i := range s.coKey {
+		wu32(uint32(s.coKey[i]))
+		wu32(uint32(s.coTag[i]))
+		wu32(s.coRegion[i])
+		if s.coIsAgg[i] {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	for _, off := range s.coAddrOff {
+		wu32(off)
+	}
+	for _, a := range s.coAddrs {
+		b, _ := a.MarshalBinary()
+		h.Write(b)
+	}
+	for i := range s.edgeFrom {
+		wu32(uint32(s.edgeFrom[i]))
+		wu32(uint32(s.edgeTo[i]))
+		wu32(uint32(s.edgeCount[i]))
+	}
+	for _, rm := range s.regions {
+		wu32(uint32(rm.name))
+		wu32(rm.coLo)
+		wu32(rm.coHi)
+		wu32(rm.edgeLo)
+		wu32(rm.edgeHi)
+		h.Write([]byte(rm.aggType))
+	}
+	h.Write(s.reportJSON)
+	return h.Sum64()
+}
+
+// Consistent re-derives the content digest and structural invariants.
+// A torn or half-built artifact — which the atomic publication
+// discipline makes impossible to observe, and the race test hammers —
+// would fail here.
+func (s *Snapshot) Consistent() bool {
+	n := len(s.coKey)
+	if len(s.coTag) != n || len(s.coRegion) != n || len(s.coIsAgg) != n ||
+		len(s.coConf) != n || len(s.coAddrOff) != n+1 {
+		return false
+	}
+	if n > 0 && int(s.coAddrOff[n]) != len(s.coAddrs) {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if s.coAddrOff[i] > s.coAddrOff[i+1] {
+			return false
+		}
+	}
+	if len(s.edgeTo) != len(s.edgeFrom) || len(s.edgeCount) != len(s.edgeFrom) {
+		return false
+	}
+	if len(s.addrCO) != len(s.addrSorted) || len(s.lpmTables) != len(s.lpmLens) {
+		return false
+	}
+	return s.digest == s.computeDigest()
+}
+
+// Version is the Store-assigned publication version; zero means the
+// snapshot was never published.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Meta returns the identifying metadata.
+func (s *Snapshot) Meta() Meta { return s.meta }
+
+// co materializes CO index i.
+func (s *Snapshot) co(i uint32) CO {
+	return CO{
+		Key:        s.syms.Str(s.coKey[i]),
+		Tag:        s.syms.Str(s.coTag[i]),
+		Region:     s.syms.Str(s.regions[s.coRegion[i]].name),
+		IsAgg:      s.coIsAgg[i],
+		Addrs:      s.coAddrs[s.coAddrOff[i]:s.coAddrOff[i+1]],
+		Confidence: s.coConf[i],
+	}
+}
+
+// LookupAddr resolves an interface address to its central office via
+// the compiled LPM tables: exact interface match first, then the
+// unambiguous block aggregate. ok is false when no mapped CO covers the
+// address.
+func (s *Snapshot) LookupAddr(a netip.Addr) (CO, bool) {
+	for i, bits := range s.lpmLens {
+		p, err := a.Prefix(bits)
+		if err != nil {
+			continue // family mismatch for this bit length
+		}
+		if co, hit := s.lpmTables[i][p.Addr()]; hit {
+			return s.co(uint32(co)), true
+		}
+	}
+	return CO{}, false
+}
+
+// LookupPrefix returns every CO with at least one interface address
+// inside the prefix, in address order with duplicates removed, via a
+// binary search over the sorted address index.
+func (s *Snapshot) LookupPrefix(p netip.Prefix) []CO {
+	p = p.Masked()
+	lo := sort.Search(len(s.addrSorted), func(i int) bool {
+		return !s.addrSorted[i].Less(p.Addr())
+	})
+	var out []CO
+	seen := map[uint32]bool{}
+	for i := lo; i < len(s.addrSorted) && p.Contains(s.addrSorted[i]); i++ {
+		co := s.addrCO[i]
+		if !seen[co] {
+			seen[co] = true
+			out = append(out, s.co(co))
+		}
+	}
+	return out
+}
+
+// RegionNames returns the region names in canonical (sorted) order.
+func (s *Snapshot) RegionNames() []string {
+	out := make([]string, len(s.regions))
+	for i, rm := range s.regions {
+		out[i] = s.syms.Str(rm.name)
+	}
+	return out
+}
+
+// Region returns the serialized extract of one region graph — the same
+// schema-versioned RegionReport the full report carries — or ok=false
+// for an unknown region.
+func (s *Snapshot) Region(name string) (*comap.RegionReport, bool) {
+	i, ok := s.regionIdx[name]
+	if !ok {
+		return nil, false
+	}
+	return &s.report.Regions[i], true
+}
+
+// RegionCOs returns one region's COs as materialized views, in key
+// order; nil for an unknown region.
+func (s *Snapshot) RegionCOs(name string) []CO {
+	i, ok := s.regionIdx[name]
+	if !ok {
+		return nil
+	}
+	rm := s.regions[i]
+	out := make([]CO, 0, rm.coHi-rm.coLo)
+	for c := rm.coLo; c < rm.coHi; c++ {
+		out = append(out, s.co(c))
+	}
+	return out
+}
+
+// Report returns the full schema-versioned report.
+func (s *Snapshot) Report() *comap.Report { return s.report }
+
+// ReportJSON returns the report pre-encoded as indented JSON (with a
+// trailing newline), so serving it costs no per-request marshaling.
+func (s *Snapshot) ReportJSON() []byte { return s.reportJSON }
+
+// Coverage returns the campaign's measurement-coverage accounting.
+func (s *Snapshot) Coverage() comap.CoverageReport { return s.coverage }
+
+// Table1 counts regions per aggregation archetype — the paper's Table 1
+// as a service endpoint.
+func (s *Snapshot) Table1() map[string]int {
+	out := map[string]int{}
+	for _, rm := range s.regions {
+		out[rm.aggType]++
+	}
+	return out
+}
+
+// RegionSize is one row of the Figure 7 endpoint.
+type RegionSize struct {
+	Region string `json:"region"`
+	COs    int    `json:"cos"`
+	AggCOs int    `json:"agg_cos"`
+}
+
+// Figure7 returns per-region CO and AggCO counts in region order — the
+// paper's Figure 7 CDF inputs as a service endpoint.
+func (s *Snapshot) Figure7() []RegionSize {
+	out := make([]RegionSize, 0, len(s.regions))
+	for _, rm := range s.regions {
+		row := RegionSize{Region: s.syms.Str(rm.name), COs: int(rm.coHi - rm.coLo)}
+		for c := rm.coLo; c < rm.coHi; c++ {
+			if s.coIsAgg[c] {
+				row.AggCOs++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Stats summarizes the snapshot.
+func (s *Snapshot) Stats() Stats {
+	st := Stats{
+		Version:       s.version,
+		Study:         s.meta.Study,
+		ISP:           s.meta.ISP,
+		Seed:          s.meta.Seed,
+		SchemaVersion: s.report.SchemaVersion,
+		BuiltAt:       s.meta.BuiltAt,
+		Regions:       len(s.regions),
+		COs:           len(s.coKey),
+		Edges:         len(s.edgeFrom),
+		Addrs:         len(s.addrSorted),
+		MinConfidence: 1,
+	}
+	var sum float64
+	for i := range s.coKey {
+		if s.coIsAgg[i] {
+			st.AggCOs++
+		}
+		sum += s.coConf[i]
+		if s.coConf[i] < st.MinConfidence {
+			st.MinConfidence = s.coConf[i]
+		}
+	}
+	if len(s.coKey) > 0 {
+		st.MeanConfidence = sum / float64(len(s.coKey))
+	} else {
+		st.MinConfidence = 0
+	}
+	return st
+}

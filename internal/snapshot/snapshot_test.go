@@ -1,0 +1,298 @@
+package snapshot_test
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"repro/internal/comap"
+	"repro/internal/snapshot"
+	"repro/internal/topogen"
+	"repro/internal/vclock"
+)
+
+// quickstartResult runs the quickstart-scale single-region cable
+// campaign (the same scenario the probesched golden tests pin) and
+// returns its pipeline result.
+func quickstartResult(t testing.TB) *comap.Result {
+	t.Helper()
+	scenario := topogen.NewScenario(42)
+	profile := topogen.ComcastProfile()
+	profile.Regions = []topogen.CableRegionSpec{{
+		Name:     "bverton",
+		Anchor:   "Beaverton",
+		Backbone: []string{"Seattle", "Sunnyvale"},
+		Type:     topogen.DualAgg,
+		EdgeCOs:  12,
+	}}
+	isp := scenario.BuildCable(profile)
+	var vps []netip.Addr
+	for _, city := range []string{"Seattle", "San Francisco", "Denver", "Chicago", "New York"} {
+		vps = append(vps, scenario.AddTransitVP(city).Addr)
+	}
+	c := &comap.Campaign{
+		Net:       scenario.Net,
+		DNS:       scenario.DNS,
+		Clock:     vclock.New(scenario.Epoch()),
+		ISP:       "comcast",
+		Seed:      42,
+		VPs:       vps,
+		Announced: isp.Announced,
+	}
+	return comap.Run(c)
+}
+
+func buildQuickstart(t testing.TB, res *comap.Result) *snapshot.Snapshot {
+	t.Helper()
+	s, err := snapshot.Build(snapshot.Meta{Study: "cable", ISP: "comcast", Seed: 42}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildConsistentAndCountsMatchReport(t *testing.T) {
+	res := quickstartResult(t)
+	s := buildQuickstart(t, res)
+	if !s.Consistent() {
+		t.Fatal("freshly built snapshot reports inconsistent")
+	}
+	rep := res.BuildReport("comcast")
+	st := s.Stats()
+	if st.Regions != len(rep.Regions) {
+		t.Errorf("Stats.Regions = %d, report has %d", st.Regions, len(rep.Regions))
+	}
+	wantCOs, wantEdges, wantAddrs, wantAggs := 0, 0, 0, 0
+	for _, rr := range rep.Regions {
+		wantCOs += len(rr.COs)
+		wantEdges += len(rr.Edges)
+		for _, co := range rr.COs {
+			wantAddrs += len(co.Addrs)
+			if co.IsAgg {
+				wantAggs++
+			}
+		}
+	}
+	if st.COs != wantCOs || st.Edges != wantEdges || st.Addrs != wantAddrs || st.AggCOs != wantAggs {
+		t.Errorf("Stats = %+v, want COs=%d edges=%d addrs=%d aggs=%d", st, wantCOs, wantEdges, wantAddrs, wantAggs)
+	}
+	if st.SchemaVersion != comap.ReportSchemaVersion {
+		t.Errorf("SchemaVersion = %d, want %d", st.SchemaVersion, comap.ReportSchemaVersion)
+	}
+	if s.Report().GeneratedSeed != 42 {
+		t.Errorf("report generated_seed = %d, want 42", s.Report().GeneratedSeed)
+	}
+	total := 0
+	for _, n := range s.Table1() {
+		total += n
+	}
+	if total != st.Regions {
+		t.Errorf("Table1 counts %d regions, want %d", total, st.Regions)
+	}
+	if got := len(s.Figure7()); got != st.Regions {
+		t.Errorf("Figure7 rows = %d, want %d", got, st.Regions)
+	}
+}
+
+func TestLookupAddrResolvesEveryMappedInterface(t *testing.T) {
+	res := quickstartResult(t)
+	s := buildQuickstart(t, res)
+	rep := res.BuildReport("comcast")
+	checked := 0
+	for _, rr := range rep.Regions {
+		for _, co := range rr.COs {
+			for _, a := range co.Addrs {
+				got, ok := s.LookupAddr(a)
+				if !ok {
+					t.Fatalf("LookupAddr(%s): no CO, want %s", a, co.Key)
+				}
+				if got.Key != co.Key {
+					t.Fatalf("LookupAddr(%s) = %s, want %s", a, got.Key, co.Key)
+				}
+				if got.Region != rr.Name {
+					t.Fatalf("LookupAddr(%s) region = %s, want %s", a, got.Region, rr.Name)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("report carried no mapped interface addresses")
+	}
+	if _, ok := s.LookupAddr(netip.MustParseAddr("203.0.113.99")); ok {
+		t.Error("LookupAddr resolved an address outside the mapped space")
+	}
+}
+
+// TestLookupAddrBlockAggregate checks that an unprobed address inside a
+// /24 whose known interfaces all belong to one CO resolves to that CO —
+// the prefix-aggregate half of the compiled LPM tables.
+func TestLookupAddrBlockAggregate(t *testing.T) {
+	res := quickstartResult(t)
+	s := buildQuickstart(t, res)
+	rep := res.BuildReport("comcast")
+	// Find a /24 owned by exactly one CO, then query an address in it
+	// that is not a known interface.
+	owners := map[netip.Addr]map[string]bool{}
+	known := map[netip.Addr]bool{}
+	for _, rr := range rep.Regions {
+		for _, co := range rr.COs {
+			for _, a := range co.Addrs {
+				known[a] = true
+				p, err := a.Prefix(24)
+				if err != nil {
+					continue
+				}
+				if owners[p.Addr()] == nil {
+					owners[p.Addr()] = map[string]bool{}
+				}
+				owners[p.Addr()][co.Key] = true
+			}
+		}
+	}
+	tried := false
+	for base, cos := range owners {
+		if len(cos) != 1 {
+			continue
+		}
+		probe := base
+		for i := 0; i < 253; i++ {
+			probe = probe.Next()
+			if !known[probe] {
+				break
+			}
+		}
+		if known[probe] {
+			continue
+		}
+		tried = true
+		got, ok := s.LookupAddr(probe)
+		if !ok {
+			t.Fatalf("LookupAddr(%s): no CO via /24 aggregate", probe)
+		}
+		for key := range cos {
+			if got.Key != key {
+				t.Fatalf("LookupAddr(%s) = %s, want %s", probe, got.Key, key)
+			}
+		}
+		break
+	}
+	if !tried {
+		t.Skip("no single-owner /24 in this scenario")
+	}
+}
+
+func TestLookupPrefixReturnsRangeOwners(t *testing.T) {
+	res := quickstartResult(t)
+	s := buildQuickstart(t, res)
+	rep := res.BuildReport("comcast")
+	// Whole-space query returns every CO that has addresses.
+	all := s.LookupPrefix(netip.MustParsePrefix("0.0.0.0/0"))
+	withAddrs := map[string]bool{}
+	for _, rr := range rep.Regions {
+		for _, co := range rr.COs {
+			if len(co.Addrs) > 0 {
+				withAddrs[co.Key] = true
+			}
+		}
+	}
+	if len(all) != len(withAddrs) {
+		t.Fatalf("LookupPrefix(0/0) returned %d COs, want %d", len(all), len(withAddrs))
+	}
+	for _, co := range all {
+		if !withAddrs[co.Key] {
+			t.Errorf("LookupPrefix(0/0) returned unmapped CO %s", co.Key)
+		}
+	}
+	// A /24 query returns exactly the COs owning addresses in it.
+	if len(all) > 0 {
+		a := all[0].Addrs[0]
+		p, _ := a.Prefix(24)
+		got := s.LookupPrefix(p)
+		if len(got) == 0 {
+			t.Fatalf("LookupPrefix(%s) empty, but %s lives there", p, a)
+		}
+		for _, co := range got {
+			in := false
+			for _, ca := range co.Addrs {
+				if p.Contains(ca) {
+					in = true
+				}
+			}
+			if !in {
+				t.Errorf("LookupPrefix(%s) returned %s with no address in range", p, co.Key)
+			}
+		}
+	}
+}
+
+func TestRegionExtractMatchesReport(t *testing.T) {
+	res := quickstartResult(t)
+	s := buildQuickstart(t, res)
+	rep := res.BuildReport("comcast")
+	names := s.RegionNames()
+	if len(names) != len(rep.Regions) {
+		t.Fatalf("RegionNames() = %d names, want %d", len(names), len(rep.Regions))
+	}
+	for i, name := range names {
+		got, ok := s.Region(name)
+		if !ok {
+			t.Fatalf("Region(%s) missing", name)
+		}
+		if !reflect.DeepEqual(*got, rep.Regions[i]) {
+			t.Errorf("Region(%s) extract differs from report", name)
+		}
+		cos := s.RegionCOs(name)
+		if len(cos) != len(rep.Regions[i].COs) {
+			t.Errorf("RegionCOs(%s) = %d, want %d", name, len(cos), len(rep.Regions[i].COs))
+		}
+	}
+	if _, ok := s.Region("atlantis"); ok {
+		t.Error("Region(atlantis) resolved")
+	}
+}
+
+// TestBuildDeterministic checks two builds of the same result are
+// bit-identical artifacts (equal report JSON and equal Consistent
+// digests), so a refresh that re-measures an unchanged world publishes
+// an identical — merely re-versioned — snapshot.
+func TestBuildDeterministic(t *testing.T) {
+	res := quickstartResult(t)
+	a := buildQuickstart(t, res)
+	b := buildQuickstart(t, res)
+	if string(a.ReportJSON()) != string(b.ReportJSON()) {
+		t.Error("two builds of one result encode different report JSON")
+	}
+	if !reflect.DeepEqual(a.Stats(), b.Stats()) {
+		t.Errorf("stats differ across builds: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestStorePublishLoadAndVersioning(t *testing.T) {
+	res := quickstartResult(t)
+	var store snapshot.Store
+	if store.Load() != nil {
+		t.Fatal("empty store loaded a snapshot")
+	}
+	s1 := buildQuickstart(t, res)
+	v1, err := store.Publish(s1)
+	if err != nil || v1 != 1 {
+		t.Fatalf("first Publish = (%d, %v), want (1, nil)", v1, err)
+	}
+	if _, err := store.Publish(s1); err == nil {
+		t.Fatal("re-publishing the same snapshot did not error")
+	}
+	s2 := buildQuickstart(t, res)
+	v2, err := store.Publish(s2)
+	if err != nil || v2 != 2 {
+		t.Fatalf("second Publish = (%d, %v), want (2, nil)", v2, err)
+	}
+	cur := store.Load()
+	if cur != s2 || cur.Version() != 2 {
+		t.Fatalf("Load() returned version %d, want 2", cur.Version())
+	}
+	// The superseded artifact remains fully valid.
+	if !s1.Consistent() || s1.Version() != 1 {
+		t.Error("superseded snapshot no longer consistent")
+	}
+}

@@ -1,0 +1,46 @@
+package snapshot
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Store publishes snapshots to concurrent readers. The entire
+// synchronization contract is one atomic pointer: Publish seals a fully
+// built snapshot (stamping its monotonic version) and swaps it in;
+// Load is a single atomic pointer read. Readers take no locks, ever —
+// a reader that loaded version N keeps using it, unperturbed, while
+// version N+1 is built and swapped in beside it, and the old artifact
+// is garbage-collected when its last reader drops it. There is no
+// read-copy-update grace period to manage because snapshots are never
+// mutated after publication.
+type Store struct {
+	cur     atomic.Pointer[Snapshot]
+	version atomic.Uint64
+}
+
+// Publish stamps the snapshot with the next version and installs it as
+// the current artifact, returning the assigned version. A snapshot may
+// be published exactly once: its version field is written here, before
+// the pointer is shared, which is what keeps every published snapshot
+// immutable afterwards.
+func (st *Store) Publish(s *Snapshot) (uint64, error) {
+	if s == nil {
+		return 0, fmt.Errorf("snapshot: publish nil snapshot")
+	}
+	if s.version != 0 {
+		return 0, fmt.Errorf("snapshot: snapshot already published as version %d", s.version)
+	}
+	s.version = st.version.Add(1)
+	st.cur.Store(s)
+	return s.version, nil
+}
+
+// Load returns the current snapshot, or nil before the first Publish.
+// The returned artifact is immutable and remains fully valid after any
+// number of subsequent publications.
+func (st *Store) Load() *Snapshot { return st.cur.Load() }
+
+// Version returns the most recently assigned publication version (zero
+// before the first Publish).
+func (st *Store) Version() uint64 { return st.version.Load() }
