@@ -3,15 +3,17 @@
 # with concurrency (the probe scheduler, the thread-safe simulator, and
 # the campaign that drives them in parallel), the fault-plane gates
 # (fast-path equivalence, zero-fault golden equivalence, and the
-# graceful-degradation chaos sweep), and finally the allocation gate
-# (bench-mem), which fails on a >10% bytes_per_op regression against
-# the previous PR's benchmark archive.
+# graceful-degradation chaos sweep), the FIB differential gate
+# (fib-diff), the allocation gate (bench-mem), which fails on a >10%
+# bytes_per_op regression against the previous PR's benchmark archive,
+# and the anti-superlinear scaling gate (bench-scale), which fails when
+# a 10x topology costs more than 15x the paper-size wall time.
 
 GO ?= go
 
-.PHONY: verify build test fmt vet race race-infer equivalence chaos bench bench-mem bench-sched bench-diff serve-bench profile
+.PHONY: verify build test fmt vet race race-infer equivalence chaos fib-diff bench bench-mem bench-sched bench-diff bench-scale serve-bench profile
 
-verify: fmt vet build test race race-infer equivalence chaos bench-mem serve-bench
+verify: fmt vet build test race race-infer equivalence chaos fib-diff bench-mem serve-bench bench-scale
 
 build:
 	$(GO) build ./...
@@ -53,6 +55,24 @@ equivalence:
 chaos:
 	$(GO) test ./internal/probesched/ -run TestFaultedCampaignDeterministicAcrossWorkers -count=1
 	$(GO) run ./cmd/chaossweep -icmp-rate 2 -check
+
+# FIB differential gate: the compiled prefix-set trie that now serves
+# route resolution must answer every lookup identically to the retained
+# masked-prefix reference index, across randomized prefix sets (seeded,
+# so failures reproduce) and the full simulator integration path.
+fib-diff:
+	$(GO) test ./internal/netsim/ -run 'TestTrieFIBMatchesMaskedReference|TestTrieFIBNetworkIntegration|FuzzTrieFIBDifferential' -count=1
+
+# Anti-superlinear scaling gate: run the end-to-end cable campaign at
+# 1x/3x/10x topology scale (10x = 340 regions, >1M allocated subscriber
+# addresses across both operators), archive the curve as BENCH_PR7.json,
+# and fail when the 10x/1x wall-time ratio exceeds 15 (a quadratic term
+# in any stage pushes it past 40). -benchtime 1x: each scale point is a
+# full campaign, one run each is the measurement.
+bench-scale:
+	$(GO) test ./internal/core/ -run XXX -bench BenchmarkScaleCampaign \
+		-benchmem -benchtime 1x -timeout 30m \
+		| $(GO) run ./cmd/benchjson -scale-gate 15 > BENCH_PR7.json
 
 # Scheduler speedup: the quickstart campaign at 1 vs N workers.
 bench-sched:

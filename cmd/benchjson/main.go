@@ -18,6 +18,11 @@
 // compared and the per-benchmark table (time and, when -benchmem data
 // exists, bytes/allocs) goes to stdout; names present in only one
 // archive are reported as new/gone rather than failing.
+//
+// With -scale-gate R, results whose names carry a "scale=Nx" token are
+// grouped and the run fails when the ns/op ratio between the largest and
+// smallest scale exceeds R — the anti-superlinear gate `make bench-scale`
+// relies on (a quadratic term turns a 10x topology into a 40x+ runtime).
 package main
 
 import (
@@ -55,6 +60,10 @@ type Result struct {
 // lossRe extracts the loss rate a faulted benchmark encodes in its name,
 // e.g. BenchmarkFaultedCampaign/loss=0.10-8.
 var lossRe = regexp.MustCompile(`loss=([0-9.]+)`)
+
+// scaleRe extracts the scale multiplier a scaling-curve benchmark encodes
+// in its name, e.g. BenchmarkScaleCampaign/scale=10x-8.
+var scaleRe = regexp.MustCompile(`scale=([0-9]+)x`)
 
 // parseLine parses one "BenchmarkX-8  10  123 ns/op  45 B/op  6 allocs/op"
 // line; ok is false for non-benchmark output (headers, PASS, ok lines).
@@ -180,10 +189,62 @@ func bytesRegressions(old, new []Result, maxGrowth float64) []string {
 	return bad
 }
 
+// scaleGateFailures enforces the anti-superlinear gate on scaling-curve
+// benchmarks: results whose names carry a "scale=Nx" token are grouped by
+// family (the name with that token removed), and within each family the
+// ns/op ratio between the largest and smallest scale must not exceed
+// maxRatio. A topology 10x the paper's size is allowed to cost somewhat
+// more than 10x (constant-overhead amortization differs), but a quadratic
+// term blows far past the gate. Families with fewer than two scale points
+// cannot fail.
+func scaleGateFailures(results []Result, maxRatio float64) []string {
+	type point struct {
+		scale float64
+		ns    float64
+	}
+	families := map[string][]point{}
+	for _, r := range results {
+		m := scaleRe.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		scale, err := strconv.ParseFloat(m[1], 64)
+		if err != nil || scale == 0 {
+			continue
+		}
+		family := strings.Replace(r.Name, m[0], "", 1)
+		families[family] = append(families[family], point{scale: scale, ns: r.NsPerOp})
+	}
+	var bad []string
+	for family, pts := range families {
+		lo, hi := pts[0], pts[0]
+		for _, p := range pts[1:] {
+			if p.scale < lo.scale {
+				lo = p
+			}
+			if p.scale > hi.scale {
+				hi = p
+			}
+		}
+		if lo.scale == hi.scale || lo.ns == 0 {
+			continue
+		}
+		if ratio := hi.ns / lo.ns; ratio > maxRatio {
+			bad = append(bad, fmt.Sprintf("%s: ns/op grew %.1fx from scale=%.0fx to scale=%.0fx (limit %.0fx)",
+				family, ratio, lo.scale, hi.scale, maxRatio))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: scale gate OK: %s %.0fx->%.0fx time ratio %.1fx (limit %.0fx)\n",
+				family, lo.scale, hi.scale, ratio, maxRatio)
+		}
+	}
+	return bad
+}
+
 func main() {
 	prev := flag.String("prev", "", "previous benchjson archive to report speedups against (stderr); exits nonzero on bytes_per_op regression")
 	diff := flag.Bool("diff", false, "compare two archives given as arguments instead of reading stdin")
 	maxBytesGrowth := flag.Float64("max-bytes-growth", 0.10, "with -prev: allowed fractional bytes_per_op growth before the exit status turns nonzero")
+	scaleGate := flag.Float64("scale-gate", 0, "max allowed ns/op ratio between the largest and smallest scale=Nx variants of each benchmark; 0 disables")
 	flag.Parse()
 
 	if *diff {
@@ -231,6 +292,9 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		writeDiff(os.Stderr, old, results)
 		gateFailures = bytesRegressions(old, results, *maxBytesGrowth)
+	}
+	if *scaleGate > 0 {
+		gateFailures = append(gateFailures, scaleGateFailures(results, *scaleGate)...)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

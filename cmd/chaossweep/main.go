@@ -45,6 +45,7 @@ func main() {
 	backoff := flag.Duration("backoff", 200*time.Millisecond, "virtual backoff added per retry")
 	breaker := flag.Int("breaker", 10, "circuit-breaker threshold (zero-yield traces before a VP is benched; 0 = off)")
 	cfg.BindParallel(flag.CommandLine)
+	cfg.BindScale(flag.CommandLine)
 	check := flag.Bool("check", false, "exit nonzero unless degradation is graceful")
 	cfg.BindProfiles(flag.CommandLine, "write a CPU profile of the sweep to this file")
 	flag.Parse()
@@ -92,6 +93,9 @@ func main() {
 				RetryBackoff:     *backoff,
 				BreakerThreshold: *breaker,
 			}))
+		}
+		if cfg.Scaled() {
+			opts = append(opts, core.WithScale(cfg.ScaleValue()))
 		}
 		stAny, err := core.NewStudy("cable", cfg.Seed, opts...)
 		if err != nil {

@@ -20,16 +20,20 @@ import (
 // so the measurement adds no shared state to the hammered path.
 
 // opKinds is the measured query mix: address lookups dominate (the
-// paper's applications resolve customer addresses), with prefix scans,
-// region extracts, and stats reads behind them.
+// paper's applications resolve customer addresses), with narrow prefix
+// scans, region extracts, stats reads, and wide prefix-range scans
+// (/16 sweeps returning hundreds of COs — the outage-mapping query
+// shape, and the op whose cost actually grows with snapshot scale)
+// behind them.
 var opKinds = []struct {
 	name   string
 	weight int
 }{
-	{"LookupAddr", 60},
+	{"LookupAddr", 55},
 	{"LookupPrefix", 15},
-	{"Region", 15},
+	{"Region", 10},
 	{"Stats", 10},
+	{"LookupRange", 10},
 }
 
 // hist is a log2-bucketed latency histogram: bucket i counts latencies
@@ -91,8 +95,11 @@ func (h *hist) mean() float64 {
 // runLoadgen hammers the bootstrapped service from clients goroutines
 // for the given duration while performing swaps background refreshes,
 // then prints one `go test -bench`-shaped line per op kind plus an
-// aggregate line with throughput, for cmd/benchjson to archive.
-func runLoadgen(svc *service, clients int, duration time.Duration, swaps int) error {
+// aggregate line with throughput, for cmd/benchjson to archive. tag is
+// appended to every benchmark name (e.g. "/scale=10x" when the service
+// was booted on a scaled topology) so scaled runs archive under
+// distinct names instead of clobbering the paper-size numbers.
+func runLoadgen(svc *service, clients int, duration time.Duration, swaps int, tag string) error {
 	if clients < 1 {
 		return fmt.Errorf("-clients must be >= 1")
 	}
@@ -106,14 +113,23 @@ func runLoadgen(svc *service, clients int, duration time.Duration, swaps int) er
 	// the same address space, so the targets stay valid across swaps.
 	var addrs []netip.Addr
 	var prefixes []netip.Prefix
+	var ranges []netip.Prefix
+	seen16 := map[netip.Prefix]bool{}
 	for _, co := range base.LookupPrefix(netip.MustParsePrefix("0.0.0.0/0")) {
 		addrs = append(addrs, co.Addrs...)
 		if p, err := co.Addrs[0].Prefix(24); err == nil {
 			prefixes = append(prefixes, p)
 		}
+		// Wide /16 ranges for the LookupRange op, deduplicated: at paper
+		// scale an operator spans a handful of /16s, at 10x scale dozens,
+		// so the op's result set grows with the snapshot.
+		if p, err := co.Addrs[0].Prefix(16); err == nil && !seen16[p] {
+			seen16[p] = true
+			ranges = append(ranges, p)
+		}
 	}
 	regions := base.RegionNames()
-	if len(addrs) == 0 || len(regions) == 0 {
+	if len(addrs) == 0 || len(regions) == 0 || len(ranges) == 0 {
 		return fmt.Errorf("boot snapshot has no addresses or regions to query")
 	}
 
@@ -154,6 +170,8 @@ func runLoadgen(svc *service, clients int, duration time.Duration, swaps int) er
 					s.Region(regions[rng.Intn(len(regions))])
 				case 3:
 					s.Stats()
+				case 4:
+					s.LookupPrefix(ranges[rng.Intn(len(ranges))])
 				}
 				hs[op].record(time.Since(start))
 				// Yield between ops: clients that spin without parking
@@ -221,12 +239,12 @@ func runLoadgen(svc *service, clients int, duration time.Duration, swaps int) er
 		if h.total == 0 {
 			continue
 		}
-		fmt.Printf("BenchmarkServe%s/clients=%d \t%d \t%.1f ns/op \t%.0f p50_ns \t%.0f p99_ns\n",
-			k.name, clients, h.total, h.mean(), h.percentile(0.50), h.percentile(0.99))
+		fmt.Printf("BenchmarkServe%s/clients=%d%s \t%d \t%.1f ns/op \t%.0f p50_ns \t%.0f p99_ns\n",
+			k.name, clients, tag, h.total, h.mean(), h.percentile(0.50), h.percentile(0.99))
 	}
 	qps := float64(all.total) / elapsed.Seconds()
-	fmt.Printf("BenchmarkServeAll/clients=%d \t%d \t%.1f ns/op \t%.0f p50_ns \t%.0f p99_ns \t%.0f qps\n",
-		clients, all.total, all.mean(), all.percentile(0.50), all.percentile(0.99), qps)
+	fmt.Printf("BenchmarkServeAll/clients=%d%s \t%d \t%.1f ns/op \t%.0f p50_ns \t%.0f p99_ns \t%.0f qps\n",
+		clients, tag, all.total, all.mean(), all.percentile(0.50), all.percentile(0.99), qps)
 	fmt.Printf("loadgen: %d ops in %v (%.0f qps) across %d swaps; final snapshot v%d\n",
 		all.total, elapsed.Round(time.Millisecond), qps, swapped.Load(), store.Version())
 	return nil

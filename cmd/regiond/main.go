@@ -50,6 +50,7 @@ func main() {
 	cfg.BindLoss(flag.CommandLine)
 	cfg.BindICMPRate(flag.CommandLine)
 	cfg.BindRetries(flag.CommandLine, 0)
+	cfg.BindScale(flag.CommandLine)
 	cfg.BindProfiles(flag.CommandLine)
 	flag.Parse()
 	defer cfg.StartProfiling()()
@@ -65,7 +66,7 @@ func main() {
 		svc.isps, time.Since(start).Round(time.Millisecond))
 
 	if *loadgen {
-		if err := runLoadgen(svc, *clients, *duration, *swaps); err != nil {
+		if err := runLoadgen(svc, *clients, *duration, *swaps, cfg.ScaleTag()); err != nil {
 			fmt.Fprintln(os.Stderr, "regiond:", err)
 			os.Exit(1)
 		}

@@ -205,11 +205,11 @@ func captureStdout(t *testing.T, fn func()) string {
 func TestLoadgenSmoke(t *testing.T) {
 	svc := quickstartService(t)
 	out := captureStdout(t, func() {
-		if err := runLoadgen(svc, 32, 200_000_000, 2); err != nil {
+		if err := runLoadgen(svc, 32, 200_000_000, 2, "/scale=1x"); err != nil {
 			t.Error(err)
 		}
 	})
-	for _, want := range []string{"BenchmarkServeLookupAddr", "BenchmarkServeAll", "p50_ns", "p99_ns", "qps"} {
+	for _, want := range []string{"BenchmarkServeLookupAddr", "BenchmarkServeLookupRange", "BenchmarkServeAll/clients=32/scale=1x", "p50_ns", "p99_ns", "qps"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("loadgen output missing %q:\n%s", want, out)
 		}

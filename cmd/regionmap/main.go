@@ -41,6 +41,7 @@ func main() {
 	cfg.BindLoss(flag.CommandLine)
 	cfg.BindICMPRate(flag.CommandLine)
 	cfg.BindRetries(flag.CommandLine, 0)
+	cfg.BindScale(flag.CommandLine)
 	cfg.BindProfiles(flag.CommandLine)
 	flag.Parse()
 

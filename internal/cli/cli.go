@@ -11,12 +11,14 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/probesched"
 	"repro/internal/profiling"
+	"repro/internal/topogen"
 )
 
 // Canonical usage strings — the exact historical wording of the flags
@@ -31,20 +33,24 @@ const (
 	RetriesUsage  = "per-hop attempts with backoff for the resilient campaign (0 = historical behavior)"
 	CPUProfUsage  = "write a CPU profile of the run to this file"
 	MemProfUsage  = "write a heap profile to this file at exit"
+	RegionsUsage  = "replicate every generated region this many times (1 = paper-size topology)"
+	SubsUsage     = "floor on allocated subscriber addresses per operator (0 = paper-size default)"
 )
 
 // Config carries the parsed values of the shared study knobs. Bind only
 // what the cmd supports; unbound fields stay zero, which every consumer
 // treats as "off".
 type Config struct {
-	Seed       int64
-	Parallel   int
-	Budget     int
-	Loss       float64
-	ICMPRate   float64
-	Retries    int
-	CPUProfile string
-	MemProfile string
+	Seed        int64
+	Parallel    int
+	Budget      int
+	Loss        float64
+	ICMPRate    float64
+	Retries     int
+	Regions     int
+	Subscribers int
+	CPUProfile  string
+	MemProfile  string
 }
 
 func usageOr(canonical string, override []string) string {
@@ -84,6 +90,14 @@ func (c *Config) BindRetries(fs *flag.FlagSet, def int, usage ...string) {
 	fs.IntVar(&c.Retries, "retries", def, usageOr(RetriesUsage, usage))
 }
 
+// BindScale registers -regions and -subscribers, the topology scale
+// knobs. The defaults (1 region copy, no subscriber floor) keep the
+// paper-size topology and its pinned digests.
+func (c *Config) BindScale(fs *flag.FlagSet) {
+	fs.IntVar(&c.Regions, "regions", 1, RegionsUsage)
+	fs.IntVar(&c.Subscribers, "subscribers", 0, SubsUsage)
+}
+
 // BindProfiles registers -cpuprofile and -memprofile.
 func (c *Config) BindProfiles(fs *flag.FlagSet, cpuUsage ...string) {
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", usageOr(CPUProfUsage, cpuUsage))
@@ -110,7 +124,40 @@ func (c *Config) Options(extra ...core.Option) []core.Option {
 			BreakerThreshold: 10,
 		}))
 	}
+	if c.Scaled() {
+		opts = append(opts, core.WithScale(c.ScaleValue()))
+	}
 	return append(opts, extra...)
+}
+
+// ScaleValue returns the topology scale the flags request; zero when
+// the scale knobs are unbound or left at their defaults.
+func (c *Config) ScaleValue() topogen.Scale {
+	return topogen.Scale{Regions: c.Regions, Subscribers: c.Subscribers}
+}
+
+// Scaled reports whether the run asks for a larger-than-paper topology.
+func (c *Config) Scaled() bool {
+	return !c.ScaleValue().IsZero()
+}
+
+// ScaleTag renders the requested scale as a benchmark-name suffix
+// ("" at paper size, "/scale=10x" for -regions 10, with "/subs=N"
+// appended when a subscriber floor is set) so scaled benchmark runs
+// archive under names distinct from the paper-size ones.
+func (c *Config) ScaleTag() string {
+	if !c.Scaled() {
+		return ""
+	}
+	r := c.Regions
+	if r < 1 {
+		r = 1
+	}
+	tag := fmt.Sprintf("/scale=%dx", r)
+	if c.Subscribers > 0 {
+		tag += fmt.Sprintf("/subs=%d", c.Subscribers)
+	}
+	return tag
 }
 
 // Faulted reports whether any degraded-plane knob is set — the cmds

@@ -99,14 +99,26 @@ func Building(c geo.City, n int) string {
 // the paper geolocates CLLIs with public databases.
 type Registry struct {
 	byCode map[string]geo.City
+	// byCity is the reverse index (Name|State -> assigned code) so
+	// CodeFor stays O(1) even when collision fallbacks assigned a
+	// re-coded variant; scaled topologies call CodeFor once per CO.
+	byCity map[string]string
 }
+
+func cityKey(c geo.City) string { return c.Name + "|" + c.State }
 
 // NewRegistry builds a registry over the given cities. When two cities
 // collide on the same code, the first registration wins and later ones
 // are re-coded by replacing the 4th character with a distinguishing
-// letter, matching how real CLLI assignments avoid collisions.
+// letter — then, once those 26 variants are spoken for, the 3rd and 4th
+// characters together (676 variants per prefix/state, enough for the
+// scaled topologies' town counts) — matching how real CLLI assignments
+// avoid collisions.
 func NewRegistry(cities []geo.City) *Registry {
-	r := &Registry{byCode: make(map[string]geo.City, len(cities))}
+	r := &Registry{
+		byCode: make(map[string]geo.City, len(cities)),
+		byCity: make(map[string]string, len(cities)),
+	}
 	for _, c := range cities {
 		r.register(c)
 	}
@@ -114,23 +126,34 @@ func NewRegistry(cities []geo.City) *Registry {
 }
 
 func (r *Registry) register(c geo.City) string {
-	code := CityCode(c)
-	if _, taken := r.byCode[code]; !taken {
-		r.byCode[code] = c
+	if code, ok := r.byCity[cityKey(c)]; ok {
 		return code
 	}
-	if existing := r.byCode[code]; existing.Name == c.Name && existing.State == c.State {
-		return code
+	claim := func(cand string) string {
+		r.byCode[cand] = c
+		r.byCity[cityKey(c)] = cand
+		return cand
+	}
+	code := CityCode(c)
+	if _, taken := r.byCode[code]; !taken {
+		return claim(code)
 	}
 	for alt := 'A'; alt <= 'Z'; alt++ {
 		cand := code[:3] + string(alt) + code[4:]
 		if _, taken := r.byCode[cand]; !taken {
-			r.byCode[cand] = c
-			return cand
+			return claim(cand)
 		}
 	}
-	// 26 collisions on a 3-letter prefix within one state never happens
-	// for our city database sizes.
+	for alt3 := 'A'; alt3 <= 'Z'; alt3++ {
+		for alt4 := 'A'; alt4 <= 'Z'; alt4++ {
+			cand := code[:2] + string(alt3) + string(alt4) + code[4:]
+			if _, taken := r.byCode[cand]; !taken {
+				return claim(cand)
+			}
+		}
+	}
+	// 676 collisions on a 2-letter prefix within one state never happens
+	// even for 10x-scaled town databases.
 	panic("clli: code space exhausted for " + c.Name)
 }
 
@@ -140,17 +163,7 @@ func (r *Registry) Add(c geo.City) string { return r.register(c) }
 // CodeFor returns the registered code for a city, or "" when the city was
 // never registered.
 func (r *Registry) CodeFor(c geo.City) string {
-	code := CityCode(c)
-	if got, ok := r.byCode[code]; ok && got.Name == c.Name && got.State == c.State {
-		return code
-	}
-	for alt := 'A'; alt <= 'Z'; alt++ {
-		cand := code[:3] + string(alt) + code[4:]
-		if got, ok := r.byCode[cand]; ok && got.Name == c.Name && got.State == c.State {
-			return cand
-		}
-	}
-	return ""
+	return r.byCity[cityKey(c)]
 }
 
 // Resolve maps a 6- or 8-character code (case-insensitive) to its city.

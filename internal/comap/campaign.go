@@ -8,6 +8,7 @@ import (
 	"repro/internal/dnsdb"
 	"repro/internal/hostnames"
 	"repro/internal/netsim"
+	"repro/internal/prefixset"
 	"repro/internal/probesched"
 	"repro/internal/traceroute"
 	"repro/internal/vclock"
@@ -147,11 +148,12 @@ func (c *Campaign) Run() *Collection {
 	if c.MaxTraces > 0 && hint > c.MaxTraces*2 {
 		hint = c.MaxTraces * 2
 	}
-	// The dedup set keys IPv4 (src,dst) pairs as one packed uint64 —
-	// injective, since each address is exactly its 32-bit value — which
-	// more than halves the set's footprint vs [2]netip.Addr keys (48-byte
-	// keys, most of it Addr internals). Non-IPv4 pairs (none in the cable
-	// campaigns, but the API allows them) fall back to a wide map.
+	// The dedup set keys IPv4 (src,dst) pairs through the shared
+	// prefixset.PairKey4 packing — injective, since each address is
+	// exactly its 32-bit value — which more than halves the set's
+	// footprint vs [2]netip.Addr keys (48-byte keys, most of it Addr
+	// internals). Non-IPv4 pairs (none in the cable campaigns, but the
+	// API allows them) fall back to a wide map.
 	seen := make(map[uint64]bool, hint) // packed (src,dst) pairs already traced
 	var seenWide map[[2]netip.Addr]bool
 	submitted := 0
@@ -170,10 +172,7 @@ func (c *Campaign) Run() *Collection {
 		if breaker.Quarantined(src) {
 			return
 		}
-		if src.Is4() && dst.Is4() {
-			s, d := src.As4(), dst.As4()
-			key := uint64(uint32(s[0])<<24|uint32(s[1])<<16|uint32(s[2])<<8|uint32(s[3]))<<32 |
-				uint64(uint32(d[0])<<24|uint32(d[1])<<16|uint32(d[2])<<8|uint32(d[3]))
+		if key, ok := prefixset.PairKey4(src, dst); ok {
 			if seen[key] {
 				return
 			}
@@ -300,13 +299,16 @@ func (c *Campaign) Run() *Collection {
 
 	// Stage 3: traceroute to every intermediate address observed, to
 	// reveal MPLS tunnel interiors (Vanaubel et al.), then flag tunnel
-	// entry/exit pairs as false links.
+	// entry/exit pairs as false links. The observed set goes through
+	// the prefix-set engine: canonical iteration IS ascending address
+	// order (v4 before v6, same as the sort it replaces), with no
+	// intermediate slice to sort.
 	if !c.SkipMPLSPass {
-		inter := make([]netip.Addr, 0, len(col.Observed))
+		obs := prefixset.NewSet()
 		for a := range col.Observed {
-			inter = append(inter, a)
+			obs.AddAddr(a)
 		}
-		sort.Slice(inter, func(i, j int) bool { return inter[i].Less(inter[j]) })
+		inter := obs.Addrs()
 		for i, dst := range inter {
 			for k := 0; k < 3 && k < len(c.VPs); k++ {
 				add(c.VPs[(i+k*13)%len(c.VPs)], dst)
@@ -357,14 +359,29 @@ func (c *Campaign) partitionByRegion(col *Collection) [][]netip.Addr {
 			}
 		}
 	}
-	// Attribute unnamed addresses by path context.
+	// Attribute unnamed addresses by path context. The same walk
+	// records which backbone addresses co-occur with each region's
+	// hops, so scaled topologies can bound the backbone ride-along
+	// (below) to the PoPs that actually serve the region.
 	votes := map[netip.Addr]map[string]int{}
+	bbSeen := map[string]map[netip.Addr]bool{}
 	for _, p := range col.Paths {
 		// Dominant region among named hops.
 		count := map[string]int{}
 		for _, h := range p.Hops {
 			if r, ok := regionOfAddr[h]; ok && r != "backbone" {
 				count[r]++
+			}
+		}
+		for _, h := range p.Hops {
+			if regionOfAddr[h] != "backbone" {
+				continue
+			}
+			for r := range count {
+				if bbSeen[r] == nil {
+					bbSeen[r] = map[netip.Addr]bool{}
+				}
+				bbSeen[r][h] = true
 			}
 		}
 		dom, tied := majority(count)
@@ -401,6 +418,15 @@ func (c *Campaign) partitionByRegion(col *Collection) [][]netip.Addr {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	// bbRideCap bounds the per-region backbone ride-along. Paper-size
+	// topologies stay far under it, so every regional partition keeps
+	// the full backbone set exactly as before; scaled topologies (where
+	// the backbone interface count grows with the region count, and
+	// partitions x backbone would make the IP-ID stage quadratic) trim
+	// the ride-along to the backbone addresses co-observed on the
+	// region's own paths.
+	const bbRideCap = 1000
+	backbone := parts["backbone"]
 	var out [][]netip.Addr
 	for _, k := range keys {
 		part := parts[k]
@@ -409,7 +435,16 @@ func (c *Campaign) partitionByRegion(col *Collection) [][]netip.Addr {
 			// router interface; grouping it with the backbone routers
 			// is what corrects the name, so the backbone addresses ride
 			// along in every regional partition.
-			part = append(append([]netip.Addr{}, part...), parts["backbone"]...)
+			ride := backbone
+			if len(backbone) > bbRideCap {
+				ride = ride[:0:0]
+				for _, a := range backbone {
+					if bbSeen[k][a] {
+						ride = append(ride, a)
+					}
+				}
+			}
+			part = append(append([]netip.Addr{}, part...), ride...)
 		}
 		out = append(out, part)
 	}
@@ -444,44 +479,42 @@ func enumerate24s(pfx netip.Prefix) []netip.Addr {
 	return out
 }
 
-// aliasTargets assembles the alias-resolution input set.
+// aliasTargets assembles the alias-resolution input set as prefix-set
+// algebra instead of per-address map scans:
+//
+//	targets = scan ∪ ((∪ /30-blocks of observed ∩ announced) ∩ announced)
+//
+// An observed in-ISP address pulls in its whole /30 (itself plus the
+// Appendix B.1 subnet neighbors), clipped back to the announced space
+// — the intersection replaces the old per-neighbor inISP linear scan
+// over Announced, which at scaled route tables was a measurable
+// fraction of the alias stage. Scan-matched addresses join
+// unconditionally: interconnect subnets live in the neighbor's space.
+// Address enumeration over the aggregated set is ascending with
+// overlap collapsed, byte-identical to the sorted map-key order it
+// replaces (the golden alias digest pins this).
 func (c *Campaign) aliasTargets(col *Collection) []netip.Addr {
-	set := map[netip.Addr]bool{}
-	inISP := func(a netip.Addr) bool {
-		for _, p := range c.Announced {
-			if p.Contains(a) {
-				return true
-			}
-		}
-		return false
-	}
-	add := func(a netip.Addr) {
-		if inISP(a) {
-			set[a] = true
-		}
-	}
-	// Every address whose rDNS matched the operator's regexes belongs in
-	// the alias set even when it falls outside the announced blocks
-	// (interconnect subnets live in the neighbor's space).
-	for _, a := range col.ScanTargets {
-		set[a] = true
-	}
+	announced := prefixset.NewSet(c.Announced...)
+	blocks := prefixset.NewSet()
 	for a := range col.Observed {
-		if !inISP(a) {
+		if !announced.Contains(a) {
 			continue
 		}
-		add(a)
-		nbrs, n := subnet30Neighbors(a)
-		for _, m := range nbrs[:n] {
-			add(m)
+		if a.Is4() {
+			if p, err := a.Prefix(30); err == nil {
+				blocks.Add(p)
+				continue
+			}
 		}
+		blocks.AddAddr(a)
 	}
-	out := make([]netip.Addr, 0, len(set))
-	for a := range set {
-		out = append(out, a)
+	targets := blocks.Intersect(announced)
+	// Every address whose rDNS matched the operator's regexes belongs in
+	// the alias set even when it falls outside the announced blocks.
+	for _, a := range col.ScanTargets {
+		targets.AddAddr(a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return targets.Addrs()
 }
 
 // subnet30Neighbors returns the other (up to three) addresses of a's

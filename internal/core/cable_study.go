@@ -50,11 +50,11 @@ type CableStudy struct {
 // configure parallelism, probe budget, and the clock origin; with no
 // options the study behaves exactly as it always has.
 func NewCableStudy(seed int64, opts ...Option) *CableStudy {
-	s := topogen.NewScenario(seed)
-	comcast := s.BuildCable(topogen.ComcastProfile())
-	charter := s.BuildCable(topogen.CharterProfile())
-	vps := s.StandardVPs(comcast, charter)
 	cfg := buildConfig(opts)
+	s := topogen.NewScenario(seed)
+	comcast := s.BuildCable(topogen.ComcastProfile().Scaled(cfg.Scale))
+	charter := s.BuildCable(topogen.CharterProfile().Scaled(cfg.Scale))
+	vps := s.StandardVPs(comcast, charter)
 	cfg.installFaults(s.Net)
 	return &CableStudy{
 		Scenario: s,

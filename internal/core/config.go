@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/probesched"
+	"repro/internal/topogen"
 	"repro/internal/vclock"
 )
 
@@ -33,6 +34,10 @@ type Config struct {
 	// Resilience configures the campaigns' retry/budget/breaker policy;
 	// the zero value keeps historical behavior exactly.
 	Resilience probesched.Resilience
+	// Scale enlarges the generated topology (region replication,
+	// subscriber floor) before the campaigns run; the zero value keeps
+	// the paper-size footprint exactly (see topogen.Scale).
+	Scale topogen.Scale
 }
 
 // Option mutates a study Config; pass options to the New*Study
@@ -69,6 +74,15 @@ func WithFaults(p netsim.FaultPlan) Option {
 // per-trace probe budgets, and the per-VP circuit breaker.
 func WithResilience(r probesched.Resilience) Option {
 	return func(c *Config) { c.Resilience = r }
+}
+
+// WithScale enlarges the study's generated topology: sc.Regions
+// replicates every region that many times and sc.Subscribers floors the
+// allocated subscriber address count per operator. The zero Scale is a
+// no-op, so existing callers keep paper-size topologies and their
+// pinned digests.
+func WithScale(sc topogen.Scale) Option {
+	return func(c *Config) { c.Scale = sc }
 }
 
 func buildConfig(opts []Option) Config {

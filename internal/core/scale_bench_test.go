@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/topogen"
+)
+
+// BenchmarkScaleCampaign is the scaling curve behind `make bench-scale`:
+// the full comcast pipeline — topology generation, measurement campaign
+// through the compiled trie FIB, and inference — at 1x, 3x, and 10x the
+// paper footprint (10x is 280 comcast regions and a >=1M allocated
+// subscriber floor). benchjson's -scale-gate flag fails the build when
+// the 10x/1x time ratio goes superlinear past the gate, so a regression
+// that reintroduces per-bit-length FIB probing (or any other
+// scale-quadratic term) cannot land silently.
+func BenchmarkScaleCampaign(b *testing.B) {
+	for _, mult := range []int{1, 3, 10} {
+		b.Run(fmt.Sprintf("scale=%dx", mult), func(b *testing.B) {
+			var sc topogen.Scale
+			if mult > 1 {
+				sc = topogen.Scale{Regions: mult, Subscribers: mult * 100000}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st := NewCableStudy(7, WithScale(sc))
+				r := st.Result("comcast")
+				if len(r.Inference.Regions) == 0 {
+					b.Fatal("scaled campaign inferred no regions")
+				}
+			}
+		})
+	}
+}

@@ -193,10 +193,10 @@ type Network struct {
 	prefixOwners []prefixOwner
 	// prefix24 indexes the common case of /24 owners for O(1) lookup.
 	prefix24 map[netip.Addr]*prefixOwner
-	// fib is the compiled longest-prefix-match index over prefixOwners
+	// fib is the compiled longest-prefix-match trie over prefixOwners
 	// (see lpm.go); nil means "rebuild on next lookup". AddPrefix
 	// invalidates it.
-	fib atomic.Pointer[lpmIndex]
+	fib atomic.Pointer[trieFIB]
 
 	// paths caches compiled visible-hop sequences per (src router, dst
 	// router, flow, dst-is-router-address) so a traceroute resolves its

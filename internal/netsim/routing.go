@@ -106,6 +106,23 @@ func (n *Network) shortestPaths(src RouterID) *sptResult {
 	q := make(pq, 0, nr)
 	q.push(pqItem{router: int32(src), dist: 0})
 	done := make([]bool, nr)
+	// Single-predecessor nodes — the overwhelming majority — carve their
+	// one-entry preds slice out of a shared arena instead of allocating
+	// individually (one allocation per reachable node per SPT root adds
+	// up to millions across a scaled campaign's vantage points). Carves
+	// are capacity-clamped, so a node that later gains an equal-cost
+	// predecessor appends out of the arena into its own slice without
+	// touching its neighbor's entry.
+	arena := make([]predEdge, 0, nr)
+	carve := func(pe predEdge) []predEdge {
+		if cap(arena)-len(arena) >= 1 {
+			s := arena[len(arena) : len(arena)+1 : len(arena)+1]
+			arena = arena[:len(arena)+1]
+			s[0] = pe
+			return s
+		}
+		return []predEdge{pe}
+	}
 	for len(q) > 0 {
 		it := q.pop()
 		u := it.router
@@ -127,8 +144,11 @@ func (n *Network) shortestPaths(src RouterID) *sptResult {
 			switch {
 			case w < res.dist[v]:
 				res.dist[v] = w
-				res.preds[v] = res.preds[v][:0]
-				res.preds[v] = append(res.preds[v], predEdge{from: u, iface: peer, link: ifc.Link})
+				if res.preds[v] == nil {
+					res.preds[v] = carve(predEdge{from: u, iface: peer, link: ifc.Link})
+				} else {
+					res.preds[v] = append(res.preds[v][:0], predEdge{from: u, iface: peer, link: ifc.Link})
+				}
 				q.push(pqItem{router: v, dist: w})
 			case w == res.dist[v]:
 				res.preds[v] = append(res.preds[v], predEdge{from: u, iface: peer, link: ifc.Link})

@@ -1,0 +1,126 @@
+package prefixset
+
+import "net/netip"
+
+// Compiled is the immutable, flattened form of a trie pair: the node
+// graph laid out as structure-of-arrays (preorder per family), child
+// links as int32 indices, terminal values inline. Lookup is a pure
+// array walk — no pointers, no maps, no per-bit-length probes — so a
+// longest-prefix match over a million-route table touches a handful
+// of cache lines. A Compiled is safe for unlimited concurrent use.
+type Compiled struct {
+	hi, lo []uint64
+	bits   []uint8
+	// has marks terminal nodes; val is the stored value (Table) or 0
+	// (Set).
+	has []bool
+	val []int32
+	// left/right are child indices; -1 = none.
+	left, right []int32
+	// root4/root6 index each family's root; -1 = empty family.
+	root4, root6 int32
+	// n is the stored prefix count.
+	n int
+}
+
+// compile flattens both family tries.
+func compile(v4, v6 *trie) *Compiled {
+	c := &Compiled{root4: -1, root6: -1, n: v4.n + v6.n}
+	total := countNodes(v4.root) + countNodes(v6.root)
+	c.hi = make([]uint64, 0, total)
+	c.lo = make([]uint64, 0, total)
+	c.bits = make([]uint8, 0, total)
+	c.has = make([]bool, 0, total)
+	c.val = make([]int32, 0, total)
+	c.left = make([]int32, 0, total)
+	c.right = make([]int32, 0, total)
+	c.root4 = c.flatten(v4.root)
+	c.root6 = c.flatten(v6.root)
+	return c
+}
+
+// flatten appends the subtree in preorder and returns its root index.
+func (c *Compiled) flatten(n *node) int32 {
+	if n == nil {
+		return -1
+	}
+	i := int32(len(c.hi))
+	c.hi = append(c.hi, n.k.hi)
+	c.lo = append(c.lo, n.k.lo)
+	c.bits = append(c.bits, n.bits)
+	c.has = append(c.has, n.has)
+	c.val = append(c.val, n.val)
+	c.left = append(c.left, -1)
+	c.right = append(c.right, -1)
+	c.left[i] = c.flatten(n.child[0])
+	c.right[i] = c.flatten(n.child[1])
+	return i
+}
+
+// Len is the number of stored prefixes.
+func (c *Compiled) Len() int { return c.n }
+
+// Nodes is the flattened node count (sizing diagnostics).
+func (c *Compiled) Nodes() int { return len(c.bits) }
+
+// Lookup returns the value of the longest stored prefix covering a,
+// or ok=false when no prefix matches. Family separation is structural:
+// a v4 address only ever walks the v4 root.
+func (c *Compiled) Lookup(a netip.Addr) (int32, bool) {
+	k, kb := keyOf(a)
+	i := c.root6
+	if a.Is4() {
+		i = c.root4
+	}
+	best, found := int32(0), false
+	for i >= 0 {
+		b := c.bits[i]
+		if b > kb {
+			break
+		}
+		nk := key{hi: c.hi[i], lo: c.lo[i]}
+		if commonBits(nk, k, b) < b {
+			break
+		}
+		if c.has[i] {
+			best, found = c.val[i], true
+		}
+		if b == kb {
+			break
+		}
+		if k.bit(b) == 0 {
+			i = c.left[i]
+		} else {
+			i = c.right[i]
+		}
+	}
+	return best, found
+}
+
+// Contains reports whether a is covered by any stored prefix.
+func (c *Compiled) Contains(a netip.Addr) bool {
+	_, ok := c.Lookup(a)
+	return ok
+}
+
+// Each walks the stored prefixes in the same canonical order as
+// Set.Each.
+func (c *Compiled) Each(f func(netip.Prefix, int32) bool) {
+	if !c.eachFrom(c.root4, true, f) {
+		return
+	}
+	c.eachFrom(c.root6, false, f)
+}
+
+func (c *Compiled) eachFrom(i int32, v4 bool, f func(netip.Prefix, int32) bool) bool {
+	if i < 0 {
+		return true
+	}
+	if c.has[i] {
+		k := key{hi: c.hi[i], lo: c.lo[i]}
+		if !f(k.prefix(c.bits[i], v4), c.val[i]) {
+			return false
+		}
+	}
+	return c.eachFrom(c.left[i], v4, f) && c.eachFrom(c.right[i], v4, f)
+}

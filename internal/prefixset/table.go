@@ -1,0 +1,107 @@
+package prefixset
+
+import "net/netip"
+
+// Table is a mutable prefix → int32 map with longest-prefix-match
+// lookup, the value-carrying sibling of Set: the netsim FIB maps
+// prefixes to owner indices through one, and the snapshot address
+// index maps interface blocks to CO indices. The zero value is an
+// empty table. Not safe for concurrent mutation; Compile for the
+// lock-free read side.
+type Table struct {
+	v4, v6 trie
+}
+
+func (t *Table) tree(v4 bool) *trie {
+	if v4 {
+		return &t.v4
+	}
+	return &t.v6
+}
+
+// Put stores prefix → v, overwriting any previous value; prev/existed
+// report what was there.
+func (t *Table) Put(p netip.Prefix, v int32) (prev int32, existed bool) {
+	k, _ := keyOf(p.Addr())
+	tr := t.tree(p.Addr().Is4())
+	if old := get(tr.root, k, uint8(p.Bits())); old != nil {
+		prev, existed = old.val, true
+	}
+	var added bool
+	tr.root, added = insert(tr.root, k, uint8(p.Bits()), v, true)
+	if added {
+		tr.n++
+	}
+	return prev, existed
+}
+
+// PutIfAbsent stores prefix → v only when the exact prefix is not yet
+// present; ok reports whether the store happened. This is the
+// first-declaration-wins discipline the FIB build needs.
+func (t *Table) PutIfAbsent(p netip.Prefix, v int32) bool {
+	k, _ := keyOf(p.Addr())
+	tr := t.tree(p.Addr().Is4())
+	var added bool
+	tr.root, added = insert(tr.root, k, uint8(p.Bits()), v, false)
+	if added {
+		tr.n++
+	}
+	return added
+}
+
+// Get returns the value stored for exactly p.
+func (t *Table) Get(p netip.Prefix) (int32, bool) {
+	k, _ := keyOf(p.Addr())
+	if n := get(t.tree(p.Addr().Is4()).root, k, uint8(p.Bits())); n != nil {
+		return n.val, true
+	}
+	return 0, false
+}
+
+// Delete removes exactly p; ok reports whether it was present. The
+// trie re-collapses, so a table that stored and deleted a prefix
+// compiles byte-identically to one that never saw it.
+func (t *Table) Delete(p netip.Prefix) bool {
+	k, _ := keyOf(p.Addr())
+	tr := t.tree(p.Addr().Is4())
+	var removed bool
+	tr.root, removed = remove(tr.root, k, uint8(p.Bits()))
+	if removed {
+		tr.n--
+	}
+	return removed
+}
+
+// Lookup returns the value of the longest stored prefix covering a.
+func (t *Table) Lookup(a netip.Addr) (int32, bool) {
+	k, kb := keyOf(a)
+	return lookup(t.tree(a.Is4()).root, k, kb)
+}
+
+// Len is the stored prefix count.
+func (t *Table) Len() int { return t.v4.n + t.v6.n }
+
+// Each walks (prefix, value) pairs in canonical order.
+func (t *Table) Each(f func(netip.Prefix, int32) bool) {
+	ok := true
+	walk := func(n *node, v4 bool) {
+		var rec func(n *node) bool
+		rec = func(n *node) bool {
+			if n == nil {
+				return true
+			}
+			if n.has && !f(n.k.prefix(n.bits, v4), n.val) {
+				return false
+			}
+			return rec(n.child[0]) && rec(n.child[1])
+		}
+		if ok {
+			ok = rec(n)
+		}
+	}
+	walk(t.v4.root, true)
+	walk(t.v6.root, false)
+}
+
+// Compile freezes the table into its immutable lookup form.
+func (t *Table) Compile() *Compiled { return compile(&t.v4, &t.v6) }

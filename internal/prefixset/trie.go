@@ -1,0 +1,166 @@
+package prefixset
+
+import "net/netip"
+
+// This file is the shared mutable trie under Set and Table: insert
+// with split-on-divergence path compression, exact get/remove with
+// re-collapse, longest-prefix lookup, and the canonical walk.
+
+// node is one path-compressed trie node: a prefix of k's first bits
+// bits. A node either terminates a stored prefix (has), branches
+// (both children non-nil), or both; single-child chains are collapsed
+// on insert and re-collapsed on delete, so the node count is bounded
+// by 2x the stored prefix count per family.
+type node struct {
+	k     key
+	bits  uint8
+	has   bool
+	val   int32
+	child [2]*node
+}
+
+// trie is one family's tree plus its stored-prefix count.
+type trie struct {
+	root *node
+	n    int
+}
+
+// insert adds (k, b) with value v under n and returns the new subtree
+// root. When the prefix is already present, overwrite selects whether
+// v replaces the stored value; added reports whether a new prefix was
+// stored (false for duplicates).
+func insert(n *node, k key, b uint8, v int32, overwrite bool) (_ *node, added bool) {
+	k = k.masked(b)
+	if n == nil {
+		return &node{k: k, bits: b, has: true, val: v}, true
+	}
+	limit := n.bits
+	if b < limit {
+		limit = b
+	}
+	cp := commonBits(n.k, k, limit)
+	if cp < n.bits {
+		// The new prefix diverges above n (or is a proper ancestor):
+		// split with a branch node at the divergence point.
+		br := &node{k: k.masked(cp), bits: cp}
+		br.child[n.k.bit(cp)] = n
+		if cp == b {
+			br.has, br.val = true, v
+		} else {
+			br.child[k.bit(cp)] = &node{k: k, bits: b, has: true, val: v}
+		}
+		return br, true
+	}
+	// n's prefix covers the new key's first n.bits bits.
+	if b == n.bits {
+		if !n.has {
+			n.has, n.val = true, v
+			return n, true
+		}
+		if overwrite {
+			n.val = v
+		}
+		return n, false
+	}
+	i := k.bit(n.bits)
+	n.child[i], added = insert(n.child[i], k, b, v, overwrite)
+	return n, added
+}
+
+// get returns the node storing exactly (k, b), or nil.
+func get(n *node, k key, b uint8) *node {
+	k = k.masked(b)
+	for n != nil && n.bits <= b {
+		if commonBits(n.k, k, n.bits) < n.bits {
+			return nil
+		}
+		if n.bits == b {
+			if n.has {
+				return n
+			}
+			return nil
+		}
+		n = n.child[k.bit(n.bits)]
+	}
+	return nil
+}
+
+// lookup returns the value of the longest stored prefix covering the
+// full-width key k.
+func lookup(n *node, k key, kb uint8) (int32, bool) {
+	best, found := int32(0), false
+	for n != nil && n.bits <= kb {
+		if commonBits(n.k, k, n.bits) < n.bits {
+			break
+		}
+		if n.has {
+			best, found = n.val, true
+		}
+		if n.bits == kb {
+			break
+		}
+		n = n.child[k.bit(n.bits)]
+	}
+	return best, found
+}
+
+// remove deletes exactly (k, b); removed is false when it was not
+// stored. Pruning re-collapses pass-through nodes so the structure
+// (and therefore iteration order and compiled layout) is identical to
+// a trie that never held the prefix.
+func remove(n *node, k key, b uint8) (_ *node, removed bool) {
+	if n == nil || n.bits > b || commonBits(n.k, k.masked(b), n.bits) < n.bits {
+		return n, false
+	}
+	if n.bits == b {
+		if !n.has {
+			return n, false
+		}
+		n.has = false
+		return prune(n), true
+	}
+	i := k.bit(n.bits)
+	n.child[i], removed = remove(n.child[i], k, b)
+	if removed {
+		return prune(n), true
+	}
+	return n, false
+}
+
+// prune collapses n if it no longer terminates a prefix and has at
+// most one child.
+func prune(n *node) *node {
+	if n.has {
+		return n
+	}
+	c0, c1 := n.child[0], n.child[1]
+	if c0 != nil && c1 != nil {
+		return n
+	}
+	if c0 != nil {
+		return c0
+	}
+	return c1
+}
+
+// each walks stored prefixes in canonical order — a prefix before any
+// longer prefix it contains, siblings in address order — which for
+// disjoint prefixes is exactly ascending address order. Returns false
+// if f stopped the walk.
+func each(n *node, v4 bool, f func(netip.Prefix) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.has && !f(n.k.prefix(n.bits, v4)) {
+		return false
+	}
+	return each(n.child[0], v4, f) && each(n.child[1], v4, f)
+}
+
+// count of nodes in the subtree (compiled-form sizing).
+func countNodes(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.child[0]) + countNodes(n.child[1])
+}

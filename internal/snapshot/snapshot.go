@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/comap"
+	"repro/internal/prefixset"
 	"repro/internal/symtab"
 )
 
@@ -109,13 +110,13 @@ type Snapshot struct {
 	regionIdx map[string]int
 
 	// addrSorted/addrCO is the sorted address index for prefix-range
-	// queries; lpmLens/lpmTables are the compiled longest-prefix-match
-	// tables (one masked-address map per distinct bit length, probed
-	// longest first) for point lookups.
+	// queries; addrToCO is the compiled prefix-set trie for point
+	// lookups (exact interface entries plus unambiguous block
+	// aggregates — the IPv6-ready replacement for the per-bit-length
+	// masked tables).
 	addrSorted []netip.Addr
 	addrCO     []uint32
-	lpmLens    []int
-	lpmTables  []map[netip.Addr]int32
+	addrToCO   *prefixset.Compiled
 
 	report     *comap.Report
 	reportJSON []byte
@@ -215,11 +216,13 @@ func Build(meta Meta, res *comap.Result) (*Snapshot, error) {
 }
 
 // buildAddrIndex compiles the two address-query structures: the sorted
-// (addr, CO) index for range scans, and the per-bit-length LPM tables
+// (addr, CO) index for range scans, and the compiled prefix-set trie
 // for point lookups — a /32 (or /128) entry per interface address, plus
 // a /24 (or /48) aggregate for every block whose addresses all belong
 // to one CO, so a query for an unprobed address still resolves to its
-// CO when the block is unambiguous.
+// CO when the block is unambiguous. Longest-prefix semantics make the
+// exact entry beat its block aggregate, exactly as the per-bit-length
+// tables (probed longest first) did before the trie.
 func (s *Snapshot) buildAddrIndex() {
 	n := len(s.coAddrs)
 	s.addrSorted = make([]netip.Addr, 0, n)
@@ -245,50 +248,42 @@ func (s *Snapshot) buildAddrIndex() {
 		s.addrCO = append(s.addrCO, p.co)
 	}
 
-	// Exact tables first, then unambiguous block aggregates. An
-	// ambiguous block (two COs sharing it) gets no aggregate entry:
-	// a miss is better than a guess.
-	byLen := map[int]map[netip.Addr]int32{}
-	put := func(bits int, masked netip.Addr, co int32) {
-		t := byLen[bits]
-		if t == nil {
-			t = map[netip.Addr]int32{}
-			byLen[bits] = t
-		}
-		if prev, ok := t[masked]; ok && prev != co {
-			t[masked] = -1 // ambiguous
+	// Exact entries first, then unambiguous block aggregates, all in
+	// one trie. An ambiguous block (two COs sharing it) is marked -1
+	// and deleted before compilation: a miss is better than a guess,
+	// and the trie re-collapses on delete, so the compiled layout is
+	// identical to one that never saw the ambiguous block.
+	var tbl prefixset.Table
+	put := func(p netip.Prefix, co int32) {
+		if prev, ok := tbl.Get(p); ok {
+			if prev != co {
+				tbl.Put(p, -1) // ambiguous
+			}
 			return
 		}
-		t[masked] = co
+		tbl.Put(p, co)
 	}
 	for i, a := range s.addrSorted {
-		exact := a.BitLen() // 32 or 128
-		put(exact, a, int32(s.addrCO[i]))
+		put(netip.PrefixFrom(a, a.BitLen()), int32(s.addrCO[i]))
 		blockBits := 24
 		if a.Is6() && !a.Is4In6() {
 			blockBits = 48
 		}
 		if p, err := a.Prefix(blockBits); err == nil {
-			put(blockBits, p.Addr(), int32(s.addrCO[i]))
+			put(p, int32(s.addrCO[i]))
 		}
 	}
-	for bits, t := range byLen {
-		for masked, co := range t {
-			if co < 0 {
-				delete(t, masked)
-			}
+	var ambiguous []netip.Prefix
+	tbl.Each(func(p netip.Prefix, co int32) bool {
+		if co < 0 {
+			ambiguous = append(ambiguous, p)
 		}
-		if len(t) == 0 {
-			delete(byLen, bits)
-			continue
-		}
-		s.lpmLens = append(s.lpmLens, bits)
+		return true
+	})
+	for _, p := range ambiguous {
+		tbl.Delete(p)
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(s.lpmLens)))
-	s.lpmTables = make([]map[netip.Addr]int32, len(s.lpmLens))
-	for i, bits := range s.lpmLens {
-		s.lpmTables[i] = byLen[bits]
-	}
+	s.addrToCO = tbl.Compile()
 }
 
 // computeDigest folds every content column (never the publication
@@ -360,7 +355,7 @@ func (s *Snapshot) Consistent() bool {
 	if len(s.edgeTo) != len(s.edgeFrom) || len(s.edgeCount) != len(s.edgeFrom) {
 		return false
 	}
-	if len(s.addrCO) != len(s.addrSorted) || len(s.lpmTables) != len(s.lpmLens) {
+	if len(s.addrCO) != len(s.addrSorted) || s.addrToCO == nil {
 		return false
 	}
 	return s.digest == s.computeDigest()
@@ -386,20 +381,18 @@ func (s *Snapshot) co(i uint32) CO {
 }
 
 // LookupAddr resolves an interface address to its central office via
-// the compiled LPM tables: exact interface match first, then the
-// unambiguous block aggregate. ok is false when no mapped CO covers the
-// address.
+// the compiled prefix-set trie: longest match, so an exact interface
+// entry beats its block aggregate. ok is false when no mapped CO
+// covers the address.
 func (s *Snapshot) LookupAddr(a netip.Addr) (CO, bool) {
-	for i, bits := range s.lpmLens {
-		p, err := a.Prefix(bits)
-		if err != nil {
-			continue // family mismatch for this bit length
-		}
-		if co, hit := s.lpmTables[i][p.Addr()]; hit {
-			return s.co(uint32(co)), true
-		}
+	if s.addrToCO == nil {
+		return CO{}, false
 	}
-	return CO{}, false
+	co, ok := s.addrToCO.Lookup(a)
+	if !ok {
+		return CO{}, false
+	}
+	return s.co(uint32(co)), true
 }
 
 // LookupPrefix returns every CO with at least one interface address

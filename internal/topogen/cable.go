@@ -95,8 +95,14 @@ type CableProfile struct {
 	// a different region (driving the Appendix B.2 pruning).
 	CrossRegionStaleFrac float64
 	// SubsPerEdge is how many responsive subscriber hosts to place in
-	// each EdgeCO's /24.
+	// each EdgeCO's subscriber /24.
 	SubsPerEdge int
+	// MinSubscribers, when positive, floors the operator's allocated
+	// subscriber address count: each EdgeCO receives however many /24s
+	// (256 addresses apiece) are needed to reach it in aggregate. Zero
+	// keeps the paper-size default of one /24 per EdgeCO. Set via
+	// CableProfile.Scaled (see scale.go).
+	MinSubscribers int
 	// EdgeScatterMaxKm bounds how far EdgeCO towns scatter from their
 	// ring anchor in multi-level regions (vast Charter rings reach
 	// farther, stretching the Fig. 10b AggCO-to-EdgeCO latency tail).
@@ -124,6 +130,9 @@ type cableBuilder struct {
 	allCOs []*CO
 	// routerSeq numbers routers within a CO for hostname suffixes.
 	routerSeq map[string]int
+	// sub24PerEdge is how many subscriber /24s each EdgeCO gets;
+	// derived from MinSubscribers in BuildCable, 1 at paper size.
+	sub24PerEdge int
 }
 
 // nameJob defers rDNS assignment until every CO exists, so stale names
@@ -151,6 +160,18 @@ func (s *Scenario) BuildCable(p CableProfile) *ISP {
 		routerSeq: map[string]int{},
 	}
 	b.isp.Announced = append(b.isp.Announced, p.P2PPool, p.SubsPool)
+	b.sub24PerEdge = 1
+	if p.MinSubscribers > 0 {
+		totalEdge := 0
+		for i := range p.Regions {
+			totalEdge += p.Regions[i].EdgeCOs
+		}
+		if totalEdge > 0 {
+			if per := (p.MinSubscribers + totalEdge*256 - 1) / (totalEdge * 256); per > 1 {
+				b.sub24PerEdge = per
+			}
+		}
+	}
 	for i := range p.Regions {
 		b.buildRegion(&p.Regions[i])
 	}
@@ -487,32 +508,38 @@ func (b *cableBuilder) buildRegion(spec *CableRegionSpec) {
 			}
 		}
 
-		// Subscriber /24 behind the first edge router.
-		sub24, err := b.subs.NextSubnet(24)
-		if err != nil {
-			panic(err)
-		}
-		b.s.Net.AddPrefix(sub24, co.Routers[0], b.p.ISP)
-		reg.SubscriberPrefixes = append(reg.SubscriberPrefixes, sub24)
-		pool := ipalloc.NewPool(sub24)
-		for i := 0; i < b.p.SubsPerEdge; i++ {
-			a, err := pool.NextHost()
+		// Subscriber /24s behind the first edge router: one at paper
+		// size, more when MinSubscribers floors the operator's
+		// allocated subscriber space (the loop body is unchanged for
+		// sub24PerEdge == 1, so the RNG stream — and every pinned
+		// golden digest — is untouched at default scale).
+		for s24 := 0; s24 < b.sub24PerEdge; s24++ {
+			sub24, err := b.subs.NextSubnet(24)
 			if err != nil {
 				panic(err)
 			}
-			h := &netsim.Host{
-				Addr:           a,
-				Router:         co.Routers[0],
-				ISP:            b.p.ISP,
-				Loc:            co.Loc,
-				AccessDelay:    time.Duration(3+b.s.rng.Float64()*6) * time.Millisecond,
-				RespondsToPing: b.s.rng.Float64() < 0.7,
+			b.s.Net.AddPrefix(sub24, co.Routers[0], b.p.ISP)
+			reg.SubscriberPrefixes = append(reg.SubscriberPrefixes, sub24)
+			pool := ipalloc.NewPool(sub24)
+			for i := 0; i < b.p.SubsPerEdge; i++ {
+				a, err := pool.NextHost()
+				if err != nil {
+					panic(err)
+				}
+				h := &netsim.Host{
+					Addr:           a,
+					Router:         co.Routers[0],
+					ISP:            b.p.ISP,
+					Loc:            co.Loc,
+					AccessDelay:    time.Duration(3+b.s.rng.Float64()*6) * time.Millisecond,
+					RespondsToPing: b.s.rng.Float64() < 0.7,
+				}
+				if err := b.s.Net.AddHost(h); err != nil {
+					panic(err)
+				}
+				b.s.DNS.SetLive(a, b.subscriberName(a, reg))
+				b.s.DNS.SetSnapshot(a, b.subscriberName(a, reg))
 			}
-			if err := b.s.Net.AddHost(h); err != nil {
-				panic(err)
-			}
-			b.s.DNS.SetLive(a, b.subscriberName(a, reg))
-			b.s.DNS.SetSnapshot(a, b.subscriberName(a, reg))
 		}
 	}
 

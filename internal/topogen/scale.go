@@ -1,0 +1,58 @@
+package topogen
+
+import "strconv"
+
+// Scale raises a generated operator's footprint by whole-number knobs
+// without touching the paper-calibrated per-region parameters. The
+// default (zero) Scale reproduces the published topology exactly —
+// profiles scaled with a zero Scale are returned unchanged, so golden
+// digests pinned at paper size are unaffected by the scaling machinery.
+type Scale struct {
+	// Regions multiplies the operator's region list: the original
+	// regions are kept verbatim (and generated first, so their RNG
+	// draws match an unscaled run) and every replica set is appended
+	// after them with a numeric suffix on the region tag ("bverton2",
+	// "socal3", ...). Suffixes stay alphanumeric because the rDNS
+	// region grammars only admit [a-z0-9]+ tags. Values <= 1 mean "no
+	// replication".
+	Regions int
+	// Subscribers is the minimum number of allocated subscriber
+	// addresses per operator. When region replication alone does not
+	// reach it, every EdgeCO is assigned enough subscriber /24s (each
+	// worth 256 allocated addresses) to cover the floor. Values <= 0
+	// mean "one /24 per EdgeCO", the paper-size default.
+	Subscribers int
+}
+
+// IsZero reports whether sc leaves the topology at paper size.
+func (sc Scale) IsZero() bool { return sc.Regions <= 1 && sc.Subscribers <= 0 }
+
+// Scaled returns a copy of the profile enlarged per sc. A zero sc
+// returns p unchanged (same Regions slice), keeping the unscaled path
+// byte-identical to the pre-scaling generator.
+func (p CableProfile) Scaled(sc Scale) CableProfile {
+	if sc.IsZero() {
+		return p
+	}
+	out := p
+	out.MinSubscribers = sc.Subscribers
+	if sc.Regions > 1 {
+		regs := make([]CableRegionSpec, 0, len(p.Regions)*sc.Regions)
+		regs = append(regs, p.Regions...)
+		for rep := 2; rep <= sc.Regions; rep++ {
+			suffix := strconv.Itoa(rep)
+			for _, r := range p.Regions {
+				r.Name += suffix
+				if r.ViaRegion != "" {
+					// Replicated regions wire through their own
+					// replica of the via region, preserving the Fig. 9
+					// entry pattern inside every copy.
+					r.ViaRegion += suffix
+				}
+				regs = append(regs, r)
+			}
+		}
+		out.Regions = regs
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package topogen
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaledZeroIsIdentity pins the golden-safety contract: a zero
+// Scale must hand back the profile untouched, Regions slice included.
+func TestScaledZeroIsIdentity(t *testing.T) {
+	p := ComcastProfile()
+	q := p.Scaled(Scale{})
+	if q.MinSubscribers != 0 || len(q.Regions) != len(p.Regions) {
+		t.Fatalf("zero scale changed the profile: %+v", q)
+	}
+	if &q.Regions[0] != &p.Regions[0] {
+		t.Fatal("zero scale cloned the region list")
+	}
+}
+
+// TestScaledBuild builds a 2x-region Comcast with a subscriber floor
+// and checks the replication invariants: originals first and verbatim,
+// replicas suffixed (alphanumeric, for the rDNS region grammar),
+// ViaRegion wiring resolved inside each replica set, and the allocated
+// subscriber space at or above the floor.
+func TestScaledBuild(t *testing.T) {
+	base := ComcastProfile()
+	const floor = 600000
+	p := base.Scaled(Scale{Regions: 2, Subscribers: floor})
+	if len(p.Regions) != 2*len(base.Regions) {
+		t.Fatalf("regions: got %d, want %d", len(p.Regions), 2*len(base.Regions))
+	}
+	for i, r := range base.Regions {
+		if p.Regions[i].Name != r.Name {
+			t.Fatalf("original region %d renamed to %q", i, p.Regions[i].Name)
+		}
+		rep := p.Regions[len(base.Regions)+i]
+		if rep.Name != r.Name+"2" {
+			t.Fatalf("replica of %q named %q", r.Name, rep.Name)
+		}
+		if strings.ContainsAny(rep.Name, "-._") {
+			t.Fatalf("replica name %q not hostname-tag safe", rep.Name)
+		}
+		if r.ViaRegion != "" && rep.ViaRegion != r.ViaRegion+"2" {
+			t.Fatalf("replica of %q routes via %q", r.Name, rep.ViaRegion)
+		}
+	}
+
+	s := NewScenario(99)
+	isp := s.BuildCable(p)
+	if got := len(isp.Regions); got != len(p.Regions) {
+		t.Fatalf("built %d regions, want %d", got, len(p.Regions))
+	}
+	if isp.Regions["hartford2"] == nil || isp.Regions["boston2"] == nil {
+		t.Fatal("replica regions missing from ground truth")
+	}
+	// The Connecticut pattern must hold inside the replica set too.
+	h2 := isp.Regions["hartford2"]
+	viaOK := false
+	for _, e := range h2.EntryRegions {
+		if e == "boston2" {
+			viaOK = true
+		}
+	}
+	if !viaOK {
+		t.Fatalf("hartford2 entries %v lack boston2", h2.EntryRegions)
+	}
+
+	subs := 0
+	for _, reg := range isp.Regions {
+		for _, pfx := range reg.SubscriberPrefixes {
+			subs += 1 << (32 - pfx.Bits())
+		}
+	}
+	if subs < floor {
+		t.Fatalf("allocated %d subscriber addresses, floor is %d", subs, floor)
+	}
+}

@@ -11,7 +11,13 @@ import (
 // CLLI codes, so the names must be deterministic, unique, and lowercase-
 // hostname-safe.
 type townNamer struct {
-	used map[string]bool
+	// used keys are (prefix, suffix, disambiguator) triples encoded as
+	// ints — prefix+suffix concatenations are injective across the two
+	// word lists, so the integer key is equivalent to the name string
+	// while keeping the saturated-retry loop (thousands of towns draw
+	// from ~900 base combinations, so late draws retry a lot)
+	// allocation-free. Only a successful draw builds the string.
+	used map[int]bool
 }
 
 var townPrefixes = []string{
@@ -29,26 +35,33 @@ var townSuffixes = []string{
 }
 
 func newTownNamer() *townNamer {
-	return &townNamer{used: map[string]bool{}}
+	return &townNamer{used: map[int]bool{}}
 }
 
 // next returns a fresh town name drawn from rng, never repeating within
-// one scenario.
+// one scenario. The rng draw sequence (two Intn per attempt, a third
+// once attempts pass 200) is part of the pinned-digest contract: every
+// later topology draw shifts with it.
 func (t *townNamer) next(rng *rand.Rand) string {
 	for i := 0; ; i++ {
-		p := townPrefixes[rng.Intn(len(townPrefixes))]
-		s := townSuffixes[rng.Intn(len(townSuffixes))]
-		name := p + s
-		if strings.HasSuffix(p, string(s[0])) {
+		pi := rng.Intn(len(townPrefixes))
+		si := rng.Intn(len(townSuffixes))
+		p, s := townPrefixes[pi], townSuffixes[si]
+		if p[len(p)-1] == s[0] {
 			// avoid doubled letters like "oakkirk"; retry cheaply
 			continue
 		}
+		key := (pi*len(townSuffixes) + si) * 27
 		if i > 200 {
-			// Add a numeric disambiguator once combinations run low.
-			name = name + string(rune('a'+rng.Intn(26)))
+			// Add a letter disambiguator once combinations run low.
+			key += 1 + rng.Intn(26)
 		}
-		if !t.used[name] {
-			t.used[name] = true
+		if !t.used[key] {
+			t.used[key] = true
+			name := p + s
+			if d := key % 27; d > 0 {
+				name += string(rune('a' + d - 1))
+			}
 			return name
 		}
 	}

@@ -99,9 +99,21 @@ func (s *Scenario) StandardVPs(isps ...*ISP) []netip.Addr {
 			}
 		}
 		sortStringsVP(names)
+		// A VP in every third region plus feeders. Scaled topologies
+		// widen the stride so the access fleet stays roughly paper-size
+		// (~12 per operator plus feeders) instead of growing with the
+		// region count: the paper measured full-size operators with a
+		// fixed ~50-VP fleet, and a fleet proportional to the footprint
+		// would make per-VP work (path compilation, shortest-path
+		// trees) scale superlinearly. Operators with <=36 regions — all
+		// paper-size profiles — keep stride 3 exactly.
+		stride := 3
+		if len(names) > 36 {
+			stride = (len(names) + 11) / 12
+		}
 		for i, name := range names {
-			if i%3 != 0 && !feeders[name] {
-				continue // a VP in every third region plus feeders
+			if i%stride != 0 && !feeders[name] {
+				continue
 			}
 			out = append(out, s.AddAccessVP(isp, name, i).Addr)
 		}
