@@ -23,6 +23,13 @@
 // grouped and the run fails when the ns/op ratio between the largest and
 // smallest scale exceeds R — the anti-superlinear gate `make bench-scale`
 // relies on (a quadratic term turns a 10x topology into a 40x+ runtime).
+//
+// With -mem-ceiling R, results whose names carry a "window=..." token
+// are grouped and the run fails when the smallest finite window at the
+// largest scale allocates more than R times the bytes_per_op of the
+// smallest scale's window=unbounded anchor — the streaming-engine
+// memory gate `make bench-window` relies on (a windowed 10x campaign
+// whose allocations still scale with campaign size blows the ceiling).
 package main
 
 import (
@@ -64,6 +71,10 @@ var lossRe = regexp.MustCompile(`loss=([0-9.]+)`)
 // scaleRe extracts the scale multiplier a scaling-curve benchmark encodes
 // in its name, e.g. BenchmarkScaleCampaign/scale=10x-8.
 var scaleRe = regexp.MustCompile(`scale=([0-9]+)x`)
+
+// windowRe extracts the trace-window token a streaming-engine benchmark
+// encodes in its name, e.g. BenchmarkWindowedCampaign/scale=10x/window=4096-8.
+var windowRe = regexp.MustCompile(`window=([0-9]+|unbounded)`)
 
 // parseLine parses one "BenchmarkX-8  10  123 ns/op  45 B/op  6 allocs/op"
 // line; ok is false for non-benchmark output (headers, PASS, ok lines).
@@ -240,11 +251,96 @@ func scaleGateFailures(results []Result, maxRatio float64) []string {
 	return bad
 }
 
+// memCeilingFailures enforces the streaming-engine memory gate on
+// window-curve benchmarks: results whose names carry a "window=..."
+// token are grouped by family (the name with the window and scale=Nx
+// tokens removed), and within each family the smallest finite window at
+// the largest scale must keep its memory within maxRatio times the
+// smallest scale's window=unbounded anchor. The gated metric is the
+// benchmark's "live_bytes" extra metric when present — the post-GC
+// retained heap, the peak-RSS proxy the window bench reports — falling
+// back to -benchmem bytes_per_op (cumulative allocation) otherwise. A
+// windowed campaign at 10x the paper footprint legitimately retains a
+// few times the 1x resident run (the topology itself is 10x), but
+// nowhere near the 10x a resident archive costs — O(window) memory,
+// not O(campaign). Families missing the anchor, a finite window, or
+// memory data cannot fail.
+func memCeilingFailures(results []Result, maxRatio float64) []string {
+	type point struct {
+		scale  float64
+		window float64 // 0 encodes window=unbounded
+		mem    *float64
+		unit   string
+	}
+	families := map[string][]point{}
+	for _, r := range results {
+		wm := windowRe.FindStringSubmatch(r.Name)
+		if wm == nil {
+			continue
+		}
+		p := point{scale: 1, mem: r.BytesPerOp, unit: "bytes_per_op"}
+		if v, ok := r.Extra["live_bytes"]; ok {
+			live := v
+			p.mem, p.unit = &live, "live_bytes"
+		}
+		if wm[1] != "unbounded" {
+			w, err := strconv.ParseFloat(wm[1], 64)
+			if err != nil || w == 0 {
+				continue
+			}
+			p.window = w
+		}
+		family := strings.Replace(r.Name, wm[0], "", 1)
+		if sm := scaleRe.FindStringSubmatch(family); sm != nil {
+			if s, err := strconv.ParseFloat(sm[1], 64); err == nil && s > 0 {
+				p.scale = s
+			}
+			family = strings.Replace(family, sm[0], "", 1)
+		}
+		families[family] = append(families[family], p)
+	}
+	var bad []string
+	for family, pts := range families {
+		var anchor, gated *point
+		for i := range pts {
+			p := &pts[i]
+			if p.mem == nil {
+				continue
+			}
+			if p.window == 0 {
+				if anchor == nil || p.scale < anchor.scale {
+					anchor = p
+				}
+				continue
+			}
+			if gated == nil || p.scale > gated.scale ||
+				(p.scale == gated.scale && p.window < gated.window) {
+				gated = p
+			}
+		}
+		if anchor == nil || gated == nil || *anchor.mem == 0 || anchor.unit != gated.unit {
+			continue
+		}
+		ratio := *gated.mem / *anchor.mem
+		if ratio > maxRatio {
+			bad = append(bad, fmt.Sprintf(
+				"%s: scale=%.0fx window=%.0f %s %.0f is %.1fx the scale=%.0fx unbounded anchor %.0f (limit %.0fx)",
+				family, gated.scale, gated.window, gated.unit, *gated.mem, ratio, anchor.scale, *anchor.mem, maxRatio))
+		} else {
+			fmt.Fprintf(os.Stderr,
+				"benchjson: mem ceiling OK: %s scale=%.0fx window=%.0f %s is %.1fx the scale=%.0fx unbounded anchor (limit %.0fx)\n",
+				family, gated.scale, gated.window, gated.unit, ratio, anchor.scale, maxRatio)
+		}
+	}
+	return bad
+}
+
 func main() {
 	prev := flag.String("prev", "", "previous benchjson archive to report speedups against (stderr); exits nonzero on bytes_per_op regression")
 	diff := flag.Bool("diff", false, "compare two archives given as arguments instead of reading stdin")
 	maxBytesGrowth := flag.Float64("max-bytes-growth", 0.10, "with -prev: allowed fractional bytes_per_op growth before the exit status turns nonzero")
 	scaleGate := flag.Float64("scale-gate", 0, "max allowed ns/op ratio between the largest and smallest scale=Nx variants of each benchmark; 0 disables")
+	memCeiling := flag.Float64("mem-ceiling", 0, "max allowed bytes_per_op ratio of the smallest window=N variant over the window=unbounded smallest-scale anchor; 0 disables")
 	flag.Parse()
 
 	if *diff {
@@ -295,6 +391,9 @@ func main() {
 	}
 	if *scaleGate > 0 {
 		gateFailures = append(gateFailures, scaleGateFailures(results, *scaleGate)...)
+	}
+	if *memCeiling > 0 {
+		gateFailures = append(gateFailures, memCeilingFailures(results, *memCeiling)...)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -46,6 +46,7 @@ func main() {
 	breaker := flag.Int("breaker", 10, "circuit-breaker threshold (zero-yield traces before a VP is benched; 0 = off)")
 	cfg.BindParallel(flag.CommandLine)
 	cfg.BindScale(flag.CommandLine)
+	cfg.BindWindow(flag.CommandLine)
 	check := flag.Bool("check", false, "exit nonzero unless degradation is graceful")
 	cfg.BindProfiles(flag.CommandLine, "write a CPU profile of the sweep to this file")
 	flag.Parse()
@@ -97,6 +98,12 @@ func main() {
 		if cfg.Scaled() {
 			opts = append(opts, core.WithScale(cfg.ScaleValue()))
 		}
+		if cfg.TraceWindow > 0 {
+			opts = append(opts, core.WithTraceWindow(cfg.TraceWindow))
+			if cfg.SpillDir != "" {
+				opts = append(opts, core.WithSpillDir(cfg.SpillDir))
+			}
+		}
 		stAny, err := core.NewStudy("cable", cfg.Seed, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chaossweep:", err)
@@ -111,6 +118,7 @@ func main() {
 			os.Exit(1)
 		}
 		score := st.Score(*isp)
+		st.Close() // release the cell's spill files before the next cell
 		r := row{
 			loss:     loss,
 			stats:    cov.Probes,

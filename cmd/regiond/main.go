@@ -51,6 +51,7 @@ func main() {
 	cfg.BindICMPRate(flag.CommandLine)
 	cfg.BindRetries(flag.CommandLine, 0)
 	cfg.BindScale(flag.CommandLine)
+	cfg.BindWindow(flag.CommandLine)
 	cfg.BindProfiles(flag.CommandLine)
 	flag.Parse()
 	defer cfg.StartProfiling()()

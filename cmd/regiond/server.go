@@ -86,7 +86,19 @@ func (s *service) bootstrap(ctx context.Context) error {
 			return err
 		}
 	}
+	s.releaseSpill()
 	return nil
+}
+
+// releaseSpill closes every retained result's spilled trace archive (a
+// no-op for resident campaigns). Snapshot compiles read only the
+// inference artifacts, never the raw paths, so the spill files can go
+// as soon as the snapshots are published — a windowed regiond does not
+// accumulate a spill directory per refresh.
+func (s *service) releaseSpill() {
+	for _, r := range s.results {
+		r.Close()
+	}
 }
 
 // refresh re-runs the full campaign, recompiles, and swaps each
@@ -103,7 +115,11 @@ func (s *service) refresh(ctx context.Context) error {
 		}
 	}
 	s.results = results
-	return s.recompile()
+	if err := s.recompile(); err != nil {
+		return err
+	}
+	s.releaseSpill()
+	return nil
 }
 
 // recompile rebuilds every operator's snapshot from the retained study

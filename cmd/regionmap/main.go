@@ -42,6 +42,7 @@ func main() {
 	cfg.BindICMPRate(flag.CommandLine)
 	cfg.BindRetries(flag.CommandLine, 0)
 	cfg.BindScale(flag.CommandLine)
+	cfg.BindWindow(flag.CommandLine)
 	cfg.BindProfiles(flag.CommandLine)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 	}
 	st := stAny.(*core.CableStudy)
 	res := st.Result(*isp)
+	defer st.Close() // Table1 below runs both operators; close the study, not just res
 	if cfg.Faulted() {
 		res.Coverage.Write(os.Stderr)
 	}

@@ -146,6 +146,33 @@ func (r *Result) Groups() [][]netip.Addr {
 	return out
 }
 
+// Compact freezes the result into its minimal read-only form: the
+// multi-member groups are materialized and the union-find entries for
+// singleton targets — one per probed address, the overwhelming
+// majority — are dropped, with the survivors fully path-compressed.
+// Groups, GroupOf, and SameRouter answer identically afterwards
+// (absent addresses are singletons, exactly what the dropped entries
+// encoded); callers must not file further union evidence into a
+// compacted result. Campaigns call this once resolution and mapping
+// are done, so a retained Result costs O(aliased addresses), not
+// O(probed targets).
+func (r *Result) Compact() {
+	groups := r.Groups()
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	parent := make(map[netip.Addr]netip.Addr, n)
+	for _, g := range groups {
+		root := g[0]
+		for _, a := range g {
+			parent[a] = root
+		}
+	}
+	r.parent = parent
+	r.rank = nil
+}
+
 // GroupOf returns the full alias set containing a (always at least a
 // itself).
 func (r *Result) GroupOf(a netip.Addr) []netip.Addr {

@@ -174,6 +174,44 @@ func TestGroupsOutputDeterministicAndComplete(t *testing.T) {
 	}
 }
 
+func TestCompactPreservesAnswers(t *testing.T) {
+	st := buildStar(t, 4, 2)
+	r := newResolver(st.net, st.vp.Addr)
+	res := r.Resolve(allTargets(st))
+
+	targets := allTargets(st)
+	before := fmt.Sprint(res.Groups())
+	sameBefore := make([]bool, 0, len(targets)*len(targets))
+	for _, a := range targets {
+		for _, b := range targets {
+			sameBefore = append(sameBefore, res.SameRouter(a, b))
+		}
+	}
+	groupOfBefore := fmt.Sprint(res.GroupOf(st.ifaces[1][0]))
+
+	res.Compact()
+	if got := fmt.Sprint(res.Groups()); got != before {
+		t.Errorf("Groups changed after Compact:\n got %s\nwant %s", got, before)
+	}
+	i := 0
+	for _, a := range targets {
+		for _, b := range targets {
+			if res.SameRouter(a, b) != sameBefore[i] {
+				t.Errorf("SameRouter(%v, %v) changed after Compact", a, b)
+			}
+			i++
+		}
+	}
+	if got := fmt.Sprint(res.GroupOf(st.ifaces[1][0])); got != groupOfBefore {
+		t.Errorf("GroupOf changed after Compact: got %s want %s", got, groupOfBefore)
+	}
+	// Compacted state holds only grouped members; singleton probes must
+	// still answer as singletons via on-demand insertion.
+	if res.SameRouter(addr("203.0.113.9"), targets[0]) {
+		t.Error("unseen address grouped after Compact")
+	}
+}
+
 func TestUnresponsiveTargetsSkipped(t *testing.T) {
 	st := buildStar(t, 2, 1)
 	st.spokes[0].ResponseProb = 0

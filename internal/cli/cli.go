@@ -35,6 +35,8 @@ const (
 	MemProfUsage  = "write a heap profile to this file at exit"
 	RegionsUsage  = "replicate every generated region this many times (1 = paper-size topology)"
 	SubsUsage     = "floor on allocated subscriber addresses per operator (0 = paper-size default)"
+	WindowUsage   = "stream campaigns through trace windows of this size, spilling to disk (0 = resident archive); fault-free output is identical at any value"
+	SpillUsage    = "directory for the windowed engine's spill log (default: a fresh .spill-* temp dir)"
 )
 
 // Config carries the parsed values of the shared study knobs. Bind only
@@ -49,6 +51,8 @@ type Config struct {
 	Retries     int
 	Regions     int
 	Subscribers int
+	TraceWindow int
+	SpillDir    string
 	CPUProfile  string
 	MemProfile  string
 }
@@ -98,6 +102,13 @@ func (c *Config) BindScale(fs *flag.FlagSet) {
 	fs.IntVar(&c.Subscribers, "subscribers", 0, SubsUsage)
 }
 
+// BindWindow registers -trace-window and -spill-dir, the streaming
+// campaign engine knobs. The defaults keep the resident archive.
+func (c *Config) BindWindow(fs *flag.FlagSet) {
+	fs.IntVar(&c.TraceWindow, "trace-window", 0, WindowUsage)
+	fs.StringVar(&c.SpillDir, "spill-dir", "", SpillUsage)
+}
+
 // BindProfiles registers -cpuprofile and -memprofile.
 func (c *Config) BindProfiles(fs *flag.FlagSet, cpuUsage ...string) {
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", usageOr(CPUProfUsage, cpuUsage))
@@ -126,6 +137,12 @@ func (c *Config) Options(extra ...core.Option) []core.Option {
 	}
 	if c.Scaled() {
 		opts = append(opts, core.WithScale(c.ScaleValue()))
+	}
+	if c.TraceWindow > 0 {
+		opts = append(opts, core.WithTraceWindow(c.TraceWindow))
+		if c.SpillDir != "" {
+			opts = append(opts, core.WithSpillDir(c.SpillDir))
+		}
 	}
 	return append(opts, extra...)
 }

@@ -1,6 +1,7 @@
 package comap
 
 import (
+	"fmt"
 	"net/netip"
 	"sort"
 
@@ -55,6 +56,22 @@ type Campaign struct {
 	// changing every downstream observation.
 	Resilience probesched.Resilience
 
+	// TraceWindow, when positive, streams the campaign through the
+	// windowed engine: kept traces spill to a segment log in windows of
+	// this many traces, and inference replays the log window-at-a-time
+	// instead of holding the archive resident. Fault-free campaigns are
+	// bit-identical at any window size (the golden-equivalence tests pin
+	// this); under an active FaultPlan the time-windowed faults observe
+	// slightly different virtual clocks than an unbounded run — still
+	// deterministic for fixed settings, but not byte-equal across window
+	// sizes. Zero keeps the historical resident archive.
+	TraceWindow int
+	// SpillDir hosts the segment log (TraceWindow mode only). Empty
+	// creates a .spill-* directory under the working directory, removed
+	// by Collection.Close; a provided directory is reused and only the
+	// log file itself is cleaned up.
+	SpillDir string
+
 	// SkipDirectTargeting disables step 2 (rDNS-selected targets); used
 	// by the ablation benches to quantify the paper's 5.3x claim.
 	SkipDirectTargeting bool
@@ -67,10 +84,17 @@ type Campaign struct {
 
 // Collection is the raw measurement output of a campaign.
 type Collection struct {
+	// Paths and StageOf form the resident archive (TraceWindow == 0).
+	// Windowed campaigns leave both nil and keep the archive in spill;
+	// consumers iterate either shape through NumPaths/EachPath (or the
+	// internal foldPaths), never these fields directly.
 	Paths []Path
 	// StageOf tags each path index with its collection stage: "sweep",
 	// "direct", or "mpls".
 	StageOf []string
+	// spill is the on-disk archive of a windowed campaign; nil when
+	// resident. Collection.Close releases it.
+	spill *spillArchive
 	// Observed is every responsive hop address seen.
 	Observed map[netip.Addr]bool
 	// ScanTargets are the snapshot addresses matching the operator's
@@ -136,6 +160,24 @@ func (c *Campaign) Run() *Collection {
 	eng := c.engine()
 	pool := probesched.New(c.Parallelism, c.Clock)
 
+	// Windowed mode spills kept traces to a segment log as they fold in.
+	// Setup failures panic: a campaign that cannot open its spill file
+	// has no degraded mode to fall back to (silently going resident
+	// would defeat the caller's memory bound).
+	var writer *traceroute.SegmentWriter
+	if c.TraceWindow > 0 {
+		sp, err := newSpillArchive(c.SpillDir)
+		if err != nil {
+			panic(fmt.Sprintf("comap: creating spill archive: %v", err))
+		}
+		col.spill = sp
+		writer, err = traceroute.CreateSegmentLog(sp.logPath)
+		if err != nil {
+			sp.Close()
+			panic(fmt.Sprintf("comap: creating spill log: %v", err))
+		}
+	}
+
 	// The /24 sweep dominates job volume, so its size (clamped by the
 	// probe budget) presizes the dedup set and job list: the dedup map
 	// showed up at ~30% of collection CPU in profiles, most of it
@@ -164,7 +206,29 @@ func (c *Campaign) Run() *Collection {
 	// sequential barriers), so its decisions are worker-count invariant.
 	breaker := probesched.NewBreaker(c.Resilience.BreakerThreshold)
 
-	jobs := make([]probesched.Request, 0, hint/2)
+	// Windowed mode also bounds the pending-job list: instead of
+	// accumulating a whole stage's jobs before scheduling, the list
+	// drains through the scheduler every few windows' worth. Fault-free
+	// probing is time-independent (replies are pure functions of seed
+	// and flow), so splitting a stage into several scheduler batches
+	// folds the identical trace sequence and advances the clock by the
+	// identical total — the windowed golden tests pin this. Resident
+	// mode keeps the one-batch-per-stage shape (under an active fault
+	// plan, batch boundaries are clock-visible).
+	jobFlushEvery := 0
+	jobsCap := hint / 2
+	if c.TraceWindow > 0 {
+		jobFlushEvery = 4 * c.TraceWindow
+		if jobFlushEvery < 1024 {
+			jobFlushEvery = 1024
+		}
+		if jobsCap > jobFlushEvery {
+			jobsCap = jobFlushEvery
+		}
+	}
+	jobs := make([]probesched.Request, 0, jobsCap)
+	curStage := ""
+	var flush func()
 	add := func(src, dst netip.Addr) {
 		if c.MaxTraces > 0 && submitted+len(jobs) >= c.MaxTraces {
 			return
@@ -188,6 +252,9 @@ func (c *Campaign) Run() *Collection {
 			seenWide[key] = true
 		}
 		jobs = append(jobs, probesched.Request{Src: src, Dst: dst})
+		if jobFlushEvery > 0 && len(jobs) >= jobFlushEvery {
+			flush()
+		}
 	}
 	// Kept paths carve their Hops/Gaps out of shared arena chunks instead
 	// of two exact-size allocations per path; the chunks stay alive for
@@ -200,8 +267,12 @@ func (c *Campaign) Run() *Collection {
 
 	// flush runs the accumulated jobs through the scheduler, streaming
 	// each trace into the collection in submission order while later
-	// jobs are still probing (traceroute.FoldTraces).
-	flush := func(stage string) {
+	// jobs are still probing (traceroute.FoldTraces). Windowed mode
+	// encodes kept traces into the spill log instead of carving resident
+	// paths; the scheduler's backpressure keeps in-flight chunks bounded
+	// while this fold writes to disk.
+	flush = func() {
+		stage := curStage
 		submitted += len(jobs)
 		eng.FoldTracesColumnar(pool, jobs, func(_ int, tv traceroute.TraceView) {
 			// Count responsive hops first: all-timeout traces (most of
@@ -225,6 +296,23 @@ func (c *Campaign) Run() *Collection {
 			breaker.Record(tv.Src, resp == 0)
 			if resp == 0 {
 				col.EmptyTraces++
+				return
+			}
+			if writer != nil {
+				for k := 0; k < n; k++ {
+					if tv.HopResponded(k) {
+						col.Observed[tv.Hop(k).Addr] = true
+					}
+				}
+				if err := writer.Append(stage, tv); err != nil {
+					panic(fmt.Sprintf("comap: spilling trace: %v", err))
+				}
+				col.spill.nPaths++
+				if writer.Count() >= c.TraceWindow {
+					if err := writer.Seal(); err != nil {
+						panic(fmt.Sprintf("comap: sealing window: %v", err))
+					}
+				}
 				return
 			}
 			if cap(hopArena)-len(hopArena) < resp {
@@ -265,12 +353,13 @@ func (c *Campaign) Run() *Collection {
 
 	// Stage 1: traceroute to an address in every /24 of the announced
 	// space to expose at least one router per EdgeCO.
+	curStage = "sweep"
 	for i, dst := range sweep {
 		for k := 0; k < c.SweepVPs && k < len(c.VPs); k++ {
 			add(c.VPs[(i+k*7)%len(c.VPs)], dst)
 		}
 	}
-	flush("sweep")
+	flush()
 
 	// Stage 2: traceroute to every address whose snapshot rDNS matches
 	// the operator's router-name regexes. Both the regex scan and the
@@ -289,12 +378,13 @@ func (c *Campaign) Run() *Collection {
 		},
 		func(into, from []netip.Addr) []netip.Addr { return append(into, from...) })
 	if !c.SkipDirectTargeting {
+		curStage = "direct"
 		for i, dst := range col.ScanTargets {
 			for k := 0; k < c.TargetVPs && k < len(c.VPs); k++ {
 				add(c.VPs[(i+k*11)%len(c.VPs)], dst)
 			}
 		}
-		flush("direct")
+		flush()
 	}
 
 	// Stage 3: traceroute to every intermediate address observed, to
@@ -304,6 +394,7 @@ func (c *Campaign) Run() *Collection {
 	// order (v4 before v6, same as the sort it replaces), with no
 	// intermediate slice to sort.
 	if !c.SkipMPLSPass {
+		curStage = "mpls"
 		obs := prefixset.NewSet()
 		for a := range col.Observed {
 			obs.AddAddr(a)
@@ -314,8 +405,17 @@ func (c *Campaign) Run() *Collection {
 				add(c.VPs[(i+k*13)%len(c.VPs)], dst)
 			}
 		}
-		flush("mpls")
-		c.findFalsePairs(col)
+		flush()
+	}
+	// The archive is complete: seal and close the spill log before the
+	// first replaying pass (findFalsePairs and everything downstream).
+	if writer != nil {
+		if err := writer.Close(); err != nil {
+			panic(fmt.Sprintf("comap: closing spill log: %v", err))
+		}
+	}
+	if !c.SkipMPLSPass {
+		c.findFalsePairs(col, pool)
 	}
 
 	// Alias resolution over the rDNS-selected addresses, every observed
@@ -336,6 +436,9 @@ func (c *Campaign) Run() *Collection {
 		for _, part := range c.partitionByRegion(col) {
 			resolver.MIDARInto(part, res)
 		}
+		// All evidence is in; drop the per-target union-find state so a
+		// retained collection holds only the multi-member groups.
+		res.Compact()
 		col.Aliases = res
 	}
 	col.Quarantined = breaker.QuarantinedVPs()
@@ -365,7 +468,7 @@ func (c *Campaign) partitionByRegion(col *Collection) [][]netip.Addr {
 	// (below) to the PoPs that actually serve the region.
 	votes := map[netip.Addr]map[string]int{}
 	bbSeen := map[string]map[netip.Addr]bool{}
-	for _, p := range col.Paths {
+	col.EachPath(func(_ int, p Path, _ string) {
 		// Dominant region among named hops.
 		count := map[string]int{}
 		for _, h := range p.Hops {
@@ -386,7 +489,7 @@ func (c *Campaign) partitionByRegion(col *Collection) [][]netip.Addr {
 		}
 		dom, tied := majority(count)
 		if dom == "" || tied {
-			continue
+			return
 		}
 		for _, h := range p.Hops {
 			if _, ok := regionOfAddr[h]; ok {
@@ -397,7 +500,7 @@ func (c *Campaign) partitionByRegion(col *Collection) [][]netip.Addr {
 			}
 			votes[h][dom]++
 		}
-	}
+	})
 	for a, v := range votes {
 		if top, tied := majority(v); !tied && top != "" {
 			regionOfAddr[a] = top
@@ -561,57 +664,118 @@ func p2pMate(a netip.Addr, bits int) (netip.Addr, bool) {
 // findFalsePairs applies the Vanaubel test: a pair adjacent in some path
 // but separated by intermediate hops in a path destined to the pair's
 // second address is an MPLS entry/exit artifact.
-func (c *Campaign) findFalsePairs(col *Collection) {
+//
+// Both scans are forward path folds (no random access into the
+// archive), so the test runs identically over resident and spilled
+// collections: pass one collects the distinct adjacent pairs, pass two
+// checks every reached path against the pairs ending at its
+// destination. The verdicts are set inserts ORed over paths, so the
+// pass-two iteration order (unlike the historical pair-major loop) is
+// immaterial.
+func (c *Campaign) findFalsePairs(col *Collection, pool *probesched.Pool) {
 	// Presize off the collection's own ledger: answered hop rows bound
-	// the adjacency count, so the maps never rehash mid-build.
-	adj := make(map[[2]netip.Addr]bool, col.HopRowsAnswered)
-	for _, p := range col.Paths {
-		for i := 1; i < len(p.Hops); i++ {
-			if p.Gaps[i] {
-				continue
-			}
-			adj[[2]netip.Addr{p.Hops[i-1], p.Hops[i]}] = true
-		}
+	// the adjacency count, so the maps never rehash mid-build. Windowed
+	// runs cap the hint at a few windows' worth of rows — the full
+	// ledger hint over-allocates by the archive/window ratio exactly
+	// when the caller asked for bounded memory (distinct pairs plateau
+	// long before the row count at campaign scale; growth past the hint
+	// just rehashes).
+	hint := col.HopRowsAnswered
+	if c.TraceWindow > 0 && hint > 8*c.TraceWindow {
+		hint = 8 * c.TraceWindow
 	}
-	// Index paths by destination.
-	byDst := make(map[netip.Addr][]int, len(col.Paths))
-	for i, p := range col.Paths {
-		if p.Reached {
-			byDst[p.Dst] = append(byDst[p.Dst], i)
-		}
-	}
-	for pair := range adj {
-		a, b := pair[0], pair[1]
-		for _, pi := range byDst[b] {
-			p := col.Paths[pi]
-			bPos, aPos := -1, -1
-			for i, h := range p.Hops {
-				if h == a {
-					aPos = i
+	// init runs once per reduce shard (and per window), so each shard
+	// presizes a fraction; the merged survivor rehashes at most a couple
+	// of times instead of once per insert.
+	shardHint := hint / 4
+	adj := foldPaths(pool, col,
+		func() map[[2]netip.Addr]bool { return make(map[[2]netip.Addr]bool, shardHint) },
+		func(set map[[2]netip.Addr]bool, _ int, p Path, _ string) map[[2]netip.Addr]bool {
+			for i := 1; i < len(p.Hops); i++ {
+				if p.Gaps[i] {
+					continue
 				}
+				set[[2]netip.Addr{p.Hops[i-1], p.Hops[i]}] = true
+			}
+			return set
+		},
+		func(into, from map[[2]netip.Addr]bool) map[[2]netip.Addr]bool {
+			if len(from) > len(into) {
+				into, from = from, into
+			}
+			for k := range from {
+				into[k] = true
+			}
+			return into
+		})
+	// Invert: for each adjacency (a, b), the candidate first elements a
+	// keyed by the pair's second address b — pass two looks up a path's
+	// own destination instead of scanning paths per pair.
+	pairsBySecond := make(map[netip.Addr][]netip.Addr, len(adj))
+	for pair := range adj {
+		pairsBySecond[pair[1]] = append(pairsBySecond[pair[1]], pair[0])
+	}
+	type verdicts struct {
+		falsePairs  map[[2]netip.Addr]bool
+		directPairs map[[2]netip.Addr]bool
+	}
+	v := foldPaths(pool, col,
+		func() verdicts {
+			return verdicts{map[[2]netip.Addr]bool{}, map[[2]netip.Addr]bool{}}
+		},
+		func(acc verdicts, _ int, p Path, _ string) verdicts {
+			if !p.Reached {
+				return acc
+			}
+			b := p.Dst
+			cands := pairsBySecond[b]
+			if len(cands) == 0 {
+				return acc
+			}
+			// Last occurrences, matching the historical scan exactly.
+			bPos := -1
+			for i, h := range p.Hops {
 				if h == b {
 					bPos = i
 				}
 			}
-			switch {
-			case aPos >= 0 && bPos > aPos+1:
-				// Separated by revealed interior hops: tunnel artifact.
-				col.FalsePairs[pair] = true
-			case aPos >= 0 && bPos == aPos+1 && !p.Gaps[bPos]:
-				// Still adjacent when the LSP cannot hide anything:
-				// genuine physical link.
-				col.DirectPairs[pair] = true
+			for _, a := range cands {
+				aPos := -1
+				for i, h := range p.Hops {
+					if h == a {
+						aPos = i
+					}
+				}
+				switch {
+				case aPos >= 0 && bPos > aPos+1:
+					// Separated by revealed interior hops: tunnel artifact.
+					acc.falsePairs[[2]netip.Addr{a, b}] = true
+				case aPos >= 0 && bPos == aPos+1 && !p.Gaps[bPos]:
+					// Still adjacent when the LSP cannot hide anything:
+					// genuine physical link.
+					acc.directPairs[[2]netip.Addr{a, b}] = true
+				}
 			}
-		}
-	}
+			return acc
+		},
+		func(into, from verdicts) verdicts {
+			for k := range from.falsePairs {
+				into.falsePairs[k] = true
+			}
+			for k := range from.directPairs {
+				into.directPairs[k] = true
+			}
+			return into
+		})
+	col.FalsePairs, col.DirectPairs = v.falsePairs, v.directPairs
 }
 
 // Probes returns a rough count of injected packets; exported for the
 // bench harness narration.
 func (c *Collection) Probes() int {
 	n := 0
-	for _, p := range c.Paths {
+	c.EachPath(func(_ int, p Path, _ string) {
 		n += len(p.Hops)
-	}
+	})
 	return n
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/dnsdb"
+	"repro/internal/probesched"
 )
 
 func TestFindFalsePairs(t *testing.T) {
@@ -35,7 +36,7 @@ func TestFindFalsePairs(t *testing.T) {
 				Gaps: []bool{false, false}},
 		},
 	}
-	c.findFalsePairs(col)
+	c.findFalsePairs(col, probesched.New(1, nil))
 	if !col.FalsePairs[[2]netip.Addr{a("10.0.0.1"), a("10.0.0.2")}] {
 		t.Error("tunnel entry/exit pair not flagged false")
 	}

@@ -72,23 +72,34 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 	}
 
 	// Collect IP adjacencies where both addresses carry CO mappings,
-	// tracking which paths observed each CO adjacency. Pairs are interned
-	// symbols (8 bytes), not strings; the string keys reappear only at
-	// the RegionGraph boundary.
+	// counting the distinct paths supporting each CO adjacency. Pairs
+	// are interned symbols (8 bytes), not strings; the string keys
+	// reappear only at the RegionGraph boundary.
+	//
+	// Support is a running tally, not a path-index set: downstream only
+	// ever consumes the count. Within a shard the accumulator sees a
+	// pair's observations in nondecreasing path order, so counting pi
+	// transitions counts distinct paths; shards (and spill windows)
+	// cover ascending disjoint index ranges, so merged counts sum
+	// exactly. The per-pair set this replaces was the single largest
+	// allocation of the inference half at campaign scale.
 	type coPair = [2]symtab.Sym
+	type pathTally struct {
+		count  int
+		lastPi int
+	}
 	type recordAcc struct {
 		ipAdjs  map[[2]netip.Addr]coPair
-		coPaths map[coPair]map[int]bool
+		coPaths map[coPair]pathTally
 	}
-	rec := probesched.Reduce(pool, len(col.Paths),
+	rec := foldPaths(pool, col,
 		func() recordAcc {
 			return recordAcc{
 				ipAdjs:  map[[2]netip.Addr]coPair{},
-				coPaths: map[coPair]map[int]bool{},
+				coPaths: map[coPair]pathTally{},
 			}
 		},
-		func(acc recordAcc, pi int) recordAcc {
-			p := col.Paths[pi]
+		func(acc recordAcc, pi int, p Path, _ string) recordAcc {
 			for i := 1; i < len(p.Hops); i++ {
 				if p.Gaps[i] {
 					continue
@@ -101,10 +112,11 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 				}
 				pair := coPair{cox, coy}
 				acc.ipAdjs[[2]netip.Addr{x, y}] = pair
-				if acc.coPaths[pair] == nil {
-					acc.coPaths[pair] = map[int]bool{}
+				if t, ok := acc.coPaths[pair]; !ok || t.lastPi != pi {
+					t.count++
+					t.lastPi = pi
+					acc.coPaths[pair] = t
 				}
-				acc.coPaths[pair][pi] = true
 			}
 			return acc
 		},
@@ -112,14 +124,11 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 			for k, v := range from.ipAdjs {
 				into.ipAdjs[k] = v
 			}
-			for pair, paths := range from.coPaths {
-				if into.coPaths[pair] == nil {
-					into.coPaths[pair] = paths
-					continue
-				}
-				for pi := range paths {
-					into.coPaths[pair][pi] = true
-				}
+			for pair, t := range from.coPaths {
+				it := into.coPaths[pair]
+				it.count += t.count
+				it.lastPi = t.lastPi
+				into.coPaths[pair] = it
 			}
 			return into
 		})
@@ -157,7 +166,7 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 	// cross-region adjacencies are mostly stale-rDNS artifacts (real
 	// inter-region entries are re-added by §5.2.5 with stronger
 	// evidence); single-observation adjacencies are traceroute noise.
-	for pair, paths := range coPaths {
+	for pair, tally := range coPaths {
 		ix, iy := infos[pair[0]], infos[pair[1]]
 		switch {
 		case !ix.hasRegion || !iy.hasRegion:
@@ -168,7 +177,7 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 			inf.Prune.CrossRegionCOAdjs++
 			inf.Prune.CrossRegionIPAdjs += support[pair]
 			delete(coPaths, pair)
-		case len(paths) < 2:
+		case tally.count < 2:
 			inf.Prune.SingleCOAdjs++
 			inf.Prune.SingleIPAdjs += support[pair]
 			delete(coPaths, pair)
@@ -177,7 +186,7 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 
 	// Build per-region graphs from the surviving adjacencies, converting
 	// the interned pairs back to strings at this boundary.
-	for pair, paths := range coPaths {
+	for pair, tally := range coPaths {
 		region := m.Syms.Str(infos[pair[0]].region)
 		g := inf.Regions[region]
 		if g == nil {
@@ -185,7 +194,7 @@ func BuildGraphsParallel(col *Collection, m *Mapping, workers int) *Inference {
 			inf.Regions[region] = g
 		}
 		spair := [2]string{m.Syms.Str(pair[0]), m.Syms.Str(pair[1])}
-		g.Edges[spair] = len(paths)
+		g.Edges[spair] = tally.count
 		for _, key := range spair {
 			if g.COs[key] == nil {
 				g.COs[key] = &CONode{Key: key, Tag: key[strings.IndexByte(key, '/')+1:]}
@@ -463,15 +472,14 @@ func inferEntries(pool *probesched.Pool, col *Collection, m *Mapping, infos []sy
 			}
 		}
 	}
-	acc := probesched.Reduce(pool, len(col.Paths),
+	acc := foldPaths(pool, col,
 		func() entryAcc {
 			return entryAcc{
 				firstCOs: map[entryKey]map[symtab.Sym]bool{},
 				reached:  map[entryKey]map[symtab.Sym]bool{},
 			}
 		},
-		func(acc entryAcc, pi int) entryAcc {
-			p := col.Paths[pi]
+		func(acc entryAcc, _ int, p Path, _ string) entryAcc {
 			// Project the path onto mapped COs, collapsing repeats and
 			// respecting gaps.
 			cos := acc.cos[:0]

@@ -181,10 +181,9 @@ func BuildMappingParallel(col *Collection, dns *dnsdb.DB, isp string, workers in
 	// distinct (x, mate) pairs (union across shards restores the
 	// sequential dedup); votes are then counted off the merged set, so a
 	// pair straddling two shards still contributes exactly one vote.
-	seenMate := probesched.Reduce(pool, len(col.Paths),
+	seenMate := foldPaths(pool, col,
 		func() map[[2]netip.Addr]bool { return map[[2]netip.Addr]bool{} },
-		func(set map[[2]netip.Addr]bool, pi int) map[[2]netip.Addr]bool {
-			p := col.Paths[pi]
+		func(set map[[2]netip.Addr]bool, _ int, p Path, _ string) map[[2]netip.Addr]bool {
 			for i := 1; i < len(p.Hops); i++ {
 				if p.Gaps[i] {
 					continue
@@ -302,10 +301,9 @@ func inferP2PBits(pool *probesched.Pool, col *Collection, m *Mapping) int {
 	// Sharded census: accumulate the set of distinct qualifying
 	// addresses (union across shards = the sequential dedup), then count
 	// last-two-bit offsets off the merged set.
-	seen := probesched.Reduce(pool, len(col.Paths),
+	seen := foldPaths(pool, col,
 		func() map[netip.Addr]bool { return map[netip.Addr]bool{} },
-		func(set map[netip.Addr]bool, pi int) map[netip.Addr]bool {
-			p := col.Paths[pi]
+		func(set map[netip.Addr]bool, _ int, p Path, _ string) map[netip.Addr]bool {
 			end := len(p.Hops)
 			if p.Reached {
 				end-- // the destination itself may be a host, not a router

@@ -24,6 +24,16 @@ type Result struct {
 	workers int
 }
 
+// Close releases the collection's spill files when the campaign ran
+// windowed. Post-hoc path scans (StageAdjacencies, digest serializers)
+// must run before Close; everything else on the Result stays valid.
+func (r *Result) Close() error {
+	if r == nil || r.Collection == nil {
+		return nil
+	}
+	return r.Collection.Close()
+}
+
 // Run executes the full pipeline: collection, mapping, graphs. The
 // campaign's Parallelism knob drives the inference half exactly as it
 // drives collection — one worker-count setting end to end, with
@@ -66,11 +76,9 @@ func (r *Result) StageAdjacencies() map[string]int {
 			regions[s].ok = true
 		}
 	}
-	perStage := probesched.Reduce(pool, len(r.Collection.Paths),
+	perStage := foldPaths(pool, r.Collection,
 		func() map[string]map[[2]symtab.Sym]bool { return map[string]map[[2]symtab.Sym]bool{} },
-		func(acc map[string]map[[2]symtab.Sym]bool, i int) map[string]map[[2]symtab.Sym]bool {
-			p := r.Collection.Paths[i]
-			stage := r.Collection.StageOf[i]
+		func(acc map[string]map[[2]symtab.Sym]bool, _ int, p Path, stage string) map[string]map[[2]symtab.Sym]bool {
 			for h := 1; h < len(p.Hops); h++ {
 				if p.Gaps[h] {
 					continue

@@ -1,0 +1,233 @@
+package comap
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/probesched"
+	"repro/internal/traceroute"
+)
+
+// Windowed collection: when a Campaign sets TraceWindow, the flush fold
+// no longer appends paths to one resident archive. Each kept trace is
+// encoded into a traceroute segment log instead, sealed every
+// TraceWindow traces (and at stage boundaries), and every inference
+// pass replays the log window-at-a-time — resident path memory is
+// O(window) regardless of campaign size. The replay reconstructs
+// exactly the Path values the resident flush would have built (same
+// responsive-hop filtering, same gap tracking, same order), which is
+// why the golden digests are bit-identical at any window size.
+
+// spillArchive is the on-disk form of a Collection's path archive.
+type spillArchive struct {
+	logPath string
+	// dir is removed on Close when the archive created it (the default
+	// SpillDir="" case); a caller-provided directory is left alone.
+	dir     string
+	ownsDir bool
+	nPaths  int
+}
+
+// newSpillArchive places the segment log in dir, or in a fresh
+// .spill-* directory under the working directory when dir is empty.
+func newSpillArchive(dir string) (*spillArchive, error) {
+	sp := &spillArchive{dir: dir}
+	if sp.dir == "" {
+		d, err := os.MkdirTemp(".", ".spill-")
+		if err != nil {
+			return nil, err
+		}
+		sp.dir, sp.ownsDir = d, true
+	}
+	sp.logPath = filepath.Join(sp.dir, "traces.seg")
+	return sp, nil
+}
+
+// Close removes the spill files (and the directory, when owned).
+func (sp *spillArchive) Close() error {
+	if sp == nil {
+		return nil
+	}
+	if sp.ownsDir {
+		return os.RemoveAll(sp.dir)
+	}
+	return os.Remove(sp.logPath)
+}
+
+// windowScratch is the pooled decode state one replay pass cycles
+// through: the reusable Segment plus the Path/hop/gap arenas the
+// window's paths are carved from. Everything is sized once per window
+// (capacities kept across windows), so a full-archive replay allocates
+// only on high-water-mark growth.
+type windowScratch struct {
+	seg   traceroute.Segment
+	paths []Path
+	hops  []netip.Addr
+	gaps  []bool
+}
+
+var windowScratches = sync.Pool{New: func() any { return new(windowScratch) }}
+
+// decode converts the scratch's current segment into Path values. The
+// arenas are grown to final size before any sub-slice is carved, so a
+// later trace's rows can never reallocate an earlier path's backing
+// array.
+func (ws *windowScratch) decode() []Path {
+	n := ws.seg.NumTraces()
+	total := 0
+	for i := 0; i < n; i++ {
+		tv := ws.seg.View(i)
+		for k := 0; k < tv.NumHops(); k++ {
+			if tv.HopResponded(k) {
+				total++
+			}
+		}
+	}
+	if cap(ws.hops) < total {
+		ws.hops = make([]netip.Addr, total)
+		ws.gaps = make([]bool, total)
+	}
+	hops, gaps := ws.hops[:total], ws.gaps[:total]
+	paths := ws.paths[:0]
+	off := 0
+	for i := 0; i < n; i++ {
+		tv := ws.seg.View(i)
+		start := off
+		gap := false
+		for k := 0; k < tv.NumHops(); k++ {
+			if !tv.HopResponded(k) {
+				gap = true
+				continue
+			}
+			hops[off] = tv.Hop(k).Addr
+			gaps[off] = gap
+			gap = false
+			off++
+		}
+		paths = append(paths, Path{
+			Src: tv.Src, Dst: tv.Dst, Reached: tv.Reached,
+			Hops: hops[start:off:off],
+			Gaps: gaps[start:off:off],
+		})
+	}
+	ws.paths = paths
+	return paths
+}
+
+// replay streams the archive's windows through fn in log order. base is
+// the global index of the window's first path — base+j addresses path j
+// exactly as the resident archive's flat index does. The window's Path
+// values are valid only during the callback (arenas recycle).
+//
+// Decode failures panic: the log was written by this process moments
+// ago, so a bad frame is a programming error or disk fault, not an
+// input condition the pipeline can recover from.
+func (sp *spillArchive) replay(fn func(base int, paths []Path, stage string)) {
+	r, err := traceroute.OpenSegmentLog(sp.logPath)
+	if err != nil {
+		panic(fmt.Sprintf("comap: replaying spill archive: %v", err))
+	}
+	defer r.Close()
+	ws := windowScratches.Get().(*windowScratch)
+	defer windowScratches.Put(ws)
+	base := 0
+	for {
+		ok, err := r.Next(&ws.seg)
+		if err != nil {
+			panic(fmt.Sprintf("comap: replaying spill archive: %v", err))
+		}
+		if !ok {
+			break
+		}
+		paths := ws.decode()
+		fn(base, paths, ws.seg.Stage)
+		base += len(paths)
+	}
+	if base != sp.nPaths {
+		panic(fmt.Sprintf("comap: spill archive replayed %d paths, recorded %d", base, sp.nPaths))
+	}
+}
+
+// stageAt is the resident stage lookup, tolerating hand-built
+// collections (unit tests) that populate Paths without StageOf.
+func (c *Collection) stageAt(i int) string {
+	if i < len(c.StageOf) {
+		return c.StageOf[i]
+	}
+	return ""
+}
+
+// NumPaths reports the archive size: resident paths or spilled traces.
+func (c *Collection) NumPaths() int {
+	if c.spill != nil {
+		return c.spill.nPaths
+	}
+	return len(c.Paths)
+}
+
+// EachPath visits every collected path in canonical (submission) order
+// with its global index and collection stage — the sequential iteration
+// surface that works identically for resident and spilled archives.
+// Spilled Path values are valid only during the callback.
+func (c *Collection) EachPath(fn func(i int, p Path, stage string)) {
+	if c.spill != nil {
+		c.spill.replay(func(base int, paths []Path, stage string) {
+			for j, p := range paths {
+				fn(base+j, p, stage)
+			}
+		})
+		return
+	}
+	for i, p := range c.Paths {
+		fn(i, p, c.stageAt(i))
+	}
+}
+
+// Close releases the collection's spill files, if any. Resident
+// collections need no cleanup; Close is idempotent.
+func (c *Collection) Close() error {
+	sp := c.spill
+	c.spill = nil
+	return sp.Close()
+}
+
+// foldPaths is the archive-shape-independent form of the inference
+// passes' shard-accumulate-merge: the same (init, accum, merge)
+// contract as probesched.Reduce, with accum handed the path and stage
+// directly so it never indexes a resident slice.
+//
+// Resident archives reduce over the flat path slice exactly as before.
+// Spilled archives replay window-at-a-time: each window reduces across
+// the pool's workers, and window accumulators merge in window order.
+// Because windows partition the global index range contiguously and in
+// order, this is the same shard structure Reduce itself builds — for
+// the concatenation-homomorphic (accum, merge) pairs the passes use,
+// the result is identical for any window size and worker count.
+func foldPaths[A any](pool *probesched.Pool, col *Collection, init func() A,
+	accum func(a A, i int, p Path, stage string) A,
+	merge func(into, from A) A) A {
+	if col.spill == nil {
+		return probesched.Reduce(pool, len(col.Paths), init,
+			func(a A, i int) A { return accum(a, i, col.Paths[i], col.stageAt(i)) },
+			merge)
+	}
+	var acc A
+	first := true
+	col.spill.replay(func(base int, paths []Path, stage string) {
+		part := probesched.Reduce(pool, len(paths), init,
+			func(a A, j int) A { return accum(a, base+j, paths[j], stage) },
+			merge)
+		if first {
+			acc, first = part, false
+		} else {
+			acc = merge(acc, part)
+		}
+	})
+	if first {
+		return init()
+	}
+	return acc
+}

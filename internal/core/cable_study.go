@@ -91,10 +91,26 @@ func (st *CableStudy) Result(isp string) *comap.Result {
 		Parallelism: st.cfg.Parallelism,
 		MaxTraces:   st.cfg.ProbeBudget,
 		Resilience:  st.cfg.Resilience,
+		TraceWindow: st.cfg.TraceWindow,
+		SpillDir:    st.cfg.SpillDir,
 	}
 	r := comap.Run(c)
 	st.results[isp] = r
 	return r
+}
+
+// Close releases every cached result's spilled trace archive. A
+// windowed study leaves one spill directory per operator campaign, and
+// Table1 and the figures run both operators — so callers release the
+// study, not the single result they asked for.
+func (st *CableStudy) Close() error {
+	var first error
+	for _, r := range st.results {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Table1 classifies every inferred region (paper Table 1): counts per

@@ -38,6 +38,16 @@ type Config struct {
 	// subscriber floor) before the campaigns run; the zero value keeps
 	// the paper-size footprint exactly (see topogen.Scale).
 	Scale topogen.Scale
+	// TraceWindow streams campaigns through the windowed engine: kept
+	// traces spill to disk in windows of this many traces and inference
+	// replays them window-at-a-time, keeping path memory O(window)
+	// instead of O(campaign). Zero (the default) keeps the resident
+	// archive. Fault-free results are bit-identical at any value.
+	TraceWindow int
+	// SpillDir hosts the windowed engine's segment log; empty creates a
+	// .spill-* directory under the working directory, cleaned up when
+	// the result is closed.
+	SpillDir string
 }
 
 // Option mutates a study Config; pass options to the New*Study
@@ -83,6 +93,22 @@ func WithResilience(r probesched.Resilience) Option {
 // pinned digests.
 func WithScale(sc topogen.Scale) Option {
 	return func(c *Config) { c.Scale = sc }
+}
+
+// WithTraceWindow bounds campaign memory: traces spill to disk in
+// windows of n traces and inference replays them window-at-a-time. Zero
+// keeps the resident archive. Fault-free campaign output is
+// bit-identical at any window size; memory falls from O(campaign) to
+// O(window).
+func WithTraceWindow(n int) Option {
+	return func(c *Config) { c.TraceWindow = n }
+}
+
+// WithSpillDir places the windowed engine's segment log in dir instead
+// of a fresh .spill-* temp directory. The directory must exist; only
+// the log file is removed on close.
+func WithSpillDir(dir string) Option {
+	return func(c *Config) { c.SpillDir = dir }
 }
 
 func buildConfig(opts []Option) Config {

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/topogen"
+)
+
+// BenchmarkWindowedCampaign is the memory curve behind `make
+// bench-window`: the full comcast pipeline at 10x topology scale run
+// through the streaming engine at shrinking trace windows, against two
+// unbounded-archive anchors (paper-size 1x and the resident 10x run).
+// benchjson's -mem-ceiling flag fails the build when the smallest
+// windowed 10x run retains more than 3x the live bytes of the 1x
+// resident baseline — the gate that keeps campaign memory O(window),
+// not O(campaign).
+//
+// Alongside the standard -benchmem B/op, each run reports live_bytes:
+// the post-GC heap still retained while the study result is alive.
+// B/op counts everything ever allocated; live_bytes is the peak-RSS
+// proxy that shows the resident archive (or its absence) directly.
+func BenchmarkWindowedCampaign(b *testing.B) {
+	cases := []struct {
+		mult   int
+		window int
+	}{
+		{1, 0},
+		{1, 4096},
+		{3, 0},
+		{3, 4096},
+		{10, 0},
+		{10, 65536},
+		{10, 16384},
+		{10, 4096},
+	}
+	for _, tc := range cases {
+		wtag := "unbounded"
+		if tc.window > 0 {
+			wtag = fmt.Sprint(tc.window)
+		}
+		b.Run(fmt.Sprintf("scale=%dx/window=%s", tc.mult, wtag), func(b *testing.B) {
+			var sc topogen.Scale
+			if tc.mult > 1 {
+				sc = topogen.Scale{Regions: tc.mult, Subscribers: tc.mult * 100000}
+			}
+			b.ReportAllocs()
+			var live uint64
+			for i := 0; i < b.N; i++ {
+				opts := []Option{WithScale(sc)}
+				if tc.window > 0 {
+					opts = append(opts, WithTraceWindow(tc.window), WithSpillDir(b.TempDir()))
+				}
+				st := NewCableStudy(7, opts...)
+				r := st.Result("comcast")
+				if len(r.Inference.Regions) == 0 {
+					b.Fatal("windowed campaign inferred no regions")
+				}
+				// Retained-heap reading while the result is still alive:
+				// a resident archive is held here, a windowed one is on
+				// disk. Two GC cycles, because sync.Pool victim caches
+				// (the engine's pooled window scratch) survive the first.
+				runtime.GC()
+				runtime.GC()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > live {
+					live = ms.HeapAlloc
+				}
+				if err := r.Close(); err != nil {
+					b.Fatalf("closing result: %v", err)
+				}
+			}
+			b.ReportMetric(float64(live), "live_bytes")
+		})
+	}
+}

@@ -110,7 +110,17 @@ func ParseWithKey(name string) (Info, string, bool) {
 	if ok {
 		res.coKey = info.COKey()
 	}
-	parsed.Store(name, res)
+	// Keyless subscriber CPE names are the one population that scales
+	// with the allocated address space rather than the router count, and
+	// campaigns look each up only a handful of times — memoizing them
+	// grows the cache with campaign scale for no canonical key and
+	// little regex saving (their dedicated patterns sit early in the
+	// cascade). Everything else memoizes: router names recur once per
+	// trace hop, and keyed last-mile names (AT&T lightspeed) must keep
+	// handing back one canonical key instance.
+	if !ok || info.Role != RoleLastMile || res.coKey != "" {
+		parsed.Store(name, res)
+	}
 	return info, res.coKey, ok
 }
 

@@ -48,13 +48,13 @@ func quickstartCampaign(workers int) *comap.Campaign {
 // divergence (path order, hop content, alias evidence) changes the hash.
 func serializeCollection(col *comap.Collection) string {
 	var b strings.Builder
-	for i, p := range col.Paths {
-		fmt.Fprintf(&b, "path %s>%s stage=%s reached=%v hops=", p.Src, p.Dst, col.StageOf[i], p.Reached)
+	col.EachPath(func(_ int, p comap.Path, stage string) {
+		fmt.Fprintf(&b, "path %s>%s stage=%s reached=%v hops=", p.Src, p.Dst, stage, p.Reached)
 		for j, h := range p.Hops {
 			fmt.Fprintf(&b, "%s/gap=%v,", h, p.Gaps[j])
 		}
 		b.WriteByte('\n')
-	}
+	})
 	observed := make([]string, 0, len(col.Observed))
 	for a := range col.Observed {
 		observed = append(observed, a.String())
@@ -120,8 +120,16 @@ func campaignDigest(t *testing.T, workers int) [32]byte {
 // stage that drifted.
 func campaignDigests(t *testing.T, workers int) (campaign, alias, graph [32]byte) {
 	t.Helper()
-	c := quickstartCampaign(workers)
+	return digestsOf(t, quickstartCampaign(workers))
+}
+
+// digestsOf runs an already-configured campaign through the pipeline
+// and hashes it — the windowed-engine goldens reuse it with TraceWindow
+// set on the same quickstart campaign.
+func digestsOf(t *testing.T, c *comap.Campaign) (campaign, alias, graph [32]byte) {
+	t.Helper()
 	res := comap.Run(c)
+	defer res.Close()
 
 	var report strings.Builder
 	if err := res.WriteJSON(&report, "comcast"); err != nil {

@@ -1,0 +1,41 @@
+package probesched_test
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// TestWindowedCampaignMatchesGoldenDigest is the streaming engine's
+// equivalence oracle: the quickstart campaign run through spill-to-disk
+// trace windows must reproduce the same three pinned digests as the
+// resident archive, at every tested window size and worker count. The
+// window sizes straddle the quickstart campaign's trace count — 16
+// forces many sealed segments per stage (multi-window replay on every
+// inference pass), 4096 holds each stage in a single window — so both
+// the window-boundary and the window-interior code paths face the
+// golden.
+func TestWindowedCampaignMatchesGoldenDigest(t *testing.T) {
+	for _, window := range []int{16, 4096} {
+		for _, workers := range []int{1, 4} {
+			c := quickstartCampaign(workers)
+			c.TraceWindow = window
+			c.SpillDir = t.TempDir()
+			campaign, alias, graph := digestsOf(t, c)
+			if got := hex.EncodeToString(campaign[:]); got != goldenCampaignDigest {
+				t.Errorf("window=%d workers=%d: digest %s differs from golden %s",
+					window, workers, got, goldenCampaignDigest)
+			}
+			if got := hex.EncodeToString(alias[:]); got != goldenAliasDigest {
+				t.Errorf("window=%d workers=%d: alias digest %s differs from golden %s",
+					window, workers, got, goldenAliasDigest)
+			}
+			if got := hex.EncodeToString(graph[:]); got != goldenRegionGraphDigest {
+				t.Errorf("window=%d workers=%d: region-graph digest %s differs from golden %s",
+					window, workers, got, goldenRegionGraphDigest)
+			}
+			if t.Failed() {
+				t.FailNow()
+			}
+		}
+	}
+}

@@ -270,6 +270,27 @@ func mapFoldCore[J, R, S any](p *Pool, jobs []J, get func() S, put func(S),
 	// done is buffered to numChunks so workers never block on a slow
 	// folder (or on nobody draining it when fold is nil).
 	done := make(chan int, numChunks)
+	// Streaming mode bounds in-flight chunks: a worker must take a token
+	// before claiming a chunk index, and the folder returns the token
+	// only after folding that chunk. With a slow fold (the windowed
+	// campaign flush spilling segments to disk) workers therefore park
+	// instead of racing ahead and parking O(numChunks) result buffers —
+	// resident result memory is O(workers), independent of batch size.
+	// quit unblocks token waiters when folding ends (or panics), so no
+	// worker goroutine can leak.
+	var tokens chan struct{}
+	var quit chan struct{}
+	if !collect {
+		maxInFlight := workers * 2
+		if maxInFlight > numChunks {
+			maxInFlight = numChunks
+		}
+		tokens = make(chan struct{}, maxInFlight)
+		for i := 0; i < maxInFlight; i++ {
+			tokens <- struct{}{}
+		}
+		quit = make(chan struct{})
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -278,6 +299,13 @@ func mapFoldCore[J, R, S any](p *Pool, jobs []J, get func() S, put func(S),
 			defer wg.Done()
 			clk := vclock.New(start)
 			for {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-quit:
+						return
+					}
+				}
 				c := int(next.Add(1)) - 1
 				if c >= numChunks {
 					return
@@ -319,29 +347,37 @@ func mapFoldCore[J, R, S any](p *Pool, jobs []J, get func() S, put func(S),
 	if fold != nil {
 		// Fold chunks in canonical order as they complete; the
 		// channel receive orders each chunk's result writes before
-		// the fold reads them.
-		ready := make([]bool, numChunks)
-		nextFold := 0
-		for finished := 0; finished < numChunks; finished++ {
-			ready[<-done] = true
-			for nextFold < numChunks && ready[nextFold] {
-				lo, hi := span(nextFold)
-				if collect {
-					for i := lo; i < hi; i++ {
-						fold(i, out[i])
-					}
-				} else {
-					buf := *bufs[nextFold]
-					for i := lo; i < hi; i++ {
-						fold(i, buf[i-lo])
-					}
-					put(scratches[nextFold])
-					bufPool.Put(bufs[nextFold])
-					bufs[nextFold] = nil
-				}
-				nextFold++
+		// the fold reads them. The deferred close frees token waiters
+		// even if a fold call panics — workers must never outlive the
+		// batch.
+		func() {
+			if quit != nil {
+				defer close(quit)
 			}
-		}
+			ready := make([]bool, numChunks)
+			nextFold := 0
+			for finished := 0; finished < numChunks; finished++ {
+				ready[<-done] = true
+				for nextFold < numChunks && ready[nextFold] {
+					lo, hi := span(nextFold)
+					if collect {
+						for i := lo; i < hi; i++ {
+							fold(i, out[i])
+						}
+					} else {
+						buf := *bufs[nextFold]
+						for i := lo; i < hi; i++ {
+							fold(i, buf[i-lo])
+						}
+						put(scratches[nextFold])
+						bufPool.Put(bufs[nextFold])
+						bufs[nextFold] = nil
+						tokens <- struct{}{}
+					}
+					nextFold++
+				}
+			}
+		}()
 	}
 	wg.Wait()
 

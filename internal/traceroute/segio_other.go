@@ -1,0 +1,8 @@
+//go:build !unix
+
+package traceroute
+
+// mapSegmentFile on platforms without unix mmap reads the whole log.
+func mapSegmentFile(path string) ([]byte, func() error, error) {
+	return readSegmentFile(path)
+}

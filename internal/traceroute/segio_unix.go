@@ -1,0 +1,35 @@
+//go:build unix
+
+package traceroute
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapSegmentFile maps path read-only. Replay then decodes straight out
+// of the page cache — the kernel streams pages in and drops them behind
+// the sequential scan, so an archive-sized log never needs
+// archive-sized memory. An empty file maps to an empty slice (mmap of
+// length 0 is an error on Linux).
+func mapSegmentFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if fi.Size() == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap (some tmpfs-less containers, network
+		// mounts) fall back to reading the whole file.
+		return readSegmentFile(path)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,525 @@
+// Segment log: the spill-to-disk form of the columnar HopStore. The
+// streaming campaign engine collects traces into fixed-size windows;
+// each sealed window becomes one CRC-framed segment appended to a
+// compact binary log, and inference replays the log window-at-a-time as
+// TraceView spans over pooled columnar scratch — so a campaign's
+// resident footprint is O(window), not O(archive).
+//
+// # On-disk format (little-endian throughout)
+//
+//	log    := header frame*
+//	header := magic "TRSG" | version u16 | flags u16
+//	frame  := payloadLen u32 | crc32(payload) u32 | payload
+//
+// A clean log ends exactly at a frame boundary; anything else decodes
+// to ErrTruncatedSegment, and any framing/CRC/content violation to
+// ErrCorruptSegment — named errors, never a panic (FuzzSegmentDecode
+// pins that).
+//
+//	payload := stageLen uvarint | stage | traceCount uvarint
+//	           | symCount uvarint | remap | addrDelta* | trace*
+//
+// Hop addresses are interned: each segment carries a dense local symbol
+// table (symtab discipline), the serialized local→global remap
+// (symtab.AppendRemap — the same translation tables the parallel
+// pipeline's shard merges produce), and packed 4/16-byte address bytes
+// only for symbols new to the log. A sequential reader therefore
+// rebuilds the global address table without re-hashing anything, and a
+// hop row costs a couple of varint bytes instead of a 16-byte address.
+//
+//	addrDelta := addrLen uvarint (4 or 16) | addr bytes   (one per new global sym, in assignment order)
+//	trace     := srcSym+1 uvarint | dstSym+1 uvarint | flags u8
+//	             | flowID uvarint | probes uvarint | replied uvarint
+//	             | lost uvarint | rateLimited uvarint | retries uvarint
+//	             | activeTime uvarint (ns) | numHops uvarint | hop*
+//	hop       := addrSym+1 uvarint (0 = unresponsive "*") | ttl uvarint
+//	             | rtt uvarint (ns) | type u8 | replyTTL u8
+package traceroute
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/netip"
+	"os"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/symtab"
+)
+
+const (
+	segMagic   = "TRSG"
+	segVersion = 1
+)
+
+// Named decode failures. Both wrap detail; test with errors.Is.
+var (
+	// ErrTruncatedSegment reports a log cut off mid-frame (an
+	// interrupted writer, a partial copy).
+	ErrTruncatedSegment = errors.New("traceroute: truncated segment log")
+	// ErrCorruptSegment reports a log whose bytes fail validation: bad
+	// magic, CRC mismatch, or a payload that does not decode.
+	ErrCorruptSegment = errors.New("traceroute: corrupt segment log")
+)
+
+// SegmentWriter appends sealed trace windows to a segment log. Append
+// encodes each trace into the open segment's body buffer immediately
+// (the hop rows live in chunk scratch and are gone after the fold call,
+// so nothing is deferred); Seal frames and flushes the accumulated
+// window. The writer is single-goroutine, like the fold that feeds it.
+type SegmentWriter struct {
+	f  *os.File
+	bw *bufio.Writer
+
+	// global interns packed address bytes across the whole log; local
+	// re-interns the current segment's addresses densely so hop varints
+	// stay small, and Seal merges local into global to produce the
+	// frame's remap (symtab.Merge — the shard-table discipline).
+	global *symtab.Table
+	local  *symtab.Table
+
+	stage string
+	count int
+	body  []byte
+	head  []byte
+	err   error
+}
+
+// CreateSegmentLog creates (truncating) a segment log at path and
+// writes its header.
+func CreateSegmentLog(path string) (*SegmentWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &SegmentWriter{
+		f:      f,
+		bw:     bufio.NewWriterSize(f, 1<<16),
+		global: symtab.New(0),
+		local:  symtab.New(0),
+	}
+	var hdr [8]byte
+	copy(hdr[:4], segMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], segVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], 0) // flags, reserved
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Count reports the traces appended to the open (unsealed) segment.
+func (w *SegmentWriter) Count() int { return w.count }
+
+// appendAddr encodes an address as local-symbol-plus-one (0 encodes the
+// invalid address, i.e. an unresponsive hop).
+func (w *SegmentWriter) appendAddr(dst []byte, a netip.Addr) []byte {
+	if !a.IsValid() {
+		return append(dst, 0)
+	}
+	var s symtab.Sym
+	if a.Is4() {
+		k := a.As4()
+		s = w.local.InternBytes(k[:])
+	} else {
+		k := a.As16()
+		s = w.local.InternBytes(k[:])
+	}
+	return binary.AppendUvarint(dst, uint64(s)+1)
+}
+
+// Append encodes one trace into the open segment. A stage change seals
+// the open segment first: a segment holds traces of exactly one
+// collection stage, which is what lets replay attribute stages without
+// per-trace tags.
+func (w *SegmentWriter) Append(stage string, tv TraceView) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.count > 0 && stage != w.stage {
+		if err := w.Seal(); err != nil {
+			return err
+		}
+	}
+	w.stage = stage
+	b := w.body
+	b = w.appendAddr(b, tv.Src)
+	b = w.appendAddr(b, tv.Dst)
+	var flags byte
+	if tv.Reached {
+		flags |= 1
+	}
+	if tv.Truncated {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, uint64(tv.FlowID))
+	b = binary.AppendUvarint(b, uint64(tv.Probes))
+	b = binary.AppendUvarint(b, uint64(tv.Replied))
+	b = binary.AppendUvarint(b, uint64(tv.Lost))
+	b = binary.AppendUvarint(b, uint64(tv.RateLimited))
+	b = binary.AppendUvarint(b, uint64(tv.Retries))
+	b = binary.AppendUvarint(b, uint64(tv.ActiveTime))
+	n := tv.NumHops()
+	b = binary.AppendUvarint(b, uint64(n))
+	st, lo := tv.store, tv.lo
+	for k := 0; k < n; k++ {
+		b = w.appendAddr(b, st.addrs[lo+k])
+		b = binary.AppendUvarint(b, uint64(st.ttls[lo+k]))
+		b = binary.AppendUvarint(b, uint64(st.rtts[lo+k]))
+		b = append(b, byte(st.types[lo+k]), st.replyTTLs[lo+k])
+	}
+	w.body = b
+	w.count++
+	return nil
+}
+
+// Seal frames the open segment — remap, address delta, trace bodies,
+// CRC — writes it, and resets the window. Sealing an empty segment is a
+// no-op, so callers may seal unconditionally at stage boundaries.
+func (w *SegmentWriter) Seal() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.count == 0 {
+		return nil
+	}
+	prevGlobal := w.global.Len()
+	remap := w.global.Merge(w.local)
+	head := w.head[:0]
+	head = binary.AppendUvarint(head, uint64(len(w.stage)))
+	head = append(head, w.stage...)
+	head = binary.AppendUvarint(head, uint64(w.count))
+	head = binary.AppendUvarint(head, uint64(len(remap)))
+	head = symtab.AppendRemap(head, remap)
+	// New-to-the-log addresses, in global assignment order (Merge
+	// assigns ascending IDs in local first-seen order, so walking the
+	// locals emits them ordered).
+	for s, g := range remap {
+		if int(g) >= prevGlobal {
+			k := w.local.Str(symtab.Sym(s))
+			head = binary.AppendUvarint(head, uint64(len(k)))
+			head = append(head, k...)
+		}
+	}
+	crc := crc32.ChecksumIEEE(head)
+	crc = crc32.Update(crc, crc32.IEEETable, w.body)
+	var fh [8]byte
+	binary.LittleEndian.PutUint32(fh[0:], uint32(len(head)+len(w.body)))
+	binary.LittleEndian.PutUint32(fh[4:], crc)
+	if _, err := w.bw.Write(fh[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.bw.Write(head); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.bw.Write(w.body); err != nil {
+		w.err = err
+		return err
+	}
+	w.head = head[:0]
+	w.body = w.body[:0]
+	w.count = 0
+	w.local = symtab.New(0)
+	return nil
+}
+
+// Close seals any open segment, flushes, and closes the file.
+func (w *SegmentWriter) Close() error {
+	err := w.Seal()
+	if ferr := w.bw.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Segment is one decoded window: trace scalars plus a columnar HopStore
+// holding every hop row, exposed as TraceView spans. A Segment is
+// reused across Next calls (buffers reset, capacity kept), so views are
+// valid only until the next Next — the same lifetime contract as fold
+// chunk scratch.
+type Segment struct {
+	// Stage is the collection stage the window's traces belong to.
+	Stage  string
+	store  HopStore
+	traces []Trace
+	los    []int32
+}
+
+// NumTraces reports the decoded trace count.
+func (s *Segment) NumTraces() int { return len(s.traces) }
+
+// View returns the i-th trace as a TraceView over the segment's
+// columnar store.
+func (s *Segment) View(i int) TraceView {
+	hi := s.store.Len()
+	if i+1 < len(s.los) {
+		hi = int(s.los[i+1])
+	}
+	return TraceView{Trace: s.traces[i], store: &s.store, lo: int(s.los[i]), hi: hi}
+}
+
+func (s *Segment) reset() {
+	s.Stage = ""
+	s.store.Reset()
+	s.traces = s.traces[:0]
+	s.los = s.los[:0]
+}
+
+// SegmentReader replays a segment log sequentially. The file bytes are
+// mapped read-only where the platform allows (see segio_unix.go) with a
+// read-everything fallback elsewhere; decoding writes only into the
+// caller's reusable Segment.
+type SegmentReader struct {
+	data  []byte
+	off   int
+	addrs []netip.Addr // global sym -> address
+	unmap func() error
+}
+
+// OpenSegmentLog opens a log for replay and validates its header.
+func OpenSegmentLog(path string) (*SegmentReader, error) {
+	data, unmap, err := mapSegmentFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &SegmentReader{data: data, unmap: unmap}
+	if len(data) < 8 {
+		r.Close()
+		return nil, fmt.Errorf("%w: %d-byte header", ErrTruncatedSegment, len(data))
+	}
+	if string(data[:4]) != segMagic {
+		magic := string(data[:4]) // copy out before Close unmaps data
+		r.Close()
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptSegment, magic)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != segVersion {
+		r.Close()
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSegment, v)
+	}
+	r.off = 8
+	return r, nil
+}
+
+// Close releases the mapping. Views into previously decoded Segments
+// stay valid (they reference decoded scratch, not the mapping).
+func (r *SegmentReader) Close() error {
+	if r.unmap == nil {
+		return nil
+	}
+	u := r.unmap
+	r.unmap = nil
+	r.data = nil
+	return u()
+}
+
+// readSegmentFile is the buffered fallback when mmap is unavailable.
+func readSegmentFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}
+
+// uv decodes one uvarint from the front of b.
+func uv(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrCorruptSegment)
+	}
+	return v, b[n:], nil
+}
+
+// Next decodes the next frame into seg (resetting it first). It returns
+// false with a nil error at a clean end of log.
+func (r *SegmentReader) Next(seg *Segment) (bool, error) {
+	if r.off == len(r.data) {
+		return false, nil
+	}
+	if len(r.data)-r.off < 8 {
+		return false, fmt.Errorf("%w: %d trailing bytes", ErrTruncatedSegment, len(r.data)-r.off)
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(r.data[r.off:]))
+	wantCRC := binary.LittleEndian.Uint32(r.data[r.off+4:])
+	if payloadLen > len(r.data)-r.off-8 {
+		return false, fmt.Errorf("%w: frame wants %d bytes, %d remain", ErrTruncatedSegment, payloadLen, len(r.data)-r.off-8)
+	}
+	payload := r.data[r.off+8 : r.off+8+payloadLen]
+	if crc := crc32.ChecksumIEEE(payload); crc != wantCRC {
+		return false, fmt.Errorf("%w: crc %08x != %08x", ErrCorruptSegment, crc, wantCRC)
+	}
+	if err := r.decodePayload(payload, seg); err != nil {
+		return false, err
+	}
+	r.off += 8 + payloadLen
+	return true, nil
+}
+
+func (r *SegmentReader) decodePayload(b []byte, seg *Segment) error {
+	seg.reset()
+	stageLen, b, err := uv(b)
+	if err != nil {
+		return err
+	}
+	if stageLen > uint64(len(b)) {
+		return fmt.Errorf("%w: stage length %d", ErrCorruptSegment, stageLen)
+	}
+	seg.Stage = string(b[:stageLen])
+	b = b[stageLen:]
+	traceCount, b, err := uv(b)
+	if err != nil {
+		return err
+	}
+	symCount, b, err := uv(b)
+	if err != nil {
+		return err
+	}
+	// Every trace costs >= 12 bytes and every symbol >= 1; a count past
+	// that is corrupt, not a giant allocation.
+	if traceCount > uint64(len(b)/12)+1 || symCount > uint64(len(b))+1 {
+		return fmt.Errorf("%w: counts %d/%d exceed %d payload bytes", ErrCorruptSegment, traceCount, symCount, len(b))
+	}
+	remap, b, err := symtab.DecodeRemap(b)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptSegment, err)
+	}
+	if uint64(len(remap)) != symCount {
+		return fmt.Errorf("%w: remap has %d entries, want %d", ErrCorruptSegment, len(remap), symCount)
+	}
+	// Address delta: each remap entry pointing at a fresh global ID
+	// carries its packed bytes, in assignment order.
+	for s, g := range remap {
+		if int(g) < len(r.addrs) {
+			continue
+		}
+		if int(g) != len(r.addrs) {
+			return fmt.Errorf("%w: local sym %d maps to %d, next global is %d", ErrCorruptSegment, s, g, len(r.addrs))
+		}
+		var alen uint64
+		alen, b, err = uv(b)
+		if err != nil {
+			return err
+		}
+		if alen != 4 && alen != 16 {
+			return fmt.Errorf("%w: %d-byte address", ErrCorruptSegment, alen)
+		}
+		if uint64(len(b)) < alen {
+			return fmt.Errorf("%w: short address bytes", ErrCorruptSegment)
+		}
+		var a netip.Addr
+		if alen == 4 {
+			a = netip.AddrFrom4([4]byte(b[:4]))
+		} else {
+			a = netip.AddrFrom16([16]byte(b[:16]))
+		}
+		r.addrs = append(r.addrs, a)
+		b = b[alen:]
+	}
+	addrOf := func(v uint64) (netip.Addr, error) {
+		if v == 0 {
+			return netip.Addr{}, nil
+		}
+		if v-1 >= uint64(len(remap)) {
+			return netip.Addr{}, fmt.Errorf("%w: local sym %d of %d", ErrCorruptSegment, v-1, len(remap))
+		}
+		return r.addrs[remap[v-1]], nil
+	}
+	for t := uint64(0); t < traceCount; t++ {
+		var tr Trace
+		var v uint64
+		if v, b, err = uv(b); err != nil {
+			return err
+		}
+		if tr.Src, err = addrOf(v); err != nil {
+			return err
+		}
+		if v, b, err = uv(b); err != nil {
+			return err
+		}
+		if tr.Dst, err = addrOf(v); err != nil {
+			return err
+		}
+		if len(b) < 1 {
+			return fmt.Errorf("%w: missing flags", ErrCorruptSegment)
+		}
+		flags := b[0]
+		b = b[1:]
+		tr.Reached = flags&1 != 0
+		tr.Truncated = flags&2 != 0
+		if v, b, err = uv(b); err != nil {
+			return err
+		}
+		tr.FlowID = uint16(v)
+		if v, b, err = uv(b); err != nil {
+			return err
+		}
+		tr.Probes = int(v)
+		if v, b, err = uv(b); err != nil {
+			return err
+		}
+		tr.Replied = int(v)
+		if v, b, err = uv(b); err != nil {
+			return err
+		}
+		tr.Lost = int(v)
+		if v, b, err = uv(b); err != nil {
+			return err
+		}
+		tr.RateLimited = int(v)
+		if v, b, err = uv(b); err != nil {
+			return err
+		}
+		tr.Retries = int(v)
+		if v, b, err = uv(b); err != nil {
+			return err
+		}
+		tr.ActiveTime = time.Duration(v)
+		var numHops uint64
+		if numHops, b, err = uv(b); err != nil {
+			return err
+		}
+		if numHops > uint64(len(b)/4)+1 {
+			return fmt.Errorf("%w: %d hops in %d bytes", ErrCorruptSegment, numHops, len(b))
+		}
+		seg.los = append(seg.los, int32(seg.store.Len()))
+		for k := uint64(0); k < numHops; k++ {
+			var h Hop
+			if v, b, err = uv(b); err != nil {
+				return err
+			}
+			if h.Addr, err = addrOf(v); err != nil {
+				return err
+			}
+			if v, b, err = uv(b); err != nil {
+				return err
+			}
+			h.TTL = int(v)
+			if v, b, err = uv(b); err != nil {
+				return err
+			}
+			h.RTT = time.Duration(v)
+			if len(b) < 2 {
+				return fmt.Errorf("%w: short hop row", ErrCorruptSegment)
+			}
+			h.Type = netsim.ReplyType(b[0])
+			h.ReplyTTL = b[1]
+			b = b[2:]
+			seg.store.push(h)
+		}
+		seg.traces = append(seg.traces, tr)
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%w: %d undecoded payload bytes", ErrCorruptSegment, len(b))
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package traceroute
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// randomTraces builds n traces with hop rows in one shared store,
+// exercising v4/v6 addresses, unresponsive hops, zero-hop traces, and
+// every scalar field.
+func randomTraces(rng *rand.Rand, store *HopStore, n int) []TraceView {
+	views := make([]TraceView, 0, n)
+	randAddr := func() netip.Addr {
+		if rng.Intn(8) == 0 {
+			var b [16]byte
+			rng.Read(b[:])
+			return netip.AddrFrom16(b)
+		}
+		var b [4]byte
+		rng.Read(b[:])
+		return netip.AddrFrom4(b)
+	}
+	for i := 0; i < n; i++ {
+		tr := Trace{
+			Src:         randAddr(),
+			Dst:         randAddr(),
+			FlowID:      uint16(rng.Intn(1 << 16)),
+			Reached:     rng.Intn(2) == 0,
+			Probes:      rng.Intn(64),
+			ActiveTime:  time.Duration(rng.Int63n(int64(time.Minute))),
+			Replied:     rng.Intn(32),
+			Lost:        rng.Intn(8),
+			RateLimited: rng.Intn(4),
+			Retries:     rng.Intn(4),
+			Truncated:   rng.Intn(8) == 0,
+		}
+		lo := store.Len()
+		numHops := rng.Intn(12)
+		if i == 0 {
+			numHops = 0 // always cover the zero-hop edge
+		}
+		if i == 1 {
+			numHops = 1 // and the single-hop edge
+		}
+		for k := 0; k < numHops; k++ {
+			h := Hop{
+				TTL:      k + 1,
+				RTT:      time.Duration(rng.Int63n(int64(200 * time.Millisecond))),
+				Type:     netsim.ReplyType(rng.Intn(4)),
+				ReplyTTL: uint8(rng.Intn(256)),
+			}
+			if h.Type != netsim.Timeout {
+				h.Addr = randAddr()
+			}
+			store.push(h)
+		}
+		views = append(views, TraceView{Trace: tr, store: store, lo: lo, hi: store.Len()})
+	}
+	return views
+}
+
+// fingerprint renders a view into a comparable string covering every
+// encoded field.
+func fingerprint(stage string, tv TraceView) string {
+	s := fmt.Sprintf("stage=%s %s>%s flow=%d reached=%v probes=%d act=%d replied=%d lost=%d rl=%d retries=%d trunc=%v hops=",
+		stage, tv.Src, tv.Dst, tv.FlowID, tv.Reached, tv.Probes, tv.ActiveTime, tv.Replied, tv.Lost, tv.RateLimited, tv.Retries, tv.Truncated)
+	for k := 0; k < tv.NumHops(); k++ {
+		h := tv.Hop(k)
+		s += fmt.Sprintf("[%d %s %d %d %d]", h.TTL, h.Addr, h.RTT, h.Type, h.ReplyTTL)
+	}
+	return s
+}
+
+func writeLog(t *testing.T, path string, stages []string, perStage [][]TraceView) {
+	t.Helper()
+	w, err := CreateSegmentLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, stage := range stages {
+		for _, tv := range perStage[i] {
+			if err := w.Append(stage, tv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func replayLog(t *testing.T, path string) []string {
+	t.Helper()
+	r, err := OpenSegmentLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got []string
+	var seg Segment
+	for {
+		ok, err := r.Next(&seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		for i := 0; i < seg.NumTraces(); i++ {
+			tv := seg.View(i)
+			got = append(got, fingerprint(seg.Stage, tv))
+		}
+	}
+	return got
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			var store HopStore
+			stages := []string{"sweep", "direct", "mpls"}
+			perStage := make([][]TraceView, len(stages))
+			var want []string
+			for i, stage := range stages {
+				n := rng.Intn(40)
+				if i == 1 && seed == 0 {
+					n = 0 // empty-window edge: Seal of nothing is a no-op
+				}
+				perStage[i] = randomTraces(rng, &store, n)
+				for _, tv := range perStage[i] {
+					want = append(want, fingerprint(stage, tv))
+				}
+			}
+			path := filepath.Join(t.TempDir(), "traces.seg")
+			writeLog(t, path, stages, perStage)
+			got := replayLog(t, path)
+			if len(got) != len(want) {
+				t.Fatalf("replayed %d traces, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trace %d mismatch:\n got %s\nwant %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSegmentStageChangeSeals checks that Append auto-seals on a stage
+// boundary, producing one single-stage segment per stage.
+func TestSegmentStageChangeSeals(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var store HopStore
+	views := randomTraces(rng, &store, 6)
+	path := filepath.Join(t.TempDir(), "traces.seg")
+	w, err := CreateSegmentLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := []string{"a", "a", "b", "b", "b", "c"}
+	for i, tv := range views {
+		if err := w.Append(stages[i], tv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenSegmentLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var seg Segment
+	var gotStages []string
+	var gotCounts []int
+	for {
+		ok, err := r.Next(&seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		gotStages = append(gotStages, seg.Stage)
+		gotCounts = append(gotCounts, seg.NumTraces())
+	}
+	wantStages := []string{"a", "b", "c"}
+	wantCounts := []int{2, 3, 1}
+	if fmt.Sprint(gotStages) != fmt.Sprint(wantStages) || fmt.Sprint(gotCounts) != fmt.Sprint(wantCounts) {
+		t.Fatalf("got segments %v %v, want %v %v", gotStages, gotCounts, wantStages, wantCounts)
+	}
+}
+
+// corruptLog writes a valid one-segment log and returns its bytes.
+func validLogBytes(t *testing.T) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	var store HopStore
+	views := randomTraces(rng, &store, 10)
+	path := filepath.Join(t.TempDir(), "traces.seg")
+	writeLog(t, path, []string{"sweep"}, [][]TraceView{views})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func decodeAll(path string) error {
+	r, err := OpenSegmentLog(path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	var seg Segment
+	for {
+		ok, err := r.Next(&seg)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+func TestSegmentDecodeErrors(t *testing.T) {
+	data := validLogBytes(t)
+	write := func(t *testing.T, b []byte) string {
+		path := filepath.Join(t.TempDir(), "bad.seg")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	t.Run("valid", func(t *testing.T) {
+		if err := decodeAll(write(t, data)); err != nil {
+			t.Fatalf("valid log failed: %v", err)
+		}
+	})
+	t.Run("truncated-header", func(t *testing.T) {
+		err := decodeAll(write(t, data[:5]))
+		if !errors.Is(err, ErrTruncatedSegment) {
+			t.Fatalf("got %v, want ErrTruncatedSegment", err)
+		}
+	})
+	t.Run("truncated-frame-header", func(t *testing.T) {
+		err := decodeAll(write(t, data[:11]))
+		if !errors.Is(err, ErrTruncatedSegment) {
+			t.Fatalf("got %v, want ErrTruncatedSegment", err)
+		}
+	})
+	t.Run("truncated-payload", func(t *testing.T) {
+		err := decodeAll(write(t, data[:len(data)-7]))
+		if !errors.Is(err, ErrTruncatedSegment) {
+			t.Fatalf("got %v, want ErrTruncatedSegment", err)
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		b[0] = 'X'
+		err := decodeAll(write(t, b))
+		if !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("got %v, want ErrCorruptSegment", err)
+		}
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint16(b[4:], 99)
+		err := decodeAll(write(t, b))
+		if !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("got %v, want ErrCorruptSegment", err)
+		}
+	})
+	t.Run("flipped-payload-bit", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		b[len(b)/2] ^= 0x40
+		err := decodeAll(write(t, b))
+		if !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("got %v, want ErrCorruptSegment", err)
+		}
+	})
+	t.Run("oversized-frame-len", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(b[8:], 1<<30)
+		err := decodeAll(write(t, b))
+		if !errors.Is(err, ErrTruncatedSegment) {
+			t.Fatalf("got %v, want ErrTruncatedSegment", err)
+		}
+	})
+}
+
+// FuzzSegmentDecode asserts the decoder never panics or over-allocates
+// on arbitrary bytes — it must return a named error or decode cleanly.
+func FuzzSegmentDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(segMagic))
+	f.Add(validLogBytesFuzz())
+	b := validLogBytesFuzz()
+	if len(b) > 20 {
+		f.Add(b[:len(b)-9])
+		mut := append([]byte(nil), b...)
+		mut[15] ^= 0xff
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.seg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		err := decodeAll(path)
+		if err != nil && !errors.Is(err, ErrTruncatedSegment) && !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("unnamed decode error: %v", err)
+		}
+	})
+}
+
+// validLogBytesFuzz builds seed-corpus bytes without a *testing.T.
+func validLogBytesFuzz() []byte {
+	rng := rand.New(rand.NewSource(9))
+	var store HopStore
+	views := randomTraces(rng, &store, 8)
+	dir, err := os.MkdirTemp("", "segfuzz")
+	if err != nil {
+		return nil
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "seed.seg")
+	w, err := CreateSegmentLog(path)
+	if err != nil {
+		return nil
+	}
+	for _, tv := range views {
+		if w.Append("sweep", tv) != nil {
+			return nil
+		}
+	}
+	if w.Close() != nil {
+		return nil
+	}
+	data, _ := os.ReadFile(path)
+	return data
+}
