@@ -3,7 +3,9 @@
 # with concurrency (the probe scheduler, the thread-safe simulator, and
 # the campaign that drives them in parallel), the fault-plane gates
 # (fast-path equivalence, zero-fault golden equivalence, and the
-# graceful-degradation chaos sweep), the FIB differential gate
+# graceful-degradation chaos sweep), the crash-safety gate (the
+# kill/resume grid plus the chaossweep -kill-after smoke) and the
+# supervised-daemon race gate (race-regiond), the FIB differential gate
 # (fib-diff), the allocation gate (bench-mem), which fails on a >10%
 # bytes_per_op regression against the previous PR's benchmark archive,
 # and the anti-superlinear scaling gate (bench-scale), which fails when
@@ -11,9 +13,9 @@
 
 GO ?= go
 
-.PHONY: verify build test fmt vet race race-infer equivalence chaos fib-diff bench bench-mem bench-sched bench-diff bench-scale bench-window fuzz-seg serve-bench profile clean
+.PHONY: verify build test fmt vet race race-infer race-regiond equivalence chaos crash fib-diff bench bench-mem bench-sched bench-diff bench-scale bench-window fuzz-seg serve-bench profile clean
 
-verify: fmt vet build test race race-infer equivalence chaos fib-diff fuzz-seg bench-mem serve-bench bench-scale bench-window
+verify: fmt vet build test race race-infer race-regiond equivalence chaos crash fib-diff fuzz-seg bench-mem serve-bench bench-scale bench-window
 
 build:
 	$(GO) build ./...
@@ -55,6 +57,28 @@ equivalence:
 chaos:
 	$(GO) test ./internal/probesched/ -run TestFaultedCampaignDeterministicAcrossWorkers -count=1
 	$(GO) run ./cmd/chaossweep -icmp-rate 2 -check
+
+# Supervised-daemon race gate: the regiond refresh supervisor under the
+# race detector — panic recovery, the failure ledger feeding /v1/health,
+# and shutdown racing a refresh that publishes into a live store while
+# concurrent readers hammer the health endpoint.
+race-regiond:
+	$(GO) test -race -count=1 ./cmd/regiond/
+
+# Crash-safety gate: the durable spill engine end to end. The grid test
+# kills a durable campaign at the first window seal, mid-campaign, the
+# last window seal, and mid-checkpoint-rename — across window sizes and
+# worker counts — then resumes over the surviving spill directory with a
+# cold simulator and requires bit-identical golden digests. The
+# traceroute tests pin manifest recovery classification (including a
+# decode fuzz corpus), and the segfault tests pin the injected-fault
+# filesystem's crash model itself. The chaossweep smoke exercises the
+# same guarantee through the real CLI binary.
+crash:
+	$(GO) test ./internal/probesched/ -count=1 \
+		-run 'TestDurableCampaignMatchesGoldenDigest|TestDurableKillAndResumeGrid|TestDurableCompleteReplayMatchesGolden'
+	$(GO) test ./internal/traceroute/ ./internal/segfault/ -count=1
+	$(GO) run ./cmd/chaossweep -kill-after 40 -trace-window 16
 
 # FIB differential gate: the compiled prefix-set trie that now serves
 # route resolution must answer every lookup identically to the retained
@@ -145,7 +169,10 @@ profile:
 	$(GO) run ./cmd/regionmap -cpuprofile cpu.out -memprofile mem.out > /dev/null
 	@echo "wrote cpu.out and mem.out; inspect with: $(GO) tool pprof cpu.out"
 
-# Remove run artifacts: profiles and any stray spill directories left by
-# interrupted windowed runs (a clean exit removes its own).
+# Remove run artifacts: profiles, stray spill directories left by
+# interrupted windowed runs (a clean exit removes its own), crash-smoke
+# scratch dirs a failed -kill-after run leaves for inspection, and
+# orphaned manifest temp files from a crash mid-publish.
 clean:
-	rm -rf .spill-* cpu.out mem.out
+	rm -rf .spill-* .crash-* cpu.out mem.out
+	find . -name '*.manifest.tmp' -delete

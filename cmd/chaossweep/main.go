@@ -14,13 +14,26 @@
 //	           [-icmp-rate N] [-retries N] [-check]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
+//	chaossweep -kill-after N [-isp comcast|charter] [-window W]
+//
 // Every cell rebuilds the same seeded scenario, so cells differ only in
 // the installed fault plan; output is byte-identical at any -parallel
 // value. With -check the sweep exits nonzero unless degradation is
 // graceful (see the check in main).
+//
+// With -kill-after N the sweep becomes the crash-safety smoke instead:
+// it runs the durable windowed campaign uninterrupted for a baseline
+// digest, re-runs it with an injected crash at the Nth spill-log fsync
+// (the process dies mid-campaign, mid-fsync), resumes a fresh study
+// over the surviving spill directory, and exits nonzero unless the
+// resumed digest matches the baseline bit for bit.
 package main
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +46,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/probesched"
+	"repro/internal/segfault"
+	"repro/internal/traceroute"
 )
 
 func main() {
@@ -48,12 +63,16 @@ func main() {
 	cfg.BindScale(flag.CommandLine)
 	cfg.BindWindow(flag.CommandLine)
 	check := flag.Bool("check", false, "exit nonzero unless degradation is graceful")
+	killAfter := flag.Int("kill-after", 0, "crash-safety smoke: crash the durable campaign at this spill-log fsync, resume, and require a bit-identical result (skips the loss sweep)")
 	cfg.BindProfiles(flag.CommandLine, "write a CPU profile of the sweep to this file")
 	flag.Parse()
 
 	if *isp != "comcast" && *isp != "charter" {
 		fmt.Fprintln(os.Stderr, "chaossweep: -isp must be comcast or charter")
 		os.Exit(2)
+	}
+	if *killAfter > 0 {
+		os.Exit(runKillResume(cfg, *isp, *killAfter))
 	}
 	losses, err := parseGrid(*grid)
 	if err != nil {
@@ -169,6 +188,132 @@ func main() {
 		}
 	}
 	fmt.Println("degradation: graceful")
+}
+
+// runKillResume is the -kill-after mode: baseline, injected crash,
+// resume, digest compare. The resumed study is built from scratch —
+// cold simulator counters, fresh virtual clock — so only the spill
+// directory's log and checkpoints carry the crashed run's state, and a
+// digest match certifies the checkpoint/resume path end to end.
+func runKillResume(cfg cli.Config, isp string, killAfter int) int {
+	window := cfg.TraceWindow
+	if window == 0 {
+		window = 64 // durable spill requires windowed collection
+	}
+	opts := func(dir string, fsys segfault.FS) []core.Option {
+		o := []core.Option{
+			core.WithParallelism(cfg.Parallel),
+			core.WithTraceWindow(window),
+			core.WithSpillDir(dir),
+			core.WithDurable(),
+		}
+		if fsys != nil {
+			o = append(o, core.WithSpillFS(fsys))
+		}
+		if cfg.Scaled() {
+			o = append(o, core.WithScale(cfg.ScaleValue()))
+		}
+		return o
+	}
+	// digest runs the durable study over dir and hashes everything the
+	// pipeline produced: the full region-graph report plus the probe
+	// ledger (the ledger catches a resume that rebuilt the right map
+	// from the wrong amount of work).
+	digest := func(dir string, fsys segfault.FS) (string, *traceroute.Resume, error) {
+		stAny, err := core.NewStudy("cable", cfg.Seed, opts(dir, fsys)...)
+		if err != nil {
+			return "", nil, err
+		}
+		st := stAny.(*core.CableStudy)
+		res, err := st.ResultContext(context.Background(), isp)
+		if err != nil {
+			return "", nil, err
+		}
+		var b strings.Builder
+		if err := res.WriteJSON(&b, isp); err != nil {
+			return "", nil, err
+		}
+		fmt.Fprintf(&b, "probes %+v\n", res.Coverage.Probes)
+		sum := sha256.Sum256([]byte(b.String()))
+		resumed := res.Collection.Resumed
+		if err := st.Close(); err != nil {
+			return "", nil, err
+		}
+		return hex.EncodeToString(sum[:]), resumed, nil
+	}
+	// crash runs the campaign expecting the injected plan to kill it;
+	// anything other than a segfault.ErrCrash unwind is a real failure.
+	crash := func(dir string, fsys segfault.FS) (err error) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if e, ok := r.(error); ok && errors.Is(e, segfault.ErrCrash) {
+				err = nil
+				return
+			}
+			panic(r)
+		}()
+		stAny, err := core.NewStudy("cable", cfg.Seed, opts(dir, fsys)...)
+		if err != nil {
+			return err
+		}
+		if _, err := stAny.(*core.CableStudy).ResultContext(context.Background(), isp); err != nil {
+			return err
+		}
+		return fmt.Errorf("campaign survived -kill-after %d (too few spill fsyncs at window %d?)", killAfter, window)
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "chaossweep:", err)
+		return 1
+	}
+	mkdir := func(label string) (string, error) {
+		return os.MkdirTemp(".", ".crash-"+label+"-")
+	}
+
+	baseDir, err := mkdir("baseline")
+	if err != nil {
+		return fail(err)
+	}
+	defer os.RemoveAll(baseDir)
+	baseline, _, err := digest(baseDir, nil)
+	if err != nil {
+		return fail(fmt.Errorf("baseline run: %w", err))
+	}
+	fmt.Printf("baseline  %s  (isp=%s window=%d)\n", baseline, isp, window)
+
+	killDir, err := mkdir("kill")
+	if err != nil {
+		return fail(err)
+	}
+	inj := segfault.Inject(segfault.OS, segfault.Plan{
+		Seed:           uint64(cfg.Seed),
+		CrashOnLogSync: killAfter,
+	})
+	if err := crash(killDir, inj); err != nil {
+		return fail(fmt.Errorf("crash run: %w", err))
+	}
+	fmt.Printf("killed    campaign at spill-log fsync #%d\n", killAfter)
+
+	resumed, rec, err := digest(killDir, nil)
+	if err != nil {
+		return fail(fmt.Errorf("resumed run: %w", err))
+	}
+	how := "restarted fresh"
+	if rec != nil && rec.Resumed {
+		how = "resumed from checkpoint"
+	}
+	fmt.Printf("resumed   %s  (%s)\n", resumed, how)
+
+	if resumed != baseline {
+		fmt.Fprintf(os.Stderr, "chaossweep: resumed digest differs from baseline — crash recovery is not bit-identical\n")
+		return 1
+	}
+	os.RemoveAll(killDir)
+	fmt.Println("crash recovery: bit-identical")
+	return 0
 }
 
 // meanCORecall averages per-region CO recall.

@@ -9,6 +9,13 @@
 // new artifact with a single atomic pointer swap; queries in flight
 // keep the snapshot they loaded and never see a torn artifact. The read
 // path takes no locks (verified under -race by the snapshot swap test).
+// The refresh loop is supervised: a panicking or failing refresh is
+// recovered into a failure ledger, retried with exponential backoff,
+// and reported as "degraded" by /v1/health while the daemon keeps
+// serving the last good snapshot. SIGTERM/SIGINT drain the HTTP server
+// gracefully and cancel any in-flight refresh at its next probe-batch
+// boundary — a durable campaign checkpoints its spill so the next boot
+// resumes it.
 //
 // Usage:
 //
@@ -26,10 +33,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
@@ -56,10 +66,17 @@ func main() {
 	flag.Parse()
 	defer cfg.StartProfiling()()
 
+	// SIGTERM/SIGINT cancel this context: the supervisor stops, an
+	// in-flight refresh campaign exits at its next flush boundary (a
+	// durable one checkpoints its spill for the next boot to resume),
+	// and the HTTP server drains gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	svc := newService(*study, cfg.Seed, cfg.Options())
 	fmt.Fprintf(os.Stderr, "regiond: running the %s study (seed %d)...\n", *study, cfg.Seed)
 	start := time.Now()
-	if err := svc.bootstrap(context.Background()); err != nil {
+	if err := svc.bootstrap(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "regiond:", err)
 		os.Exit(1)
 	}
@@ -75,20 +92,36 @@ func main() {
 	}
 
 	if *refresh > 0 {
-		go func() {
-			for range time.Tick(*refresh) {
-				if err := svc.refresh(context.Background()); err != nil {
-					fmt.Fprintln(os.Stderr, "regiond: refresh:", err)
-					continue
-				}
-				fmt.Fprintf(os.Stderr, "regiond: refreshed to v%d\n", svc.stores[svc.isps[0]].Version())
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "regiond: "+format+"\n", args...)
+		}
+		svc.sup = newSupervisor(*refresh, func(ctx context.Context) error {
+			if err := svc.refresh(ctx); err != nil {
+				return err
 			}
-		}()
+			fmt.Fprintf(os.Stderr, "regiond: refreshed to v%d\n", svc.stores[svc.isps[0]].Version())
+			return nil
+		}, logf)
+		go svc.sup.run(ctx)
 	}
 
+	srv := &http.Server{Addr: *listen, Handler: svc.handler()}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "regiond: signal received, shutting down...")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "regiond: shutdown:", err)
+		}
+	}()
 	fmt.Fprintf(os.Stderr, "regiond: listening on http://%s\n", *listen)
-	if err := http.ListenAndServe(*listen, svc.handler()); err != nil {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "regiond:", err)
 		os.Exit(1)
 	}
+	<-shutdownDone
+	fmt.Fprintln(os.Stderr, "regiond: bye")
 }

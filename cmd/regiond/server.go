@@ -27,6 +27,11 @@ type service struct {
 	isps    []string
 	stores  map[string]*snapshot.Store
 	results map[string]*comap.Result
+
+	// sup is the background-refresh supervisor, nil when the daemon
+	// serves the boot snapshot forever; /v1/health folds its failure
+	// ledger in when present.
+	sup *supervisor
 }
 
 func newService(study string, seed int64, opts []core.Option) *service {
@@ -101,23 +106,47 @@ func (s *service) releaseSpill() {
 	}
 }
 
-// refresh re-runs the full campaign, recompiles, and swaps each
-// operator's fresh snapshot into its existing store. Readers holding
-// the superseded artifact keep it; new loads observe the new version.
+// refresh re-runs the full campaign and swaps each operator's fresh
+// snapshot into its existing store. Every snapshot is built before any
+// is published: a refresh that fails anywhere — campaign, compile —
+// publishes nothing and leaves every store serving its last good
+// artifact (the supervisor reports the failure through /v1/health).
+// Readers holding the superseded artifact keep it; new loads observe
+// the new version.
 func (s *service) refresh(ctx context.Context) error {
 	isps, results, err := s.runStudy(ctx)
 	if err != nil {
 		return err
 	}
+	published := false
+	defer func() {
+		if !published {
+			// The rejected results' spill files have no further use.
+			for _, r := range results {
+				r.Close()
+			}
+		}
+	}()
+	snaps := make(map[string]*snapshot.Snapshot, len(isps))
 	for _, isp := range isps {
 		if _, ok := s.stores[isp]; !ok {
 			return fmt.Errorf("refresh produced unknown operator %q", isp)
 		}
+		snap, err := snapshot.Build(snapshot.Meta{
+			Study: s.study, ISP: isp, Seed: s.seed, BuiltAt: time.Now(),
+		}, results[isp])
+		if err != nil {
+			return fmt.Errorf("%s: %w", isp, err)
+		}
+		snaps[isp] = snap
 	}
+	for _, isp := range isps {
+		if _, err := s.stores[isp].Publish(snaps[isp]); err != nil {
+			return err
+		}
+	}
+	published = true
 	s.results = results
-	if err := s.recompile(); err != nil {
-		return err
-	}
 	s.releaseSpill()
 	return nil
 }
@@ -180,7 +209,15 @@ func (s *service) handler() http.Handler {
 		for isp, store := range s.stores {
 			versions[isp] = store.Version()
 		}
-		writeJSON(w, map[string]any{"status": "ok", "study": s.study, "seed": s.seed, "versions": versions})
+		body := map[string]any{"status": "ok", "study": s.study, "seed": s.seed, "versions": versions}
+		if s.sup != nil {
+			rh := s.sup.health()
+			body["refresh"] = rh
+			// A failing refresh degrades the whole health verdict; the
+			// daemon still answers queries from the last good snapshot.
+			body["status"] = rh.Status
+		}
+		writeJSON(w, body)
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// supervisor owns the background refresh loop. The historical loop was
+// a bare `for range time.Tick` goroutine: a panicking refresh killed
+// the whole daemon, a persistently failing one retried at full cadence
+// forever, and neither left a trace a health probe could see. The
+// supervisor hardens all three edges:
+//
+//   - panics inside a refresh are recovered and recorded as failures —
+//     the daemon keeps serving the last good snapshot;
+//   - consecutive failures back the cadence off exponentially
+//     (every × 2^failures, capped at 2^6) so a wedged measurement
+//     plane is not hammered at full rate;
+//   - a failure ledger (consecutive count, last error, last success
+//     instant) feeds /v1/health, which reports "degraded" until the
+//     next success clears it.
+//
+// The loop exits when its context cancels (SIGTERM in main); the
+// in-flight refresh sees the same context, so a durable campaign
+// checkpoints its spill and the next boot resumes it.
+type supervisor struct {
+	every   time.Duration
+	refresh func(context.Context) error
+	logf    func(format string, args ...any)
+
+	mu          sync.Mutex
+	failures    int
+	lastErr     string
+	lastSuccess time.Time
+	successes   int
+}
+
+// backoffCap bounds the exponential backoff shift: 2^6 = 64x the base
+// refresh interval.
+const backoffCap = 6
+
+func newSupervisor(every time.Duration, refresh func(context.Context) error, logf func(string, ...any)) *supervisor {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &supervisor{
+		every:   every,
+		refresh: refresh,
+		logf:    logf,
+		// The boot snapshot counts as the initial success: snapshot age
+		// in /v1/health measures from here until the first refresh.
+		lastSuccess: time.Now(),
+	}
+}
+
+// delay is the wait before the next refresh attempt, doubled per
+// consecutive failure up to the cap. Deterministic in the failure
+// count, so tests can pin the schedule.
+func (sv *supervisor) delay() time.Duration {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	shift := sv.failures
+	if shift > backoffCap {
+		shift = backoffCap
+	}
+	return sv.every << shift
+}
+
+// refreshSafe runs one attempt, converting a panic into an error so
+// the loop (and the daemon) outlives it.
+func (sv *supervisor) refreshSafe(ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("refresh panicked: %v", r)
+		}
+	}()
+	return sv.refresh(ctx)
+}
+
+// observe files one attempt's outcome into the ledger.
+func (sv *supervisor) observe(err error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if err != nil {
+		sv.failures++
+		sv.lastErr = err.Error()
+		return
+	}
+	sv.failures = 0
+	sv.lastErr = ""
+	sv.lastSuccess = time.Now()
+	sv.successes++
+}
+
+// run loops refresh attempts until ctx cancels. Cancellation wins every
+// race: it is checked again after each attempt, so a refresh that
+// failed *because* of the cancel never schedules another timer.
+func (sv *supervisor) run(ctx context.Context) {
+	timer := time.NewTimer(sv.delay())
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		err := sv.refreshSafe(ctx)
+		sv.observe(err)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			sv.logf("refresh failed (consecutive failures %d, next attempt in %v): %v",
+				sv.consecutiveFailures(), sv.delay(), err)
+		}
+		timer.Reset(sv.delay())
+	}
+}
+
+func (sv *supervisor) consecutiveFailures() int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.failures
+}
+
+// refreshHealth is the supervisor's slice of /v1/health.
+type refreshHealth struct {
+	// Status is "ok" while the last refresh succeeded, "degraded" after
+	// any failure (the daemon still serves the last good snapshot).
+	Status string `json:"status"`
+	// ConsecutiveFailures counts refresh attempts since the last
+	// success; the backoff doubles with each one.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// LastError is the most recent failure's message, empty when ok.
+	LastError string `json:"last_error,omitempty"`
+	// SnapshotAgeSeconds is how stale the served snapshot is: seconds
+	// since the last successful refresh (or boot).
+	SnapshotAgeSeconds float64 `json:"snapshot_age_s"`
+}
+
+// health snapshots the ledger.
+func (sv *supervisor) health() refreshHealth {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	h := refreshHealth{
+		Status:              "ok",
+		ConsecutiveFailures: sv.failures,
+		LastError:           sv.lastErr,
+		SnapshotAgeSeconds:  time.Since(sv.lastSuccess).Seconds(),
+	}
+	if sv.failures > 0 {
+		h.Status = "degraded"
+	}
+	return h
+}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+// TestSupervisorRecoversFromPanicAndBacksOff drives the supervisor
+// through the full failure arc with an injected refresh function — two
+// panics, one plain error, then success — and checks the ledger at
+// every step: panics are recovered into failures, the backoff doubles
+// per consecutive failure, health degrades with the failure count and
+// last error, and one success clears everything.
+func TestSupervisorRecoversFromPanicAndBacksOff(t *testing.T) {
+	var calls atomic.Int32
+	refreshed := make(chan int, 16)
+	sv := newSupervisor(time.Millisecond, func(ctx context.Context) error {
+		n := int(calls.Add(1))
+		refreshed <- n
+		switch n {
+		case 1, 2:
+			panic("injected refresh panic")
+		case 3:
+			return errors.New("injected refresh error")
+		default:
+			return nil
+		}
+	}, t.Logf)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); sv.run(ctx) }()
+
+	wait := func(n int) {
+		t.Helper()
+		for {
+			select {
+			case got := <-refreshed:
+				if got == n {
+					return
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("refresh attempt %d never ran", n)
+			}
+		}
+	}
+
+	wait(2) // two panics survived: the daemon goroutine is still alive
+	waitLedger := func(check func(refreshHealth) bool) refreshHealth {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			h := sv.health()
+			if check(h) {
+				return h
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("ledger never reached expected state; last %+v", h)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	h := waitLedger(func(h refreshHealth) bool { return h.ConsecutiveFailures >= 2 })
+	if h.Status != "degraded" || !strings.Contains(h.LastError, "injected refresh panic") {
+		t.Fatalf("after two panics: %+v", h)
+	}
+	if d := sv.delay(); d != time.Millisecond<<2 {
+		t.Fatalf("backoff after 2 failures = %v, want %v", d, time.Millisecond<<2)
+	}
+
+	wait(4) // the error attempt, then the success
+	h = waitLedger(func(h refreshHealth) bool { return h.ConsecutiveFailures == 0 })
+	if h.Status != "ok" || h.LastError != "" {
+		t.Fatalf("after success: %+v", h)
+	}
+	if d := sv.delay(); d != time.Millisecond {
+		t.Fatalf("backoff after success = %v, want base %v", d, time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("supervisor did not stop on context cancel")
+	}
+}
+
+// TestSupervisorBackoffCap pins the exponential cap: the delay stops
+// doubling at 2^backoffCap times the base interval.
+func TestSupervisorBackoffCap(t *testing.T) {
+	sv := newSupervisor(time.Second, func(context.Context) error { return nil }, nil)
+	for i := 0; i < backoffCap+20; i++ {
+		sv.observe(errors.New("x"))
+	}
+	if d := sv.delay(); d != time.Second<<backoffCap {
+		t.Fatalf("capped delay = %v, want %v", d, time.Second<<backoffCap)
+	}
+}
+
+// TestHealthReportsDegradedRefresh pins the /v1/health contract: a
+// service whose supervisor has logged failures reports top-level
+// "degraded" with the ledger attached, and flips back to "ok" once a
+// refresh succeeds — all while the stores keep serving.
+func TestHealthReportsDegradedRefresh(t *testing.T) {
+	svc := newService("cable", 7, nil)
+	svc.isps = []string{"comcast"}
+	svc.stores["comcast"] = &snapshot.Store{}
+	sv := newSupervisor(time.Minute, func(context.Context) error { return nil }, nil)
+	svc.sup = sv
+	handler := svc.handler()
+
+	health := func() (status string, rh refreshHealth) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/health", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("health returned %d: %s", rec.Code, rec.Body)
+		}
+		var body struct {
+			Status  string        `json:"status"`
+			Refresh refreshHealth `json:"refresh"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("health body %q: %v", rec.Body, err)
+		}
+		return body.Status, body.Refresh
+	}
+
+	if status, rh := health(); status != "ok" || rh.Status != "ok" {
+		t.Fatalf("fresh service health = %s / %+v, want ok", status, rh)
+	}
+	sv.observe(errors.New("campaign wedged"))
+	sv.observe(errors.New("campaign wedged again"))
+	status, rh := health()
+	if status != "degraded" || rh.Status != "degraded" {
+		t.Fatalf("after failures health = %s / %+v, want degraded", status, rh)
+	}
+	if rh.ConsecutiveFailures != 2 || !strings.Contains(rh.LastError, "wedged again") {
+		t.Fatalf("ledger in health = %+v", rh)
+	}
+	sv.observe(nil)
+	if status, rh := health(); status != "ok" || rh.ConsecutiveFailures != 0 || rh.LastError != "" {
+		t.Fatalf("after recovery health = %s / %+v, want ok", status, rh)
+	}
+}
+
+// TestSupervisorShutdownRefreshRace runs the supervisor at full tilt —
+// a refresh that publishes into a live store and panics every third
+// call — while concurrent readers hammer /v1/health and the snapshot
+// store, then cancels mid-flight. Run under -race (make verify does),
+// this is the shutdown/refresh/health race check: the ledger, the
+// store swaps, and the cancellation path must all be data-race free,
+// and cancellation must win promptly even against a failing refresh.
+func TestSupervisorShutdownRefreshRace(t *testing.T) {
+	store := &snapshot.Store{}
+	svc := newService("cable", 42, nil)
+	svc.isps = []string{"comcast"}
+	svc.stores["comcast"] = store
+
+	var calls atomic.Int32
+	sv := newSupervisor(time.Microsecond, func(ctx context.Context) error {
+		n := calls.Add(1)
+		if n%3 == 0 {
+			panic("periodic injected panic")
+		}
+		if _, err := store.Publish(&snapshot.Snapshot{}); err != nil {
+			return err
+		}
+		return nil
+	}, nil)
+	svc.sup = sv
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); sv.run(ctx) }()
+
+	handler := svc.handler()
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/health", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("health returned %d", rec.Code)
+					return
+				}
+				var body struct {
+					Status  string         `json:"status"`
+					Refresh *refreshHealth `json:"refresh"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					t.Errorf("health body: %v", err)
+					return
+				}
+				if body.Refresh == nil || (body.Status != "ok" && body.Status != "degraded") {
+					t.Errorf("health reported %+v", body)
+					return
+				}
+				store.Load()
+			}
+		}()
+	}
+
+	// Let refreshes, panics, and reads interleave, then shut down.
+	deadline := time.Now().Add(2 * time.Second)
+	for calls.Load() < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("supervisor did not stop on cancel")
+	}
+	close(stopReaders)
+	wg.Wait()
+	if calls.Load() == 0 {
+		t.Fatal("refresh never ran")
+	}
+}

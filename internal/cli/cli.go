@@ -37,6 +37,7 @@ const (
 	SubsUsage     = "floor on allocated subscriber addresses per operator (0 = paper-size default)"
 	WindowUsage   = "stream campaigns through trace windows of this size, spilling to disk (0 = resident archive); fault-free output is identical at any value"
 	SpillUsage    = "directory for the windowed engine's spill log (default: a fresh .spill-* temp dir)"
+	DurableUsage  = "crash-safe spill: fsync sealed windows, checkpoint every flush, resume interrupted campaigns from -spill-dir bit-identically (requires -trace-window and -spill-dir)"
 )
 
 // Config carries the parsed values of the shared study knobs. Bind only
@@ -53,6 +54,7 @@ type Config struct {
 	Subscribers int
 	TraceWindow int
 	SpillDir    string
+	Durable     bool
 	CPUProfile  string
 	MemProfile  string
 }
@@ -102,11 +104,13 @@ func (c *Config) BindScale(fs *flag.FlagSet) {
 	fs.IntVar(&c.Subscribers, "subscribers", 0, SubsUsage)
 }
 
-// BindWindow registers -trace-window and -spill-dir, the streaming
-// campaign engine knobs. The defaults keep the resident archive.
+// BindWindow registers -trace-window, -spill-dir, and -durable, the
+// streaming campaign engine knobs. The defaults keep the resident
+// archive.
 func (c *Config) BindWindow(fs *flag.FlagSet) {
 	fs.IntVar(&c.TraceWindow, "trace-window", 0, WindowUsage)
 	fs.StringVar(&c.SpillDir, "spill-dir", "", SpillUsage)
+	fs.BoolVar(&c.Durable, "durable", false, DurableUsage)
 }
 
 // BindProfiles registers -cpuprofile and -memprofile.
@@ -142,6 +146,9 @@ func (c *Config) Options(extra ...core.Option) []core.Option {
 		opts = append(opts, core.WithTraceWindow(c.TraceWindow))
 		if c.SpillDir != "" {
 			opts = append(opts, core.WithSpillDir(c.SpillDir))
+		}
+		if c.Durable {
+			opts = append(opts, core.WithDurable())
 		}
 	}
 	return append(opts, extra...)

@@ -1,9 +1,12 @@
 package comap
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"net/netip"
 	"sort"
+	"time"
 
 	"repro/internal/alias"
 	"repro/internal/dnsdb"
@@ -11,6 +14,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/prefixset"
 	"repro/internal/probesched"
+	"repro/internal/segfault"
 	"repro/internal/traceroute"
 	"repro/internal/vclock"
 )
@@ -71,6 +75,18 @@ type Campaign struct {
 	// by Collection.Close; a provided directory is reused and only the
 	// log file itself is cleaned up.
 	SpillDir string
+	// Durable opts the windowed spill into crash-safe mode: every
+	// sealed window is fsynced and indexed in an atomically published
+	// manifest, a cursor checkpoint lands at every flush boundary, and
+	// a campaign restarted over the same SpillDir resumes — re-probing
+	// only the windows the crash lost — with bit-identical results.
+	// Requires TraceWindow > 0 and an explicit SpillDir (an owned
+	// temp directory cannot be found again after a crash).
+	Durable bool
+	// SpillFS is the filesystem seam durable spill I/O goes through;
+	// nil selects the real OS. The crash tests inject segfault plans
+	// here — production callers leave it nil.
+	SpillFS segfault.FS
 
 	// SkipDirectTargeting disables step 2 (rDNS-selected targets); used
 	// by the ablation benches to quantify the paper's 5.3x claim.
@@ -126,6 +142,12 @@ type Collection struct {
 	HopRowsProbed   int
 	HopRowsAnswered int
 	Quarantined     []netip.Addr
+
+	// Resumed reports what the durable spill log's recovery decided at
+	// startup (fresh, resumed at a checkpoint, or complete-replay); nil
+	// for non-durable campaigns. Accounting only — resumed campaigns
+	// reproduce the uninterrupted collection bit for bit.
+	Resumed *traceroute.Resume
 }
 
 func (c *Campaign) defaults() {
@@ -151,8 +173,28 @@ func (c *Campaign) engine() *traceroute.Engine {
 // sequential barriers because each derives its target list from the
 // previous stage's observations.
 func (c *Campaign) Run() *Collection {
+	col, err := c.RunContext(context.Background())
+	if err != nil {
+		// Background contexts never cancel; keep the historical
+		// no-error signature for the callers that use it.
+		panic(fmt.Errorf("comap: campaign aborted: %w", err))
+	}
+	return col
+}
+
+// RunContext is Run with cooperative cancellation: the flush loop
+// checks ctx at every flush boundary and, once cancelled, stops before
+// submitting the next probe batch and returns ctx's error. The check
+// sits on batch boundaries only, so cancellation is digest-neutral —
+// whatever a cancelled campaign did probe is exactly the prefix an
+// uninterrupted run would have produced. A cancelled durable campaign
+// leaves its spill log, manifest, and last checkpoint on disk, so the
+// next RunContext over the same SpillDir resumes where it stopped; a
+// cancelled non-durable campaign removes its spill (nothing can use
+// it).
+func (c *Campaign) RunContext(ctx context.Context) (col *Collection, err error) {
 	c.defaults()
-	col := &Collection{
+	col = &Collection{
 		Observed:    map[netip.Addr]bool{},
 		FalsePairs:  map[[2]netip.Addr]bool{},
 		DirectPairs: map[[2]netip.Addr]bool{},
@@ -165,18 +207,70 @@ func (c *Campaign) Run() *Collection {
 	// has no degraded mode to fall back to (silently going resident
 	// would defeat the caller's memory bound).
 	var writer *traceroute.SegmentWriter
+	var rs *resumeState
+	if c.Durable && c.TraceWindow <= 0 {
+		panic(fmt.Errorf("comap: Durable requires TraceWindow > 0 (only windowed campaigns spill)"))
+	}
 	if c.TraceWindow > 0 {
-		sp, err := newSpillArchive(c.SpillDir)
+		if c.Durable && c.SpillDir == "" {
+			panic(fmt.Errorf("comap: Durable requires an explicit SpillDir (an owned temp dir cannot be found again after a crash)"))
+		}
+		sp, err := newSpillArchive(c.SpillDir, c.spillName())
 		if err != nil {
-			panic(fmt.Sprintf("comap: creating spill archive: %v", err))
+			panic(fmt.Errorf("comap: creating spill archive: %w", err))
 		}
 		col.spill = sp
-		writer, err = traceroute.CreateSegmentLog(sp.logPath)
-		if err != nil {
-			sp.Close()
-			panic(fmt.Sprintf("comap: creating spill log: %v", err))
+		if c.Durable {
+			fsys := c.SpillFS
+			if fsys == nil {
+				fsys = segfault.OS
+			}
+			w, res, err := traceroute.OpenDurableSegmentLog(sp.logPath, c.fingerprint(), fsys)
+			if err != nil {
+				// Leave the files: whatever is on disk stays resumable.
+				panic(fmt.Errorf("comap: opening durable spill log: %w", err))
+			}
+			writer = w
+			col.Resumed = res
+			if res.Resumed {
+				rs = &resumeState{
+					checkpoints: res.Checkpoints,
+					cursor:      logCursor{path: sp.logPath},
+				}
+			}
+		} else {
+			w, err := traceroute.CreateSegmentLog(sp.logPath)
+			if err != nil {
+				sp.Close()
+				panic(fmt.Errorf("comap: creating spill log: %w", err))
+			}
+			writer = w
 		}
 	}
+
+	// Cancellation unwinds as a panic from the flush loop; turn it back
+	// into an error here, closing the log file handle but leaving a
+	// durable campaign's spill state on disk for the resume.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		cc, ok := r.(campaignCancelled)
+		if !ok {
+			panic(r)
+		}
+		if rs != nil {
+			rs.cursor.close()
+		}
+		if writer != nil {
+			writer.Close()
+		}
+		if !c.Durable {
+			col.spill.Close()
+		}
+		col, err = nil, cc.err
+	}()
 
 	// The /24 sweep dominates job volume, so its size (clamped by the
 	// probe budget) presizes the dedup set and job list: the dedup map
@@ -265,14 +359,94 @@ func (c *Campaign) Run() *Collection {
 	var gapArena []bool
 	const arenaChunk = 4096
 
+	// Durable campaigns track the flush schedule: flushOrdinal counts
+	// completed flushes (live or restored), and lastCursor is the most
+	// recent checkpoint state, re-used by MarkComplete.
+	flushOrdinal := 0
+	var lastCursor resumeCursor
+	takeCursor := func(stage string) resumeCursor {
+		return resumeCursor{
+			Stage:           stage,
+			Flush:           flushOrdinal,
+			Submitted:       submitted,
+			ClockNS:         c.Clock.Now().UnixNano(),
+			TracesRun:       col.TracesRun,
+			EmptyTraces:     col.EmptyTraces,
+			TruncatedTraces: col.TruncatedTraces,
+			HopRowsProbed:   col.HopRowsProbed,
+			HopRowsAnswered: col.HopRowsAnswered,
+			Stats:           col.Stats,
+			Paths:           col.NumPaths(),
+			Breaker:         breaker.State(),
+		}
+	}
+
 	// flush runs the accumulated jobs through the scheduler, streaming
 	// each trace into the collection in submission order while later
 	// jobs are still probing (traceroute.FoldTraces). Windowed mode
 	// encodes kept traces into the spill log instead of carving resident
 	// paths; the scheduler's backpressure keeps in-flight chunks bounded
 	// while this fold writes to disk.
+	//
+	// Durable mode adds two behaviors at the flush boundary. Going in,
+	// a flush whose ordinal has a surviving checkpoint is *restored*
+	// instead of probed: its traces are already in the recovered log,
+	// so the flush drops the (identically regenerated) job batch,
+	// streams the log windows through Observed and the simulator's
+	// IP-ID warm-up, and restores the checkpoint cursor. Going out, a
+	// live flush seals the open window and checkpoints the new cursor,
+	// making everything up to this boundary crash-recoverable.
 	flush = func() {
+		if cerr := ctx.Err(); cerr != nil {
+			// The pending batch was never submitted; the previous flush's
+			// checkpoint already covers everything probed so far.
+			panic(campaignCancelled{cerr})
+		}
 		stage := curStage
+		if rs != nil && flushOrdinal < len(rs.checkpoints) {
+			chk := rs.checkpoints[flushOrdinal]
+			var cur resumeCursor
+			if jerr := json.Unmarshal(chk.State, &cur); jerr != nil {
+				panic(fmt.Errorf("comap: decoding resume checkpoint %d: %w", flushOrdinal, jerr))
+			}
+			if cur.Flush != flushOrdinal+1 || cur.Stage != stage ||
+				cur.Submitted != submitted+len(jobs) || cur.Paths != chk.Paths {
+				panic(fmt.Errorf("comap: resume regeneration diverged at flush %d (stage %q->%q, submitted %d->%d): refusing to replay a log this configuration did not write",
+					flushOrdinal, cur.Stage, stage, cur.Submitted, submitted+len(jobs)))
+			}
+			submitted += len(jobs)
+			jobs = jobs[:0]
+			rs.cursor.advanceTo(chk.Paths, func(tv traceroute.TraceView, _ string) {
+				for k := 0; k < tv.NumHops(); k++ {
+					if !tv.HopResponded(k) {
+						continue
+					}
+					h := tv.Hop(k)
+					col.Observed[h.Addr] = true
+					c.Net.WarmReply(h.Addr, h.TTL == 1, h.Type == netsim.TTLExceeded)
+				}
+			})
+			col.spill.nPaths = chk.Paths
+			col.TracesRun = cur.TracesRun
+			col.EmptyTraces = cur.EmptyTraces
+			col.TruncatedTraces = cur.TruncatedTraces
+			col.HopRowsProbed = cur.HopRowsProbed
+			col.HopRowsAnswered = cur.HopRowsAnswered
+			col.Stats = cur.Stats
+			breaker.Restore(cur.Breaker)
+			c.Clock.AdvanceTo(time.Unix(0, cur.ClockNS))
+			lastCursor = cur
+			flushOrdinal++
+			return
+		}
+		if rs != nil {
+			// First live flush: every restored flush precedes it, so the
+			// recovered-log read cursor is spent.
+			rs.cursor.close()
+			if writer == nil {
+				panic(fmt.Errorf("comap: complete recovered log but regeneration wants to probe at flush %d: regeneration diverged", flushOrdinal))
+			}
+		}
 		submitted += len(jobs)
 		eng.FoldTracesColumnar(pool, jobs, func(_ int, tv traceroute.TraceView) {
 			// Count responsive hops first: all-timeout traces (most of
@@ -305,12 +479,12 @@ func (c *Campaign) Run() *Collection {
 					}
 				}
 				if err := writer.Append(stage, tv); err != nil {
-					panic(fmt.Sprintf("comap: spilling trace: %v", err))
+					panic(fmt.Errorf("comap: spilling trace: %w", err))
 				}
 				col.spill.nPaths++
 				if writer.Count() >= c.TraceWindow {
 					if err := writer.Seal(); err != nil {
-						panic(fmt.Sprintf("comap: sealing window: %v", err))
+						panic(fmt.Errorf("comap: sealing window: %w", err))
 					}
 				}
 				return
@@ -349,6 +523,22 @@ func (c *Campaign) Run() *Collection {
 			col.StageOf = append(col.StageOf, stage)
 		})
 		jobs = jobs[:0]
+		flushOrdinal++
+		if c.Durable && writer != nil {
+			// Seal the open window (Checkpoint seals first) and publish
+			// the cursor: the durability boundary every crash between
+			// here and the next checkpoint rolls back to. Extra seals at
+			// flush boundaries are replay-neutral — window layout never
+			// enters the digests.
+			lastCursor = takeCursor(stage)
+			buf, merr := json.Marshal(lastCursor)
+			if merr != nil {
+				panic(fmt.Errorf("comap: encoding resume cursor: %w", merr))
+			}
+			if cerr := writer.Checkpoint(col.spill.nPaths, buf); cerr != nil {
+				panic(fmt.Errorf("comap: checkpointing spill log: %w", cerr))
+			}
+		}
 	}
 
 	// Stage 1: traceroute to an address in every /24 of the announced
@@ -409,10 +599,30 @@ func (c *Campaign) Run() *Collection {
 	}
 	// The archive is complete: seal and close the spill log before the
 	// first replaying pass (findFalsePairs and everything downstream).
+	// Durable campaigns mark the manifest complete first, so a crash
+	// from here on resumes as a pure replay with no re-collection.
+	if rs != nil {
+		rs.cursor.close()
+	}
 	if writer != nil {
-		if err := writer.Close(); err != nil {
-			panic(fmt.Sprintf("comap: closing spill log: %v", err))
+		if c.Durable {
+			buf, merr := json.Marshal(lastCursor)
+			if merr != nil {
+				panic(fmt.Errorf("comap: encoding resume cursor: %w", merr))
+			}
+			if cerr := writer.MarkComplete(col.spill.nPaths, buf); cerr != nil {
+				panic(fmt.Errorf("comap: completing spill manifest: %w", cerr))
+			}
 		}
+		if err := writer.Close(); err != nil {
+			panic(fmt.Errorf("comap: closing spill log: %w", err))
+		}
+	}
+	// Post-collection passes run on the (now durable) archive; a cancel
+	// landing here still aborts promptly, and a durable campaign
+	// resumes as a complete-replay.
+	if cerr := ctx.Err(); cerr != nil {
+		panic(campaignCancelled{cerr})
 	}
 	if !c.SkipMPLSPass {
 		c.findFalsePairs(col, pool)
@@ -442,7 +652,7 @@ func (c *Campaign) Run() *Collection {
 		col.Aliases = res
 	}
 	col.Quarantined = breaker.QuarantinedVPs()
-	return col
+	return col, nil
 }
 
 // partitionByRegion splits the alias targets by regional network: named

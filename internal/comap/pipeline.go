@@ -1,6 +1,9 @@
 package comap
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/probesched"
 	"repro/internal/symtab"
 )
@@ -39,7 +42,21 @@ func (r *Result) Close() error {
 // drives collection — one worker-count setting end to end, with
 // byte-identical output at any value.
 func Run(c *Campaign) *Result {
-	col := c.Run()
+	r, err := RunContext(context.Background(), c)
+	if err != nil {
+		panic(fmt.Errorf("comap: pipeline aborted: %w", err))
+	}
+	return r
+}
+
+// RunContext is Run with cooperative cancellation threaded into the
+// collection's flush loop (see Campaign.RunContext); inference only
+// starts once collection completed.
+func RunContext(ctx context.Context, c *Campaign) (*Result, error) {
+	col, err := c.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	m := BuildMappingParallel(col, c.DNS, c.ISP, c.Parallelism)
 	inf := BuildGraphsParallel(col, m, c.Parallelism)
 	return &Result{
@@ -49,7 +66,7 @@ func Run(c *Campaign) *Result {
 		Coverage:   BuildCoverage(col, inf),
 		Seed:       c.Seed,
 		workers:    c.Parallelism,
-	}
+	}, nil
 }
 
 // StageAdjacencies counts the distinct intra-region CO adjacencies each

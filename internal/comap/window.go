@@ -33,7 +33,12 @@ type spillArchive struct {
 
 // newSpillArchive places the segment log in dir, or in a fresh
 // .spill-* directory under the working directory when dir is empty.
-func newSpillArchive(dir string) (*spillArchive, error) {
+// name is the log's file name: campaigns derive it from the ISP under
+// study, so two campaigns sharing one caller-provided SpillDir (the
+// cable study probes comcast and charter back to back) never clobber
+// each other's logs — which matters once durable logs outlive the
+// process that wrote them.
+func newSpillArchive(dir, name string) (*spillArchive, error) {
 	sp := &spillArchive{dir: dir}
 	if sp.dir == "" {
 		d, err := os.MkdirTemp(".", ".spill-")
@@ -42,11 +47,13 @@ func newSpillArchive(dir string) (*spillArchive, error) {
 		}
 		sp.dir, sp.ownsDir = d, true
 	}
-	sp.logPath = filepath.Join(sp.dir, "traces.seg")
+	sp.logPath = filepath.Join(sp.dir, name)
 	return sp, nil
 }
 
-// Close removes the spill files (and the directory, when owned).
+// Close removes the spill files (and the directory, when owned). The
+// log's durable manifest, when one exists, goes with it: Close means
+// the campaign was consumed, so the crash-recovery state is garbage.
 func (sp *spillArchive) Close() error {
 	if sp == nil {
 		return nil
@@ -54,7 +61,14 @@ func (sp *spillArchive) Close() error {
 	if sp.ownsDir {
 		return os.RemoveAll(sp.dir)
 	}
-	return os.Remove(sp.logPath)
+	err := os.Remove(sp.logPath)
+	mp := traceroute.ManifestPath(sp.logPath)
+	for _, p := range []string{mp, mp + ".tmp"} {
+		if rmErr := os.Remove(p); rmErr != nil && !os.IsNotExist(rmErr) && err == nil {
+			err = rmErr
+		}
+	}
+	return err
 }
 
 // windowScratch is the pooled decode state one replay pass cycles
@@ -128,7 +142,7 @@ func (ws *windowScratch) decode() []Path {
 func (sp *spillArchive) replay(fn func(base int, paths []Path, stage string)) {
 	r, err := traceroute.OpenSegmentLog(sp.logPath)
 	if err != nil {
-		panic(fmt.Sprintf("comap: replaying spill archive: %v", err))
+		panic(fmt.Errorf("comap: replaying spill archive: %w", err))
 	}
 	defer r.Close()
 	ws := windowScratches.Get().(*windowScratch)
@@ -137,7 +151,7 @@ func (sp *spillArchive) replay(fn func(base int, paths []Path, stage string)) {
 	for {
 		ok, err := r.Next(&ws.seg)
 		if err != nil {
-			panic(fmt.Sprintf("comap: replaying spill archive: %v", err))
+			panic(fmt.Errorf("comap: replaying spill archive: %w", err))
 		}
 		if !ok {
 			break

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"net/netip"
 	"sort"
 	"strings"
@@ -77,8 +79,26 @@ func (st *CableStudy) truth(isp string) *topogen.ISP {
 // Result runs (once) and returns the full pipeline output for an
 // operator ("comcast" or "charter").
 func (st *CableStudy) Result(isp string) *comap.Result {
+	r, err := st.ResultContext(context.Background(), isp)
+	if err != nil {
+		panic(fmt.Errorf("core: cable study aborted: %w", err))
+	}
+	return r
+}
+
+// ResultContext is Result with cooperative cancellation threaded into
+// the campaign's flush loop: a cancelled durable campaign checkpoints
+// cleanly and resumes on the next run over the same SpillDir.
+//
+// Both operators probe one shared simulated network, so the later
+// campaign's IP-ID reads depend on the earlier campaign's probe
+// counters. A durable study resumed in a fresh process must therefore
+// request results in the same operator order as the original run (as
+// Study.Run and the cmd drivers do): completed campaigns replay from
+// their logs, warming the shared counters the next campaign reads.
+func (st *CableStudy) ResultContext(ctx context.Context, isp string) (*comap.Result, error) {
 	if r, ok := st.results[isp]; ok {
-		return r
+		return r, nil
 	}
 	c := &comap.Campaign{
 		Net:         st.Scenario.Net,
@@ -93,10 +113,15 @@ func (st *CableStudy) Result(isp string) *comap.Result {
 		Resilience:  st.cfg.Resilience,
 		TraceWindow: st.cfg.TraceWindow,
 		SpillDir:    st.cfg.SpillDir,
+		Durable:     st.cfg.Durable,
+		SpillFS:     st.cfg.SpillFS,
 	}
-	r := comap.Run(c)
+	r, err := comap.RunContext(ctx, c)
+	if err != nil {
+		return nil, err
+	}
 	st.results[isp] = r
-	return r
+	return r, nil
 }
 
 // Close releases every cached result's spilled trace archive. A

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/probesched"
+	"repro/internal/segfault"
 	"repro/internal/topogen"
 	"repro/internal/vclock"
 )
@@ -48,6 +49,15 @@ type Config struct {
 	// .spill-* directory under the working directory, cleaned up when
 	// the result is closed.
 	SpillDir string
+	// Durable makes windowed campaigns crash-safe: sealed windows are
+	// fsynced and indexed in a manifest, cursors checkpoint at every
+	// flush boundary, and a study restarted over the same SpillDir
+	// resumes — bit-identical to an uninterrupted run. Requires
+	// TraceWindow and an explicit SpillDir.
+	Durable bool
+	// SpillFS is the filesystem seam durable spill I/O goes through;
+	// nil selects the real OS. Crash tests inject fault plans here.
+	SpillFS segfault.FS
 }
 
 // Option mutates a study Config; pass options to the New*Study
@@ -109,6 +119,20 @@ func WithTraceWindow(n int) Option {
 // the log file is removed on close.
 func WithSpillDir(dir string) Option {
 	return func(c *Config) { c.SpillDir = dir }
+}
+
+// WithDurable opts windowed campaigns into crash-safe spill: durable
+// window logs with manifests and flush-boundary checkpoints, resumed
+// automatically (and bit-identically) by the next run over the same
+// SpillDir. Use with WithTraceWindow and WithSpillDir.
+func WithDurable() Option {
+	return func(c *Config) { c.Durable = true }
+}
+
+// WithSpillFS routes durable spill I/O through an injected filesystem
+// (crash tests use internal/segfault plans); nil keeps the real OS.
+func WithSpillFS(fsys segfault.FS) Option {
+	return func(c *Config) { c.SpillFS = fsys }
 }
 
 func buildConfig(opts []Option) Config {

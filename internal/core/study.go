@@ -26,10 +26,12 @@ type Study interface {
 	// Name is the registry key the study was built under.
 	Name() string
 	// Run executes every measurement campaign the study defines and
-	// returns the uniform result envelope. Campaigns are deterministic
-	// units and run to completion once started; Run honors ctx between
-	// campaigns, so cancellation stops before the next campaign begins
-	// and returns ctx's error.
+	// returns the uniform result envelope. Run honors ctx between
+	// campaigns, and the cable study additionally threads it into each
+	// campaign's flush loop: cancellation stops at the next probe-batch
+	// boundary (digest-neutral) and returns ctx's error. A durable
+	// cable campaign cancelled mid-flight leaves its checkpointed spill
+	// state on disk and resumes on the next Run.
 	Run(ctx context.Context) (*StudyResult, error)
 }
 
@@ -132,7 +134,11 @@ func (st *CableStudy) Run(ctx context.Context) (*StudyResult, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		out.Cable[isp] = st.Result(isp)
+		r, err := st.ResultContext(ctx, isp)
+		if err != nil {
+			return nil, err
+		}
+		out.Cable[isp] = r
 	}
 	return out, nil
 }

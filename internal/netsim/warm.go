@@ -1,0 +1,55 @@
+package netsim
+
+import "net/netip"
+
+// WarmReply advances the IP-ID counter that generating one recorded
+// reply advanced, without probing. A campaign resuming from a spill log
+// replays every responsive hop row through this to bring a freshly
+// built Network's counters to exactly the state the crashed process
+// left them in — the alias stage's MIDAR samples read those counters,
+// so a cold replay would shift every subsequent IP-ID and break
+// bit-identical resume.
+//
+// from is the reply's recorded source address; firstHop and
+// ttlExceeded describe the recorded hop (TTL == 1, TTL-exceeded). They
+// disambiguate the one case the address alone cannot: under
+// ReplyInbound a canonical-addressed reply is either the source
+// gateway answering a TTL-1 expiry (no inbound interface — the shared
+// base counter) or a transit reply that happened to arrive on the
+// canonical interface (that interface's counter).
+//
+// The mapping mirrors nextIPID exactly:
+//   - host replies and IPIDRandom routers draw pure hashes — no state;
+//   - IPIDShared bumps the router's shared base counter;
+//   - IPIDPerInterface bumps the base counter when the reply had no
+//     inbound interface (ReplyCanonical routers, or the source-gateway
+//     case above), else the inbound interface's counter.
+//
+// Counters are atomic sums, so replay order across traces does not
+// matter — only the per-counter bump counts, which the log preserves.
+func (n *Network) WarmReply(from netip.Addr, firstHop, ttlExceeded bool) {
+	ifc, ok := n.IfaceByAddr(from)
+	if !ok {
+		// Hosts (and unknown addresses) use stateless hash IP-IDs.
+		return
+	}
+	r := ifc.Router
+	switch r.IPID {
+	case IPIDRandom:
+		return
+	case IPIDPerInterface:
+		if r.ReplyAddr == ReplyCanonical {
+			r.ipidBase.Add(1)
+			return
+		}
+		if from == r.Canonical && firstHop && ttlExceeded {
+			// Source gateway: the reply was generated with no inbound
+			// interface, off the base counter.
+			r.ipidBase.Add(1)
+			return
+		}
+		ifc.perIfIPID.Add(1)
+	default: // IPIDShared
+		r.ipidBase.Add(1)
+	}
+}

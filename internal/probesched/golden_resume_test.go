@@ -1,0 +1,199 @@
+package probesched_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/comap"
+	"repro/internal/segfault"
+	"repro/internal/traceroute"
+)
+
+// The crash-safe campaign's equivalence oracle: a durable campaign —
+// uninterrupted, killed at an arbitrary point and resumed, or resumed
+// from a complete log — must reproduce the same three pinned golden
+// digests as the historical resident pipeline. The kill grid below
+// crosses kill points (first window, mid-campaign, last window) with
+// window sizes {16, 4096} and worker counts {1, 4}; every resumed run
+// rebuilds the scenario from scratch (cold simulator counters, fresh
+// virtual clock), so a digest match proves the checkpoint cursor and
+// the log replay's IP-ID warm-up reconstruct the crashed process's
+// state exactly.
+
+// durableQuickstart is the quickstart campaign in durable windowed mode
+// over dir, with spill I/O routed through fsys (nil = real OS).
+func durableQuickstart(workers, window int, dir string, fsys segfault.FS) *comap.Campaign {
+	c := quickstartCampaign(workers)
+	c.TraceWindow = window
+	c.SpillDir = dir
+	c.Durable = true
+	c.SpillFS = fsys
+	return c
+}
+
+// runDurablePipeline runs the full pipeline and hashes it exactly as
+// digestsOf does, additionally surfacing the campaign's resume record.
+// closeRes=false leaves the durable spill on disk, simulating a process
+// that completed its campaign but died before consuming it.
+func runDurablePipeline(t *testing.T, c *comap.Campaign, closeRes bool) (campaign, aliasd, graph [32]byte, resumed *traceroute.Resume) {
+	t.Helper()
+	res := comap.Run(c)
+	if closeRes {
+		defer res.Close()
+	}
+	var report strings.Builder
+	if err := res.WriteJSON(&report, "comcast"); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var b strings.Builder
+	b.WriteString(serializeCollection(res.Collection))
+	b.WriteString(report.String())
+	fmt.Fprintf(&b, "clock %v\n", c.Clock.Now().UnixNano())
+	campaign = sha256.Sum256([]byte(b.String()))
+	aliasd = sha256.Sum256([]byte(serializeAliases(res.Collection)))
+	graph = sha256.Sum256([]byte(report.String()))
+	return campaign, aliasd, graph, res.Collection.Resumed
+}
+
+func checkGolden(t *testing.T, label string, campaign, aliasd, graph [32]byte) {
+	t.Helper()
+	if got := hex.EncodeToString(campaign[:]); got != goldenCampaignDigest {
+		t.Errorf("%s: campaign digest %s differs from golden %s", label, got, goldenCampaignDigest)
+	}
+	if got := hex.EncodeToString(aliasd[:]); got != goldenAliasDigest {
+		t.Errorf("%s: alias digest %s differs from golden %s", label, got, goldenAliasDigest)
+	}
+	if got := hex.EncodeToString(graph[:]); got != goldenRegionGraphDigest {
+		t.Errorf("%s: region-graph digest %s differs from golden %s", label, got, goldenRegionGraphDigest)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+// crashDurable runs the campaign expecting its injected crash plan to
+// fire; the unwound panic must classify as segfault.ErrCrash.
+func crashDurable(t *testing.T, c *comap.Campaign) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("campaign survived its crash plan")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, segfault.ErrCrash) {
+			t.Fatalf("campaign died with %v, want a segfault.ErrCrash", r)
+		}
+	}()
+	comap.Run(c)
+}
+
+// TestDurableCampaignMatchesGoldenDigest pins that turning durability
+// on — fsynced seals, manifests, flush checkpoints — is digest-neutral:
+// an uninterrupted durable run equals the resident goldens at every
+// window size and worker count the windowed goldens cover.
+func TestDurableCampaignMatchesGoldenDigest(t *testing.T) {
+	for _, window := range []int{16, 4096} {
+		for _, workers := range []int{1, 4} {
+			c := durableQuickstart(workers, window, t.TempDir(), nil)
+			campaign, aliasd, graph, resumed := runDurablePipeline(t, c, true)
+			if resumed == nil || resumed.Resumed {
+				t.Fatalf("window=%d workers=%d: fresh durable run reported resume %+v", window, workers, resumed)
+			}
+			checkGolden(t, fmt.Sprintf("durable window=%d workers=%d", window, workers),
+				campaign, aliasd, graph)
+		}
+	}
+}
+
+// TestDurableKillAndResumeGrid is the PR's acceptance grid: kill a
+// durable campaign at the first window seal, mid-campaign, and the
+// final window seal (ordinals learned from an instrumented pass, so the
+// grid tracks the real workload), then resume over the surviving spill
+// directory with a freshly built scenario and require bit-identical
+// golden digests. A rename-crash cell covers the checkpoint-publish
+// window too.
+func TestDurableKillAndResumeGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kill/resume grid; skipped with -short")
+	}
+	for _, window := range []int{16, 4096} {
+		// Instrumented pass: count the log syncs and manifest renames one
+		// complete collection performs at this window size (both are
+		// fold-side and therefore worker-count invariant).
+		meter := segfault.Inject(segfault.OS, segfault.Plan{})
+		mc := durableQuickstart(4, window, t.TempDir(), meter)
+		mcol := mc.Run()
+		syncs, _, renames := meter.Counts()
+		if err := mcol.Close(); err != nil {
+			t.Fatalf("closing instrumented collection: %v", err)
+		}
+		if syncs < 3 {
+			t.Fatalf("window=%d: instrumented run saw only %d log syncs", window, syncs)
+		}
+
+		// Log sync #1 is the header; #2 is the first window's seal; the
+		// final sync seals the last window.
+		kills := []struct {
+			name string
+			plan segfault.Plan
+			// wantResumed, when true, requires recovery to find a usable
+			// checkpoint (late kills always have one; the first-window
+			// kill legitimately restarts fresh).
+			wantResumed bool
+		}{
+			{"first-window", segfault.Plan{Seed: 101, CrashOnLogSync: 2}, false},
+			{"mid-campaign", segfault.Plan{Seed: 102, CrashOnLogSync: 2 + (syncs-2)/2}, false},
+			{"last-window", segfault.Plan{Seed: 103, CrashOnLogSync: syncs}, true},
+			{"checkpoint-rename", segfault.Plan{Seed: 104, CrashOnRename: renames / 2}, false},
+		}
+		for _, workers := range []int{1, 4} {
+			anyResumed := false
+			for _, kill := range kills {
+				label := fmt.Sprintf("window=%d workers=%d kill=%s", window, workers, kill.name)
+				dir := t.TempDir()
+				inj := segfault.Inject(segfault.OS, kill.plan)
+				crashDurable(t, durableQuickstart(workers, window, dir, inj))
+				if !inj.Crashed() {
+					t.Fatalf("%s: crash plan never fired", label)
+				}
+				// Resume: pristine filesystem, fresh scenario, cold
+				// counters — only the spill directory carries over.
+				campaign, aliasd, graph, resumed := runDurablePipeline(t,
+					durableQuickstart(workers, window, dir, nil), true)
+				if resumed == nil {
+					t.Fatalf("%s: resumed run carries no resume record", label)
+				}
+				if kill.wantResumed && !resumed.Resumed {
+					t.Fatalf("%s: expected checkpoint recovery, got fresh restart (%s)", label, resumed.Reason)
+				}
+				anyResumed = anyResumed || resumed.Resumed
+				checkGolden(t, label, campaign, aliasd, graph)
+			}
+			if !anyResumed {
+				t.Fatalf("window=%d workers=%d: no kill point exercised checkpoint recovery", window, workers)
+			}
+		}
+	}
+}
+
+// TestDurableCompleteReplayMatchesGolden covers the crash window after
+// MarkComplete but before the result is consumed: the next run must
+// recognize the complete log, skip collection entirely, replay it to
+// warm the fresh simulator, re-run alias resolution live, and still hit
+// the goldens — even at a different worker count.
+func TestDurableCompleteReplayMatchesGolden(t *testing.T) {
+	dir := t.TempDir()
+	campaign, aliasd, graph, _ := runDurablePipeline(t, durableQuickstart(4, 16, dir, nil), false)
+	checkGolden(t, "complete-replay first run", campaign, aliasd, graph)
+
+	campaign, aliasd, graph, resumed := runDurablePipeline(t, durableQuickstart(1, 16, dir, nil), true)
+	if resumed == nil || !resumed.Resumed || !resumed.Complete {
+		t.Fatalf("second run over a complete log reported %+v, want complete replay", resumed)
+	}
+	checkGolden(t, "complete-replay second run", campaign, aliasd, graph)
+}

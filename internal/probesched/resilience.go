@@ -171,3 +171,59 @@ func (b *Breaker) QuarantinedVPs() []netip.Addr {
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
+
+// BreakerState is a serializable breaker snapshot, part of the
+// checkpoint cursor a durable campaign writes at every flush boundary.
+// Breaker evolution cannot be reconstructed from the spill log alone —
+// traces with zero responsive hops bump dead counts but are never
+// spilled — so resume restores the snapshot instead of re-deriving it.
+// Entries are sorted, making equal states byte-equal when marshaled
+// (netip.Addr marshals via its text form).
+type BreakerState struct {
+	// Dead lists per-VP zero-yield trace counts, ascending by address.
+	Dead []BreakerEntry `json:"dead,omitempty"`
+	// Alive lists VPs with at least one lifetime responsive trace,
+	// ascending.
+	Alive []netip.Addr `json:"alive,omitempty"`
+}
+
+// BreakerEntry is one VP's zero-yield count.
+type BreakerEntry struct {
+	VP    netip.Addr `json:"vp"`
+	Count int        `json:"count"`
+}
+
+// State snapshots the breaker. A nil breaker snapshots to the zero
+// state.
+func (b *Breaker) State() BreakerState {
+	var s BreakerState
+	if b == nil {
+		return s
+	}
+	for vp, n := range b.dead {
+		s.Dead = append(s.Dead, BreakerEntry{VP: vp, Count: n})
+	}
+	sort.Slice(s.Dead, func(i, j int) bool { return s.Dead[i].VP.Less(s.Dead[j].VP) })
+	for vp := range b.alive {
+		s.Alive = append(s.Alive, vp)
+	}
+	sort.Slice(s.Alive, func(i, j int) bool { return s.Alive[i].Less(s.Alive[j]) })
+	return s
+}
+
+// Restore overwrites the breaker's ledgers with a snapshot. A nil
+// breaker ignores it (resilience off means nothing was snapshot
+// either).
+func (b *Breaker) Restore(s BreakerState) {
+	if b == nil {
+		return
+	}
+	b.dead = make(map[netip.Addr]int, len(s.Dead))
+	for _, e := range s.Dead {
+		b.dead[e.VP] = e.Count
+	}
+	b.alive = make(map[netip.Addr]bool, len(s.Alive))
+	for _, vp := range s.Alive {
+		b.alive[vp] = true
+	}
+}

@@ -1,0 +1,327 @@
+package traceroute
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/segfault"
+)
+
+// durableWindows appends windows [from, to) to w, sealing and
+// checkpointing after each. Windows overlap in the shared view slice so
+// a resumed writer must re-intern addresses the recovered prefix
+// already interned — a wrong symbol-table rebuild corrupts the replay.
+func durableWindows(w *SegmentWriter, views []TraceView, from, to int) error {
+	for i := from; i < to; i++ {
+		for _, tv := range views[i*3 : i*3+6] {
+			if err := w.Append("sweep", tv); err != nil {
+				return err
+			}
+		}
+		if err := w.Seal(); err != nil {
+			return err
+		}
+		state := json.RawMessage(fmt.Sprintf(`{"win":%d}`, i))
+		if err := w.Checkpoint(i+1, state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+const resumeTestWindows = 6
+
+func resumeTestViews(store *HopStore) []TraceView {
+	rng := rand.New(rand.NewSource(11))
+	return randomTraces(rng, store, resumeTestWindows*3+3)
+}
+
+// writeReferenceLog writes the full uninterrupted durable log and
+// returns the replayed trace fingerprints every kill-and-resume variant
+// must reproduce.
+func writeReferenceLog(t *testing.T, views []TraceView) []string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "traces.seg")
+	w, err := CreateDurableSegmentLog(path, "fp", segfault.OS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durableWindows(w, views, 0, resumeTestWindows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MarkComplete(resumeTestWindows, json.RawMessage(`{"done":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return replayLog(t, path)
+}
+
+func TestDurableKillAndResume(t *testing.T) {
+	var store HopStore
+	views := resumeTestViews(&store)
+	want := writeReferenceLog(t, views)
+
+	// Each case kills the writer at a different point. wantWin is how
+	// many sealed windows recovery must salvage; -1 means nothing
+	// (fresh start).
+	cases := []struct {
+		name    string
+		plan    segfault.Plan
+		wantWin int
+	}{
+		// Log sync #1 is the header, #k+1 seals window k-1 (1-based).
+		{"sync-crash-before-any-checkpoint", segfault.Plan{CrashOnLogSync: 2}, -1},
+		{"sync-crash-window3", segfault.Plan{CrashOnLogSync: 5}, 3},
+		{"sync-crash-last-window", segfault.Plan{CrashOnLogSync: resumeTestWindows + 1}, resumeTestWindows - 1},
+		// Log write #1 is the header flush, #k+1 is the k-th window's
+		// frame (1-based): tearing it salvages the k-1 before it.
+		{"torn-write-window2", segfault.Plan{Seed: 7, CrashOnLogWrite: 3}, 1},
+		{"torn-write-window4", segfault.Plan{Seed: 40, CrashOnLogWrite: 5}, 3},
+		// Rename #1 publishes the empty manifest; window k (1-based)
+		// renames at seal (#2k) and checkpoint (#2k+1). Crashing either
+		// leaves window k durable but uncheckpointed, so it is dropped.
+		{"rename-crash-at-seal3", segfault.Plan{CrashOnRename: 6}, 2},
+		{"rename-crash-at-checkpoint3", segfault.Plan{CrashOnRename: 7}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "traces.seg")
+			fs := segfault.Inject(segfault.OS, tc.plan)
+			w, err := CreateDurableSegmentLog(path, "fp", fs)
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			err = durableWindows(w, views, 0, resumeTestWindows)
+			if !errors.Is(err, segfault.ErrCrash) {
+				t.Fatalf("campaign survived the fault plan: %v", err)
+			}
+			w.Close() // a dying process still drops its descriptors
+
+			// Restart: a fresh FS (the crash latch dies with the process)
+			// and a resume-or-fresh open.
+			w2, res, err := OpenDurableSegmentLog(path, "fp", segfault.OS)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			from := 0
+			if tc.wantWin < 0 {
+				if res.Resumed {
+					t.Fatalf("expected fresh start, got resume: %+v", res)
+				}
+			} else {
+				if !res.Resumed || res.Windows != tc.wantWin || res.FirstMissing != tc.wantWin {
+					t.Fatalf("resume = %+v, want %d windows", res, tc.wantWin)
+				}
+				if res.Paths != tc.wantWin {
+					t.Fatalf("resume paths = %d, want %d", res.Paths, tc.wantWin)
+				}
+				if n := len(res.Checkpoints); n != tc.wantWin {
+					t.Fatalf("%d checkpoints survived, want %d", n, tc.wantWin)
+				}
+				from = tc.wantWin
+			}
+			if err := durableWindows(w2, views, from, resumeTestWindows); err != nil {
+				t.Fatalf("resume append: %v", err)
+			}
+			if err := w2.MarkComplete(resumeTestWindows, json.RawMessage(`{"done":true}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got := replayLog(t, path)
+			if len(got) != len(want) {
+				t.Fatalf("resumed log replays %d traces, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trace %d diverged after resume:\n got %s\nwant %s", i, got[i], want[i])
+				}
+			}
+
+			// Third boot: the log is complete — no writer, replay only.
+			w3, res3, err := OpenDurableSegmentLog(path, "fp", segfault.OS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w3 != nil || !res3.Complete || res3.Windows != resumeTestWindows {
+				t.Fatalf("complete reopen = writer %v, %+v", w3, res3)
+			}
+		})
+	}
+}
+
+func TestDurableResumeRejectsForeignFingerprint(t *testing.T) {
+	var store HopStore
+	views := resumeTestViews(&store)
+	path := filepath.Join(t.TempDir(), "traces.seg")
+	w, err := CreateDurableSegmentLog(path, "fp-a", segfault.OS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durableWindows(w, views, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, res, err := OpenDurableSegmentLog(path, "fp-b", segfault.OS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if res.Resumed {
+		t.Fatalf("resumed across a fingerprint change: %+v", res)
+	}
+	if n, _ := segfault.OS.Size(path); n != 8 {
+		t.Fatalf("fresh log is %d bytes, want header only", n)
+	}
+}
+
+func TestDurableResumeRejectsGarbageManifest(t *testing.T) {
+	var store HopStore
+	views := resumeTestViews(&store)
+	path := filepath.Join(t.TempDir(), "traces.seg")
+	w, err := CreateDurableSegmentLog(path, "fp", segfault.OS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durableWindows(w, views, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ManifestPath(path), []byte("not json{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, res, err := OpenDurableSegmentLog(path, "fp", segfault.OS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if res.Resumed {
+		t.Fatalf("resumed from a garbage manifest: %+v", res)
+	}
+}
+
+// TestRecoveryClassification damages every region of a sealed frame —
+// bit-flips across the whole payload, both frame-header fields, and a
+// truncation at every byte of the final frame — and asserts the decode
+// error class plus the exact number of windows recovery salvages.
+func TestRecoveryClassification(t *testing.T) {
+	var store HopStore
+	views := resumeTestViews(&store)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traces.seg")
+	w, err := CreateDurableSegmentLog(path, "fp", segfault.OS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nWin = 3
+	if err := durableWindows(w, views, 0, nWin); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifestBytes, err := os.ReadFile(ManifestPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeManifest(manifestBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) != nWin {
+		t.Fatalf("reference log has %d windows, want %d", len(m.Segments), nWin)
+	}
+
+	// check writes a damaged copy, asserts the sequential decoder's
+	// error class, then asserts recovery salvages exactly wantWin
+	// windows (or starts fresh for wantWin == 0: no checkpoint
+	// precedes window 0).
+	check := func(t *testing.T, data []byte, wantErr error, wantWin int) {
+		t.Helper()
+		d := filepath.Join(t.TempDir(), "damaged")
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(d, "traces.seg")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ManifestPath(p), manifestBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if derr := decodeAll(p); !errors.Is(derr, wantErr) {
+			t.Fatalf("decode error = %v, want %v", derr, wantErr)
+		}
+		w2, res, err := OpenDurableSegmentLog(p, "fp", segfault.OS)
+		if err != nil {
+			t.Fatalf("recovery: %v", err)
+		}
+		if w2 != nil {
+			defer w2.Close()
+		}
+		switch {
+		case wantWin == 0 && res.Resumed:
+			t.Fatalf("salvaged %d windows from damage before any checkpoint", res.Windows)
+		case wantWin > 0 && (!res.Resumed || res.Windows != wantWin):
+			t.Fatalf("recovery = %+v, want %d windows", res, wantWin)
+		}
+	}
+
+	for win := 0; win < nWin; win++ {
+		rec := m.Segments[win]
+		lo, hi := rec.Offset, rec.Offset+rec.Length
+		t.Run(fmt.Sprintf("win%d/flip-every-payload-byte", win), func(t *testing.T) {
+			for off := lo + 8; off < hi; off++ {
+				data := append([]byte(nil), good...)
+				data[off] ^= 0x10
+				check(t, data, ErrCorruptSegment, win)
+			}
+		})
+		t.Run(fmt.Sprintf("win%d/flip-crc", win), func(t *testing.T) {
+			data := append([]byte(nil), good...)
+			data[lo+4] ^= 0x01
+			check(t, data, ErrCorruptSegment, win)
+		})
+		t.Run(fmt.Sprintf("win%d/len-oversized", win), func(t *testing.T) {
+			data := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint32(data[lo:], 1<<30)
+			check(t, data, ErrTruncatedSegment, win)
+		})
+		t.Run(fmt.Sprintf("win%d/len-shrunk", win), func(t *testing.T) {
+			data := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint32(data[lo:], uint32(rec.Length)-8-1)
+			check(t, data, ErrCorruptSegment, win)
+		})
+	}
+	// Truncate the log at every byte inside the final frame: always a
+	// torn tail, always salvaging everything before it.
+	last := m.Segments[nWin-1]
+	t.Run("truncate-every-final-frame-byte", func(t *testing.T) {
+		for cut := last.Offset + 1; cut < last.Offset+last.Length; cut++ {
+			check(t, good[:cut], ErrTruncatedSegment, nWin-1)
+		}
+	})
+	// Truncating exactly at a frame boundary is a clean-looking log
+	// that simply misses windows; recovery still resumes there.
+	t.Run("truncate-at-boundary", func(t *testing.T) {
+		check(t, good[:last.Offset], nil, nWin-1)
+	})
+}

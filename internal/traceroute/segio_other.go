@@ -2,7 +2,8 @@
 
 package traceroute
 
-// mapSegmentFile on platforms without unix mmap reads the whole log.
-func mapSegmentFile(path string) ([]byte, func() error, error) {
+// platformMapSegmentFile on platforms without unix mmap reads the
+// whole log.
+func platformMapSegmentFile(path string) ([]byte, func() error, error) {
 	return readSegmentFile(path)
 }

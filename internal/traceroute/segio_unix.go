@@ -7,12 +7,12 @@ import (
 	"syscall"
 )
 
-// mapSegmentFile maps path read-only. Replay then decodes straight out
-// of the page cache — the kernel streams pages in and drops them behind
-// the sequential scan, so an archive-sized log never needs
-// archive-sized memory. An empty file maps to an empty slice (mmap of
-// length 0 is an error on Linux).
-func mapSegmentFile(path string) ([]byte, func() error, error) {
+// platformMapSegmentFile maps path read-only. Replay then decodes
+// straight out of the page cache — the kernel streams pages in and
+// drops them behind the sequential scan, so an archive-sized log never
+// needs archive-sized memory. An empty file maps to an empty slice
+// (mmap of length 0 is an error on Linux).
+func platformMapSegmentFile(path string) ([]byte, func() error, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err

@@ -39,6 +39,7 @@ package traceroute
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/segfault"
 	"repro/internal/symtab"
 )
 
@@ -71,7 +73,7 @@ var (
 // so nothing is deferred); Seal frames and flushes the accumulated
 // window. The writer is single-goroutine, like the fold that feeds it.
 type SegmentWriter struct {
-	f  *os.File
+	f  segfault.File
 	bw *bufio.Writer
 
 	// global interns packed address bytes across the whole log; local
@@ -86,6 +88,15 @@ type SegmentWriter struct {
 	body  []byte
 	head  []byte
 	err   error
+
+	// Durable mode (CreateDurableSegmentLog / OpenDurableSegmentLog):
+	// every Seal fsyncs the log and atomically rewrites the manifest, so
+	// a crash loses at most the open window. fsys nil = plain mode, no
+	// manifest, no syncs — exactly the original writer.
+	fsys     segfault.FS
+	logPath  string
+	manifest *Manifest
+	off      int64
 }
 
 // CreateSegmentLog creates (truncating) a segment log at path and
@@ -110,6 +121,122 @@ func CreateSegmentLog(path string) (*SegmentWriter, error) {
 		return nil, err
 	}
 	return w, nil
+}
+
+// CreateDurableSegmentLog creates (truncating) a durable segment log:
+// the header is synced immediately and an empty manifest stamped with
+// fingerprint is published, so a crash at any later instant finds a
+// decodable pair on disk. All I/O goes through fsys, the injectable
+// filesystem seam (pass segfault.OS outside tests).
+func CreateDurableSegmentLog(path, fingerprint string, fsys segfault.FS) (*SegmentWriter, error) {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &SegmentWriter{
+		f:       f,
+		bw:      bufio.NewWriterSize(f, 1<<16),
+		global:  symtab.New(0),
+		local:   symtab.New(0),
+		fsys:    fsys,
+		logPath: path,
+		off:     8,
+		manifest: &Manifest{
+			Schema:      manifestSchema,
+			SegVersion:  segVersion,
+			Fingerprint: fingerprint,
+		},
+	}
+	var hdr [8]byte
+	copy(hdr[:4], segMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], segVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], 0) // flags, reserved
+	if _, err := w.bw.Write(hdr[:]); err == nil {
+		err = w.bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.writeManifest(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// writeManifest atomically publishes the current manifest: write to a
+// sibling temp file, fsync, rename over the target. A crash mid-write
+// leaves the previous manifest intact (plus a stray .tmp that make
+// clean sweeps).
+func (w *SegmentWriter) writeManifest() error {
+	if w.fsys == nil {
+		return nil
+	}
+	path := ManifestPath(w.logPath)
+	tmp := path + ".tmp"
+	f, err := w.fsys.Create(tmp)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := f.Write(encodeManifest(w.manifest)); err != nil {
+		f.Close()
+		w.err = err
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		w.err = err
+		return err
+	}
+	if err := f.Close(); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.fsys.Rename(tmp, path); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Checkpoint seals any open window and records a resume point carrying
+// the caller's opaque cursor snapshot. paths is the durable trace-path
+// count, asserted by the resume replay. Durable logs only.
+func (w *SegmentWriter) Checkpoint(paths int, state json.RawMessage) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.fsys == nil {
+		return errors.New("traceroute: Checkpoint on a non-durable segment log")
+	}
+	if err := w.Seal(); err != nil {
+		return err
+	}
+	w.manifest.Checkpoints = append(w.manifest.Checkpoints, Checkpoint{Offset: w.off, Paths: paths, State: state})
+	return w.writeManifest()
+}
+
+// MarkComplete records the final checkpoint and flags the log complete:
+// a later OpenDurableSegmentLog replays it instead of resuming
+// collection. Durable logs only.
+func (w *SegmentWriter) MarkComplete(paths int, state json.RawMessage) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.fsys == nil {
+		return errors.New("traceroute: MarkComplete on a non-durable segment log")
+	}
+	if err := w.Seal(); err != nil {
+		return err
+	}
+	w.manifest.Complete = true
+	w.manifest.Checkpoints = append(w.manifest.Checkpoints, Checkpoint{Offset: w.off, Paths: paths, State: state})
+	return w.writeManifest()
 }
 
 // Count reports the traces appended to the open (unsealed) segment.
@@ -223,11 +350,33 @@ func (w *SegmentWriter) Seal() error {
 		w.err = err
 		return err
 	}
+	if w.fsys != nil {
+		// Durability order: the frame's bytes reach the platter before
+		// the manifest records them, so the manifest never points past
+		// what a crash would leave behind.
+		if err := w.bw.Flush(); err != nil {
+			w.err = err
+			return err
+		}
+		if err := w.f.Sync(); err != nil {
+			w.err = err
+			return err
+		}
+		frameLen := int64(8 + len(head) + len(w.body))
+		w.manifest.Segments = append(w.manifest.Segments, SegmentRecord{
+			Offset: w.off,
+			Length: frameLen,
+			CRC:    crc,
+			Stage:  w.stage,
+			Traces: w.count,
+		})
+		w.off += frameLen
+	}
 	w.head = head[:0]
 	w.body = w.body[:0]
 	w.count = 0
 	w.local = symtab.New(0)
-	return nil
+	return w.writeManifest()
 }
 
 // Close seals any open segment, flushes, and closes the file.
@@ -286,25 +435,35 @@ type SegmentReader struct {
 	unmap func() error
 }
 
+// mapSegment is the platform mapping seam. Tests swap in
+// readSegmentFile to exercise the non-mmap fallback on any platform;
+// everything else uses the build-tagged platformMapSegmentFile.
+var mapSegment = platformMapSegmentFile
+
 // OpenSegmentLog opens a log for replay and validates its header.
 func OpenSegmentLog(path string) (*SegmentReader, error) {
-	data, unmap, err := mapSegmentFile(path)
+	data, unmap, err := mapSegment(path)
 	if err != nil {
 		return nil, err
 	}
 	r := &SegmentReader{data: data, unmap: unmap}
+	// Header validation failures must release the mapping before the
+	// reader escapes — and surface an unmap failure rather than leak it.
+	fail := func(err error) (*SegmentReader, error) {
+		if cerr := r.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
+	}
 	if len(data) < 8 {
-		r.Close()
-		return nil, fmt.Errorf("%w: %d-byte header", ErrTruncatedSegment, len(data))
+		return fail(fmt.Errorf("%w: %d-byte header", ErrTruncatedSegment, len(data)))
 	}
 	if string(data[:4]) != segMagic {
 		magic := string(data[:4]) // copy out before Close unmaps data
-		r.Close()
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptSegment, magic)
+		return fail(fmt.Errorf("%w: bad magic %q", ErrCorruptSegment, magic))
 	}
 	if v := binary.LittleEndian.Uint16(data[4:]); v != segVersion {
-		r.Close()
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSegment, v)
+		return fail(fmt.Errorf("%w: unsupported version %d", ErrCorruptSegment, v))
 	}
 	r.off = 8
 	return r, nil

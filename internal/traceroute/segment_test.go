@@ -2,6 +2,7 @@ package traceroute
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -13,6 +14,69 @@ import (
 
 	"repro/internal/netsim"
 )
+
+// TestNonMmapFallbackSeam replays a log through the buffered
+// readSegmentFile path on every platform (segio_other.go is otherwise
+// unreachable under a unix build) and checks it matches the mapped
+// replay byte for byte.
+func TestNonMmapFallbackSeam(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var store HopStore
+	views := randomTraces(rng, &store, 12)
+	path := filepath.Join(t.TempDir(), "traces.seg")
+	writeLog(t, path, []string{"sweep", "direct"}, [][]TraceView{views[:7], views[7:]})
+	mapped := replayLog(t, path)
+
+	orig := mapSegment
+	mapSegment = readSegmentFile
+	defer func() { mapSegment = orig }()
+	buffered := replayLog(t, path)
+	if len(buffered) != len(mapped) {
+		t.Fatalf("fallback replayed %d traces, mapped replayed %d", len(buffered), len(mapped))
+	}
+	for i := range mapped {
+		if buffered[i] != mapped[i] {
+			t.Fatalf("trace %d differs between mmap and fallback:\n %s\n %s", i, mapped[i], buffered[i])
+		}
+	}
+}
+
+// TestOpenReleasesMappingOnHeaderError pins the open-path cleanup
+// contract: when header validation rejects a log, the mapping's release
+// closure must have run exactly once before OpenSegmentLog returns.
+func TestOpenReleasesMappingOnHeaderError(t *testing.T) {
+	for name, mut := range map[string]func([]byte) []byte{
+		"short-header": func(b []byte) []byte { return b[:5] },
+		"bad-magic":    func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad-version": func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[4:], 99)
+			return b
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			data := mut(validLogBytes(t))
+			path := filepath.Join(t.TempDir(), "bad.seg")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			released := 0
+			orig := mapSegment
+			mapSegment = func(p string) ([]byte, func() error, error) {
+				d, _, err := readSegmentFile(p)
+				return d, func() error { released++; return nil }, err
+			}
+			defer func() { mapSegment = orig }()
+			r, err := OpenSegmentLog(path)
+			if err == nil {
+				r.Close()
+				t.Fatal("damaged header accepted")
+			}
+			if released != 1 {
+				t.Fatalf("release closure ran %d times, want 1", released)
+			}
+		})
+	}
+}
 
 // randomTraces builds n traces with hop rows in one shared store,
 // exercising v4/v6 addresses, unresponsive hops, zero-hop traces, and
@@ -326,6 +390,56 @@ func FuzzSegmentDecode(f *testing.F) {
 		err := decodeAll(path)
 		if err != nil && !errors.Is(err, ErrTruncatedSegment) && !errors.Is(err, ErrCorruptSegment) {
 			t.Fatalf("unnamed decode error: %v", err)
+		}
+	})
+}
+
+// FuzzManifestDecode asserts the manifest decoder never panics on
+// arbitrary bytes: it returns *Manifest or an error wrapping
+// ErrBadManifest, and anything it accepts must re-encode cleanly.
+func FuzzManifestDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte("not json{"))
+	f.Add([]byte(`{"schema":1,"seg_version":1,"fingerprint":"fp"}`))
+	valid := encodeManifest(&Manifest{
+		Schema: manifestSchema, SegVersion: segVersion, Fingerprint: "fp",
+		Segments: []SegmentRecord{
+			{Offset: 8, Length: 40, CRC: 0xdeadbeef, Stage: "sweep", Traces: 2},
+			{Offset: 48, Length: 33, CRC: 7, Stage: "direct", Traces: 1},
+		},
+		Checkpoints: []Checkpoint{
+			{Offset: 48, Paths: 2, State: json.RawMessage(`{"win":0}`)},
+			{Offset: 81, Paths: 3, State: json.RawMessage(`{"win":1}`)},
+		},
+	})
+	f.Add(valid)
+	complete := encodeManifest(&Manifest{
+		Schema: manifestSchema, SegVersion: segVersion, Fingerprint: "fp",
+		Segments:    []SegmentRecord{{Offset: 8, Length: 40, CRC: 1, Stage: "sweep", Traces: 2}},
+		Checkpoints: []Checkpoint{{Offset: 48, Paths: 2}},
+		Complete:    true,
+	})
+	f.Add(complete)
+	for _, i := range []int{10, len(valid) / 2, len(valid) - 3} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add(valid[:len(valid)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadManifest) {
+				t.Fatalf("unnamed manifest error: %v", err)
+			}
+			return
+		}
+		if m == nil {
+			t.Fatal("nil manifest with nil error")
+		}
+		if rt, err := DecodeManifest(encodeManifest(m)); err != nil || rt == nil {
+			t.Fatalf("accepted manifest failed round-trip: %v", err)
 		}
 	})
 }
